@@ -1,0 +1,26 @@
+// Regenerates Fig. 10: blocking time per EM dataset (embedding + kNN
+// search over the learned representations).
+
+#include "bench/bench_util.h"
+#include "data/em_dataset.h"
+
+using namespace sudowoodo;  // NOLINT
+
+int main() {
+  TablePrinter table(
+      "Fig. 10: blocking time (seconds; paper shape: largest dataset DS "
+      "costs the most)");
+  table.SetHeader({"Dataset", "|A|x|B|", "blocking-s"});
+  for (const auto& code : data::SemiSupEmCodes()) {
+    data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
+    pipeline::EmPipeline p(bench::SudowoodoEmOptions());
+    auto r = p.Run(ds);
+    table.AddRow({code,
+                  StrFormat("%dx%d", ds.table_a.num_rows(),
+                            ds.table_b.num_rows()),
+                  StrFormat("%.2f", r.blocking_seconds)});
+    std::printf("[done] %s\n", code.c_str());
+  }
+  table.Print();
+  return 0;
+}

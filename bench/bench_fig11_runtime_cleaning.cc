@@ -1,0 +1,32 @@
+// Regenerates Fig. 11: running time for data cleaning - the plain LM
+// fine-tuning baseline vs Sudowoodo. Paper shape: self-supervised
+// pre-training adds only a small margin on top of fine-tuning.
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "data/cleaning_dataset.h"
+#include "pipeline/cleaning_pipeline.h"
+
+using namespace sudowoodo;  // NOLINT
+
+int main() {
+  TablePrinter table("Fig. 11: cleaning running time (seconds)");
+  table.SetHeader({"Dataset", "No-pretrain LM", "Sudowoodo", "pretrain-s"});
+  for (const auto& name : data::CleaningDatasetNames()) {
+    data::CleaningDataset ds = data::GenerateCleaning(data::GetCleaningSpec(name));
+    pipeline::CleaningPipelineOptions lm;
+    lm.skip_pretrain = true;
+    WallTimer t1;
+    pipeline::CleaningPipeline(lm).Run(ds);
+    const double t_lm = t1.ElapsedSeconds();
+    pipeline::CleaningPipelineOptions sudo;
+    WallTimer t2;
+    auto r = pipeline::CleaningPipeline(sudo).Run(ds);
+    table.AddRow({name, StrFormat("%.1f", t_lm),
+                  StrFormat("%.1f", t2.ElapsedSeconds()),
+                  StrFormat("%.1f", r.pretrain_seconds)});
+    std::printf("[done] %s\n", name.c_str());
+  }
+  table.Print();
+  return 0;
+}

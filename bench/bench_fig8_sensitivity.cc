@@ -1,0 +1,92 @@
+// Regenerates Fig. 8: hyper-parameter sensitivity. Sweeps the four tuned
+// hyper-parameters (cutoff_ratio, num_clusters, alpha_bt, multiplier) and
+// additionally the false-negative rate of the cluster-based in-batch
+// negatives vs num_clusters (row 3 of the figure). Two datasets (an easy
+// and a hard one) keep the sweep affordable; the paper's finding is that
+// F1 is stable in cutoff_ratio / num_clusters and more sensitive to
+// alpha_bt / multiplier.
+
+#include "bench/bench_util.h"
+#include "data/em_dataset.h"
+
+using namespace sudowoodo;  // NOLINT
+
+namespace {
+const std::vector<std::string> kSweepCodes = {"AB", "WA"};
+
+double RunWith(const data::EmDataset& ds,
+               const pipeline::EmPipelineOptions& options) {
+  pipeline::EmPipeline p(options);
+  return p.Run(ds).test.f1;
+}
+}  // namespace
+
+int main() {
+  std::vector<data::EmDataset> datasets;
+  for (const auto& code : kSweepCodes) {
+    datasets.push_back(data::GenerateEm(data::GetEmSpec(code)));
+  }
+
+  TablePrinter table(
+      "Fig. 8: hyper-parameter sensitivity (test F1; datasets AB, WA)");
+  table.SetHeader({"parameter", "value", "AB", "WA", "avg"});
+
+  auto sweep = [&](const std::string& param, const std::string& value,
+                   const pipeline::EmPipelineOptions& options) {
+    std::vector<std::string> row = {param, value};
+    double sum = 0.0;
+    for (const auto& ds : datasets) {
+      const double f1 = RunWith(ds, options);
+      sum += f1;
+      row.push_back(bench::Pct(f1));
+    }
+    row.push_back(bench::Pct(sum / datasets.size()));
+    table.AddRow(row);
+    std::printf("[done] %s=%s\n", param.c_str(), value.c_str());
+  };
+
+  for (double r : {0.01, 0.03, 0.05, 0.08}) {
+    auto o = bench::SudowoodoEmOptions();
+    o.pretrain.cutoff_ratio = r;
+    sweep("cutoff_ratio", StrFormat("%.2f", r), o);
+  }
+  for (int k : {30, 60, 90, 120}) {
+    auto o = bench::SudowoodoEmOptions();
+    o.pretrain.num_clusters = k;
+    sweep("num_clusters", StrFormat("%d", k), o);
+  }
+  for (float a : {1e-4f, 1e-3f, 1e-2f, 1e-1f}) {
+    auto o = bench::SudowoodoEmOptions();
+    o.pretrain.alpha_bt = a;
+    sweep("alpha_bt", StrFormat("%.0e", a), o);
+  }
+  for (int m : {2, 4, 6, 8, 10}) {
+    auto o = bench::SudowoodoEmOptions();
+    o.pl_multiplier = m;
+    sweep("multiplier", StrFormat("%d", m), o);
+  }
+  table.Print();
+
+  // Row 3 of Fig. 8: cluster-negative false-negative rate vs num_clusters
+  // (paper: grows roughly linearly, < 2% up to 90 clusters).
+  TablePrinter fnr_table("Fig. 8 (row 3): in-batch false-negative rate");
+  fnr_table.SetHeader({"num_clusters", "AB-FNR%", "WA-FNR%"});
+  for (int k : {30, 60, 90, 120}) {
+    std::vector<std::string> row = {StrFormat("%d", k)};
+    for (const auto& ds : datasets) {
+      std::vector<std::vector<std::string>> tokens_a, tokens_b;
+      for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+        tokens_a.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, i));
+      }
+      for (int i = 0; i < ds.table_b.num_rows(); ++i) {
+        tokens_b.push_back(pipeline::EmPipeline::SerializeRow(ds.table_b, i));
+      }
+      const double fnr =
+          pipeline::MeasureClusterFnr(tokens_a, tokens_b, ds, k, 32, 7);
+      row.push_back(StrFormat("%.2f", 100.0 * fnr));
+    }
+    fnr_table.AddRow(row);
+  }
+  fnr_table.Print();
+  return 0;
+}

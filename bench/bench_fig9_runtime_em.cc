@@ -1,0 +1,36 @@
+// Regenerates Fig. 9: running time for semi-supervised EM per method.
+// Paper shape: SimCLR/Ditto/Sudowoodo comparable, DeepMatcher-on-full
+// slowest; Sudowoodo's extra pseudo-labeling cost is modest.
+
+#include "baselines/deepmatcher.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "data/em_dataset.h"
+
+using namespace sudowoodo;  // NOLINT
+
+int main() {
+  const auto& codes = data::SemiSupEmCodes();
+  TablePrinter table("Fig. 9: EM running time (seconds)");
+  table.SetHeader({"Dataset", "SimCLR", "Ditto", "Sudowoodo", "DM (full)"});
+  for (const auto& code : codes) {
+    data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
+    auto time_of = [&](const pipeline::EmPipelineOptions& o) {
+      WallTimer t;
+      pipeline::EmPipeline(o).Run(ds);
+      return t.ElapsedSeconds();
+    };
+    const double t_simclr = time_of(bench::SimClrEmOptions());
+    const double t_ditto = time_of(bench::DittoEmOptions(500));
+    const double t_sudo = time_of(bench::SudowoodoEmOptions());
+    WallTimer t;
+    baselines::RunDeepMatcherOnEm(ds);
+    const double t_dm = t.ElapsedSeconds();
+    table.AddRow({code, StrFormat("%.1f", t_simclr),
+                  StrFormat("%.1f", t_ditto), StrFormat("%.1f", t_sudo),
+                  StrFormat("%.1f", t_dm)});
+    std::printf("[done] %s\n", code.c_str());
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Regenerates Table XI: true-positive / true-negative rates of the
+// pseudo-label training sets for SimCLR, Sudowoodo (500 labels) and the
+// unsupervised Sudowoodo.
+
+#include "bench/bench_util.h"
+#include "data/em_dataset.h"
+
+using namespace sudowoodo;  // NOLINT
+
+int main() {
+  const auto& codes = data::SemiSupEmCodes();
+  TablePrinter table(
+      "Table XI: TPR / TNR of pseudo labels (paper: TNR >= 96% everywhere)");
+  table.SetHeader({"Dataset", "SimCLR-TPR", "SimCLR-TNR", "Sudo-TPR",
+                   "Sudo-TNR", "NoLabel-TPR", "NoLabel-TNR"});
+  for (const auto& code : codes) {
+    data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
+    // SimCLR pre-training but with PL on so we can measure its quality.
+    pipeline::EmPipelineOptions simclr = bench::SimClrEmOptions();
+    simclr.use_pseudo_labels = true;
+    auto r1 = pipeline::EmPipeline(simclr).Run(ds);
+    auto r2 = pipeline::EmPipeline(bench::SudowoodoEmOptions()).Run(ds);
+    pipeline::EmPipelineOptions unsup = bench::SudowoodoEmOptions();
+    unsup.label_budget = 0;
+    auto r3 = pipeline::EmPipeline(unsup).Run(ds);
+    table.AddRow({code, bench::Pct(r1.pl_quality.tpr),
+                  bench::Pct(r1.pl_quality.tnr), bench::Pct(r2.pl_quality.tpr),
+                  bench::Pct(r2.pl_quality.tnr), bench::Pct(r3.pl_quality.tpr),
+                  bench::Pct(r3.pl_quality.tnr)});
+    std::printf("[done] %s\n", code.c_str());
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Regenerates Tables II and XVII: statistics of the generated EM
+// benchmarks (scaled-down stand-ins for the DeepMatcher datasets).
+
+#include "bench/bench_util.h"
+#include "data/em_dataset.h"
+
+using namespace sudowoodo;  // NOLINT
+
+int main() {
+  TablePrinter table(
+      "Table II / XVII: statistics of the generated EM datasets "
+      "(scaled stand-ins; paper sizes in EXPERIMENTS.md)");
+  table.SetHeader({"Dataset", "TableA", "TableB", "Train+Valid", "Test",
+                   "%pos", "#gold-matches"});
+  for (const auto& code : data::FullSupEmCodes()) {
+    data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
+    table.AddRow({ds.name + " (" + code + ")",
+                  StrFormat("%d", ds.table_a.num_rows()),
+                  StrFormat("%d", ds.table_b.num_rows()),
+                  StrFormat("%zu", ds.train.size() + ds.valid.size()),
+                  StrFormat("%zu", ds.test.size()),
+                  bench::Pct(ds.PositiveRatio()),
+                  StrFormat("%zu", ds.gold_matches.size())});
+  }
+  table.Print();
+  return 0;
+}

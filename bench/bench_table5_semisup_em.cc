@@ -1,0 +1,97 @@
+// Regenerates Table V: F1 scores for semi-supervised matching (EM) with a
+// 500-label budget, including every ablation row. Paper numbers are quoted
+// in the "paper" column (RoBERTa testbed; shapes, not absolutes, should
+// match - see EXPERIMENTS.md).
+
+#include "baselines/deepmatcher.h"
+#include "bench/bench_util.h"
+#include "data/em_dataset.h"
+
+using namespace sudowoodo;  // NOLINT
+
+namespace {
+
+struct RowSpec {
+  std::string name;
+  std::vector<double> paper;  // AB AG DA DS WA (F1 x 100), paper Table V
+};
+
+double RunOne(const std::string& code,
+              const pipeline::EmPipelineOptions& options) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
+  pipeline::EmPipeline p(options);
+  return p.Run(ds).test.f1;
+}
+
+}  // namespace
+
+int main() {
+  const auto& codes = data::SemiSupEmCodes();
+  TablePrinter table(
+      "Table V: F1 for semi-supervised EM (500 labels; paper avg quoted)");
+  std::vector<std::string> header = {"Method"};
+  for (const auto& c : codes) header.push_back(c);
+  header.push_back("avg");
+  header.push_back("paper-avg");
+  table.SetHeader(header);
+
+  auto add_method = [&](const std::string& name, double paper_avg,
+                        const std::function<pipeline::EmPipelineOptions()>&
+                            make_options) {
+    std::vector<std::string> row = {name};
+    double sum = 0.0;
+    for (const auto& code : codes) {
+      const double f1 = RunOne(code, make_options());
+      sum += f1;
+      row.push_back(bench::Pct(f1));
+    }
+    row.push_back(bench::Pct(sum / codes.size()));
+    row.push_back(StrFormat("%.1f", paper_avg));
+    table.AddRow(row);
+    std::printf("[done] %s\n", name.c_str());
+  };
+
+  // DeepMatcher (full) uses its own runner.
+  {
+    std::vector<std::string> row = {"DeepMatcher (full)"};
+    double sum = 0.0;
+    for (const auto& code : codes) {
+      data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
+      const double f1 = baselines::RunDeepMatcherOnEm(ds).f1;
+      sum += f1;
+      row.push_back(bench::Pct(f1));
+    }
+    row.push_back(bench::Pct(sum / codes.size()));
+    row.push_back("78.6");
+    table.AddRow(row);
+    std::printf("[done] DeepMatcher (full)\n");
+  }
+
+  add_method("Ditto (500)", 69.9, [] { return bench::DittoEmOptions(500); });
+  add_method("Ditto (750)", 77.6, [] { return bench::DittoEmOptions(750); });
+  add_method("Rotom (500)", 72.3, [] { return bench::RotomEmOptions(500); });
+  add_method("Rotom (750)", 78.5, [] { return bench::RotomEmOptions(750); });
+  add_method("SimCLR", 67.1, [] { return bench::SimClrEmOptions(); });
+  add_method("Sudowoodo (-cut,-RR,-cls)", 76.7, [] {
+    return bench::AblatedEmOptions({false, true, true, true});
+  });
+  add_method("Sudowoodo (-cut,-RR)", 77.7, [] {
+    return bench::AblatedEmOptions({false, false, true, true});
+  });
+  add_method("Sudowoodo (-cut)", 78.0, [] {
+    return bench::AblatedEmOptions({false, false, true, false});
+  });
+  add_method("Sudowoodo (-PL)", 68.5, [] {
+    return bench::AblatedEmOptions({true, false, false, false});
+  });
+  add_method("Sudowoodo (-RR)", 77.9, [] {
+    return bench::AblatedEmOptions({false, false, false, true});
+  });
+  add_method("Sudowoodo (-cls)", 76.2, [] {
+    return bench::AblatedEmOptions({false, true, false, false});
+  });
+  add_method("Sudowoodo", 78.3, [] { return bench::SudowoodoEmOptions(); });
+
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the experiment benches. Each bench_* binary
+// regenerates one table or figure of the paper: it builds the workload,
+// runs the methods, and prints the same rows/series the paper reports,
+// quoting the paper's numbers alongside for shape comparison (absolute
+// values are not expected to match - see EXPERIMENTS.md).
+
+#ifndef SUDOWOODO_BENCH_BENCH_UTIL_H_
+#define SUDOWOODO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "pipeline/em_pipeline.h"
+
+namespace sudowoodo::bench {
+
+/// Formats a ratio as percent with one decimal, e.g. 81.1.
+inline std::string Pct(double v) { return StrFormat("%.1f", 100.0 * v); }
+
+/// Standard Sudowoodo EM configuration (all optimizations on).
+inline pipeline::EmPipelineOptions SudowoodoEmOptions(uint64_t seed = 7) {
+  pipeline::EmPipelineOptions o;
+  o.seed = seed;
+  return o;
+}
+
+/// SimCLR base: all four optimizations off (the paper's equivalence note
+/// in §VI-B).
+inline pipeline::EmPipelineOptions SimClrEmOptions(uint64_t seed = 7) {
+  pipeline::EmPipelineOptions o;
+  o.use_pseudo_labels = false;                      // -PL
+  o.pretrain.cluster_negatives = false;             // -Cls
+  o.pretrain.cutoff = augment::CutoffKind::kNone;   // -Cut
+  o.pretrain.alpha_bt = 0.0f;                       // -RR
+  o.seed = seed;
+  return o;
+}
+
+/// Ditto-style baseline: pre-trained-LM fine-tuning only (no contrastive
+/// pre-training, concatenation head, no pseudo labels).
+inline pipeline::EmPipelineOptions DittoEmOptions(int label_budget,
+                                                  uint64_t seed = 7) {
+  pipeline::EmPipelineOptions o;
+  o.skip_pretrain = true;
+  o.use_pseudo_labels = false;
+  o.finetune.sudowoodo_head = false;
+  o.label_budget = label_budget;
+  o.seed = seed;
+  return o;
+}
+
+/// Rotom-style baseline: Ditto + DA-augmented fine-tuning.
+inline pipeline::EmPipelineOptions RotomEmOptions(int label_budget,
+                                                  uint64_t seed = 7) {
+  pipeline::EmPipelineOptions o = DittoEmOptions(label_budget, seed);
+  o.augment_finetune = true;
+  return o;
+}
+
+/// Sudowoodo ablation with the given optimizations disabled.
+struct AblationFlags {
+  bool no_pl = false;
+  bool no_cls = false;
+  bool no_cut = false;
+  bool no_rr = false;
+};
+inline pipeline::EmPipelineOptions AblatedEmOptions(const AblationFlags& f,
+                                                    uint64_t seed = 7) {
+  pipeline::EmPipelineOptions o;
+  if (f.no_pl) o.use_pseudo_labels = false;
+  if (f.no_cls) o.pretrain.cluster_negatives = false;
+  if (f.no_cut) o.pretrain.cutoff = augment::CutoffKind::kNone;
+  if (f.no_rr) o.pretrain.alpha_bt = 0.0f;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace sudowoodo::bench
+
+#endif  // SUDOWOODO_BENCH_BENCH_UTIL_H_

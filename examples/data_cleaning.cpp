@@ -1,0 +1,46 @@
+// Example: error correction as matching (§V-A of the paper) on the
+// hospital benchmark: generate a dirty table, pre-train on cells and
+// candidate corrections, fine-tune on 20 labeled rows, and print a few
+// example repairs (the Fig. 14 style inspection).
+
+#include <cstdio>
+
+#include "data/cleaning_dataset.h"
+#include "pipeline/cleaning_pipeline.h"
+
+using namespace sudowoodo;  // NOLINT
+
+int main() {
+  data::CleaningDataset ds =
+      data::GenerateCleaning(data::GetCleaningSpec("hospital"));
+  std::printf("hospital: %d rows x %d attrs, %zu injected errors "
+              "(coverage %.1f%%, avg %.1f candidates/cell)\n\n",
+              ds.dirty.num_rows(), ds.dirty.num_attrs(), ds.errors.size(),
+              100.0 * ds.Coverage(), ds.AvgCandidates());
+
+  // Show a few injected errors and their candidate sets.
+  std::printf("sample injected errors:\n");
+  for (size_t i = 0; i < ds.errors.size() && i < 4; ++i) {
+    const auto& e = ds.errors[i];
+    const auto& cands =
+        ds.candidates[static_cast<size_t>(e.row)][static_cast<size_t>(e.col)];
+    std::printf("  [%s] dirty='%s' truth='%s' (%zu candidates)\n",
+                ds.dirty.attrs[static_cast<size_t>(e.col)].c_str(),
+                ds.dirty.Cell(e.row, e.col).c_str(),
+                ds.clean.Cell(e.row, e.col).c_str(), cands.size());
+  }
+
+  pipeline::CleaningPipelineOptions options;
+  pipeline::CleaningPipeline cleaner(options);
+  pipeline::CleaningRunResult result = cleaner.Run(ds);
+  std::printf("\nSudowoodo EC (20 labeled rows): F1=%.3f P=%.3f R=%.3f\n",
+              result.correction.f1, result.correction.precision,
+              result.correction.recall);
+  std::printf("corrections made: %d, of which right: %d (true errors in "
+              "eval rows: %d)\n",
+              result.corrections_made, result.corrections_right,
+              result.true_errors);
+  std::printf("pre-train %.1fs + fine-tune %.1fs\n", result.pretrain_seconds,
+              result.finetune_seconds);
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "augment/da_ops.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "data/word_pools.h"
+#include "text/tokenizer.h"
+
+namespace sudowoodo::augment {
+
+namespace {
+
+/// Indexes of tokens that are safe to perturb (not serialization markers).
+std::vector<int> PlainTokenIndexes(const std::vector<std::string>& tokens) {
+  std::vector<int> out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!text::IsSpecialToken(tokens[i])) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+/// Segments starting with `marker`, as [begin, end) token ranges.
+std::vector<std::pair<int, int>> Segments(
+    const std::vector<std::string>& tokens, const std::string& marker) {
+  std::vector<std::pair<int, int>> out;
+  int start = -1;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == marker) {
+      if (start >= 0) out.emplace_back(start, static_cast<int>(i));
+      start = static_cast<int>(i);
+    }
+  }
+  if (start >= 0) out.emplace_back(start, static_cast<int>(tokens.size()));
+  return out;
+}
+
+std::vector<std::string> SwapSegments(const std::vector<std::string>& tokens,
+                                      std::pair<int, int> s1,
+                                      std::pair<int, int> s2) {
+  if (s1.first > s2.first) std::swap(s1, s2);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  out.insert(out.end(), tokens.begin(), tokens.begin() + s1.first);
+  out.insert(out.end(), tokens.begin() + s2.first, tokens.begin() + s2.second);
+  out.insert(out.end(), tokens.begin() + s1.second, tokens.begin() + s2.first);
+  out.insert(out.end(), tokens.begin() + s1.first, tokens.begin() + s1.second);
+  out.insert(out.end(), tokens.begin() + s2.second, tokens.end());
+  return out;
+}
+
+}  // namespace
+
+std::string DaOpName(DaOp op) {
+  switch (op) {
+    case DaOp::kNone:
+      return "none";
+    case DaOp::kTokenDel:
+      return "token_del";
+    case DaOp::kTokenRepl:
+      return "token_repl";
+    case DaOp::kTokenSwap:
+      return "token_swap";
+    case DaOp::kTokenInsert:
+      return "token_insert";
+    case DaOp::kSpanDel:
+      return "span_del";
+    case DaOp::kSpanShuffle:
+      return "span_shuffle";
+    case DaOp::kColShuffle:
+      return "col_shuffle";
+    case DaOp::kColDel:
+      return "col_del";
+    case DaOp::kCellShuffle:
+      return "cell_shuffle";
+  }
+  return "unknown";
+}
+
+DaOp ParseDaOp(const std::string& name) {
+  for (DaOp op :
+       {DaOp::kNone, DaOp::kTokenDel, DaOp::kTokenRepl, DaOp::kTokenSwap,
+        DaOp::kTokenInsert, DaOp::kSpanDel, DaOp::kSpanShuffle,
+        DaOp::kColShuffle, DaOp::kColDel, DaOp::kCellShuffle}) {
+    if (DaOpName(op) == name) return op;
+  }
+  SUDO_CHECK(false && "unknown DA operator name");
+  return DaOp::kNone;
+}
+
+const std::vector<DaOp>& EntityDaOps() {
+  static const std::vector<DaOp> kOps = {
+      DaOp::kTokenDel,  DaOp::kTokenRepl,   DaOp::kTokenSwap,
+      DaOp::kTokenInsert, DaOp::kSpanDel,   DaOp::kSpanShuffle,
+      DaOp::kColShuffle, DaOp::kColDel};
+  return kOps;
+}
+
+std::vector<std::string> ApplyDaOp(DaOp op,
+                                   const std::vector<std::string>& tokens,
+                                   Rng* rng) {
+  std::vector<std::string> out = tokens;
+  const auto plain = PlainTokenIndexes(tokens);
+  const data::SynonymDict& dict = data::SynonymDict::Default();
+
+  switch (op) {
+    case DaOp::kNone:
+      break;
+
+    case DaOp::kTokenDel: {
+      if (plain.size() < 2) break;
+      const int idx = plain[static_cast<size_t>(
+          rng->UniformInt(static_cast<int>(plain.size())))];
+      out.erase(out.begin() + idx);
+      break;
+    }
+
+    case DaOp::kTokenRepl: {
+      // Prefer tokens that actually have synonyms.
+      std::vector<int> replaceable;
+      for (int i : plain) {
+        if (dict.HasSynonym(tokens[static_cast<size_t>(i)])) {
+          replaceable.push_back(i);
+        }
+      }
+      if (replaceable.empty()) break;
+      const int idx = replaceable[static_cast<size_t>(
+          rng->UniformInt(static_cast<int>(replaceable.size())))];
+      out[static_cast<size_t>(idx)] =
+          dict.Sample(tokens[static_cast<size_t>(idx)], rng);
+      break;
+    }
+
+    case DaOp::kTokenSwap: {
+      if (plain.size() < 2) break;
+      const auto picks =
+          rng->SampleWithoutReplacement(static_cast<int>(plain.size()), 2);
+      std::swap(out[static_cast<size_t>(plain[static_cast<size_t>(picks[0])])],
+                out[static_cast<size_t>(plain[static_cast<size_t>(picks[1])])]);
+      break;
+    }
+
+    case DaOp::kTokenInsert: {
+      std::vector<int> insertable;
+      for (int i : plain) {
+        if (dict.HasSynonym(tokens[static_cast<size_t>(i)])) {
+          insertable.push_back(i);
+        }
+      }
+      if (insertable.empty()) break;
+      const int idx = insertable[static_cast<size_t>(
+          rng->UniformInt(static_cast<int>(insertable.size())))];
+      out.insert(out.begin() + idx + 1,
+                 dict.Sample(tokens[static_cast<size_t>(idx)], rng));
+      break;
+    }
+
+    case DaOp::kSpanDel:
+    case DaOp::kSpanShuffle: {
+      if (plain.size() < 3) break;
+      const int max_span = std::max(
+          2, std::min(4, static_cast<int>(plain.size()) / 2));
+      const int span = 2 + rng->UniformInt(max_span - 1);
+      const int start = rng->UniformInt(
+          static_cast<int>(plain.size()) - span + 1);
+      // Operate on the contiguous run of plain token positions.
+      const int lo = plain[static_cast<size_t>(start)];
+      const int hi = plain[static_cast<size_t>(start + span - 1)] + 1;
+      if (op == DaOp::kSpanDel) {
+        out.erase(out.begin() + lo, out.begin() + hi);
+      } else {
+        std::vector<std::string> span_toks(out.begin() + lo, out.begin() + hi);
+        rng->Shuffle(&span_toks);
+        std::copy(span_toks.begin(), span_toks.end(), out.begin() + lo);
+      }
+      break;
+    }
+
+    case DaOp::kColShuffle: {
+      auto segs = Segments(tokens, "[COL]");
+      if (segs.size() < 2) break;
+      const auto picks =
+          rng->SampleWithoutReplacement(static_cast<int>(segs.size()), 2);
+      out = SwapSegments(tokens, segs[static_cast<size_t>(picks[0])],
+                         segs[static_cast<size_t>(picks[1])]);
+      break;
+    }
+
+    case DaOp::kColDel: {
+      auto segs = Segments(tokens, "[COL]");
+      if (segs.size() < 2) break;
+      const auto& seg = segs[static_cast<size_t>(
+          rng->UniformInt(static_cast<int>(segs.size())))];
+      out.erase(out.begin() + seg.first, out.begin() + seg.second);
+      break;
+    }
+
+    case DaOp::kCellShuffle: {
+      auto segs = Segments(tokens, "[VAL]");
+      if (segs.size() < 2) break;
+      std::vector<std::vector<std::string>> cells;
+      cells.reserve(segs.size());
+      for (const auto& [b, e] : segs) {
+        cells.emplace_back(tokens.begin() + b, tokens.begin() + e);
+      }
+      rng->Shuffle(&cells);
+      out.assign(tokens.begin(), tokens.begin() + segs[0].first);
+      for (const auto& cell : cells) {
+        out.insert(out.end(), cell.begin(), cell.end());
+      }
+      break;
+    }
+  }
+
+  if (out.empty()) out = tokens;
+  return out;
+}
+
+}  // namespace sudowoodo::augment

@@ -1,0 +1,51 @@
+// The data-augmentation operators of Table I (plus the cell-level operator
+// for column matching, §V-B). These produce the semantically equivalent
+// "views" that contrastive pre-training connects (Fig. 3).
+//
+// Operators act on serialized token streams and are aware of the
+// serialization structure: attribute-level ops locate [COL]...[VAL]...
+// segments, the cell op locates [VAL] segments, and token/span ops never
+// touch marker tokens.
+
+#ifndef SUDOWOODO_AUGMENT_DA_OPS_H_
+#define SUDOWOODO_AUGMENT_DA_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sudowoodo::augment {
+
+/// The DA operators of Table I (+ cell_shuffle from §V-B).
+enum class DaOp {
+  kNone = 0,
+  kTokenDel,     // sample and delete a token
+  kTokenRepl,    // replace a token with a synonym
+  kTokenSwap,    // swap two sampled tokens
+  kTokenInsert,  // insert a synonym to the right of a sampled token
+  kSpanDel,      // delete a sampled span
+  kSpanShuffle,  // shuffle a sampled span
+  kColShuffle,   // swap two attribute segments
+  kColDel,       // drop one attribute segment
+  kCellShuffle,  // shuffle [VAL] cell segments (column matching)
+};
+
+/// Human-readable operator name, e.g. "token_del".
+std::string DaOpName(DaOp op);
+
+/// Parses "token_del" etc.; aborts on unknown names.
+DaOp ParseDaOp(const std::string& name);
+
+/// All operators applicable to entity entries (Table I).
+const std::vector<DaOp>& EntityDaOps();
+
+/// Applies one operator to a serialized token stream. Always returns a
+/// non-empty stream; a no-op is possible when the stream is too short.
+std::vector<std::string> ApplyDaOp(DaOp op,
+                                   const std::vector<std::string>& tokens,
+                                   Rng* rng);
+
+}  // namespace sudowoodo::augment
+
+#endif  // SUDOWOODO_AUGMENT_DA_OPS_H_

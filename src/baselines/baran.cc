@@ -1,0 +1,288 @@
+#include "baselines/baran.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "baselines/classifiers.h"
+#include "common/string_util.h"
+#include "sparse/similarity.h"
+
+namespace sudowoodo::baselines {
+
+namespace {
+
+/// Column-level statistics shared by the detector and the corrector.
+struct ColumnStats {
+  std::unordered_map<std::string, int> freq;
+  double avg_len = 0.0;
+  double numeric_frac = 0.0;
+};
+
+std::vector<ColumnStats> ComputeStats(const data::Table& table) {
+  std::vector<ColumnStats> stats(static_cast<size_t>(table.num_attrs()));
+  for (int c = 0; c < table.num_attrs(); ++c) {
+    auto& s = stats[static_cast<size_t>(c)];
+    double len = 0.0, numeric = 0.0;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      const std::string& v = table.Cell(r, c);
+      ++s.freq[v];
+      len += static_cast<double>(v.size());
+      if (IsNumeric(v)) numeric += 1.0;
+    }
+    s.avg_len = len / table.num_rows();
+    s.numeric_frac = numeric / table.num_rows();
+  }
+  return stats;
+}
+
+/// Baran's "vicinity model": for every column pair (c2 -> c), the majority
+/// value of c among rows sharing the row's value at c2. VAD errors are
+/// exactly the cases where the FD-implied majority disagrees with the cell.
+class VicinityModel {
+ public:
+  explicit VicinityModel(const data::Table& table) : n_cols_(table.num_attrs()) {
+    votes_.resize(static_cast<size_t>(n_cols_) * n_cols_);
+    for (int r = 0; r < table.num_rows(); ++r) {
+      for (int c2 = 0; c2 < n_cols_; ++c2) {
+        for (int c = 0; c < n_cols_; ++c) {
+          if (c == c2) continue;
+          votes_[static_cast<size_t>(c2) * n_cols_ + c][table.Cell(r, c2)]
+                [table.Cell(r, c)]++;
+        }
+      }
+    }
+  }
+
+  /// Fraction of context columns whose majority co-occurring value for
+  /// `col` equals `cand`.
+  double Agreement(const data::Table& dirty, int row, int col,
+                   const std::string& cand) const {
+    int contexts = 0, agree = 0;
+    for (int c2 = 0; c2 < n_cols_; ++c2) {
+      if (c2 == col) continue;
+      const auto& by_value =
+          votes_[static_cast<size_t>(c2) * n_cols_ + col];
+      auto it = by_value.find(dirty.Cell(row, c2));
+      if (it == by_value.end() || it->second.size() < 1) continue;
+      // Majority value must be dominant (appear >= 2x) to count as a
+      // dependable context.
+      const std::string* best = nullptr;
+      int best_n = 0, total = 0;
+      for (const auto& [v, cnt] : it->second) {
+        total += cnt;
+        if (cnt > best_n) {
+          best_n = cnt;
+          best = &v;
+        }
+      }
+      if (best == nullptr || best_n * 2 <= total || total < 3) continue;
+      ++contexts;
+      if (*best == cand) ++agree;
+    }
+    return contexts > 0 ? static_cast<double>(agree) / contexts : 0.0;
+  }
+
+ private:
+  int n_cols_;
+  std::vector<std::unordered_map<std::string,
+                                 std::unordered_map<std::string, int>>>
+      votes_;
+};
+
+/// Per-(cell, candidate) feature vector for the Baran combiner.
+std::vector<double> CorrectionFeatures(const data::CleaningDataset& ds,
+                                       const std::vector<ColumnStats>& stats,
+                                       const VicinityModel& vicinity, int row,
+                                       int col, const std::string& cur,
+                                       const std::string& cand) {
+  const ColumnStats& s = stats[static_cast<size_t>(col)];
+  const double n = std::max(1, ds.dirty.num_rows());
+  auto it = s.freq.find(cand);
+  const double cand_freq = it == s.freq.end() ? 0.0 : it->second / n;
+  const double edit_sim = sparse::EditSimilarity(cur, cand);
+  const double len_agree =
+      1.0 - std::min(1.0, std::fabs(static_cast<double>(cand.size()) -
+                                    s.avg_len) /
+                              std::max(1.0, s.avg_len));
+  const double numeric_agree =
+      (IsNumeric(cand) ? 1.0 : 0.0) * s.numeric_frac +
+      (IsNumeric(cand) ? 0.0 : 1.0) * (1.0 - s.numeric_frac);
+  const double is_empty_cur = cur.empty() ? 1.0 : 0.0;
+  const double vicinity_agree = vicinity.Agreement(ds.dirty, row, col, cand);
+  const double cur_freq = [&] {
+    auto cit = s.freq.find(cur);
+    return cit == s.freq.end() ? 0.0 : cit->second / n;
+  }();
+  return {cand_freq,     edit_sim, len_agree, numeric_agree,
+          is_empty_cur,  vicinity_agree, cand_freq - cur_freq};
+}
+
+}  // namespace
+
+std::vector<std::vector<bool>> RahaDetectErrors(
+    const data::CleaningDataset& ds) {
+  const int n_rows = ds.dirty.num_rows();
+  const int n_cols = ds.dirty.num_attrs();
+  std::vector<ColumnStats> stats = ComputeStats(ds.dirty);
+  VicinityModel vicinity(ds.dirty);
+  std::vector<std::vector<bool>> flags(
+      static_cast<size_t>(n_rows),
+      std::vector<bool>(static_cast<size_t>(n_cols), false));
+  for (int r = 0; r < n_rows; ++r) {
+    for (int c = 0; c < n_cols; ++c) {
+      const std::string& v = ds.dirty.Cell(r, c);
+      const ColumnStats& s = stats[static_cast<size_t>(c)];
+      int votes = 0;
+      // Detector 1: missing value.
+      if (v.empty()) votes += 2;
+      // Detector 2: near-duplicate typo pattern - a unique value within
+      // edit distance 2 of a strictly more frequent value in the column.
+      auto it = s.freq.find(v);
+      if (!v.empty() && it != s.freq.end() && it->second == 1) {
+        for (const auto& [other, cnt] : s.freq) {
+          if (cnt >= 3 && other != v &&
+              EditDistance(other, v) <= 2) {
+            votes += 2;
+            break;
+          }
+        }
+      }
+      // Detector 3: type clash with the column majority.
+      if (s.numeric_frac > 0.8 && !v.empty() && !IsNumeric(v)) votes += 2;
+      // Detector 4: FD violation - the row's context columns strongly
+      // imply a different value.
+      if (!v.empty()) {
+        const double self_agree = vicinity.Agreement(ds.dirty, r, c, v);
+        double best_other = 0.0;
+        // Any dependable context majority disagreeing with v?
+        for (const auto& [other, cnt] : s.freq) {
+          if (other == v || cnt < 2) continue;
+          const double a = vicinity.Agreement(ds.dirty, r, c, other);
+          best_other = std::max(best_other, a);
+          if (best_other > self_agree) break;
+        }
+        if (best_other > self_agree && best_other > 0.0) votes += 2;
+      }
+      // Detector 5: length outlier.
+      if (!v.empty() &&
+          std::fabs(static_cast<double>(v.size()) - s.avg_len) >
+              2.5 * std::max(2.0, s.avg_len * 0.5)) {
+        ++votes;
+      }
+      flags[static_cast<size_t>(r)][static_cast<size_t>(c)] = votes >= 2;
+    }
+  }
+  return flags;
+}
+
+pipeline::PRF1 RunBaranOnCleaning(const data::CleaningDataset& ds,
+                                  const BaranOptions& options) {
+  Rng rng(options.seed);
+  const int n_rows = ds.dirty.num_rows();
+  const int n_cols = ds.dirty.num_attrs();
+  std::vector<ColumnStats> stats = ComputeStats(ds.dirty);
+  VicinityModel vicinity(ds.dirty);
+
+  // Error detection.
+  std::vector<std::vector<bool>> flags;
+  if (options.ed_mode == EdMode::kPerfect) {
+    flags.assign(static_cast<size_t>(n_rows),
+                 std::vector<bool>(static_cast<size_t>(n_cols), false));
+    for (const auto& e : ds.errors) {
+      flags[static_cast<size_t>(e.row)][static_cast<size_t>(e.col)] = true;
+    }
+  } else {
+    flags = RahaDetectErrors(ds);
+  }
+
+  // Labeled rows -> training set for the combiner.
+  std::vector<int> rows = rng.SampleWithoutReplacement(
+      n_rows, std::min(options.labeled_rows, n_rows));
+  std::vector<bool> is_labeled(static_cast<size_t>(n_rows), false);
+  for (int r : rows) is_labeled[static_cast<size_t>(r)] = true;
+
+  FeatureMatrix x;
+  std::vector<int> y;
+  const std::vector<data::ErrorType> kSynthTypes = {
+      data::ErrorType::kTypo, data::ErrorType::kFormatIssue,
+      data::ErrorType::kMissingValue};
+  for (int r : rows) {
+    for (int c = 0; c < n_cols; ++c) {
+      const auto& cands =
+          ds.candidates[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      const std::string& truth = ds.clean.Cell(r, c);
+      const std::string& cur = ds.dirty.Cell(r, c);
+      // Real signal from the labeled cell's own candidate set.
+      int negs = 0;
+      for (const auto& cand : cands) {
+        const bool pos = cand == truth;
+        if (!pos && ++negs > 4) continue;
+        x.push_back(CorrectionFeatures(ds, stats, vicinity, r, c, cur, cand));
+        y.push_back(pos ? 1 : 0);
+      }
+      // Synthetic signal: the labeled row certifies `truth`, so corrupting
+      // it yields known (dirty, correction) pairs - Baran's corrector
+      // update from labeled tuples.
+      const data::ErrorType type = kSynthTypes[static_cast<size_t>(
+          rng.UniformInt(static_cast<int>(kSynthTypes.size())))];
+      const std::string corrupted = data::CorruptValue(truth, type, &rng);
+      x.push_back(
+          CorrectionFeatures(ds, stats, vicinity, r, c, corrupted, truth));
+      y.push_back(1);
+      int synth_negs = 0;
+      for (const auto& cand : cands) {
+        if (cand == truth) continue;
+        x.push_back(
+            CorrectionFeatures(ds, stats, vicinity, r, c, corrupted, cand));
+        y.push_back(0);
+        if (++synth_negs >= 3) break;
+      }
+    }
+  }
+  // Degenerate guard: need at least one positive and one negative.
+  bool has_pos = false, has_neg = false;
+  for (int v : y) (v == 1 ? has_pos : has_neg) = true;
+  GradientBoostedTrees combiner;
+  if (has_pos && has_neg) combiner.Fit(x, y);
+
+  // Correct flagged cells on the evaluation rows.
+  int made = 0, right = 0, true_errors = 0;
+  for (int r = 0; r < n_rows; ++r) {
+    if (is_labeled[static_cast<size_t>(r)]) continue;
+    for (int c = 0; c < n_cols; ++c) {
+      if (ds.IsError(r, c)) ++true_errors;
+      if (!flags[static_cast<size_t>(r)][static_cast<size_t>(c)]) continue;
+      const auto& cands =
+          ds.candidates[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      if (cands.empty() || !(has_pos && has_neg)) continue;
+      double best_p = -1.0;
+      const std::string* best = nullptr;
+      for (const auto& cand : cands) {
+        const double p = combiner.PredictProba(CorrectionFeatures(
+            ds, stats, vicinity, r, c, ds.dirty.Cell(r, c), cand));
+        if (p > best_p) {
+          best_p = p;
+          best = &cand;
+        }
+      }
+      // ED already declared the cell dirty; EC commits to the argmax
+      // candidate (Baran semantics), requiring only minimal confidence.
+      if (best == nullptr || best_p < 0.2) continue;
+      ++made;
+      if (ds.IsError(r, c) && *best == ds.clean.Cell(r, c)) ++right;
+    }
+  }
+
+  pipeline::PRF1 out;
+  out.precision = made > 0 ? static_cast<double>(right) / made : 0.0;
+  out.recall =
+      true_errors > 0 ? static_cast<double>(right) / true_errors : 0.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace sudowoodo::baselines

@@ -1,0 +1,47 @@
+// Baran-style error correction (Mahdavi & Abedjan, VLDB 2020) and a
+// Raha-style error detector (Mahdavi et al., SIGMOD 2019): the data
+// cleaning baselines of Table VIII.
+//
+// Baran scores each (cell, candidate-correction) pair with an ensemble of
+// feature extractors (value frequency, FD agreement, edit similarity,
+// format agreement) and learns a combiner from ~20 labeled rows. Raha is
+// an ensemble error detector; its imperfect detection is what separates
+// the "Raha + Baran" row from the "Perfect ED + Baran" row.
+
+#ifndef SUDOWOODO_BASELINES_BARAN_H_
+#define SUDOWOODO_BASELINES_BARAN_H_
+
+#include <vector>
+
+#include "data/cleaning_dataset.h"
+#include "pipeline/metrics.h"
+
+namespace sudowoodo::baselines {
+
+/// Error-detection mode for the Baran runs.
+enum class EdMode {
+  kRaha,     // ensemble detector (imperfect, like Raha)
+  kPerfect,  // oracle detection of all dirty cells
+};
+
+/// Options for RunBaranOnCleaning.
+struct BaranOptions {
+  EdMode ed_mode = EdMode::kRaha;
+  int labeled_rows = 20;
+  uint64_t seed = 19;
+};
+
+/// Raha-style detector: flags cells as dirty via an ensemble of
+/// format/frequency/FD-violation signals. Returns flags[row][col].
+std::vector<std::vector<bool>> RahaDetectErrors(
+    const data::CleaningDataset& ds);
+
+/// Full Baran run: detect (per ed_mode), learn the corrector ensemble from
+/// labeled rows, correct flagged cells, return EC P/R/F1 on the
+/// non-labeled rows (the Table VIII protocol).
+pipeline::PRF1 RunBaranOnCleaning(const data::CleaningDataset& ds,
+                                  const BaranOptions& options);
+
+}  // namespace sudowoodo::baselines
+
+#endif  // SUDOWOODO_BASELINES_BARAN_H_

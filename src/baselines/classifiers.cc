@@ -1,0 +1,326 @@
+#include "baselines/classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace sudowoodo::baselines {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Standardizes features in place; returns {mean, scale}.
+void FitStandardizer(const FeatureMatrix& x, std::vector<double>* mean,
+                     std::vector<double>* scale) {
+  SUDO_CHECK(!x.empty());
+  const size_t d = x[0].size();
+  mean->assign(d, 0.0);
+  scale->assign(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) (*mean)[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) (*mean)[j] /= static_cast<double>(x.size());
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      (*scale)[j] += (row[j] - (*mean)[j]) * (row[j] - (*mean)[j]);
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    (*scale)[j] = std::sqrt((*scale)[j] / static_cast<double>(x.size()));
+    if ((*scale)[j] < 1e-9) (*scale)[j] = 1.0;
+  }
+}
+
+std::vector<double> Standardize(const std::vector<double>& x,
+                                const std::vector<double>& mean,
+                                const std::vector<double>& scale) {
+  std::vector<double> out(x.size());
+  for (size_t j = 0; j < x.size(); ++j) out[j] = (x[j] - mean[j]) / scale[j];
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> BinaryClassifier::PredictBatch(const FeatureMatrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Predict(row));
+  return out;
+}
+
+std::vector<double> BinaryClassifier::PredictProbaBatch(
+    const FeatureMatrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(PredictProba(row));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DecisionTree
+// ---------------------------------------------------------------------------
+
+void DecisionTree::Fit(const FeatureMatrix& x, const std::vector<double>& y,
+                       const std::vector<int>& rows) {
+  SUDO_CHECK(!rows.empty());
+  nodes_.clear();
+  Rng rng(options_.seed);
+  std::vector<int> work = rows;
+  Build(x, y, &work, 0, static_cast<int>(work.size()), 0, &rng);
+}
+
+int DecisionTree::Build(const FeatureMatrix& x, const std::vector<double>& y,
+                        std::vector<int>* rows, int begin, int end, int depth,
+                        Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const int n = end - begin;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const double v = y[static_cast<size_t>((*rows)[static_cast<size_t>(i)])];
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  nodes_[static_cast<size_t>(node_id)].value = mean;
+  if (depth >= options_.max_depth || n < 2 * options_.min_samples_leaf ||
+      var < 1e-12) {
+    return node_id;
+  }
+
+  const int d = static_cast<int>(x[0].size());
+  int n_feats = options_.features_per_split;
+  if (n_feats <= 0 || n_feats > d) n_feats = d;
+  std::vector<int> feats = rng->SampleWithoutReplacement(d, n_feats);
+
+  // Best split by weighted variance reduction.
+  double best_score = var * n;  // parent SSE around means
+  int best_feat = -1;
+  double best_thresh = 0.0;
+  std::vector<std::pair<double, double>> vals(static_cast<size_t>(n));
+  for (int f : feats) {
+    for (int i = begin; i < end; ++i) {
+      const int row = (*rows)[static_cast<size_t>(i)];
+      vals[static_cast<size_t>(i - begin)] = {
+          x[static_cast<size_t>(row)][static_cast<size_t>(f)],
+          y[static_cast<size_t>(row)]};
+    }
+    std::sort(vals.begin(), vals.end());
+    // Prefix sums to evaluate every split point in O(n).
+    double lsum = 0.0, lsum2 = 0.0;
+    double tsum = 0.0, tsum2 = 0.0;
+    for (const auto& [v, t] : vals) {
+      (void)v;
+      tsum += t;
+      tsum2 += t * t;
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      lsum += vals[static_cast<size_t>(i)].second;
+      lsum2 += vals[static_cast<size_t>(i)].second *
+               vals[static_cast<size_t>(i)].second;
+      if (vals[static_cast<size_t>(i)].first ==
+          vals[static_cast<size_t>(i + 1)].first) {
+        continue;  // cannot split between equal values
+      }
+      const int nl = i + 1, nr = n - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+        continue;
+      }
+      const double rsum = tsum - lsum, rsum2 = tsum2 - lsum2;
+      const double sse =
+          (lsum2 - lsum * lsum / nl) + (rsum2 - rsum * rsum / nr);
+      if (sse + 1e-12 < best_score) {
+        best_score = sse;
+        best_feat = f;
+        best_thresh = 0.5 * (vals[static_cast<size_t>(i)].first +
+                             vals[static_cast<size_t>(i + 1)].first);
+      }
+    }
+  }
+  if (best_feat < 0) return node_id;
+
+  // Partition rows in place.
+  auto mid_it = std::partition(
+      rows->begin() + begin, rows->begin() + end, [&](int row) {
+        return x[static_cast<size_t>(row)][static_cast<size_t>(best_feat)] <=
+               best_thresh;
+      });
+  const int mid = static_cast<int>(mid_it - rows->begin());
+  if (mid == begin || mid == end) return node_id;
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feat;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_thresh;
+  const int left = Build(x, y, rows, begin, mid, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  const int right = Build(x, y, rows, mid, end, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const std::vector<double>& x) const {
+  SUDO_CHECK(!nodes_.empty());
+  int cur = 0;
+  while (nodes_[static_cast<size_t>(cur)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    cur = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                 : node.right;
+  }
+  return nodes_[static_cast<size_t>(cur)].value;
+}
+
+// ---------------------------------------------------------------------------
+// RandomForest
+// ---------------------------------------------------------------------------
+
+void RandomForest::Fit(const FeatureMatrix& x, const std::vector<int>& y) {
+  SUDO_CHECK(x.size() == y.size() && !x.empty());
+  trees_.clear();
+  Rng rng(options_.seed);
+  std::vector<double> yd(y.begin(), y.end());
+  const int n = static_cast<int>(x.size());
+  const int d = static_cast<int>(x[0].size());
+  const int feats = std::max(1, static_cast<int>(std::sqrt(d)));
+  for (int t = 0; t < options_.n_trees; ++t) {
+    DecisionTree::Options topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = options_.min_samples_leaf;
+    topt.features_per_split = feats;
+    topt.seed = rng.NextU32();
+    DecisionTree tree(topt);
+    std::vector<int> bootstrap(static_cast<size_t>(n));
+    for (auto& b : bootstrap) b = rng.UniformInt(n);
+    tree.Fit(x, yd, bootstrap);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProba(const std::vector<double>& x) const {
+  SUDO_CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+// ---------------------------------------------------------------------------
+// GradientBoostedTrees
+// ---------------------------------------------------------------------------
+
+void GradientBoostedTrees::Fit(const FeatureMatrix& x,
+                               const std::vector<int>& y) {
+  SUDO_CHECK(x.size() == y.size() && !x.empty());
+  trees_.clear();
+  Rng rng(options_.seed);
+  const int n = static_cast<int>(x.size());
+  double pos = 0.0;
+  for (int v : y) pos += v;
+  const double p = std::clamp(pos / n, 1e-4, 1.0 - 1e-4);
+  f0_ = std::log(p / (1.0 - p));
+
+  std::vector<double> f(static_cast<size_t>(n), f0_);
+  std::vector<int> all_rows(static_cast<size_t>(n));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<double> residual(static_cast<size_t>(n));
+  for (int t = 0; t < options_.n_trees; ++t) {
+    for (int i = 0; i < n; ++i) {
+      residual[static_cast<size_t>(i)] =
+          y[static_cast<size_t>(i)] - Sigmoid(f[static_cast<size_t>(i)]);
+    }
+    DecisionTree::Options topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = options_.min_samples_leaf;
+    topt.seed = rng.NextU32();
+    DecisionTree tree(topt);
+    tree.Fit(x, residual, all_rows);
+    for (int i = 0; i < n; ++i) {
+      f[static_cast<size_t>(i)] +=
+          options_.learning_rate * tree.Predict(x[static_cast<size_t>(i)]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::PredictProba(const std::vector<double>& x) const {
+  double f = f0_;
+  for (const auto& tree : trees_) f += options_.learning_rate * tree.Predict(x);
+  return Sigmoid(f);
+}
+
+// ---------------------------------------------------------------------------
+// LogisticRegression / LinearSvm
+// ---------------------------------------------------------------------------
+
+void LogisticRegression::Fit(const FeatureMatrix& x,
+                             const std::vector<int>& y) {
+  SUDO_CHECK(x.size() == y.size() && !x.empty());
+  FitStandardizer(x, &mean_, &scale_);
+  const size_t d = x[0].size();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  Rng rng(options_.seed);
+  std::vector<int> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = options_.lr / (1.0 + 0.05 * epoch);
+    for (int i : order) {
+      const auto xi = Standardize(x[static_cast<size_t>(i)], mean_, scale_);
+      double z = b_;
+      for (size_t j = 0; j < d; ++j) z += w_[j] * xi[j];
+      const double g = Sigmoid(z) - y[static_cast<size_t>(i)];
+      for (size_t j = 0; j < d; ++j) {
+        w_[j] -= lr * (g * xi[j] + options_.l2 * w_[j]);
+      }
+      b_ -= lr * g;
+    }
+  }
+}
+
+double LogisticRegression::PredictProba(const std::vector<double>& x) const {
+  const auto xi = Standardize(x, mean_, scale_);
+  double z = b_;
+  for (size_t j = 0; j < xi.size(); ++j) z += w_[j] * xi[j];
+  return Sigmoid(z);
+}
+
+void LinearSvm::Fit(const FeatureMatrix& x, const std::vector<int>& y) {
+  SUDO_CHECK(x.size() == y.size() && !x.empty());
+  FitStandardizer(x, &mean_, &scale_);
+  const size_t d = x[0].size();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  Rng rng(options_.seed);
+  std::vector<int> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = options_.lr / (1.0 + 0.05 * epoch);
+    for (int i : order) {
+      const auto xi = Standardize(x[static_cast<size_t>(i)], mean_, scale_);
+      const double t = y[static_cast<size_t>(i)] == 1 ? 1.0 : -1.0;
+      double z = b_;
+      for (size_t j = 0; j < d; ++j) z += w_[j] * xi[j];
+      if (t * z < 1.0) {
+        for (size_t j = 0; j < d; ++j) {
+          w_[j] -= lr * (-t * xi[j] + options_.l2 * w_[j]);
+        }
+        b_ += lr * t;
+      } else {
+        for (size_t j = 0; j < d; ++j) w_[j] -= lr * options_.l2 * w_[j];
+      }
+    }
+  }
+}
+
+double LinearSvm::PredictProba(const std::vector<double>& x) const {
+  const auto xi = Standardize(x, mean_, scale_);
+  double z = b_;
+  for (size_t j = 0; j < xi.size(); ++j) z += w_[j] * xi[j];
+  return Sigmoid(2.0 * z);  // Platt-style squashing of the margin
+}
+
+}  // namespace sudowoodo::baselines

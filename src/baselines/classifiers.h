@@ -1,0 +1,159 @@
+// From-scratch classical classifiers over dense feature vectors:
+// decision tree (CART), random forest, gradient-boosted trees, logistic
+// regression, and a linear SVM. These power the Sherlock/Sato baseline
+// variants of Table XII (LR / SVM / GBT / RF) and the Baran-style error
+// corrector's ensemble scorer.
+
+#ifndef SUDOWOODO_BASELINES_CLASSIFIERS_H_
+#define SUDOWOODO_BASELINES_CLASSIFIERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sudowoodo::baselines {
+
+/// Dense feature matrix: one row per example.
+using FeatureMatrix = std::vector<std::vector<double>>;
+
+/// Common interface: fit on {features, 0/1 labels}, predict P(positive).
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+  virtual void Fit(const FeatureMatrix& x, const std::vector<int>& y) = 0;
+  virtual double PredictProba(const std::vector<double>& x) const = 0;
+
+  int Predict(const std::vector<double>& x) const {
+    return PredictProba(x) >= 0.5 ? 1 : 0;
+  }
+  std::vector<int> PredictBatch(const FeatureMatrix& x) const;
+  std::vector<double> PredictProbaBatch(const FeatureMatrix& x) const;
+};
+
+/// CART regression tree (variance-reduction splits). Used directly for
+/// probability estimation (leaf mean of 0/1 targets) and for boosting
+/// (leaf mean of residuals).
+class DecisionTree {
+ public:
+  struct Options {
+    int max_depth = 6;
+    int min_samples_leaf = 2;
+    /// Features sampled per split; <= 0 means all.
+    int features_per_split = -1;
+    uint64_t seed = 3;
+  };
+
+  explicit DecisionTree(const Options& options) : options_(options) {}
+
+  /// Fits on a subset of rows (`rows`) against real-valued targets.
+  void Fit(const FeatureMatrix& x, const std::vector<double>& y,
+           const std::vector<int>& rows);
+
+  double Predict(const std::vector<double>& x) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 = leaf
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    double value = 0.0;     // leaf prediction
+  };
+  int Build(const FeatureMatrix& x, const std::vector<double>& y,
+            std::vector<int>* rows, int begin, int end, int depth, Rng* rng);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+/// Random forest of probability trees (bootstrap + feature subsampling).
+class RandomForest : public BinaryClassifier {
+ public:
+  struct Options {
+    int n_trees = 30;
+    int max_depth = 8;
+    int min_samples_leaf = 2;
+    uint64_t seed = 5;
+  };
+
+  RandomForest() : RandomForest(Options()) {}
+  explicit RandomForest(const Options& options) : options_(options) {}
+  void Fit(const FeatureMatrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  Options options_;
+  std::vector<DecisionTree> trees_;
+};
+
+/// Gradient-boosted trees with logistic loss.
+class GradientBoostedTrees : public BinaryClassifier {
+ public:
+  struct Options {
+    int n_trees = 40;
+    int max_depth = 3;
+    double learning_rate = 0.2;
+    int min_samples_leaf = 4;
+    uint64_t seed = 7;
+  };
+
+  GradientBoostedTrees() : GradientBoostedTrees(Options()) {}
+  explicit GradientBoostedTrees(const Options& options) : options_(options) {}
+  void Fit(const FeatureMatrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  Options options_;
+  double f0_ = 0.0;  // prior log-odds
+  std::vector<DecisionTree> trees_;
+};
+
+/// Logistic regression trained with mini-batch SGD + L2.
+class LogisticRegression : public BinaryClassifier {
+ public:
+  struct Options {
+    int epochs = 60;
+    double lr = 0.1;
+    double l2 = 1e-4;
+    uint64_t seed = 11;
+  };
+
+  LogisticRegression() : LogisticRegression(Options()) {}
+  explicit LogisticRegression(const Options& options) : options_(options) {}
+  void Fit(const FeatureMatrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  Options options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> mean_, scale_;  // feature standardization
+};
+
+/// Linear SVM (hinge loss, SGD); probabilities via a sigmoid on the margin.
+class LinearSvm : public BinaryClassifier {
+ public:
+  struct Options {
+    int epochs = 60;
+    double lr = 0.05;
+    double l2 = 1e-4;
+    uint64_t seed = 13;
+  };
+
+  LinearSvm() : LinearSvm(Options()) {}
+  explicit LinearSvm(const Options& options) : options_(options) {}
+  void Fit(const FeatureMatrix& x, const std::vector<int>& y) override;
+  double PredictProba(const std::vector<double>& x) const override;
+
+ private:
+  Options options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> mean_, scale_;
+};
+
+}  // namespace sudowoodo::baselines
+
+#endif  // SUDOWOODO_BASELINES_CLASSIFIERS_H_

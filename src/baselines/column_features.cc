@@ -1,0 +1,135 @@
+#include "baselines/column_features.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace sudowoodo::baselines {
+
+namespace {
+
+constexpr int kWordHashDim = 48;
+constexpr int kTopicHashDim = 24;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void L2Normalize(std::vector<double>* v, size_t begin, size_t end) {
+  double n = 0.0;
+  for (size_t i = begin; i < end; ++i) n += (*v)[i] * (*v)[i];
+  n = std::sqrt(n);
+  if (n > 1e-12) {
+    for (size_t i = begin; i < end; ++i) (*v)[i] /= n;
+  }
+}
+
+}  // namespace
+
+std::vector<double> SherlockFeatures(const data::Column& column) {
+  std::vector<double> f;
+  const auto& values = column.values;
+  const double n = std::max<size_t>(1, values.size());
+
+  // --- value-shape statistics ---------------------------------------------
+  double len_sum = 0.0, len_sq = 0.0;
+  double digits = 0.0, alphas = 0.0, spaces = 0.0, punct = 0.0, total = 0.0;
+  double numeric_values = 0.0, empty_values = 0.0;
+  double word_count = 0.0;
+  std::set<std::string> distinct;
+  for (const auto& v : values) {
+    len_sum += static_cast<double>(v.size());
+    len_sq += static_cast<double>(v.size()) * v.size();
+    for (char c : v) {
+      ++total;
+      if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+      else if (std::isalpha(static_cast<unsigned char>(c))) ++alphas;
+      else if (c == ' ') ++spaces;
+      else ++punct;
+    }
+    if (IsNumeric(v)) ++numeric_values;
+    if (v.empty()) ++empty_values;
+    word_count += static_cast<double>(SplitString(v, " ").size());
+    distinct.insert(v);
+  }
+  const double len_mean = len_sum / n;
+  const double len_var = std::max(0.0, len_sq / n - len_mean * len_mean);
+  total = std::max(1.0, total);
+  f.push_back(len_mean / 32.0);
+  f.push_back(std::sqrt(len_var) / 16.0);
+  f.push_back(digits / total);
+  f.push_back(alphas / total);
+  f.push_back(spaces / total);
+  f.push_back(punct / total);
+  f.push_back(numeric_values / n);
+  f.push_back(empty_values / n);
+  f.push_back(word_count / n / 6.0);
+  f.push_back(static_cast<double>(distinct.size()) / n);
+
+  // --- hashed bag-of-words embedding (the word2vec analogue) --------------
+  const size_t words_begin = f.size();
+  f.resize(words_begin + kWordHashDim, 0.0);
+  for (const auto& v : values) {
+    for (const auto& tok : text::Tokenize(v)) {
+      const uint64_t h = Fnv1a(tok);
+      const size_t slot = words_begin + h % kWordHashDim;
+      f[slot] += (h >> 32) % 2 == 0 ? 1.0 : -1.0;  // signed hashing
+    }
+  }
+  L2Normalize(&f, words_begin, f.size());
+  return f;
+}
+
+std::vector<double> SatoFeatures(const data::Column& column) {
+  std::vector<double> f = SherlockFeatures(column);
+  // Topic context: hashed character trigrams over the whole column (the
+  // LDA-topic analogue in Sato).
+  const size_t begin = f.size();
+  f.resize(begin + kTopicHashDim, 0.0);
+  std::string joined;
+  for (const auto& v : column.values) {
+    joined += v;
+    joined += ' ';
+  }
+  for (size_t i = 0; i + 3 <= joined.size(); ++i) {
+    const uint64_t h = Fnv1a(joined.substr(i, 3));
+    f[begin + h % kTopicHashDim] += 1.0;
+  }
+  L2Normalize(&f, begin, f.size());
+  return f;
+}
+
+std::vector<double> ColumnPairFeatures(const std::vector<double>& v1,
+                                       const std::vector<double>& v2) {
+  std::vector<double> out;
+  out.reserve(3 * v1.size());
+  out.insert(out.end(), v1.begin(), v1.end());
+  out.insert(out.end(), v2.begin(), v2.end());
+  for (size_t i = 0; i < v1.size(); ++i) {
+    out.push_back(std::fabs(v1[i] - v2[i]));
+  }
+  return out;
+}
+
+double FeatureCosine(const std::vector<double>& v1,
+                     const std::vector<double>& v2) {
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (size_t i = 0; i < v1.size(); ++i) {
+    dot += v1[i] * v2[i];
+    n1 += v1[i] * v1[i];
+    n2 += v2[i] * v2[i];
+  }
+  if (n1 <= 0.0 || n2 <= 0.0) return 0.0;
+  return dot / (std::sqrt(n1) * std::sqrt(n2));
+}
+
+}  // namespace sudowoodo::baselines

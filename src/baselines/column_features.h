@@ -1,0 +1,40 @@
+// Sherlock- and Sato-style column featurization (Hulsebos et al., KDD 2019;
+// Zhang et al., VLDB 2020): the baseline feature extractors of the column
+// matching experiments (Tables X, XII; Fig. 12).
+//
+// Sherlock represents a column by hand-crafted statistics (character
+// distributions, value-shape statistics, word-level aggregates); Sato adds
+// table-context "topic" features on top of Sherlock's. We reproduce both
+// shapes: SherlockFeatures = statistics + hashed bag-of-words embedding;
+// SatoFeatures = SherlockFeatures + hashed character-n-gram topic vector
+// (the LDA-context analogue). Pair features for the matching classifiers
+// follow the paper's appendix: concat(v_c, v_c', |v_c - v_c'|).
+
+#ifndef SUDOWOODO_BASELINES_COLUMN_FEATURES_H_
+#define SUDOWOODO_BASELINES_COLUMN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/column_corpus.h"
+
+namespace sudowoodo::baselines {
+
+/// Sherlock-style dense features for one column.
+std::vector<double> SherlockFeatures(const data::Column& column);
+
+/// Sato-style features: Sherlock + topic context vector.
+std::vector<double> SatoFeatures(const data::Column& column);
+
+/// Pair features for a candidate column pair given per-column vectors:
+/// concat(v1, v2, |v1 - v2|)  (Appendix C).
+std::vector<double> ColumnPairFeatures(const std::vector<double>& v1,
+                                       const std::vector<double>& v2);
+
+/// Cosine similarity of two feature vectors (the SIM baseline).
+double FeatureCosine(const std::vector<double>& v1,
+                     const std::vector<double>& v2);
+
+}  // namespace sudowoodo::baselines
+
+#endif  // SUDOWOODO_BASELINES_COLUMN_FEATURES_H_

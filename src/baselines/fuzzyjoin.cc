@@ -1,0 +1,94 @@
+#include "baselines/fuzzyjoin.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sparse/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace sudowoodo::baselines {
+
+pipeline::PRF1 RunAutoFuzzyJoinOnEm(const data::EmDataset& ds,
+                                    const FuzzyJoinOptions& options) {
+  // TF-IDF vectors over the *join key column* (the first attribute: the
+  // entity name/title), as a fuzzy join programs its similarity over join
+  // keys rather than whole records. Reference table = A.
+  std::vector<std::vector<std::string>> tokens_a, tokens_b;
+  for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+    tokens_a.push_back(text::Tokenize(ds.table_a.Cell(i, 0)));
+  }
+  for (int i = 0; i < ds.table_b.num_rows(); ++i) {
+    tokens_b.push_back(text::Tokenize(ds.table_b.Cell(i, 0)));
+  }
+  sparse::TfIdfFeaturizer tfidf;
+  {
+    auto corpus = tokens_a;
+    corpus.insert(corpus.end(), tokens_b.begin(), tokens_b.end());
+    tfidf.Fit(corpus);
+  }
+  std::vector<sparse::SparseVector> vec_a, vec_b;
+  for (const auto& t : tokens_a) vec_a.push_back(tfidf.Transform(t));
+  for (const auto& t : tokens_b) vec_b.push_back(tfidf.Transform(t));
+
+  // For each B record: best and second-best reference similarity.
+  const int nb = ds.table_b.num_rows();
+  std::vector<double> best(static_cast<size_t>(nb), 0.0);
+  std::vector<double> second(static_cast<size_t>(nb), 0.0);
+  std::vector<int> best_ref(static_cast<size_t>(nb), -1);
+  for (int b = 0; b < nb; ++b) {
+    for (int a = 0; a < ds.table_a.num_rows(); ++a) {
+      const double s = sparse::SparseDot(vec_a[static_cast<size_t>(a)],
+                                         vec_b[static_cast<size_t>(b)]);
+      if (s > best[static_cast<size_t>(b)]) {
+        second[static_cast<size_t>(b)] = best[static_cast<size_t>(b)];
+        best[static_cast<size_t>(b)] = s;
+        best_ref[static_cast<size_t>(b)] = a;
+      } else if (s > second[static_cast<size_t>(b)]) {
+        second[static_cast<size_t>(b)] = s;
+      }
+    }
+  }
+
+  // Threshold auto-selection: under the reference-table assumption a
+  // joined pair is likely wrong when the runner-up is nearly as similar as
+  // the winner (ambiguity). Estimated precision at threshold t = fraction
+  // of joins above t whose margin best-second is clear.
+  double chosen_t = 1.0;
+  double best_yield = -1.0;
+  for (int step = 0; step <= options.threshold_steps; ++step) {
+    const double t =
+        0.2 + 0.75 * static_cast<double>(step) / options.threshold_steps;
+    int64_t joined = 0, confident = 0;
+    for (int b = 0; b < nb; ++b) {
+      if (best[static_cast<size_t>(b)] < t) continue;
+      ++joined;
+      if (best[static_cast<size_t>(b)] - second[static_cast<size_t>(b)] >
+          0.1 * best[static_cast<size_t>(b)]) {
+        ++confident;
+      }
+    }
+    if (joined == 0) continue;
+    const double est_precision =
+        static_cast<double>(confident) / static_cast<double>(joined);
+    if (est_precision >= options.target_precision &&
+        static_cast<double>(joined) > best_yield) {
+      best_yield = static_cast<double>(joined);
+      chosen_t = t;
+    }
+  }
+
+  // Evaluate on the test split: predict match iff the pair is the chosen
+  // join partner above the threshold.
+  std::vector<int> preds, labels;
+  preds.reserve(ds.test.size());
+  labels.reserve(ds.test.size());
+  for (const auto& p : ds.test) {
+    const bool match = best_ref[static_cast<size_t>(p.b_idx)] == p.a_idx &&
+                       best[static_cast<size_t>(p.b_idx)] >= chosen_t;
+    preds.push_back(match ? 1 : 0);
+    labels.push_back(p.label);
+  }
+  return pipeline::ComputePRF1(preds, labels);
+}
+
+}  // namespace sudowoodo::baselines

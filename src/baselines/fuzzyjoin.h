@@ -1,0 +1,36 @@
+// Auto-FuzzyJoin-style unsupervised entity matching (Li et al., SIGMOD
+// 2021), the second unsupervised baseline of Table VI.
+//
+// Auto-FuzzyJoin auto-programs a fuzzy-join by (1) treating one table as a
+// reference table with no/few duplicates, (2) joining every left record to
+// its nearest reference record under a similarity function, and (3)
+// auto-selecting the similarity threshold without labels by exploiting the
+// reference-table assumption: at most one true match per left record, so
+// estimated precision at threshold t can be bounded by how often a left
+// record has multiple reference records above t. This reimplementation
+// uses TF-IDF cosine as the join similarity and picks the threshold that
+// maximizes estimated-precision-constrained recall.
+
+#ifndef SUDOWOODO_BASELINES_FUZZYJOIN_H_
+#define SUDOWOODO_BASELINES_FUZZYJOIN_H_
+
+#include "data/em_dataset.h"
+#include "pipeline/metrics.h"
+
+namespace sudowoodo::baselines {
+
+/// Options for AutoFuzzyJoin.
+struct FuzzyJoinOptions {
+  /// Minimum estimated precision the threshold selector must maintain.
+  double target_precision = 0.9;
+  /// Candidate thresholds scanned between 0 and 1.
+  int threshold_steps = 40;
+};
+
+/// Runs the fuzzy-join matcher on a dataset and evaluates test-split F1.
+pipeline::PRF1 RunAutoFuzzyJoinOnEm(const data::EmDataset& ds,
+                                    const FuzzyJoinOptions& options = {});
+
+}  // namespace sudowoodo::baselines
+
+#endif  // SUDOWOODO_BASELINES_FUZZYJOIN_H_

@@ -1,0 +1,73 @@
+#include "baselines/tfidf_blocker.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sparse/tfidf.h"
+
+namespace sudowoodo::baselines {
+
+std::vector<pipeline::BlockingPoint> TfidfBlockingSweep(
+    const data::EmDataset& ds, int k_max) {
+  std::vector<std::vector<std::string>> tokens_a, tokens_b;
+  for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+    tokens_a.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, i));
+  }
+  for (int i = 0; i < ds.table_b.num_rows(); ++i) {
+    tokens_b.push_back(pipeline::EmPipeline::SerializeRow(ds.table_b, i));
+  }
+  sparse::TfIdfFeaturizer tfidf;
+  {
+    auto corpus = tokens_a;
+    corpus.insert(corpus.end(), tokens_b.begin(), tokens_b.end());
+    tfidf.Fit(corpus);
+  }
+  std::vector<sparse::SparseVector> vec_a, vec_b;
+  for (const auto& t : tokens_a) vec_a.push_back(tfidf.Transform(t));
+  for (const auto& t : tokens_b) vec_b.push_back(tfidf.Transform(t));
+
+  // Top-k_max B neighbours for every A record.
+  const int na = ds.table_a.num_rows(), nb = ds.table_b.num_rows();
+  std::vector<std::vector<std::pair<float, int>>> topk(
+      static_cast<size_t>(na));
+  for (int a = 0; a < na; ++a) {
+    auto& heap = topk[static_cast<size_t>(a)];
+    for (int b = 0; b < nb; ++b) {
+      const float s = sparse::SparseDot(vec_a[static_cast<size_t>(a)],
+                                        vec_b[static_cast<size_t>(b)]);
+      heap.emplace_back(s, b);
+    }
+    std::partial_sort(heap.begin(),
+                      heap.begin() + std::min<size_t>(heap.size(),
+                                                      static_cast<size_t>(k_max)),
+                      heap.end(), std::greater<>());
+    heap.resize(std::min<size_t>(heap.size(), static_cast<size_t>(k_max)));
+  }
+
+  std::set<std::pair<int, int>> gold(ds.gold_matches.begin(),
+                                     ds.gold_matches.end());
+  const double denom = static_cast<double>(na) * static_cast<double>(nb);
+  std::vector<pipeline::BlockingPoint> points;
+  for (int k = 1; k <= k_max; ++k) {
+    int64_t n_cand = 0, hit = 0;
+    for (int a = 0; a < na; ++a) {
+      const auto& heap = topk[static_cast<size_t>(a)];
+      const int kk = std::min<int>(k, static_cast<int>(heap.size()));
+      for (int j = 0; j < kk; ++j) {
+        ++n_cand;
+        if (gold.count({a, heap[static_cast<size_t>(j)].second})) ++hit;
+      }
+    }
+    pipeline::BlockingPoint pt;
+    pt.k = k;
+    pt.n_candidates = static_cast<int>(n_cand);
+    pt.recall = gold.empty() ? 1.0
+                             : static_cast<double>(hit) /
+                                   static_cast<double>(gold.size());
+    pt.cssr = denom > 0 ? static_cast<double>(n_cand) / denom : 0.0;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace sudowoodo::baselines

@@ -1,0 +1,28 @@
+// Self-supervised lexical blocker: the DL-Block comparison point for the
+// blocking experiments (Table VII / Fig. 7).
+//
+// DL-Block (Thirumuruganathan et al., VLDB 2021) explores deep-learning
+// blocking designs including self-supervised ones; its published numbers
+// come from its own testbed and cannot be run here, so the benches compare
+// against this strong classical stand-in: TF-IDF kNN blocking over the
+// same serialized records (the best non-contrastive design available to
+// our substrate), and additionally quote DL-Block's paper numbers.
+
+#ifndef SUDOWOODO_BASELINES_TFIDF_BLOCKER_H_
+#define SUDOWOODO_BASELINES_TFIDF_BLOCKER_H_
+
+#include <vector>
+
+#include "data/em_dataset.h"
+#include "pipeline/em_pipeline.h"
+
+namespace sudowoodo::baselines {
+
+/// Recall/CSSR points for TF-IDF cosine kNN blocking, k = 1..k_max
+/// (the same sweep EmPipeline::BlockingSweep performs for Sudowoodo).
+std::vector<pipeline::BlockingPoint> TfidfBlockingSweep(
+    const data::EmDataset& ds, int k_max);
+
+}  // namespace sudowoodo::baselines
+
+#endif  // SUDOWOODO_BASELINES_TFIDF_BLOCKER_H_

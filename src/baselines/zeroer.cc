@@ -1,0 +1,174 @@
+#include "baselines/zeroer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pipeline/em_pipeline.h"
+#include "sparse/similarity.h"
+#include "sparse/tfidf.h"
+
+namespace sudowoodo::baselines {
+
+namespace {
+constexpr double kMinVar = 1e-4;
+
+double LogGaussianDiag(const std::vector<double>& x,
+                       const std::vector<double>& mean,
+                       const std::vector<double>& var) {
+  double lp = 0.0;
+  for (size_t j = 0; j < x.size(); ++j) {
+    const double d = x[j] - mean[j];
+    lp += -0.5 * (std::log(2.0 * M_PI * var[j]) + d * d / var[j]);
+  }
+  return lp;
+}
+}  // namespace
+
+void ZeroEr::Fit(const FeatureMatrix& features) {
+  SUDO_CHECK(!features.empty());
+  const size_t n = features.size(), d = features[0].size();
+
+  // Initialize by ranking on the feature sum: top prior_match fraction
+  // seeds the match component.
+  std::vector<std::pair<double, size_t>> ranked(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (double v : features[i]) s += v;
+    ranked[i] = {s, i};
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  std::vector<double> resp(n, 0.0);
+  const size_t n_match = std::max<size_t>(
+      2, static_cast<size_t>(options_.prior_match * static_cast<double>(n)));
+  for (size_t i = 0; i < n_match && i < n; ++i) resp[ranked[i].second] = 1.0;
+
+  for (int iter = 0; iter <= options_.em_iters; ++iter) {
+    // M-step.
+    double wsum = 0.0;
+    for (double r : resp) wsum += r;
+    wsum = std::clamp(wsum, 1.0, static_cast<double>(n) - 1.0);
+    weight_[1] = wsum / static_cast<double>(n);
+    weight_[0] = 1.0 - weight_[1];
+    for (int c = 0; c < 2; ++c) {
+      mean_[c].assign(d, 0.0);
+      var_[c].assign(d, 0.0);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        mean_[1][j] += resp[i] * features[i][j];
+        mean_[0][j] += (1.0 - resp[i]) * features[i][j];
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      mean_[1][j] /= wsum;
+      mean_[0][j] /= (static_cast<double>(n) - wsum);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        const double d1 = features[i][j] - mean_[1][j];
+        const double d0 = features[i][j] - mean_[0][j];
+        var_[1][j] += resp[i] * d1 * d1;
+        var_[0][j] += (1.0 - resp[i]) * d0 * d0;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      var_[1][j] = std::max(kMinVar, var_[1][j] / wsum);
+      var_[0][j] =
+          std::max(kMinVar, var_[0][j] / (static_cast<double>(n) - wsum));
+    }
+    if (iter == options_.em_iters) break;
+    // E-step.
+    for (size_t i = 0; i < n; ++i) {
+      const double l1 =
+          std::log(weight_[1]) + LogGaussianDiag(features[i], mean_[1], var_[1]);
+      const double l0 =
+          std::log(weight_[0]) + LogGaussianDiag(features[i], mean_[0], var_[0]);
+      const double m = std::max(l0, l1);
+      const double p1 = std::exp(l1 - m);
+      const double p0 = std::exp(l0 - m);
+      resp[i] = p1 / (p0 + p1);
+    }
+  }
+  // Identify the match component as the one with the larger mean feature
+  // sum (similarity features are all increasing in match likelihood).
+  double s1 = 0.0, s0 = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    s1 += mean_[1][j];
+    s0 += mean_[0][j];
+  }
+  match_component_ = s1 >= s0 ? 1 : 0;
+}
+
+double ZeroEr::PredictProba(const std::vector<double>& x) const {
+  const double l1 =
+      std::log(weight_[1]) + LogGaussianDiag(x, mean_[1], var_[1]);
+  const double l0 =
+      std::log(weight_[0]) + LogGaussianDiag(x, mean_[0], var_[0]);
+  const double m = std::max(l0, l1);
+  const double p1 = std::exp(l1 - m);
+  const double p0 = std::exp(l0 - m);
+  const double post1 = p1 / (p0 + p1);
+  return match_component_ == 1 ? post1 : 1.0 - post1;
+}
+
+std::vector<int> ZeroEr::PredictBatch(const FeatureMatrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(PredictProba(row) >= 0.5 ? 1 : 0);
+  return out;
+}
+
+FeatureMatrix EmPairFeatures(const data::EmDataset& ds,
+                             const std::vector<data::LabeledPair>& pairs) {
+  // TF-IDF fitted over both tables' serializations.
+  std::vector<std::vector<std::string>> tokens_a, tokens_b;
+  for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+    tokens_a.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, i));
+  }
+  for (int i = 0; i < ds.table_b.num_rows(); ++i) {
+    tokens_b.push_back(pipeline::EmPipeline::SerializeRow(ds.table_b, i));
+  }
+  sparse::TfIdfFeaturizer tfidf;
+  {
+    std::vector<std::vector<std::string>> corpus = tokens_a;
+    corpus.insert(corpus.end(), tokens_b.begin(), tokens_b.end());
+    tfidf.Fit(corpus);
+  }
+  std::vector<sparse::SparseVector> vec_a, vec_b;
+  for (const auto& t : tokens_a) vec_a.push_back(tfidf.Transform(t));
+  for (const auto& t : tokens_b) vec_b.push_back(tfidf.Transform(t));
+
+  FeatureMatrix out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    std::vector<double> f = sparse::PairFeatures(
+        tokens_a[static_cast<size_t>(p.a_idx)],
+        tokens_b[static_cast<size_t>(p.b_idx)]);
+    f.push_back(sparse::SparseDot(vec_a[static_cast<size_t>(p.a_idx)],
+                                  vec_b[static_cast<size_t>(p.b_idx)]));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+pipeline::PRF1 RunZeroErOnEm(const data::EmDataset& ds,
+                             const ZeroErOptions& options) {
+  // Fit on all pairs (unsupervised); evaluate on the test split.
+  std::vector<data::LabeledPair> all = ds.train;
+  all.insert(all.end(), ds.valid.begin(), ds.valid.end());
+  all.insert(all.end(), ds.test.begin(), ds.test.end());
+  FeatureMatrix features = EmPairFeatures(ds, all);
+  ZeroErOptions opts = options;
+  opts.prior_match = std::max(0.02, ds.PositiveRatio());
+  ZeroEr model(opts);
+  model.Fit(features);
+
+  FeatureMatrix test_features = EmPairFeatures(ds, ds.test);
+  std::vector<int> preds = model.PredictBatch(test_features);
+  std::vector<int> labels;
+  labels.reserve(ds.test.size());
+  for (const auto& p : ds.test) labels.push_back(p.label);
+  return pipeline::ComputePRF1(preds, labels);
+}
+
+}  // namespace sudowoodo::baselines

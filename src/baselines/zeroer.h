@@ -1,0 +1,59 @@
+// ZeroER-style unsupervised entity matching (Wu et al., SIGMOD 2020), one
+// of the two unsupervised baselines of Table VI.
+//
+// ZeroER models pairwise similarity feature vectors as a 2-component
+// Gaussian mixture (match / non-match generative assumption) learned with
+// EM, with no labeled examples. This reimplementation uses the similarity
+// features of sparse/similarity.h plus TF-IDF cosine, diagonal-covariance
+// Gaussians, and component identification by mean similarity.
+
+#ifndef SUDOWOODO_BASELINES_ZEROER_H_
+#define SUDOWOODO_BASELINES_ZEROER_H_
+
+#include <vector>
+
+#include "baselines/classifiers.h"
+#include "data/em_dataset.h"
+#include "pipeline/metrics.h"
+
+namespace sudowoodo::baselines {
+
+/// Options for ZeroEr.
+struct ZeroErOptions {
+  int em_iters = 30;
+  double prior_match = 0.1;  // initial mixture weight of the match class
+  uint64_t seed = 17;
+};
+
+/// Diagonal-covariance 2-component GMM over pair features.
+class ZeroEr {
+ public:
+  explicit ZeroEr(const ZeroErOptions& options = {}) : options_(options) {}
+
+  /// Fits the mixture on unlabeled pair features.
+  void Fit(const FeatureMatrix& features);
+
+  /// Posterior probability of the match component.
+  double PredictProba(const std::vector<double>& x) const;
+  std::vector<int> PredictBatch(const FeatureMatrix& x) const;
+
+ private:
+  ZeroErOptions options_;
+  std::vector<double> mean_[2], var_[2];
+  double weight_[2] = {0.5, 0.5};
+  int match_component_ = 1;
+};
+
+/// Runs ZeroER end-to-end on an EM dataset: features over the labeled-pair
+/// universe, unsupervised fit, evaluation on the test split.
+pipeline::PRF1 RunZeroErOnEm(const data::EmDataset& ds,
+                             const ZeroErOptions& options = {});
+
+/// Pair feature extraction shared with Auto-FuzzyJoin: similarity features
+/// + TF-IDF cosine over serialized rows.
+FeatureMatrix EmPairFeatures(const data::EmDataset& ds,
+                             const std::vector<data::LabeledPair>& pairs);
+
+}  // namespace sudowoodo::baselines
+
+#endif  // SUDOWOODO_BASELINES_ZEROER_H_

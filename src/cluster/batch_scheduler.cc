@@ -1,0 +1,68 @@
+#include "cluster/batch_scheduler.h"
+
+#include <numeric>
+
+#include "sparse/tfidf.h"
+
+namespace sudowoodo::cluster {
+
+BatchScheduler::BatchScheduler(int n_items, int batch_size, uint64_t seed)
+    : n_items_(n_items), batch_size_(batch_size), clustered_(false),
+      rng_(seed) {
+  SUDO_CHECK(batch_size > 1);
+}
+
+BatchScheduler::BatchScheduler(
+    const std::vector<std::vector<std::string>>& token_corpus, int batch_size,
+    int num_clusters, uint64_t seed)
+    : n_items_(static_cast<int>(token_corpus.size())),
+      batch_size_(batch_size),
+      clustered_(true),
+      rng_(seed) {
+  SUDO_CHECK(batch_size > 1);
+  sparse::TfIdfFeaturizer featurizer;                      // Alg. 2, line 1
+  auto features = featurizer.FitTransform(token_corpus);
+  KMeansOptions opts;
+  opts.k = num_clusters;
+  opts.seed = rng_.Fork().NextU32();
+  KMeansResult res = KMeans(features, opts);               // Alg. 2, line 2
+  clusters_ = std::move(res.clusters);
+  assignments_ = std::move(res.assignments);
+}
+
+std::vector<std::vector<int>> BatchScheduler::NextEpoch() {
+  std::vector<std::vector<int>> batches;
+  if (!clustered_) {
+    std::vector<int> order(static_cast<size_t>(n_items_));
+    std::iota(order.begin(), order.end(), 0);
+    rng_.Shuffle(&order);
+    for (int b = 0; b < n_items_; b += batch_size_) {
+      const int len = std::min(batch_size_, n_items_ - b);
+      if (len < 2) break;  // NT-Xent needs at least 2 items
+      batches.emplace_back(order.begin() + b, order.begin() + b + len);
+    }
+    return batches;
+  }
+
+  // Algorithm 2, lines 3-12: shuffle among and within clusters, fill
+  // batches sequentially so each batch draws from as few clusters as
+  // possible, then shuffle the batch order.
+  std::vector<std::vector<int>> clusters = clusters_;
+  rng_.Shuffle(&clusters);                                 // line 3
+  std::vector<int> last;
+  for (auto& cluster : clusters) {                         // line 5
+    rng_.Shuffle(&cluster);                                // line 6
+    for (int x : cluster) {                                // line 7
+      last.push_back(x);                                   // line 8
+      if (static_cast<int>(last.size()) == batch_size_) {  // line 9
+        batches.push_back(std::move(last));                // line 10
+        last.clear();                                      // line 11
+      }
+    }
+  }
+  if (static_cast<int>(last.size()) >= 2) batches.push_back(std::move(last));
+  rng_.Shuffle(&batches);                                  // line 12
+  return batches;
+}
+
+}  // namespace sudowoodo::cluster

@@ -1,0 +1,49 @@
+// Algorithm 2 of the paper: clustering-based negative sampling, realized as
+// a mini-batch scheduler. Items in a batch become each other's in-batch
+// negatives under the NT-Xent loss, so filling batches cluster-by-cluster
+// yields lexically similar ("harder") negatives. Clustering runs once and
+// is cached for all epochs.
+
+#ifndef SUDOWOODO_CLUSTER_BATCH_SCHEDULER_H_
+#define SUDOWOODO_CLUSTER_BATCH_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+
+namespace sudowoodo::cluster {
+
+/// Produces mini-batches of item indices for contrastive pre-training.
+class BatchScheduler {
+ public:
+  /// Uniform scheduler (the default SimCLR negative sampling): random
+  /// shuffle split into batches.
+  BatchScheduler(int n_items, int batch_size, uint64_t seed);
+
+  /// Cluster-aware scheduler (Algorithm 2): TF-IDF featurize + k-means,
+  /// then batches are filled from shuffled clusters in shuffled order.
+  BatchScheduler(const std::vector<std::vector<std::string>>& token_corpus,
+                 int batch_size, int num_clusters, uint64_t seed);
+
+  /// Mini-batches for one epoch. Every call reshuffles (within and among
+  /// clusters in cluster mode), reusing the cached clustering.
+  std::vector<std::vector<int>> NextEpoch();
+
+  bool clustered() const { return clustered_; }
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  const std::vector<int>& assignments() const { return assignments_; }
+
+ private:
+  int n_items_ = 0;
+  int batch_size_ = 32;
+  bool clustered_ = false;
+  std::vector<std::vector<int>> clusters_;
+  std::vector<int> assignments_;
+  Rng rng_;
+};
+
+}  // namespace sudowoodo::cluster
+
+#endif  // SUDOWOODO_CLUSTER_BATCH_SCHEDULER_H_

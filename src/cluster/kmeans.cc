@@ -1,0 +1,133 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sudowoodo::cluster {
+
+namespace {
+
+using sparse::SparseVector;
+
+/// Dense centroid with helpers for sparse accumulation.
+struct Centroid {
+  std::vector<float> v;
+
+  explicit Centroid(int dim) : v(static_cast<size_t>(dim), 0.0f) {}
+
+  void AddSparse(const SparseVector& s) {
+    for (const auto& [t, w] : s) v[static_cast<size_t>(t)] += w;
+  }
+
+  void Normalize() {
+    double n = 0.0;
+    for (float x : v) n += static_cast<double>(x) * x;
+    n = std::sqrt(n);
+    if (n > 1e-12) {
+      for (float& x : v) x = static_cast<float>(x / n);
+    }
+  }
+
+  float DotSparse(const SparseVector& s) const {
+    float d = 0.0f;
+    for (const auto& [t, w] : s) d += v[static_cast<size_t>(t)] * w;
+    return d;
+  }
+};
+
+int MaxTermId(const std::vector<SparseVector>& data) {
+  int mx = -1;
+  for (const auto& s : data) {
+    if (!s.empty()) mx = std::max(mx, s.back().first);
+  }
+  return mx;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<sparse::SparseVector>& data,
+                    const KMeansOptions& options) {
+  KMeansResult result;
+  const int n = static_cast<int>(data.size());
+  if (n == 0) return result;
+  const int k = std::min(options.k, n);
+  const int dim = MaxTermId(data) + 1;
+  Rng rng(options.seed);
+
+  // k-means++-lite seeding: first center uniform, the rest sampled
+  // proportionally to (1 - max cosine to chosen centers).
+  std::vector<Centroid> centers;
+  centers.reserve(static_cast<size_t>(k));
+  std::vector<double> min_dist(static_cast<size_t>(n), 1.0);
+  {
+    int first = rng.UniformInt(n);
+    Centroid c(dim);
+    c.AddSparse(data[static_cast<size_t>(first)]);
+    c.Normalize();
+    centers.push_back(std::move(c));
+  }
+  while (static_cast<int>(centers.size()) < k) {
+    for (int i = 0; i < n; ++i) {
+      const double sim =
+          centers.back().DotSparse(data[static_cast<size_t>(i)]);
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)],
+                   std::max(0.0, 1.0 - sim));
+    }
+    double total = 0.0;
+    for (double d : min_dist) total += d;
+    int chosen;
+    if (total <= 1e-12) {
+      chosen = rng.UniformInt(n);
+    } else {
+      chosen = rng.WeightedChoice(min_dist);
+    }
+    Centroid c(dim);
+    c.AddSparse(data[static_cast<size_t>(chosen)]);
+    c.Normalize();
+    centers.push_back(std::move(c));
+  }
+
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      float best = -2.0f;
+      int best_c = 0;
+      for (int c = 0; c < static_cast<int>(centers.size()); ++c) {
+        const float sim = centers[static_cast<size_t>(c)].DotSparse(
+            data[static_cast<size_t>(i)]);
+        if (sim > best) {
+          best = sim;
+          best_c = c;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best_c) {
+        result.assignments[static_cast<size_t>(i)] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations_run = iter + 1;
+    if (!changed && iter > 0) break;
+    for (auto& c : centers) std::fill(c.v.begin(), c.v.end(), 0.0f);
+    for (int i = 0; i < n; ++i) {
+      centers[static_cast<size_t>(result.assignments[static_cast<size_t>(i)])]
+          .AddSparse(data[static_cast<size_t>(i)]);
+    }
+    for (auto& c : centers) c.Normalize();
+  }
+
+  result.clusters.assign(centers.size(), {});
+  for (int i = 0; i < n; ++i) {
+    result.clusters[static_cast<size_t>(
+                        result.assignments[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  result.clusters.erase(
+      std::remove_if(result.clusters.begin(), result.clusters.end(),
+                     [](const std::vector<int>& c) { return c.empty(); }),
+      result.clusters.end());
+  return result;
+}
+
+}  // namespace sudowoodo::cluster

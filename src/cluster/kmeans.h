@@ -1,0 +1,40 @@
+// Spherical k-means over TF-IDF vectors: the clustering engine behind
+// Sudowoodo's "harder" negative sampling (§IV-B). Running time is linear in
+// the corpus size and k, as the paper requires, and results are cached by
+// the batch scheduler across epochs.
+
+#ifndef SUDOWOODO_CLUSTER_KMEANS_H_
+#define SUDOWOODO_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sparse/tfidf.h"
+
+namespace sudowoodo::cluster {
+
+/// Options for KMeans.
+struct KMeansOptions {
+  int k = 30;
+  int max_iters = 10;
+  uint64_t seed = 7;
+};
+
+/// Result of a clustering run.
+struct KMeansResult {
+  /// cluster id per input vector.
+  std::vector<int> assignments;
+  /// members per cluster (inverse of assignments).
+  std::vector<std::vector<int>> clusters;
+  int iterations_run = 0;
+};
+
+/// Clusters L2-normalized sparse vectors by cosine similarity (spherical
+/// k-means, k-means++-style seeding). Empty clusters are dropped from
+/// `clusters` but assignments always name a live cluster.
+KMeansResult KMeans(const std::vector<sparse::SparseVector>& data,
+                    const KMeansOptions& options);
+
+}  // namespace sudowoodo::cluster
+
+#endif  // SUDOWOODO_CLUSTER_KMEANS_H_

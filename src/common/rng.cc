@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace sudowoodo {
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  SUDO_CHECK(n >= 0 && k >= 0);
+  std::vector<int> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  if (k >= n) return all;
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = UniformRange(i, n - 1);
+    std::swap(all[static_cast<size_t>(i)], all[static_cast<size_t>(j)]);
+  }
+  all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+int Rng::WeightedChoice(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  SUDO_CHECK(total > 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace sudowoodo

@@ -1,0 +1,133 @@
+// Status / Result error model, in the style of RocksDB and Arrow.
+//
+// All fallible public APIs in this library return a Status (or a Result<T>
+// when they also produce a value). Exceptions are never used for control
+// flow; they are reserved for programmer errors surfaced via CHECK-style
+// aborts in debug builds.
+
+#ifndef SUDOWOODO_COMMON_STATUS_H_
+#define SUDOWOODO_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sudowoodo {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. `ValueOrDie()` aborts on error and is intended
+/// for tests, examples, and benchmark drivers where failure is a bug.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}                // NOLINT
+  Result(Status status) : var_(std::move(status)) {}         // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const { return std::get<T>(var_); }
+  T& value() { return std::get<T>(var_); }
+
+  /// Returns the value, aborting with the error message if this is an error.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << std::endl;
+      std::abort();
+    }
+    return std::move(std::get<T>(var_));
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SUDO_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::sudowoodo::Status _st = (expr);     \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Aborts the process when `cond` is false. For invariants, not user errors.
+#define SUDO_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "CHECK failed: " #cond " at " << __FILE__ << ":"        \
+                << __LINE__ << std::endl;                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define SUDO_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::sudowoodo::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                      \
+      std::cerr << "CHECK_OK failed: " << _st.ToString() << " at "        \
+                << __FILE__ << ":" << __LINE__ << std::endl;              \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace sudowoodo
+
+#endif  // SUDOWOODO_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+// Small string helpers shared across the library.
+
+#ifndef SUDOWOODO_COMMON_STRING_UTIL_H_
+#define SUDOWOODO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace sudowoodo {
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(const std::string& s,
+                                     const std::string& delims = " \t\n\r");
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(const std::string& s);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(const std::string& s);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+/// Levenshtein edit distance (unit costs).
+int EditDistance(const std::string& a, const std::string& b);
+
+/// True if the string parses as a (possibly signed / decimal) number.
+bool IsNumeric(const std::string& s);
+
+}  // namespace sudowoodo
+
+#endif  // SUDOWOODO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,45 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace sudowoodo {
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto render = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i];
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < row.size()) line += "  ";
+    }
+    // Trim trailing padding.
+    size_t e = line.find_last_not_of(' ');
+    return (e == std::string::npos) ? std::string() : line.substr(0, e + 1);
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  if (!header_.empty()) {
+    std::string h = render(header_);
+    out += h + "\n";
+    out += std::string(h.size(), '-') + "\n";
+  }
+  for (const auto& r : rows_) out += render(r) + "\n";
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace sudowoodo

@@ -1,0 +1,38 @@
+// Fixed-width console table rendering for the benchmark harnesses, so each
+// bench binary can print rows shaped like the paper's tables.
+
+#ifndef SUDOWOODO_COMMON_TABLE_PRINTER_H_
+#define SUDOWOODO_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sudowoodo {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table (e.g. "Table V: F1 scores ...").
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to a string (also convenient for golden tests).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sudowoodo
+
+#endif  // SUDOWOODO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing for the runtime experiments (Fig. 9-11).
+
+#ifndef SUDOWOODO_COMMON_TIMER_H_
+#define SUDOWOODO_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sudowoodo {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sudowoodo
+
+#endif  // SUDOWOODO_COMMON_TIMER_H_

@@ -1,0 +1,56 @@
+#include "contrastive/losses.h"
+
+#include "common/status.h"
+
+namespace sudowoodo::contrastive {
+
+namespace ts = sudowoodo::tensor;
+
+Tensor NtXentLoss(const Tensor& z_ori, const Tensor& z_aug, float tau) {
+  SUDO_CHECK(z_ori.rows() == z_aug.rows() && z_ori.cols() == z_aug.cols());
+  SUDO_CHECK(tau > 0.0f);
+  const int n = z_ori.rows();
+  SUDO_CHECK(n >= 2);
+
+  // Z = [Z_ori; Z_aug], rows L2-normalized so the similarity is cosine.
+  Tensor z = ts::L2NormalizeRows(ts::ConcatRows({z_ori, z_aug}));
+  // Pairwise similarities scaled by temperature.
+  Tensor sim = ts::Scale(ts::MatMul(z, ts::Transpose(z)), 1.0f / tau);
+  // Mask self-similarity (the 1[k != i] in Eq. 1's denominator).
+  Tensor mask = Tensor::Zeros(2 * n, 2 * n);
+  for (int i = 0; i < 2 * n; ++i) mask.set(i, i, -1e9f);
+  Tensor logits = ts::Add(sim, mask);
+
+  // ℓ(k, k+N) and ℓ(k+N, k) for every k, averaged (Eq. 2).
+  std::vector<int> targets(static_cast<size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    targets[static_cast<size_t>(i)] = i + n;
+    targets[static_cast<size_t>(i + n)] = i;
+  }
+  return ts::PickNegLogLikelihood(ts::LogRowSoftmax(logits), targets);
+}
+
+Tensor BarlowTwinsObjective(const Tensor& z_ori, const Tensor& z_aug,
+                            float lambda) {
+  SUDO_CHECK(z_ori.rows() == z_aug.rows() && z_ori.cols() == z_aug.cols());
+  const int n = z_ori.rows();
+  SUDO_CHECK(n >= 2);
+  // Column standardization makes C_ij exactly the per-feature cosine of
+  // Eq. 4 computed on centered features.
+  Tensor zo = ts::StandardizeCols(z_ori);
+  Tensor za = ts::StandardizeCols(z_aug);
+  Tensor c = ts::Scale(ts::MatMul(ts::Transpose(zo), za),
+                       1.0f / static_cast<float>(n));
+  return ts::BarlowTwinsLoss(c, lambda);
+}
+
+Tensor CombinedLoss(const Tensor& z_ori, const Tensor& z_aug, float tau,
+                    float lambda, float alpha) {
+  SUDO_CHECK(alpha >= 0.0f && alpha <= 1.0f);
+  Tensor contrast = NtXentLoss(z_ori, z_aug, tau);
+  if (alpha == 0.0f) return contrast;
+  Tensor bt = BarlowTwinsObjective(z_ori, z_aug, lambda);
+  return ts::Add(ts::Scale(contrast, 1.0f - alpha), ts::Scale(bt, alpha));
+}
+
+}  // namespace sudowoodo::contrastive

@@ -1,0 +1,36 @@
+// The self-supervised objectives of the paper:
+//   * NT-Xent contrastive loss (Eq. 1-2, SimCLR),
+//   * Barlow Twins redundancy regularization (Eq. 4-5),
+//   * their linear combination (Eq. 6), Sudowoodo's pre-training loss.
+//
+// All losses are expressed in autograd ops, so the tensor gradient checks
+// exercise the exact training code path.
+
+#ifndef SUDOWOODO_CONTRASTIVE_LOSSES_H_
+#define SUDOWOODO_CONTRASTIVE_LOSSES_H_
+
+#include "tensor/tensor.h"
+
+namespace sudowoodo::contrastive {
+
+using tensor::Tensor;
+
+/// NT-Xent (Eq. 1-2): `z_ori` and `z_aug` are [N, d] projector outputs for
+/// the two views; row i of each is a positive pair, all other in-batch rows
+/// are negatives. `tau` is the temperature in (0, 1].
+Tensor NtXentLoss(const Tensor& z_ori, const Tensor& z_aug, float tau);
+
+/// Barlow Twins (Eq. 4-5): column-standardizes both views, forms the d x d
+/// cross-correlation matrix C (Eq. 4), and penalizes diagonal deviation
+/// from 1 plus off-diagonal magnitude weighted by `lambda`.
+Tensor BarlowTwinsObjective(const Tensor& z_ori, const Tensor& z_aug,
+                            float lambda);
+
+/// L_Sudowoodo = (1 - alpha) * L_contrast + alpha * L_BT   (Eq. 6).
+/// alpha = 0 recovers plain SimCLR.
+Tensor CombinedLoss(const Tensor& z_ori, const Tensor& z_aug, float tau,
+                    float lambda, float alpha);
+
+}  // namespace sudowoodo::contrastive
+
+#endif  // SUDOWOODO_CONTRASTIVE_LOSSES_H_

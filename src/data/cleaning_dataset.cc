@@ -1,0 +1,526 @@
+#include "data/cleaning_dataset.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "data/word_pools.h"
+
+namespace sudowoodo::data {
+
+namespace {
+
+std::string Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[static_cast<size_t>(
+      rng->UniformInt(static_cast<int>(pool.size())))];
+}
+
+std::string TypoEdit(const std::string& s, Rng* rng) {
+  if (s.size() < 2) return s + s;  // ensure the value changes
+  std::string out = s;
+  const int kind = rng->UniformInt(3);
+  const int pos = rng->UniformInt(static_cast<int>(s.size()) - 1);
+  switch (kind) {
+    case 0:
+      out.erase(static_cast<size_t>(pos), 1);
+      break;
+    case 1:
+      std::swap(out[static_cast<size_t>(pos)],
+                out[static_cast<size_t>(pos) + 1]);
+      break;
+    default:
+      out.insert(static_cast<size_t>(pos), 1, 'x');
+      break;
+  }
+  return out == s ? s + "x" : out;
+}
+
+/// Column-type-aware format corruption (the FI error class).
+std::string FormatCorrupt(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  const int kind = rng->UniformInt(4);
+  switch (kind) {
+    case 0:  // append a spurious unit / symbol
+      if (IsNumeric(s)) return s + (rng->Bernoulli(0.5) ? "%" : " ounce");
+      return s + ".";
+    case 1:  // uppercase the value
+    {
+      std::string out = s;
+      for (auto& c : out) c = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(c)));
+      return out;
+    }
+    case 2:  // strip leading digits' zero-padding or add decimals
+      if (IsNumeric(s)) return s + ".0";
+      return "the " + s;
+    default:  // squeeze spaces
+    {
+      std::string out;
+      for (char c : s) {
+        if (c != ' ') out.push_back(c);
+      }
+      return out.empty() ? s : out;
+    }
+  }
+}
+
+/// Schema description: each column has a name and a domain generator; FD
+/// groups make determinant -> dependent mappings consistent.
+struct SchemaColumn {
+  std::string name;
+  /// 0 = free value, >0 = FD group id: the first column of the group is the
+  /// determinant, later columns are functionally dependent on it.
+  int fd_group = 0;
+  std::function<std::string(Rng*)> gen;
+};
+
+std::vector<SchemaColumn> MakeSchema(const std::string& name) {
+  std::vector<SchemaColumn> cols;
+  if (name == "beers") {
+    cols = {
+        {"id", 0, [](Rng* rng) { return StrFormat("%d", rng->UniformInt(100000)); }},
+        {"beer_name", 0,
+         [](Rng* rng) {
+           return Pick(WordPools::BeerWords(), rng) + " " +
+                  Pick(WordPools::BeerWords(), rng) + " " +
+                  Pick(WordPools::BeerStyles(), rng);
+         }},
+        {"style", 0, [](Rng* rng) { return Pick(WordPools::BeerStyles(), rng); }},
+        {"ounces", 0,
+         [](Rng* rng) { return StrFormat("%d", 8 + 4 * rng->UniformInt(3)); }},
+        {"abv", 0,
+         [](Rng* rng) { return StrFormat("0.0%d", 4 + rng->UniformInt(6)); }},
+        {"ibu", 0, [](Rng* rng) { return StrFormat("%d", 10 + rng->UniformInt(90)); }},
+        {"brewery_id", 1,
+         [](Rng* rng) { return StrFormat("%d", 100 + rng->UniformInt(40)); }},
+        {"brewery_name", 1,
+         [](Rng* rng) {
+           return Pick(WordPools::BreweryWords(), rng) + " " +
+                  Pick(WordPools::BreweryWords(), rng);
+         }},
+        {"city", 1, [](Rng* rng) { return Pick(WordPools::UsCities(), rng); }},
+        {"state", 1, [](Rng* rng) { return Pick(WordPools::UsStates(), rng); }},
+    };
+  } else if (name == "hospital") {
+    cols = {
+        {"name", 0,
+         [](Rng* rng) {
+           return Pick(WordPools::LastNames(), rng) + " memorial hospital";
+         }},
+        {"address", 0,
+         [](Rng* rng) {
+           return StrFormat("%d %s st", 100 + rng->UniformInt(900),
+                            Pick(WordPools::LastNames(), rng).c_str());
+         }},
+        {"zip", 1,
+         [](Rng* rng) { return StrFormat("%05d", 10000 + rng->UniformInt(50)); }},
+        {"city", 1, [](Rng* rng) { return Pick(WordPools::UsCities(), rng); }},
+        {"state", 1, [](Rng* rng) { return Pick(WordPools::UsStates(), rng); }},
+        {"county", 1, [](Rng* rng) { return Pick(WordPools::LastNames(), rng); }},
+        {"phone", 0, [](Rng* rng) { return MakePhoneNumber(rng); }},
+        {"owner", 0,
+         [](Rng* rng) {
+           return rng->Bernoulli(0.5) ? "voluntary non-profit - private"
+                                      : "government - local";
+         }},
+        {"measure_code", 2,
+         [](Rng* rng) { return StrFormat("hf-%d", 1 + rng->UniformInt(12)); }},
+        {"condition", 2,
+         [](Rng* rng) {
+           static const std::vector<std::string> kConds = {
+               "heart failure", "heart attack", "pneumonia",
+               "surgical infection"};
+           return Pick(kConds, rng);
+         }},
+    };
+  } else if (name == "rayyan") {
+    cols = {
+        {"article_title", 0,
+         [](Rng* rng) {
+           std::string t;
+           for (int i = 0; i < 6; ++i) {
+             if (i) t += " ";
+             t += Pick(WordPools::TitleWords(), rng);
+           }
+           return t;
+         }},
+        {"article_language", 0,
+         [](Rng* rng) { return Pick(WordPools::Languages(), rng); }},
+        {"journal_title", 1,
+         [](Rng* rng) {
+           return Pick(WordPools::VenueLongForms(), rng);
+         }},
+        {"journal_issn", 1,
+         [](Rng* rng) {
+           return StrFormat("%04d-%04d", rng->UniformInt(10000),
+                            rng->UniformInt(10000));
+         }},
+        {"article_jcreated_at", 0,
+         [](Rng* rng) {
+           return StrFormat("%d/%d/%02d", 1 + rng->UniformInt(12),
+                            1 + rng->UniformInt(28), rng->UniformInt(22));
+         }},
+        {"article_pagination", 0,
+         [](Rng* rng) {
+           const int a = 1 + rng->UniformInt(300);
+           return StrFormat("%d-%d", a, a + 5 + rng->UniformInt(20));
+         }},
+        {"author_list", 0,
+         [](Rng* rng) {
+           return Pick(WordPools::FirstNames(), rng).substr(0, 1) + ". " +
+                  Pick(WordPools::LastNames(), rng) + ", " +
+                  Pick(WordPools::FirstNames(), rng).substr(0, 1) + ". " +
+                  Pick(WordPools::LastNames(), rng);
+         }},
+        {"volume", 0,
+         [](Rng* rng) { return StrFormat("%d", 1 + rng->UniformInt(40)); }},
+    };
+  } else if (name == "tax") {
+    cols = {
+        {"f_name", 0, [](Rng* rng) { return Pick(WordPools::FirstNames(), rng); }},
+        {"l_name", 0, [](Rng* rng) { return Pick(WordPools::LastNames(), rng); }},
+        {"gender", 0, [](Rng* rng) { return rng->Bernoulli(0.5) ? "m" : "f"; }},
+        {"area_code", 1,
+         [](Rng* rng) { return StrFormat("%d", 200 + rng->UniformInt(24)); }},
+        {"phone", 0, [](Rng* rng) { return MakePhoneNumber(rng); }},
+        {"zip", 1,
+         [](Rng* rng) { return StrFormat("%05d", 20000 + rng->UniformInt(70)); }},
+        {"city", 1, [](Rng* rng) { return Pick(WordPools::UsCities(), rng); }},
+        {"state", 1, [](Rng* rng) { return Pick(WordPools::UsStates(), rng); }},
+        {"marital_status", 0,
+         [](Rng* rng) { return rng->Bernoulli(0.5) ? "m" : "s"; }},
+        {"has_child", 0,
+         [](Rng* rng) { return rng->Bernoulli(0.4) ? "y" : "n"; }},
+        {"salary", 0,
+         [](Rng* rng) { return StrFormat("%d000", 2 + rng->UniformInt(18)); }},
+        {"rate", 0,
+         [](Rng* rng) { return StrFormat("%d", 1 + rng->UniformInt(8)); }},
+    };
+  } else {
+    SUDO_CHECK(false && "unknown cleaning dataset");
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::string CorruptValue(const std::string& value, ErrorType type, Rng* rng) {
+  std::string out = value;
+  switch (type) {
+    case ErrorType::kMissingValue:
+      out = "";
+      break;
+    case ErrorType::kTypo:
+      out = TypoEdit(value, rng);
+      break;
+    case ErrorType::kFormatIssue:
+      out = FormatCorrupt(value, rng);
+      break;
+    case ErrorType::kViolatedDep:
+      out = value + "x";  // no domain available here; degrade to a typo
+      break;
+  }
+  // The corruption contract is that the value changes; some format
+  // corruptions are no-ops on values they do not apply to.
+  if (out == value) out = value + "x";
+  return out;
+}
+
+bool CleaningDataset::IsError(int row, int col) const {
+  for (const auto& e : errors) {
+    if (e.row == row && e.col == col) return true;
+  }
+  return false;
+}
+
+double CleaningDataset::Coverage() const {
+  if (errors.empty()) return 1.0;
+  int covered = 0;
+  for (const auto& e : errors) {
+    const auto& cands =
+        candidates[static_cast<size_t>(e.row)][static_cast<size_t>(e.col)];
+    const std::string& truth = clean.Cell(e.row, e.col);
+    if (std::find(cands.begin(), cands.end(), truth) != cands.end()) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(errors.size());
+}
+
+double CleaningDataset::AvgCandidates() const {
+  int64_t total = 0, cells = 0;
+  for (const auto& row : candidates) {
+    for (const auto& cell : row) {
+      if (!cell.empty()) {
+        total += static_cast<int64_t>(cell.size());
+        ++cells;
+      }
+    }
+  }
+  return cells == 0 ? 0.0 : static_cast<double>(total) /
+                            static_cast<double>(cells);
+}
+
+CleaningSpec GetCleaningSpec(const std::string& name) {
+  CleaningSpec s;
+  s.name = name;
+  if (name == "beers") {
+    s.n_rows = 280;
+    s.error_rate = 0.16;
+    s.error_types = {ErrorType::kMissingValue, ErrorType::kFormatIssue,
+                     ErrorType::kViolatedDep};
+    s.coverage = 0.949;
+    s.cand_size = 16;
+    s.seed = 31;
+  } else if (name == "hospital") {
+    s.n_rows = 260;
+    s.error_rate = 0.03;
+    s.error_types = {ErrorType::kTypo, ErrorType::kViolatedDep};
+    s.coverage = 0.895;
+    s.cand_size = 17;
+    s.seed = 32;
+  } else if (name == "rayyan") {
+    s.n_rows = 240;
+    s.error_rate = 0.09;
+    s.error_types = {ErrorType::kMissingValue, ErrorType::kTypo,
+                     ErrorType::kFormatIssue, ErrorType::kViolatedDep};
+    s.coverage = 0.514;
+    s.cand_size = 34;
+    s.seed = 33;
+  } else if (name == "tax") {
+    s.n_rows = 360;
+    s.error_rate = 0.04;
+    s.error_types = {ErrorType::kTypo, ErrorType::kFormatIssue,
+                     ErrorType::kViolatedDep};
+    s.coverage = 0.927;
+    s.cand_size = 60;
+    s.seed = 34;
+  } else {
+    SUDO_CHECK(false && "unknown cleaning dataset");
+  }
+  return s;
+}
+
+const std::vector<std::string>& CleaningDatasetNames() {
+  static const std::vector<std::string> kNames = {"beers", "hospital",
+                                                  "rayyan", "tax"};
+  return kNames;
+}
+
+CleaningDataset GenerateCleaning(const CleaningSpec& spec) {
+  Rng rng(spec.seed);
+  CleaningDataset ds;
+  ds.name = spec.name;
+  std::vector<SchemaColumn> schema = MakeSchema(spec.name);
+  const int n_cols = static_cast<int>(schema.size());
+
+  ds.clean.name = spec.name + "-clean";
+  for (const auto& c : schema) ds.clean.attrs.push_back(c.name);
+
+  // FD groups: determinant value -> dependent row fragment, generated once
+  // per distinct determinant value so the FD holds in the clean table.
+  std::map<int, std::vector<int>> fd_cols;  // group -> column indexes
+  for (int c = 0; c < n_cols; ++c) {
+    if (schema[static_cast<size_t>(c)].fd_group > 0) {
+      fd_cols[schema[static_cast<size_t>(c)].fd_group].push_back(c);
+    }
+  }
+  std::map<std::pair<int, std::string>, std::vector<std::string>> fd_map;
+
+  for (int r = 0; r < spec.n_rows; ++r) {
+    Row row(static_cast<size_t>(n_cols));
+    for (int c = 0; c < n_cols; ++c) {
+      if (schema[static_cast<size_t>(c)].fd_group == 0) {
+        row[static_cast<size_t>(c)] = schema[static_cast<size_t>(c)].gen(&rng);
+      }
+    }
+    for (const auto& [group, cols] : fd_cols) {
+      // Generate the determinant, then fill dependents from the FD map.
+      const int det = cols[0];
+      std::string det_val = schema[static_cast<size_t>(det)].gen(&rng);
+      auto key = std::make_pair(group, det_val);
+      auto it = fd_map.find(key);
+      if (it == fd_map.end()) {
+        std::vector<std::string> deps;
+        for (size_t k = 1; k < cols.size(); ++k) {
+          deps.push_back(
+              schema[static_cast<size_t>(cols[k])].gen(&rng));
+        }
+        it = fd_map.emplace(key, std::move(deps)).first;
+      }
+      row[static_cast<size_t>(det)] = det_val;
+      for (size_t k = 1; k < cols.size(); ++k) {
+        row[static_cast<size_t>(cols[k])] = it->second[k - 1];
+      }
+    }
+    ds.clean.rows.push_back(std::move(row));
+  }
+
+  // Column domains (distinct clean values) for VAD errors and correctors.
+  std::vector<std::vector<std::string>> domains(static_cast<size_t>(n_cols));
+  for (int c = 0; c < n_cols; ++c) {
+    std::set<std::string> seen;
+    for (int r = 0; r < spec.n_rows; ++r) seen.insert(ds.clean.Cell(r, c));
+    domains[static_cast<size_t>(c)].assign(seen.begin(), seen.end());
+  }
+
+  // Inject errors into a copy.
+  ds.dirty = ds.clean;
+  ds.dirty.name = spec.name + "-dirty";
+  const int total_cells = spec.n_rows * n_cols;
+  const int n_errors = static_cast<int>(total_cells * spec.error_rate + 0.5);
+  std::set<std::pair<int, int>> error_positions;
+  while (static_cast<int>(error_positions.size()) < n_errors) {
+    const int r = rng.UniformInt(spec.n_rows);
+    const int c = rng.UniformInt(n_cols);
+    if (ds.clean.Cell(r, c).empty()) continue;
+    if (!error_positions.insert({r, c}).second) continue;
+    const ErrorType type = spec.error_types[static_cast<size_t>(
+        rng.UniformInt(static_cast<int>(spec.error_types.size())))];
+    std::string dirty_val;
+    const std::string& truth = ds.clean.Cell(r, c);
+    switch (type) {
+      case ErrorType::kMissingValue:
+        dirty_val = "";
+        break;
+      case ErrorType::kTypo:
+        dirty_val = TypoEdit(truth, &rng);
+        break;
+      case ErrorType::kFormatIssue:
+        dirty_val = FormatCorrupt(truth, &rng);
+        break;
+      case ErrorType::kViolatedDep: {
+        const auto& dom = domains[static_cast<size_t>(c)];
+        std::string other = truth;
+        for (int tries = 0; tries < 10 && other == truth; ++tries) {
+          other = Pick(dom, &rng);
+        }
+        dirty_val = other;
+        break;
+      }
+    }
+    if (dirty_val == truth) dirty_val = truth + "x";
+    ds.dirty.SetCell(r, c, dirty_val);
+    ds.errors.push_back({r, c, type});
+  }
+
+  // Baran-style candidate-correction ensemble. All cells receive a set.
+  // Value-frequency tables per column (over the *dirty* table, as the real
+  // correctors only see dirty data).
+  std::vector<std::unordered_map<std::string, int>> freq(
+      static_cast<size_t>(n_cols));
+  for (int r = 0; r < spec.n_rows; ++r) {
+    for (int c = 0; c < n_cols; ++c) {
+      ++freq[static_cast<size_t>(c)][ds.dirty.Cell(r, c)];
+    }
+  }
+  // FD majority maps from the dirty table.
+  std::map<std::pair<int, std::string>,
+           std::unordered_map<std::string, int>>
+      fd_votes;  // (dependent col, det value) -> dependent value votes
+  for (const auto& [group, cols] : fd_cols) {
+    (void)group;
+    const int det = cols[0];
+    for (int r = 0; r < spec.n_rows; ++r) {
+      for (size_t k = 1; k < cols.size(); ++k) {
+        fd_votes[{cols[static_cast<size_t>(k)], ds.dirty.Cell(r, det)}]
+                [ds.dirty.Cell(r, static_cast<int>(cols[k]))]++;
+      }
+    }
+  }
+
+  ds.candidates.assign(
+      static_cast<size_t>(spec.n_rows),
+      std::vector<std::vector<std::string>>(static_cast<size_t>(n_cols)));
+  for (int r = 0; r < spec.n_rows; ++r) {
+    for (int c = 0; c < n_cols; ++c) {
+      const std::string& cur = ds.dirty.Cell(r, c);
+      std::vector<std::string> cands;
+      std::set<std::string> seen;
+      auto add = [&](const std::string& v) {
+        if (v.empty() || v == cur) return;
+        if (seen.insert(v).second) cands.push_back(v);
+      };
+      // (1) FD-lookup corrector.
+      for (const auto& [group, cols] : fd_cols) {
+        (void)group;
+        for (size_t k = 1; k < cols.size(); ++k) {
+          if (cols[k] != c) continue;
+          auto it = fd_votes.find({c, ds.dirty.Cell(r, cols[0])});
+          if (it != fd_votes.end()) {
+            int best_votes = -1;
+            std::string best;
+            for (const auto& [v, n] : it->second) {
+              if (n > best_votes) {
+                best_votes = n;
+                best = v;
+              }
+            }
+            add(best);
+          }
+        }
+      }
+      // (2) typo fixer: nearest domain values by edit distance.
+      if (!cur.empty()) {
+        std::vector<std::pair<int, std::string>> near;
+        for (const auto& v : domains[static_cast<size_t>(c)]) {
+          const int d = EditDistance(cur, v);
+          if (d > 0 && d <= 2) near.emplace_back(d, v);
+        }
+        std::sort(near.begin(), near.end());
+        for (size_t k = 0; k < near.size() && k < 4; ++k) add(near[k].second);
+      }
+      // (3) format normalizers.
+      if (!cur.empty()) {
+        std::string stripped;
+        for (char ch : cur) {
+          if (ch != '%' ) stripped.push_back(ch);
+        }
+        if (EndsWith(stripped, " ounce")) {
+          stripped = stripped.substr(0, stripped.size() - 6);
+        }
+        if (EndsWith(stripped, ".0")) {
+          stripped = stripped.substr(0, stripped.size() - 2);
+        }
+        add(ToLower(Trim(stripped)));
+      }
+      // (4) histogram corrector: frequent column values.
+      {
+        std::vector<std::pair<int, std::string>> top;
+        for (const auto& [v, n] : freq[static_cast<size_t>(c)]) {
+          top.emplace_back(-n, v);
+        }
+        std::sort(top.begin(), top.end());
+        for (size_t k = 0; k < top.size() && k < 5; ++k) add(top[k].second);
+      }
+      // (5) simulated external-tool coverage: the ground truth enters the
+      // set with the configured probability (models the fraction of error
+      // types the real tool ensemble can produce, Table III).
+      const std::string& truth = ds.clean.Cell(r, c);
+      if (truth != cur && rng.Bernoulli(spec.coverage)) add(truth);
+      if (truth != cur && !rng.Bernoulli(spec.coverage)) {
+        // Explicitly drop the truth for uncovered errors.
+        cands.erase(std::remove(cands.begin(), cands.end(), truth),
+                    cands.end());
+        seen.erase(truth);
+      }
+      // (6) domain fillers up to the configured candidate-set size.
+      const auto& dom = domains[static_cast<size_t>(c)];
+      int guard = 0;
+      while (static_cast<int>(cands.size()) < spec.cand_size &&
+             guard++ < spec.cand_size * 20 &&
+             static_cast<int>(seen.size()) < static_cast<int>(dom.size())) {
+        add(Pick(dom, &rng));
+      }
+      ds.candidates[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          std::move(cands);
+    }
+  }
+  return ds;
+}
+
+}  // namespace sudowoodo::data

@@ -1,0 +1,83 @@
+// Synthetic data-cleaning benchmark generator (paper §V-A, §VI-C).
+//
+// Mirrors the four Baran/Raha benchmarks (Table III): a clean table is
+// generated from a schema with functional dependencies, then an error
+// channel injects the paper's error types at the paper's rates:
+//   MV  - missing value        (cell blanked)
+//   T   - typo                 (character-level edit)
+//   FI  - formatting issue     (unit / case / format change)
+//   VAD - violated attribute dependency (FD-inconsistent value)
+//
+// A Baran-style ensemble of correctors (value histogram, FD lookup,
+// edit-distance typo fixer, format normalizers) generates candidate
+// correction sets per cell with tunable coverage and size, reproducing the
+// statistics of Table III / XIV.
+
+#ifndef SUDOWOODO_DATA_CLEANING_DATASET_H_
+#define SUDOWOODO_DATA_CLEANING_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace sudowoodo::data {
+
+/// The paper's error taxonomy (Table III).
+enum class ErrorType { kMissingValue, kTypo, kFormatIssue, kViolatedDep };
+
+/// A single injected error.
+struct ErrorCell {
+  int row = 0;
+  int col = 0;
+  ErrorType type = ErrorType::kTypo;
+};
+
+/// One generated cleaning benchmark.
+struct CleaningDataset {
+  std::string name;
+  Table dirty;
+  Table clean;
+  std::vector<ErrorCell> errors;
+  /// candidates[row][col]: candidate corrections for that cell (possibly
+  /// empty; clean cells also receive candidates, as in Baran).
+  std::vector<std::vector<std::vector<std::string>>> candidates;
+
+  bool IsError(int row, int col) const;
+  /// Fraction of error cells whose ground-truth correction appears among
+  /// its candidates (the "%coverage" of Tables III/XIV).
+  double Coverage() const;
+  /// Mean candidate-set size over cells with a non-empty set ("#cand").
+  double AvgCandidates() const;
+};
+
+/// Generator parameters; see GetCleaningSpec for the four presets.
+struct CleaningSpec {
+  std::string name;
+  int n_rows = 240;
+  double error_rate = 0.08;
+  std::vector<ErrorType> error_types;
+  double coverage = 0.9;   // probability the truth enters the candidate set
+  int cand_size = 15;      // approximate candidates per cell
+  uint64_t seed = 21;
+};
+
+/// Preset matching one of {beers, hospital, rayyan, tax} (Table III,
+/// rates and error-type mixes preserved; sizes scaled). Aborts on unknown.
+CleaningSpec GetCleaningSpec(const std::string& name);
+
+/// The four benchmark names in paper order.
+const std::vector<std::string>& CleaningDatasetNames();
+
+/// Generates a benchmark (deterministic given spec.seed).
+CleaningDataset GenerateCleaning(const CleaningSpec& spec);
+
+/// Applies one error-channel corruption to a value (exposed so the
+/// cleaning pipeline can synthesize (corrupted, truth) training pairs from
+/// cells known to be clean - the analogue of Baran's corrector updating).
+std::string CorruptValue(const std::string& value, ErrorType type, Rng* rng);
+
+}  // namespace sudowoodo::data
+
+#endif  // SUDOWOODO_DATA_CLEANING_DATASET_H_

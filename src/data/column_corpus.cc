@@ -1,0 +1,165 @@
+#include "data/column_corpus.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+#include "data/word_pools.h"
+
+namespace sudowoodo::data {
+
+namespace {
+
+std::string Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[static_cast<size_t>(
+      rng->UniformInt(static_cast<int>(pool.size())))];
+}
+
+/// One fine-grained subtype: generator of a single cell value.
+struct Subtype {
+  std::string coarse;  // coarse type name
+  std::string fine;    // subtype name
+  std::function<std::string(Rng*)> gen;
+};
+
+std::vector<Subtype> SubtypeCatalog() {
+  std::vector<Subtype> cat;
+  auto add = [&cat](std::string coarse, std::string fine,
+                    std::function<std::string(Rng*)> gen) {
+    cat.push_back({std::move(coarse), std::move(fine), std::move(gen)});
+  };
+  add("city", "us city", [](Rng* rng) { return Pick(WordPools::UsCities(), rng); });
+  add("city", "central eu city",
+      [](Rng* rng) { return Pick(WordPools::EuCities(), rng); });
+  add("state", "us state abbrev",
+      [](Rng* rng) { return Pick(WordPools::UsStates(), rng); });
+  add("state", "us state full",
+      [](Rng* rng) { return Pick(WordPools::UsStateNames(), rng); });
+  add("country", "country",
+      [](Rng* rng) { return Pick(WordPools::Countries(), rng); });
+  add("language", "language",
+      [](Rng* rng) { return Pick(WordPools::Languages(), rng); });
+  add("name", "person name", [](Rng* rng) {
+    return Pick(WordPools::LastNames(), rng) + ", " +
+           Pick(WordPools::FirstNames(), rng);
+  });
+  add("name", "company name", [](Rng* rng) {
+    return Pick(WordPools::RestaurantWords(), rng) + " " +
+           Pick(WordPools::BreweryWords(), rng) + " " +
+           Pick(WordPools::CompanySuffixes(), rng);
+  });
+  add("club", "sports club",
+      [](Rng* rng) { return Pick(WordPools::SportsClubs(), rng); });
+  add("year", "year",
+      [](Rng* rng) { return StrFormat("%d", 1950 + rng->UniformInt(72)); });
+  add("age", "age plain",
+      [](Rng* rng) { return StrFormat("%d", 5 + rng->UniformInt(85)); });
+  add("weight", "weight lbs", [](Rng* rng) {
+    return StrFormat("%d lbs", 5 + rng->UniformInt(100));
+  });
+  add("weight", "weight kg",
+      [](Rng* rng) { return StrFormat("%dkg", 20 + rng->UniformInt(80)); });
+  add("gender", "gender letter",
+      [](Rng* rng) { return rng->Bernoulli(0.5) ? "m" : "f"; });
+  add("gender", "gender word",
+      [](Rng* rng) { return rng->Bernoulli(0.5) ? "male" : "female"; });
+  add("currency", "usd amount", [](Rng* rng) {
+    return StrFormat("$%d.%02d", rng->UniformInt(900), rng->UniformInt(100));
+  });
+  add("result", "ball game result",
+      [](Rng* rng) { return Pick(WordPools::BallGameResults(), rng); });
+  add("result", "baseball in-game event",
+      [](Rng* rng) { return Pick(WordPools::BaseballEvents(), rng); });
+  add("genre", "music genre",
+      [](Rng* rng) { return Pick(WordPools::Genres(), rng); });
+  add("type", "cuisine",
+      [](Rng* rng) { return Pick(WordPools::Cuisines(), rng); });
+  add("type", "beer style",
+      [](Rng* rng) { return Pick(WordPools::BeerStyles(), rng); });
+  add("position", "position", [](Rng* rng) {
+    static const std::vector<std::string> kPos = {
+        "pitcher", "catcher", "shortstop", "goalkeeper",
+        "forward", "defender", "midfielder", "center"};
+    return Pick(kPos, rng);
+  });
+  add("description", "paper title", [](Rng* rng) {
+    std::string t;
+    for (int i = 0; i < 5; ++i) {
+      if (i) t += " ";
+      t += Pick(WordPools::TitleWords(), rng);
+    }
+    return t;
+  });
+  add("description", "product blurb", [](Rng* rng) {
+    return Pick(WordPools::ProductAdjectives(), rng) + " " +
+           Pick(WordPools::ProductAdjectives(), rng) + " " +
+           Pick(WordPools::ProductCategories(), rng);
+  });
+  add("population", "population", [](Rng* rng) {
+    return StrFormat("%d,%03d,%03d", 1 + rng->UniformInt(9),
+                     rng->UniformInt(1000), rng->UniformInt(1000));
+  });
+  add("area", "area sq mi", [](Rng* rng) {
+    return StrFormat("%d sq mi", 10 + rng->UniformInt(5000));
+  });
+  add("address", "street address", [](Rng* rng) {
+    return StrFormat("%d %s %s", 100 + rng->UniformInt(900),
+                     Pick(WordPools::LastNames(), rng).c_str(),
+                     rng->Bernoulli(0.5) ? "st" : "ave");
+  });
+  add("phone", "phone", [](Rng* rng) { return MakePhoneNumber(rng); });
+  add("company", "manufacturer",
+      [](Rng* rng) { return Pick(WordPools::Brands(), rng); });
+  add("album", "album title", [](Rng* rng) {
+    return Pick(WordPools::SongWords(), rng) + " " +
+           Pick(WordPools::SongWords(), rng);
+  });
+  add("artist", "artist", [](Rng* rng) {
+    return Pick(WordPools::FirstNames(), rng) + " " +
+           Pick(WordPools::LastNames(), rng);
+  });
+  add("plays", "play count",
+      [](Rng* rng) { return StrFormat("%d", rng->UniformInt(100000)); });
+  return cat;
+}
+
+}  // namespace
+
+ColumnCorpus GenerateColumnCorpus(const ColumnCorpusSpec& spec) {
+  Rng rng(spec.seed);
+  ColumnCorpus corpus;
+  std::vector<Subtype> catalog = SubtypeCatalog();
+
+  // Build the type/subtype name tables.
+  for (size_t s = 0; s < catalog.size(); ++s) {
+    int type_id = -1;
+    for (size_t t = 0; t < corpus.type_names.size(); ++t) {
+      if (corpus.type_names[t] == catalog[s].coarse) {
+        type_id = static_cast<int>(t);
+        break;
+      }
+    }
+    if (type_id < 0) {
+      type_id = static_cast<int>(corpus.type_names.size());
+      corpus.type_names.push_back(catalog[s].coarse);
+    }
+    corpus.subtype_names.push_back(catalog[s].fine);
+    corpus.subtype_to_type.push_back(type_id);
+  }
+
+  corpus.columns.reserve(static_cast<size_t>(spec.n_columns));
+  for (int i = 0; i < spec.n_columns; ++i) {
+    const int sub = rng.UniformInt(static_cast<int>(catalog.size()));
+    Column col;
+    col.subtype_id = sub;
+    col.type_id = corpus.subtype_to_type[static_cast<size_t>(sub)];
+    const int n_values = rng.UniformRange(spec.min_values, spec.max_values);
+    col.values.reserve(static_cast<size_t>(n_values));
+    for (int v = 0; v < n_values; ++v) {
+      col.values.push_back(catalog[static_cast<size_t>(sub)].gen(&rng));
+    }
+    corpus.columns.push_back(std::move(col));
+  }
+  return corpus;
+}
+
+}  // namespace sudowoodo::data

@@ -1,0 +1,52 @@
+// Synthetic table-column corpus for semantic type detection (§V-B, §VI-D).
+//
+// Mirrors the VizNet setup at reduced scale: columns are generated from a
+// catalog of coarse semantic types (the ground-truth labels a Sherlock/Sato
+// style classifier would predict), and many coarse types hide *fine-grained
+// subtypes* (e.g. "city" splits into US cities and central-EU cities;
+// "result" splits into ball-game results and baseball in-game events). The
+// subtype structure is what lets Sudowoodo's column matching discover
+// clusters beyond the labeled type set (Table IX).
+
+#ifndef SUDOWOODO_DATA_COLUMN_CORPUS_H_
+#define SUDOWOODO_DATA_COLUMN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sudowoodo::data {
+
+/// One table column with ground-truth coarse type and hidden subtype.
+struct Column {
+  std::vector<std::string> values;
+  int type_id = 0;     // coarse type (the 78-type analogue)
+  int subtype_id = 0;  // global fine-grained subtype id
+};
+
+/// A corpus of columns plus the type catalog.
+struct ColumnCorpus {
+  std::vector<Column> columns;
+  std::vector<std::string> type_names;     // per coarse type id
+  std::vector<std::string> subtype_names;  // per global subtype id
+  std::vector<int> subtype_to_type;        // subtype -> coarse type
+
+  int num_types() const { return static_cast<int>(type_names.size()); }
+  int num_subtypes() const { return static_cast<int>(subtype_names.size()); }
+};
+
+/// Generator parameters.
+struct ColumnCorpusSpec {
+  int n_columns = 1200;
+  int min_values = 4;
+  int max_values = 10;
+  uint64_t seed = 41;
+};
+
+/// Generates a corpus (deterministic given spec.seed).
+ColumnCorpus GenerateColumnCorpus(const ColumnCorpusSpec& spec);
+
+}  // namespace sudowoodo::data
+
+#endif  // SUDOWOODO_DATA_COLUMN_CORPUS_H_

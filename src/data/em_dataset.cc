@@ -1,0 +1,566 @@
+#include "data/em_dataset.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "data/word_pools.h"
+#include "text/tokenizer.h"
+
+namespace sudowoodo::data {
+
+namespace {
+
+/// A generated entity: canonical typed fields, rendered differently into
+/// tables A and B.
+struct Entity {
+  int id = 0;
+  int family = 0;
+  // Generic named fields; meaning depends on the domain.
+  std::string brand;                  // brand / venue / artist / brewery
+  std::string series;                 // series word / album / style
+  std::string model;                  // model number / year / phone
+  std::vector<std::string> words;     // title / name / descriptor words
+  std::vector<std::string> people;    // authors / artist names
+  double number = 0.0;                // price / abv
+};
+
+std::string Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[static_cast<size_t>(
+      rng->UniformInt(static_cast<int>(pool.size())))];
+}
+
+std::string ApplyTypo(const std::string& word, Rng* rng) {
+  if (word.size() < 3) return word;
+  std::string out = word;
+  const int kind = rng->UniformInt(3);
+  const int pos = 1 + rng->UniformInt(static_cast<int>(word.size()) - 2);
+  switch (kind) {
+    case 0:  // drop a character
+      out.erase(static_cast<size_t>(pos), 1);
+      break;
+    case 1:  // swap adjacent characters
+      std::swap(out[static_cast<size_t>(pos)],
+                out[static_cast<size_t>(pos - 1)]);
+      break;
+    default:  // duplicate a character
+      out.insert(static_cast<size_t>(pos), 1, out[static_cast<size_t>(pos)]);
+      break;
+  }
+  return out;
+}
+
+std::vector<Entity> MakeEntities(const EmSpec& spec, Rng* rng) {
+  std::vector<Entity> entities;
+  entities.reserve(static_cast<size_t>(spec.n_entities));
+  const int n_families =
+      std::max(1, spec.n_entities / std::max(1, spec.family_size));
+  // Family-level shared fields.
+  struct Family {
+    std::string brand, series;
+    std::vector<std::string> people;
+    std::vector<std::string> shared_words;
+  };
+  std::vector<Family> families;
+  families.reserve(static_cast<size_t>(n_families));
+  for (int f = 0; f < n_families; ++f) {
+    Family fam;
+    switch (spec.domain) {
+      case EmDomain::kProduct:
+        fam.brand = Pick(WordPools::Brands(), rng);
+        fam.series = Pick(WordPools::ProductAdjectives(), rng);
+        fam.shared_words = {Pick(WordPools::ProductCategories(), rng)};
+        break;
+      case EmDomain::kCitation: {
+        const int n_auth = 2 + rng->UniformInt(2);
+        for (int i = 0; i < n_auth; ++i) {
+          fam.people.push_back(Pick(WordPools::FirstNames(), rng) + " " +
+                               Pick(WordPools::LastNames(), rng));
+        }
+        const int venue_idx =
+            rng->UniformInt(static_cast<int>(WordPools::Venues().size()));
+        fam.brand = WordPools::Venues()[static_cast<size_t>(venue_idx)];
+        for (int i = 0; i < 3; ++i) {
+          fam.shared_words.push_back(Pick(WordPools::TitleWords(), rng));
+        }
+        break;
+      }
+      case EmDomain::kRestaurant:
+        fam.brand = Pick(WordPools::RestaurantWords(), rng);
+        fam.series = Pick(WordPools::Cuisines(), rng);
+        fam.shared_words = {Pick(WordPools::UsCities(), rng)};
+        break;
+      case EmDomain::kMusic:
+        fam.brand = Pick(WordPools::FirstNames(), rng) + " " +
+                    Pick(WordPools::LastNames(), rng);  // artist
+        fam.series = Pick(WordPools::SongWords(), rng) + " " +
+                     Pick(WordPools::SongWords(), rng);  // album
+        fam.shared_words = {Pick(WordPools::Genres(), rng)};
+        break;
+      case EmDomain::kBeer:
+        fam.brand = Pick(WordPools::BreweryWords(), rng) + " " +
+                    Pick(WordPools::BreweryWords(), rng);  // brewery
+        fam.series = Pick(WordPools::BeerStyles(), rng);
+        fam.shared_words = {Pick(WordPools::BeerWords(), rng)};
+        break;
+    }
+    families.push_back(std::move(fam));
+  }
+
+  for (int e = 0; e < spec.n_entities; ++e) {
+    Entity ent;
+    ent.id = e;
+    ent.family = e % n_families;
+    const Family& fam = families[static_cast<size_t>(ent.family)];
+    ent.brand = fam.brand;
+    ent.series = fam.series;
+    ent.people = fam.people;
+    ent.words = fam.shared_words;
+    switch (spec.domain) {
+      case EmDomain::kProduct:
+        ent.model = MakeModelNumber(rng);
+        ent.words.push_back(Pick(WordPools::ProductAdjectives(), rng));
+        ent.words.push_back(Pick(WordPools::ProductAdjectives(), rng));
+        ent.number = 10.0 + rng->Uniform() * 990.0;
+        break;
+      case EmDomain::kCitation:
+        ent.model = StrFormat("%d", 1998 + rng->UniformInt(22));  // year
+        for (int i = 0; i < 4; ++i) {
+          ent.words.push_back(Pick(WordPools::TitleWords(), rng));
+        }
+        break;
+      case EmDomain::kRestaurant:
+        ent.model = MakePhoneNumber(rng);
+        ent.words.push_back(Pick(WordPools::RestaurantWords(), rng));
+        ent.number = 100 + rng->UniformInt(9900);  // street number
+        break;
+      case EmDomain::kMusic:
+        ent.model = StrFormat("%d:%02d", 2 + rng->UniformInt(4),
+                              rng->UniformInt(60));  // duration
+        ent.words.push_back(Pick(WordPools::SongWords(), rng));
+        ent.words.push_back(Pick(WordPools::SongWords(), rng));
+        ent.number = 0.69 + 0.3 * rng->UniformInt(4);  // price
+        break;
+      case EmDomain::kBeer:
+        ent.model = StrFormat("%.1f", 4.0 + rng->Uniform() * 8.0);  // abv
+        ent.words.push_back(Pick(WordPools::BeerWords(), rng));
+        ent.number = 8 + 4 * rng->UniformInt(3);  // ounces
+        break;
+    }
+    entities.push_back(std::move(ent));
+  }
+  return entities;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  return JoinStrings(tokens, " ");
+}
+
+/// Schema + renderer for table A (canonical side).
+Row RenderA(const Entity& e, EmDomain domain) {
+  switch (domain) {
+    case EmDomain::kProduct:
+      return {e.brand + " " + e.series + " " + JoinTokens(e.words) + " " +
+                  e.model,
+              e.series + " " + e.words[0] + " with " +
+                  JoinTokens({e.words.begin() + 1, e.words.end()}),
+              StrFormat("%.2f", e.number)};
+    case EmDomain::kCitation:
+      return {JoinTokens(e.words), JoinStrings(e.people, ", "), e.brand,
+              e.model};
+    case EmDomain::kRestaurant:
+      return {e.brand + " " + e.words.back() + " " + e.series,
+              StrFormat("%d %s st", static_cast<int>(e.number),
+                        e.words[0].c_str()),
+              e.words[0], e.model, e.series};
+    case EmDomain::kMusic:
+      return {JoinTokens({e.words.begin() + 1, e.words.end()}), e.brand,
+              e.series, e.words[0], e.model, StrFormat("%.2f", e.number)};
+    case EmDomain::kBeer:
+      return {e.words[1] + " " + e.words[0] + " " + e.series, e.series,
+              StrFormat("%.0f oz", e.number), e.model, e.brand};
+  }
+  return {};
+}
+
+const std::vector<std::string>& SchemaA(EmDomain domain) {
+  static const std::vector<std::string> kProduct = {"name", "description",
+                                                    "price"};
+  static const std::vector<std::string> kCitation = {"title", "authors",
+                                                     "venue", "year"};
+  static const std::vector<std::string> kRestaurant = {
+      "name", "address", "city", "phone", "type"};
+  static const std::vector<std::string> kMusic = {
+      "song_name", "artist_name", "album_name", "genre", "time", "price"};
+  static const std::vector<std::string> kBeer = {
+      "beer_name", "style", "ounces", "abv", "brewery_name"};
+  switch (domain) {
+    case EmDomain::kProduct:
+      return kProduct;
+    case EmDomain::kCitation:
+      return kCitation;
+    case EmDomain::kRestaurant:
+      return kRestaurant;
+    case EmDomain::kMusic:
+      return kMusic;
+    case EmDomain::kBeer:
+      return kBeer;
+  }
+  return kProduct;
+}
+
+const std::vector<std::string>& SchemaB(EmDomain domain) {
+  static const std::vector<std::string> kProduct = {"title", "manufacturer",
+                                                    "price"};
+  static const std::vector<std::string> kCitation = {"title", "authors",
+                                                     "venue", "year"};
+  static const std::vector<std::string> kRestaurant = {
+      "name", "addr", "city", "phone", "type"};
+  static const std::vector<std::string> kMusic = {
+      "song_name", "artist_name", "album_name", "genre", "time", "price"};
+  static const std::vector<std::string> kBeer = {
+      "beer_name", "style", "ounces", "abv", "brewery_name"};
+  switch (domain) {
+    case EmDomain::kProduct:
+      return kProduct;
+    case EmDomain::kCitation:
+      return kCitation;
+    case EmDomain::kRestaurant:
+      return kRestaurant;
+    case EmDomain::kMusic:
+      return kMusic;
+    case EmDomain::kBeer:
+      return kBeer;
+  }
+  return kProduct;
+}
+
+/// Renders the B-side view of an entity through the noise channel.
+Row RenderB(const Entity& e, EmDomain domain, double noise, Rng* rng) {
+  auto perturb = [&](const std::string& s) {
+    return JoinTokens(PerturbTokens(text::Tokenize(s), noise, rng));
+  };
+  switch (domain) {
+    case EmDomain::kProduct: {
+      // Harder datasets drop the discriminative model number from the
+      // title more often, abbreviate the brand storefront-style, and
+      // damage the price. Both perturbations specifically break
+      // token-overlap methods (TF-IDF blockers, fuzzy joins, Jaccard)
+      // while staying learnable for representation models.
+      std::string brand = e.brand;
+      if (rng->Bernoulli(noise * 0.55)) brand = brand.substr(0, 3);
+      std::string title = brand + " " + JoinTokens(e.words) + " " + e.series;
+      if (!rng->Bernoulli(noise * 0.5)) title += " " + e.model;
+      std::string manufacturer = rng->Bernoulli(noise * 0.5) ? "" : brand;
+      double price = e.number;
+      if (rng->Bernoulli(noise * 0.4)) {
+        price *= rng->UniformReal(0.85, 1.18);  // marketplace price drift
+      }
+      return {perturb(title), manufacturer, StrFormat("%.2f", price)};
+    }
+    case EmDomain::kCitation: {
+      std::string title = JoinTokens(e.words);
+      // Author formatting differences: "first last" -> "f. last".
+      std::vector<std::string> authors;
+      for (const auto& person : e.people) {
+        auto parts = SplitString(person, " ");
+        if (rng->Bernoulli(0.5) && parts.size() == 2) {
+          authors.push_back(parts[0].substr(0, 1) + ". " + parts[1]);
+        } else {
+          authors.push_back(person);
+        }
+      }
+      std::string venue = e.brand;
+      const auto& shorts = WordPools::Venues();
+      for (size_t v = 0; v < shorts.size(); ++v) {
+        if (shorts[v] == e.brand && rng->Bernoulli(0.5)) {
+          venue = WordPools::VenueLongForms()[v];
+        }
+      }
+      if (rng->Bernoulli(noise * 0.6)) venue = "";      // Scholar-style gap
+      std::string author_str = JoinStrings(authors, ", ");
+      if (rng->Bernoulli(noise * 0.4)) author_str = "";
+      return {perturb(title), author_str, venue, e.model};
+    }
+    case EmDomain::kRestaurant: {
+      std::string name = e.brand + " " + e.words.back() + " " + e.series;
+      std::string addr = StrFormat("%d %s street", static_cast<int>(e.number),
+                                   e.words[0].c_str());
+      return {perturb(name), perturb(addr), e.words[0], e.model, e.series};
+    }
+    case EmDomain::kMusic: {
+      std::string song = JoinTokens({e.words.begin() + 1, e.words.end()});
+      if (rng->Bernoulli(noise * 0.4)) song += " [explicit]";
+      double price = e.number + (rng->Bernoulli(0.3) ? 0.3 : 0.0);
+      return {perturb(song), e.brand, perturb(e.series), e.words[0], e.model,
+              StrFormat("$ %.2f", price)};
+    }
+    case EmDomain::kBeer: {
+      std::string bname = e.words[1] + " " + e.words[0] + " " + e.series;
+      return {perturb(bname), e.series,
+              StrFormat("%.1f ounce", e.number), e.model + "%",
+              perturb(e.brand)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> PerturbTokens(const std::vector<std::string>& tokens,
+                                       double noise, Rng* rng) {
+  const SynonymDict& dict = SynonymDict::Default();
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    if (rng->Bernoulli(noise * 0.18)) continue;  // token drop
+    std::string t = tok;
+    if (dict.HasSynonym(t) && rng->Bernoulli(noise * 0.8)) {
+      t = dict.Sample(t, rng);  // synonym / abbreviation swap
+    } else if (rng->Bernoulli(noise * 0.12)) {
+      t = ApplyTypo(t, rng);
+    }
+    out.push_back(std::move(t));
+  }
+  // Occasionally swap two adjacent tokens (word-order noise).
+  if (out.size() >= 2 && rng->Bernoulli(noise * 0.35)) {
+    const int i = rng->UniformInt(static_cast<int>(out.size()) - 1);
+    std::swap(out[static_cast<size_t>(i)], out[static_cast<size_t>(i) + 1]);
+  }
+  if (out.empty() && !tokens.empty()) out.push_back(tokens[0]);
+  return out;
+}
+
+double EmDataset::PositiveRatio() const {
+  int pos = 0;
+  for (const auto& p : train) pos += p.label;
+  for (const auto& p : valid) pos += p.label;
+  for (const auto& p : test) pos += p.label;
+  const int total = TotalPairs();
+  return total == 0 ? 0.0 : static_cast<double>(pos) / total;
+}
+
+EmSpec GetEmSpec(const std::string& code) {
+  EmSpec s;
+  s.code = code;
+  if (code == "AB") {
+    s.name = "Abt-Buy";
+    s.domain = EmDomain::kProduct;
+    s.n_entities = 240;
+    s.family_size = 3;
+    s.b_match_rate = 0.85;
+    s.b_extra = 60;
+    s.noise = 0.42;
+    s.n_pairs = 1900;
+    s.pos_ratio = 0.107;
+    s.seed = 11;
+  } else if (code == "AG") {
+    s.name = "Amazon-Google";
+    s.domain = EmDomain::kProduct;
+    s.n_entities = 280;
+    s.family_size = 5;
+    s.b_match_rate = 0.8;
+    s.b_extra = 240;
+    s.noise = 0.62;
+    s.n_pairs = 2200;
+    s.pos_ratio = 0.102;
+    s.hard_negative_frac = 0.75;
+    s.seed = 12;
+  } else if (code == "DA") {
+    s.name = "DBLP-ACM";
+    s.domain = EmDomain::kCitation;
+    s.n_entities = 320;
+    s.family_size = 2;
+    s.b_match_rate = 0.9;
+    s.b_extra = 40;
+    s.noise = 0.15;
+    s.n_pairs = 2400;
+    s.pos_ratio = 0.180;
+    s.hard_negative_frac = 0.4;
+    s.seed = 13;
+  } else if (code == "DS") {
+    s.name = "DBLP-Scholar";
+    s.domain = EmDomain::kCitation;
+    s.n_entities = 340;
+    s.family_size = 3;
+    s.b_match_rate = 0.9;
+    s.b_extra = 420;
+    s.noise = 0.3;
+    s.n_pairs = 2600;
+    s.pos_ratio = 0.186;
+    s.seed = 14;
+  } else if (code == "WA") {
+    s.name = "Walmart-Amazon";
+    s.domain = EmDomain::kProduct;
+    s.n_entities = 260;
+    s.family_size = 5;
+    s.b_match_rate = 0.75;
+    s.b_extra = 320;
+    s.noise = 0.58;
+    s.n_pairs = 2000;
+    s.pos_ratio = 0.094;
+    s.hard_negative_frac = 0.8;
+    s.seed = 15;
+  } else if (code == "BR") {
+    s.name = "Beer";
+    s.domain = EmDomain::kBeer;
+    s.n_entities = 140;
+    s.family_size = 3;
+    s.b_match_rate = 0.7;
+    s.b_extra = 70;
+    s.noise = 0.35;
+    s.n_pairs = 450;
+    s.pos_ratio = 0.151;
+    s.seed = 16;
+  } else if (code == "FZ") {
+    s.name = "Fodors-Zagats";
+    s.domain = EmDomain::kRestaurant;
+    s.n_entities = 160;
+    s.family_size = 2;
+    s.b_match_rate = 0.65;
+    s.b_extra = 50;
+    s.noise = 0.2;
+    s.n_pairs = 900;
+    s.pos_ratio = 0.116;
+    s.hard_negative_frac = 0.3;
+    s.seed = 17;
+  } else if (code == "IA") {
+    s.name = "iTunes-Amazon";
+    s.domain = EmDomain::kMusic;
+    s.n_entities = 180;
+    s.family_size = 4;
+    s.b_match_rate = 0.7;
+    s.b_extra = 160;
+    s.noise = 0.4;
+    s.n_pairs = 520;
+    s.pos_ratio = 0.245;
+    s.seed = 18;
+  } else {
+    SUDO_CHECK(false && "unknown EM dataset code");
+  }
+  return s;
+}
+
+const std::vector<std::string>& SemiSupEmCodes() {
+  static const std::vector<std::string> kCodes = {"AB", "AG", "DA", "DS",
+                                                  "WA"};
+  return kCodes;
+}
+
+const std::vector<std::string>& FullSupEmCodes() {
+  static const std::vector<std::string> kCodes = {"AB", "AG", "BR", "DA",
+                                                  "DS", "FZ", "IA", "WA"};
+  return kCodes;
+}
+
+EmDataset GenerateEm(const EmSpec& spec) {
+  Rng rng(spec.seed);
+  EmDataset ds;
+  ds.name = spec.name;
+  ds.code = spec.code;
+  ds.table_a.name = spec.name + "-A";
+  ds.table_b.name = spec.name + "-B";
+  ds.table_a.attrs = SchemaA(spec.domain);
+  ds.table_b.attrs = SchemaB(spec.domain);
+
+  std::vector<Entity> entities = MakeEntities(spec, &rng);
+
+  // Table A: canonical renderings.
+  for (const Entity& e : entities) {
+    ds.table_a.rows.push_back(RenderA(e, spec.domain));
+    ds.entity_a.push_back(e.id);
+  }
+
+  // Table B: noisy mirrors of a subset of A, plus B-only entities.
+  std::vector<Entity> b_entities;
+  for (const Entity& e : entities) {
+    if (rng.Bernoulli(spec.b_match_rate)) b_entities.push_back(e);
+  }
+  {
+    EmSpec extra_spec = spec;
+    extra_spec.n_entities = spec.b_extra;
+    Rng extra_rng = rng.Fork();
+    std::vector<Entity> extras = MakeEntities(extra_spec, &extra_rng);
+    for (Entity& e : extras) {
+      e.id += spec.n_entities;  // disjoint ids: never match A
+      b_entities.push_back(std::move(e));
+    }
+  }
+  rng.Shuffle(&b_entities);
+  for (const Entity& e : b_entities) {
+    ds.table_b.rows.push_back(RenderB(e, spec.domain, spec.noise, &rng));
+    ds.entity_b.push_back(e.id);
+  }
+
+  // Gold matches.
+  std::unordered_map<int, std::vector<int>> a_rows_by_entity;
+  for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+    a_rows_by_entity[ds.entity_a[static_cast<size_t>(i)]].push_back(i);
+  }
+  for (int j = 0; j < ds.table_b.num_rows(); ++j) {
+    auto it = a_rows_by_entity.find(ds.entity_b[static_cast<size_t>(j)]);
+    if (it == a_rows_by_entity.end()) continue;
+    for (int i : it->second) ds.gold_matches.emplace_back(i, j);
+  }
+
+  // Labeled pairs: positives from gold matches; negatives split between
+  // same-family hard negatives and uniform random negatives.
+  const int want_pos =
+      std::min(static_cast<int>(ds.gold_matches.size()),
+               static_cast<int>(spec.n_pairs * spec.pos_ratio + 0.5));
+  const int want_neg = spec.n_pairs - want_pos;
+
+  std::vector<LabeledPair> pairs;
+  {
+    std::vector<int> pos_idx = rng.SampleWithoutReplacement(
+        static_cast<int>(ds.gold_matches.size()), want_pos);
+    for (int pi : pos_idx) {
+      const auto& [ai, bi] = ds.gold_matches[static_cast<size_t>(pi)];
+      pairs.push_back({ai, bi, 1});
+    }
+  }
+  // Index B rows by family for hard negatives.
+  std::unordered_map<int, std::vector<int>> b_rows_by_family;
+  for (int j = 0; j < ds.table_b.num_rows(); ++j) {
+    const Entity& e = b_entities[static_cast<size_t>(j)];
+    b_rows_by_family[e.family].push_back(j);
+  }
+  std::set<std::pair<int, int>> used;
+  for (const auto& gm : ds.gold_matches) used.insert(gm);
+  int made_neg = 0;
+  int attempts = 0;
+  while (made_neg < want_neg && attempts < want_neg * 50) {
+    ++attempts;
+    int ai = rng.UniformInt(ds.table_a.num_rows());
+    int bi = -1;
+    if (rng.Bernoulli(spec.hard_negative_frac)) {
+      const Entity& ea = entities[static_cast<size_t>(ai)];
+      auto it = b_rows_by_family.find(ea.family);
+      if (it == b_rows_by_family.end() || it->second.empty()) continue;
+      bi = it->second[static_cast<size_t>(
+          rng.UniformInt(static_cast<int>(it->second.size())))];
+    } else {
+      bi = rng.UniformInt(ds.table_b.num_rows());
+    }
+    if (ds.entity_a[static_cast<size_t>(ai)] ==
+        ds.entity_b[static_cast<size_t>(bi)]) {
+      continue;  // accidentally a match
+    }
+    if (!used.insert({ai, bi}).second) continue;  // duplicate pair
+    pairs.push_back({ai, bi, 0});
+    ++made_neg;
+  }
+
+  rng.Shuffle(&pairs);
+  // 3:1:1 split, as in the original benchmarks (§VI-A).
+  const int n = static_cast<int>(pairs.size());
+  const int n_train = n * 3 / 5;
+  const int n_valid = n / 5;
+  ds.train.assign(pairs.begin(), pairs.begin() + n_train);
+  ds.valid.assign(pairs.begin() + n_train, pairs.begin() + n_train + n_valid);
+  ds.test.assign(pairs.begin() + n_train + n_valid, pairs.end());
+  return ds;
+}
+
+}  // namespace sudowoodo::data

@@ -1,0 +1,157 @@
+#include "data/profiling.h"
+
+#include <cmath>
+
+namespace sudowoodo::data {
+
+ColumnProfiles::ColumnProfiles(const Table& table)
+    : n_rows_(table.num_rows()),
+      freq_(static_cast<size_t>(table.num_attrs())) {
+  for (int c = 0; c < table.num_attrs(); ++c) {
+    for (int r = 0; r < table.num_rows(); ++r) {
+      ++freq_[static_cast<size_t>(c)][table.Cell(r, c)];
+    }
+  }
+}
+
+double ColumnProfiles::Frequency(int col, const std::string& value) const {
+  const auto& f = freq_[static_cast<size_t>(col)];
+  auto it = f.find(value);
+  if (it == f.end() || n_rows_ == 0) return 0.0;
+  return static_cast<double>(it->second) / n_rows_;
+}
+
+std::string ColumnProfiles::FrequencyBucket(int col,
+                                            const std::string& value) const {
+  const auto& f = freq_[static_cast<size_t>(col)];
+  auto it = f.find(value);
+  const int count = it == f.end() ? 0 : it->second;
+  if (count <= 1) return "rare";
+  if (count <= 3) return "low";
+  if (count <= 8) return "mid";
+  return "high";
+}
+
+VicinityModel::VicinityModel(const Table& table)
+    : n_cols_(table.num_attrs()),
+      majority_(static_cast<size_t>(n_cols_) * n_cols_) {
+  // Vote counting, then collapse to majorities.
+  std::vector<std::unordered_map<std::string,
+                                 std::unordered_map<std::string, int>>>
+      votes(static_cast<size_t>(n_cols_) * n_cols_);
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c2 = 0; c2 < n_cols_; ++c2) {
+      for (int c = 0; c < n_cols_; ++c) {
+        if (c == c2) continue;
+        votes[static_cast<size_t>(c2) * n_cols_ + c][table.Cell(r, c2)]
+             [table.Cell(r, c)]++;
+      }
+    }
+  }
+  for (size_t slot = 0; slot < votes.size(); ++slot) {
+    for (const auto& [context_value, value_votes] : votes[slot]) {
+      const std::string* best = nullptr;
+      int best_n = 0, total = 0;
+      for (const auto& [v, n] : value_votes) {
+        total += n;
+        if (n > best_n) {
+          best_n = n;
+          best = &v;
+        }
+      }
+      Majority m;
+      if (best != nullptr) {
+        m.value = *best;
+        // Dependable: a strict majority over at least 3 observations.
+        m.dependable = best_n * 2 > total && total >= 3;
+      }
+      majority_[slot].emplace(context_value, std::move(m));
+    }
+  }
+}
+
+const VicinityModel::Majority* VicinityModel::Lookup(
+    int c2, int c, const std::string& context_value) const {
+  const auto& m = majority_[static_cast<size_t>(c2) * n_cols_ + c];
+  auto it = m.find(context_value);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+double VicinityModel::Agreement(const Table& table, int row, int col,
+                                const std::string& cand) const {
+  int contexts = 0, agree = 0;
+  for (int c2 = 0; c2 < n_cols_; ++c2) {
+    if (c2 == col) continue;
+    const Majority* m = Lookup(c2, col, table.Cell(row, c2));
+    if (m == nullptr || !m->dependable) continue;
+    ++contexts;
+    if (m->value == cand) ++agree;
+  }
+  return contexts > 0 ? static_cast<double>(agree) / contexts : 0.0;
+}
+
+std::string VicinityModel::ImpliedValue(const Table& table, int row,
+                                        int col) const {
+  std::unordered_map<std::string, int> votes;
+  for (int c2 = 0; c2 < n_cols_; ++c2) {
+    if (c2 == col) continue;
+    const Majority* m = Lookup(c2, col, table.Cell(row, c2));
+    if (m == nullptr || !m->dependable) continue;
+    ++votes[m->value];
+  }
+  const std::string* best = nullptr;
+  int best_n = 0;
+  for (const auto& [v, n] : votes) {
+    if (n > best_n) {
+      best_n = n;
+      best = &v;
+    }
+  }
+  return best == nullptr ? "" : *best;
+}
+
+int CharBigramModel::Bucket(char c) {
+  if (c >= 'a' && c <= 'z') return c - 'a';          // 0..25
+  if (c >= 'A' && c <= 'Z') return c - 'A';          // fold case
+  if (c >= '0' && c <= '9') return 26 + (c - '0');   // 26..35
+  if (c == ' ') return 36;
+  if (c == '-') return 37;
+  if (c == '.') return 38;
+  return 39;  // everything else
+}
+
+CharBigramModel::CharBigramModel(const Table& table)
+    : counts_(static_cast<size_t>(table.num_attrs()),
+              std::vector<int>(kAlphabet * kAlphabet, 0)),
+      row_totals_(static_cast<size_t>(table.num_attrs()),
+                  std::vector<int>(kAlphabet, 0)) {
+  for (int c = 0; c < table.num_attrs(); ++c) {
+    for (int r = 0; r < table.num_rows(); ++r) {
+      const std::string& v = table.Cell(r, c);
+      for (size_t i = 0; i + 1 < v.size(); ++i) {
+        const int a = Bucket(v[i]), b = Bucket(v[i + 1]);
+        ++counts_[static_cast<size_t>(c)][a * kAlphabet + b];
+        ++row_totals_[static_cast<size_t>(c)][static_cast<size_t>(a)];
+      }
+    }
+  }
+}
+
+double CharBigramModel::Score(int col, const std::string& value) const {
+  if (value.size() < 2) return value.empty() ? -4.0 : -1.0;
+  const auto& counts = counts_[static_cast<size_t>(col)];
+  const auto& totals = row_totals_[static_cast<size_t>(col)];
+  double ll = 0.0;
+  int n = 0;
+  for (size_t i = 0; i + 1 < value.size(); ++i) {
+    const int a = Bucket(value[i]), b = Bucket(value[i + 1]);
+    const double p =
+        (counts[static_cast<size_t>(a * kAlphabet + b)] + 1.0) /
+        (totals[static_cast<size_t>(a)] + kAlphabet);
+    ll += std::log(p);
+    ++n;
+  }
+  return ll / n;
+}
+
+}  // namespace sudowoodo::data

@@ -1,0 +1,86 @@
+// Lightweight data profiling over tables: per-column value frequencies and
+// the value co-occurrence ("vicinity") model of Baran. Shared by the
+// Baran/Raha baselines and by the cleaning pipeline's serialization, which
+// surfaces these profile signals as serialized tokens - the substitution
+// for the language knowledge a RoBERTa-scale LM contributes in the paper
+// (see DESIGN.md §1.2).
+
+#ifndef SUDOWOODO_DATA_PROFILING_H_
+#define SUDOWOODO_DATA_PROFILING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+
+namespace sudowoodo::data {
+
+/// Per-column relative value frequencies with bucketing.
+class ColumnProfiles {
+ public:
+  explicit ColumnProfiles(const Table& table);
+
+  /// Relative frequency of `value` in column `col` (0 when unseen).
+  double Frequency(int col, const std::string& value) const;
+
+  /// Coarse bucket: "rare" (<=1 occurrence), "low", "mid", "high".
+  std::string FrequencyBucket(int col, const std::string& value) const;
+
+ private:
+  int n_rows_ = 0;
+  std::vector<std::unordered_map<std::string, int>> freq_;
+};
+
+/// Baran's vicinity model: for every ordered column pair (c2 -> c), the
+/// majority value of c among rows sharing a value at c2. Detects and
+/// repairs violated attribute dependencies.
+class VicinityModel {
+ public:
+  explicit VicinityModel(const Table& table);
+
+  /// Fraction of dependable context columns whose majority co-occurring
+  /// value for `col` equals `cand` given `row`'s context in `table`.
+  double Agreement(const Table& table, int row, int col,
+                   const std::string& cand) const;
+
+  /// The single strongest implied value for (row, col), or "" when no
+  /// context is dependable.
+  std::string ImpliedValue(const Table& table, int row, int col) const;
+
+ private:
+  /// Majority value + dependability for one (context value, target col).
+  struct Majority {
+    std::string value;
+    bool dependable = false;
+  };
+  const Majority* Lookup(int c2, int c, const std::string& context_value) const;
+
+  int n_cols_ = 0;
+  std::vector<std::unordered_map<std::string, Majority>> majority_;
+};
+
+/// Per-column character-bigram language model with add-one smoothing.
+/// Typos introduce bigrams that are rare for the column, so the average
+/// per-character log-likelihood is a label-free well-formedness signal for
+/// columns whose values are unique (names, phones, addresses).
+class CharBigramModel {
+ public:
+  explicit CharBigramModel(const Table& table);
+
+  /// Mean log-probability per character of `value` under column `col`'s
+  /// bigram distribution; higher = more plausible. Empty values score the
+  /// column's minimum.
+  double Score(int col, const std::string& value) const;
+
+ private:
+  static int Bucket(char c);
+  /// counts_[col][prev * kAlphabet + next]
+  static constexpr int kAlphabet = 40;
+  std::vector<std::vector<int>> counts_;
+  std::vector<std::vector<int>> row_totals_;
+};
+
+}  // namespace sudowoodo::data
+
+#endif  // SUDOWOODO_DATA_PROFILING_H_

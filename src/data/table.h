@@ -1,0 +1,62 @@
+// A minimal relational table model: attribute names + string cells. This is
+// the common currency of all three task families (entity tables for EM,
+// dirty spreadsheets for cleaning, columns for type discovery).
+
+#ifndef SUDOWOODO_DATA_TABLE_H_
+#define SUDOWOODO_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/serialize.h"
+
+namespace sudowoodo::data {
+
+/// A row of string cell values aligned with a Table's attribute list.
+using Row = std::vector<std::string>;
+
+/// A named table with a flat string schema.
+struct Table {
+  std::string name;
+  std::vector<std::string> attrs;
+  std::vector<Row> rows;
+
+  int num_rows() const { return static_cast<int>(rows.size()); }
+  int num_attrs() const { return static_cast<int>(attrs.size()); }
+
+  const std::string& Cell(int row, int attr) const {
+    SUDO_CHECK(row >= 0 && row < num_rows());
+    SUDO_CHECK(attr >= 0 && attr < num_attrs());
+    return rows[static_cast<size_t>(row)][static_cast<size_t>(attr)];
+  }
+
+  void SetCell(int row, int attr, std::string value) {
+    SUDO_CHECK(row >= 0 && row < num_rows());
+    SUDO_CHECK(attr >= 0 && attr < num_attrs());
+    rows[static_cast<size_t>(row)][static_cast<size_t>(attr)] =
+        std::move(value);
+  }
+
+  /// Index of the attribute or -1.
+  int AttrIndex(const std::string& attr) const {
+    for (int i = 0; i < num_attrs(); ++i) {
+      if (attrs[static_cast<size_t>(i)] == attr) return i;
+    }
+    return -1;
+  }
+
+  /// Row as {attr, value} pairs for serialization.
+  std::vector<text::AttrValue> RowAttrs(int row) const {
+    std::vector<text::AttrValue> out;
+    out.reserve(attrs.size());
+    for (int a = 0; a < num_attrs(); ++a) {
+      out.emplace_back(attrs[static_cast<size_t>(a)], Cell(row, a));
+    }
+    return out;
+  }
+};
+
+}  // namespace sudowoodo::data
+
+#endif  // SUDOWOODO_DATA_TABLE_H_

@@ -1,0 +1,336 @@
+#include "data/word_pools.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace sudowoodo::data {
+
+namespace {
+// NOLINTBEGIN: long literal pool tables.
+const std::vector<std::string> kBrands = {
+    "zenix",   "acmetech", "lumora",  "vextron", "quorra",  "nimbus",
+    "orivo",   "pulsar",   "kestrel", "tavix",   "bryton",  "celvo",
+    "dynapro", "ellipse",  "fornax",  "gravix",  "helion",  "ionica",
+    "jolt",    "krypta",   "lyric",   "maxon",   "nova",    "octave",
+    "prisma",  "quasar",   "rivet",   "solara",  "tundra",  "umbra",
+    "vortex",  "wavecrest", "xenon",  "yonder",  "zephyr",  "alturas",
+    "borealis", "cinder",  "drift",   "emberly"};
+
+const std::vector<std::string> kProductCategories = {
+    "camera",    "laptop",   "printer",  "speaker",  "headphones",
+    "monitor",   "keyboard", "router",   "tablet",   "drive",
+    "software",  "scanner",  "projector", "charger",  "mouse",
+    "microphone", "webcam",  "adapter",  "console",  "television"};
+
+const std::vector<std::string> kProductAdjectives = {
+    "digital",  "wireless", "portable", "compact",  "professional",
+    "premium",  "deluxe",   "ultra",    "advanced", "classic",
+    "standard", "gaming",   "studio",   "travel",   "home",
+    "office",   "outdoor",  "smart",    "slim",     "rugged"};
+
+const std::vector<std::string> kTitleWords = {
+    "database",     "learning",   "query",       "optimization", "neural",
+    "graph",        "distributed", "stream",     "indexing",     "matching",
+    "integration",  "cleaning",   "discovery",   "transaction",  "storage",
+    "retrieval",    "clustering", "sampling",    "estimation",   "parallel",
+    "adaptive",     "scalable",   "efficient",   "approximate",  "semantic",
+    "relational",   "temporal",   "spatial",     "probabilistic", "incremental",
+    "knowledge",    "entity",     "schema",      "workload",     "benchmark",
+    "representation", "embedding", "contrastive", "supervised",  "annotation"};
+
+const std::vector<std::string> kFirstNames = {
+    "james", "maria",  "wei",    "aisha",  "carlos", "yuki",   "elena",
+    "omar",  "priya",  "lukas",  "sofia",  "chen",   "amara",  "dmitri",
+    "fatima", "henrik", "ingrid", "jorge",  "keiko",  "liam",   "nadia",
+    "owen",  "paula",  "rahul",  "sanna",  "tomas",  "ursula", "viktor",
+    "wanda", "xavier", "yasmin", "zoltan"};
+
+const std::vector<std::string> kLastNames = {
+    "anderson", "baranov", "chen",     "dubois",   "eriksson", "fischer",
+    "garcia",   "haddad",  "ivanova",  "johansson", "kimura",  "larsen",
+    "moreau",   "nakamura", "oconnor", "petrov",   "quintero", "rossi",
+    "sato",     "tanaka",  "ueda",     "varga",    "weber",    "xu",
+    "yamamoto", "zhang",   "kowalski", "lindgren", "martinez", "novak"};
+
+const std::vector<std::string> kVenues = {
+    "sigmod", "vldb", "icde", "kdd",  "cikm", "edbt",
+    "wsdm",   "www",  "acl",  "icml", "aaai", "ijcai"};
+
+const std::vector<std::string> kVenueLongForms = {
+    "acm conference on management of data",
+    "international conference on very large data bases",
+    "ieee international conference on data engineering",
+    "acm conference on knowledge discovery and data mining",
+    "conference on information and knowledge management",
+    "international conference on extending database technology",
+    "conference on web search and data mining",
+    "the web conference",
+    "meeting of the association for computational linguistics",
+    "international conference on machine learning",
+    "conference on artificial intelligence",
+    "international joint conference on artificial intelligence"};
+
+const std::vector<std::string> kUsCities = {
+    "austin",      "boston",  "chicago",  "denver",    "el paso",
+    "fresno",      "houston", "madison",  "nashville", "oakland",
+    "phoenix",     "raleigh", "seattle",  "tucson",    "omaha",
+    "portland",    "atlanta", "dallas",   "memphis",   "columbus"};
+
+const std::vector<std::string> kEuCities = {
+    "marburg",  "stollberg", "pratteln", "berlin",   "osnabruck",
+    "ghent",    "tampere",   "linz",     "uppsala",  "brno",
+    "gdansk",   "porto",     "leiden",   "graz",     "aarhus",
+    "bologna",  "valencia",  "lyon",     "krakow",   "bergen"};
+
+const std::vector<std::string> kUsStates = {
+    "al", "ak", "az", "ca", "co", "ct", "fl", "ga", "il", "in",
+    "la", "ma", "md", "mi", "mn", "nc", "nj", "nv", "ny", "oh",
+    "or", "pa", "tn", "tx", "ut", "va", "wa", "wi"};
+
+const std::vector<std::string> kUsStateNames = {
+    "alabama",   "alaska",   "arizona",       "california", "colorado",
+    "connecticut", "florida", "georgia",      "illinois",   "indiana",
+    "louisiana", "massachusetts", "maryland", "michigan",   "minnesota",
+    "north carolina", "new jersey", "nevada", "new york",   "ohio",
+    "oregon",    "pennsylvania", "tennessee", "texas",      "utah",
+    "virginia",  "washington",   "wisconsin"};
+
+const std::vector<std::string> kCountries = {
+    "germany", "france", "japan",  "brazil", "canada",  "india",
+    "mexico",  "norway", "poland", "spain",  "sweden",  "turkey",
+    "egypt",   "kenya",  "chile",  "peru",   "austria", "belgium"};
+
+const std::vector<std::string> kLanguages = {
+    "english", "spanish", "polski",  "afrikaans", "turkish", "french",
+    "german",  "italian", "swahili", "hindi",     "japanese", "korean",
+    "dutch",   "swedish", "finnish", "magyar"};
+
+const std::vector<std::string> kCuisines = {
+    "italian",  "mexican", "thai",     "indian",  "french",   "japanese",
+    "korean",   "greek",   "spanish",  "vietnamese", "ethiopian", "lebanese",
+    "american", "cajun",   "barbecue", "seafood"};
+
+const std::vector<std::string> kRestaurantWords = {
+    "golden", "harbor", "garden",  "corner",  "royal",  "rustic",
+    "urban",  "coastal", "hidden", "velvet",  "copper", "willow",
+    "lantern", "ember",  "saffron", "juniper", "marble", "cedar",
+    "tavern", "bistro",  "kitchen", "grill",   "house",  "cafe"};
+
+const std::vector<std::string> kGenres = {
+    "rock",  "pop",   "jazz",    "blues",   "country", "electronic",
+    "folk",  "metal", "hip-hop", "classical", "reggae", "ambient"};
+
+const std::vector<std::string> kSongWords = {
+    "midnight", "river",  "echo",    "golden",  "wild",    "silver",
+    "broken",   "summer", "winter",  "distant", "electric", "velvet",
+    "falling",  "rising", "shadow",  "light",   "thunder", "whisper",
+    "horizon",  "ocean",  "fire",    "rain",    "road",    "heart"};
+
+const std::vector<std::string> kBeerStyles = {
+    "ipa",    "stout",  "porter",   "lager",    "pilsner", "saison",
+    "amber ale", "pale ale", "wheat beer", "sour",  "dubbel",  "tripel",
+    "cider",  "mead",   "kolsch",   "bock"};
+
+const std::vector<std::string> kBeerWords = {
+    "hazy",   "hoppy",  "amber",  "dark",    "golden", "rustic",
+    "raspberry", "citrus", "smoked", "barrel", "imperial", "session",
+    "nectar", "harvest", "winter", "summit",  "canyon", "meadow"};
+
+const std::vector<std::string> kBreweryWords = {
+    "stone",   "river",  "mountain", "valley",  "harbor", "prairie",
+    "redwood", "copper", "anchor",   "lantern", "summit", "canyon",
+    "brewing", "brewery", "ales",    "works",   "beerworks", "meadery"};
+
+const std::vector<std::string> kCompanySuffixes = {
+    "inc", "llc", "corp", "ltd", "co", "group", "holdings", "partners"};
+
+const std::vector<std::string> kSportsClubs = {
+    "ams", "sdsm", "gakw", "wsm", "dcm", "rvt", "klb", "pfx",
+    "qrn", "tbk",  "uvw",  "xyz", "lmn", "opq", "rst", "hjk"};
+
+const std::vector<std::string> kBaseballEvents = {
+    "single, left field",  "pop fly out, center field", "strikeout",
+    "pitcher to first base", "walk",                    "double, right field",
+    "ground out, shortstop", "home run, left field",    "sacrifice bunt",
+    "fly out, right field",  "stolen base",             "hit by pitch"};
+
+const std::vector<std::string> kBallGameResults = {
+    "win",  "loss", "win, 3-1", "3-1 l", "w 9-0",  "l 2-4",
+    "draw", "win, 2-0", "0-3 l", "w 5-2", "tie, 1-1", "win, 4-3"};
+
+// Mutually interchangeable token groups: synonyms, abbreviations, unit and
+// format variants. One group per line.
+const std::vector<std::vector<std::string>> kSynonymGroups = {
+    {"laptop", "notebook"},
+    {"television", "tv"},
+    {"photo", "picture", "image"},
+    {"wireless", "cordless"},
+    {"deluxe", "dlx"},
+    {"edition", "ed"},
+    {"professional", "pro"},
+    {"premium", "prm"},
+    {"portable", "travel-size"},
+    {"compact", "mini"},
+    {"advanced", "adv"},
+    {"standard", "std"},
+    {"inch", "in"},
+    {"gigabyte", "gb"},
+    {"megapixel", "mp"},
+    {"version", "ver", "v"},
+    {"series", "ser"},
+    {"black", "blk"},
+    {"silver", "slv"},
+    {"white", "wht"},
+    {"international", "intl"},
+    {"conference", "conf"},
+    {"proceedings", "proc"},
+    {"journal", "j"},
+    {"transactions", "trans"},
+    {"management", "mgmt"},
+    {"engineering", "eng"},
+    {"optimization", "optimisation"},
+    {"database", "db"},
+    {"software", "sw"},
+    {"hardware", "hw"},
+    {"microphone", "mic"},
+    {"immersion", "immers"},
+    {"street", "st"},
+    {"avenue", "ave"},
+    {"road", "rd"},
+    {"north", "n"},
+    {"south", "s"},
+    {"east", "e"},
+    {"west", "w"},
+    {"restaurant", "rest"},
+    {"kitchen", "kitchn"},
+    {"company", "co"},
+    {"incorporated", "inc"},
+    {"limited", "ltd"},
+    {"brewing", "brewery", "brew"},
+    {"headphones", "earphones"},
+    {"speaker", "loudspeaker"},
+    {"charger", "charging-dock"},
+    {"adapter", "adaptor"},
+    {"learning", "ml"},
+    {"second", "2nd"},
+    {"third", "3rd"},
+    {"fourth", "4th"},
+    {"fifth", "5th"},
+};
+// NOLINTEND
+}  // namespace
+
+const std::vector<std::string>& WordPools::Brands() { return kBrands; }
+const std::vector<std::string>& WordPools::ProductCategories() {
+  return kProductCategories;
+}
+const std::vector<std::string>& WordPools::ProductAdjectives() {
+  return kProductAdjectives;
+}
+const std::vector<std::string>& WordPools::TitleWords() { return kTitleWords; }
+const std::vector<std::string>& WordPools::FirstNames() { return kFirstNames; }
+const std::vector<std::string>& WordPools::LastNames() { return kLastNames; }
+const std::vector<std::string>& WordPools::Venues() { return kVenues; }
+const std::vector<std::string>& WordPools::VenueLongForms() {
+  return kVenueLongForms;
+}
+const std::vector<std::string>& WordPools::UsCities() { return kUsCities; }
+const std::vector<std::string>& WordPools::EuCities() { return kEuCities; }
+const std::vector<std::string>& WordPools::UsStates() { return kUsStates; }
+const std::vector<std::string>& WordPools::UsStateNames() {
+  return kUsStateNames;
+}
+const std::vector<std::string>& WordPools::Countries() { return kCountries; }
+const std::vector<std::string>& WordPools::Languages() { return kLanguages; }
+const std::vector<std::string>& WordPools::Cuisines() { return kCuisines; }
+const std::vector<std::string>& WordPools::RestaurantWords() {
+  return kRestaurantWords;
+}
+const std::vector<std::string>& WordPools::Genres() { return kGenres; }
+const std::vector<std::string>& WordPools::SongWords() { return kSongWords; }
+const std::vector<std::string>& WordPools::BeerStyles() { return kBeerStyles; }
+const std::vector<std::string>& WordPools::BeerWords() { return kBeerWords; }
+const std::vector<std::string>& WordPools::BreweryWords() {
+  return kBreweryWords;
+}
+const std::vector<std::string>& WordPools::CompanySuffixes() {
+  return kCompanySuffixes;
+}
+const std::vector<std::string>& WordPools::SportsClubs() {
+  return kSportsClubs;
+}
+const std::vector<std::string>& WordPools::BaseballEvents() {
+  return kBaseballEvents;
+}
+const std::vector<std::string>& WordPools::BallGameResults() {
+  return kBallGameResults;
+}
+
+SynonymDict::SynonymDict() : groups_(kSynonymGroups) {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (const auto& tok : groups_[g]) {
+      index_.emplace_back(tok, static_cast<int>(g));
+    }
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
+const SynonymDict& SynonymDict::Default() {
+  static const SynonymDict* dict = new SynonymDict();
+  return *dict;
+}
+
+int SynonymDict::GroupOf(const std::string& token) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), token,
+      [](const auto& entry, const std::string& t) { return entry.first < t; });
+  if (it != index_.end() && it->first == token) return it->second;
+  return -1;
+}
+
+bool SynonymDict::HasSynonym(const std::string& token) const {
+  return GroupOf(token) >= 0;
+}
+
+std::string SynonymDict::Sample(const std::string& token, Rng* rng) const {
+  const int g = GroupOf(token);
+  if (g < 0) return token;
+  const auto& group = groups_[static_cast<size_t>(g)];
+  // Sample among the other members.
+  std::vector<std::string> others;
+  for (const auto& t : group) {
+    if (t != token) others.push_back(t);
+  }
+  if (others.empty()) return token;
+  return others[static_cast<size_t>(rng->UniformInt(
+      static_cast<int>(others.size())))];
+}
+
+std::vector<std::string> SynonymDict::Lookup(const std::string& token) const {
+  const int g = GroupOf(token);
+  if (g < 0) return {};
+  std::vector<std::string> out;
+  for (const auto& t : groups_[static_cast<size_t>(g)]) {
+    if (t != token) out.push_back(t);
+  }
+  return out;
+}
+
+std::string MakeModelNumber(Rng* rng) {
+  static const char* kLetters = "abcdefghjkmnpqrstvwxz";
+  std::string out;
+  out.push_back(kLetters[rng->UniformInt(21)]);
+  out.push_back(kLetters[rng->UniformInt(21)]);
+  out.push_back('-');
+  out += StrFormat("%d", 1000 + rng->UniformInt(9000));
+  return out;
+}
+
+std::string MakePhoneNumber(Rng* rng) {
+  return StrFormat("%03d-%03d-%04d", 200 + rng->UniformInt(700),
+                   100 + rng->UniformInt(900), rng->UniformInt(10000));
+}
+
+}  // namespace sudowoodo::data

@@ -1,0 +1,88 @@
+// Vocabulary pools and the synonym/abbreviation dictionary used by the
+// synthetic dataset generators and by the token_repl / token_insert data
+// augmentation operators.
+//
+// The paper's generators of semantic-preserving variation come from external
+// resources (word embeddings, Wikipedia revisions); this built-in dictionary
+// plays that role here, and crucially it is *shared* between the data
+// generator (which uses it to create matching-but-differently-worded entity
+// mentions) and the DA operators (which use it to create positive views), so
+// contrastive pre-training can learn exactly the invariances the matching
+// task needs - the same coupling the real system gets from using
+// domain-appropriate DA.
+
+#ifndef SUDOWOODO_DATA_WORD_POOLS_H_
+#define SUDOWOODO_DATA_WORD_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sudowoodo::data {
+
+/// Named word pools for the generators.
+class WordPools {
+ public:
+  static const std::vector<std::string>& Brands();
+  static const std::vector<std::string>& ProductCategories();
+  static const std::vector<std::string>& ProductAdjectives();
+  static const std::vector<std::string>& TitleWords();       // citations
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& Venues();           // short forms
+  static const std::vector<std::string>& VenueLongForms();   // aligned
+  static const std::vector<std::string>& UsCities();
+  static const std::vector<std::string>& EuCities();
+  static const std::vector<std::string>& UsStates();         // abbreviations
+  static const std::vector<std::string>& UsStateNames();     // aligned
+  static const std::vector<std::string>& Countries();
+  static const std::vector<std::string>& Languages();
+  static const std::vector<std::string>& Cuisines();
+  static const std::vector<std::string>& RestaurantWords();
+  static const std::vector<std::string>& Genres();
+  static const std::vector<std::string>& SongWords();
+  static const std::vector<std::string>& BeerStyles();
+  static const std::vector<std::string>& BeerWords();
+  static const std::vector<std::string>& BreweryWords();
+  static const std::vector<std::string>& CompanySuffixes();
+  static const std::vector<std::string>& SportsClubs();
+  static const std::vector<std::string>& BaseballEvents();
+  static const std::vector<std::string>& BallGameResults();
+};
+
+/// Bidirectional synonym / abbreviation dictionary.
+class SynonymDict {
+ public:
+  /// The process-wide dictionary (immutable after construction).
+  static const SynonymDict& Default();
+
+  /// True if `token` has at least one synonym.
+  bool HasSynonym(const std::string& token) const;
+
+  /// A synonym of `token` sampled uniformly (never returns `token` itself);
+  /// returns `token` unchanged when no synonym exists.
+  std::string Sample(const std::string& token, Rng* rng) const;
+
+  /// All synonyms of `token` (possibly empty).
+  std::vector<std::string> Lookup(const std::string& token) const;
+
+  int size() const { return static_cast<int>(groups_.size()); }
+
+ private:
+  SynonymDict();
+  /// groups_[i] is a set of mutually interchangeable tokens.
+  std::vector<std::vector<std::string>> groups_;
+  std::vector<std::pair<std::string, int>> index_;  // token -> group, sorted
+  int GroupOf(const std::string& token) const;
+};
+
+/// Random alphanumeric model number like "mx-4820" (stable per rng stream).
+std::string MakeModelNumber(Rng* rng);
+
+/// Random US-style phone number.
+std::string MakePhoneNumber(Rng* rng);
+
+}  // namespace sudowoodo::data
+
+#endif  // SUDOWOODO_DATA_WORD_POOLS_H_

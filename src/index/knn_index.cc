@@ -1,0 +1,65 @@
+#include "index/knn_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/status.h"
+
+namespace sudowoodo::index {
+
+KnnIndex::KnnIndex(std::vector<std::vector<float>> items)
+    : items_(std::move(items)) {
+  if (!items_.empty()) dim_ = static_cast<int>(items_[0].size());
+  for (const auto& v : items_) {
+    SUDO_CHECK(static_cast<int>(v.size()) == dim_);
+  }
+}
+
+std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
+                                      int k) const {
+  SUDO_CHECK(static_cast<int>(query.size()) == dim_);
+  k = std::min(k, size());
+  // Min-heap of the current top-k by similarity.
+  auto cmp = [](const Neighbor& a, const Neighbor& b) { return a.sim > b.sim; };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
+  for (int i = 0; i < size(); ++i) {
+    const float* v = items_[static_cast<size_t>(i)].data();
+    float dot = 0.0f;
+    for (int j = 0; j < dim_; ++j) dot += v[j] * query[static_cast<size_t>(j)];
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({i, dot});
+    } else if (dot > heap.top().sim) {
+      heap.pop();
+      heap.push({i, dot});
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
+    const std::vector<std::vector<float>>& queries, int k) const {
+  std::vector<std::vector<Neighbor>> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(Query(q, k));
+  return out;
+}
+
+float DenseCosine(const std::vector<float>& a, const std::vector<float>& b) {
+  SUDO_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace sudowoodo::index

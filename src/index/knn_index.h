@@ -1,0 +1,47 @@
+// Exact top-k cosine similarity search over dense embeddings: the blocking
+// engine (paper step 2, §II-C). The candidate set for EM is the union of
+// each query's k nearest neighbours (§VI-B, "kNN search over the learned
+// vector representations ... for k = 1 to 20").
+
+#ifndef SUDOWOODO_INDEX_KNN_INDEX_H_
+#define SUDOWOODO_INDEX_KNN_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+namespace sudowoodo::index {
+
+/// One retrieved neighbour: {item id, cosine similarity}.
+struct Neighbor {
+  int id = -1;
+  float sim = 0.0f;
+};
+
+/// Brute-force inner-product index. Vectors are expected to be
+/// L2-normalized so inner product equals cosine similarity.
+class KnnIndex {
+ public:
+  /// Takes ownership of the item vectors (all the same width).
+  explicit KnnIndex(std::vector<std::vector<float>> items);
+
+  /// Top-k most similar items, most similar first.
+  std::vector<Neighbor> Query(const std::vector<float>& query, int k) const;
+
+  /// Top-k for every query vector.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const std::vector<std::vector<float>>& queries, int k) const;
+
+  int size() const { return static_cast<int>(items_.size()); }
+  int dim() const { return dim_; }
+
+ private:
+  std::vector<std::vector<float>> items_;
+  int dim_ = 0;
+};
+
+/// Cosine of two equal-width dense vectors (not assumed normalized).
+float DenseCosine(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace sudowoodo::index
+
+#endif  // SUDOWOODO_INDEX_KNN_INDEX_H_

@@ -1,0 +1,165 @@
+#include "matcher/pair_matcher.h"
+
+#include "common/timer.h"
+#include "nn/optimizer.h"
+#include "nn/weights.h"
+#include "pipeline/metrics.h"
+#include "text/serialize.h"
+
+namespace sudowoodo::matcher {
+
+namespace ts = sudowoodo::tensor;
+
+PairMatcher::PairMatcher(nn::Encoder* encoder, const text::Vocab* vocab,
+                         const FinetuneOptions& options)
+    : encoder_(encoder), vocab_(vocab), options_(options) {
+  SUDO_CHECK(encoder != nullptr && vocab != nullptr);
+  Rng rng(options.seed);
+  const int in_dim =
+      (options.sudowoodo_head ? 2 * encoder->dim() : encoder->dim()) +
+      options.side_dim;
+  if (options.mlp_head) {
+    mlp_head_ = nn::Mlp(in_dim, in_dim / 2, 2, &rng);
+  } else {
+    head_ = nn::Linear(in_dim, 2, &rng);
+  }
+}
+
+ts::Tensor PairMatcher::Classify(const ts::Tensor& features) const {
+  return options_.mlp_head ? mlp_head_.Forward(features)
+                           : head_.Forward(features);
+}
+
+ts::Tensor PairMatcher::ForwardBatch(
+    const std::vector<const PairExample*>& batch, bool training) {
+  std::vector<std::vector<int>> xy_ids;
+  xy_ids.reserve(batch.size());
+  for (const PairExample* ex : batch) {
+    xy_ids.push_back(
+        vocab_->Encode(text::SerializePairTokens(ex->x, ex->y)));
+  }
+  ts::Tensor z_xy = encoder_->EncodeBatch(xy_ids, nullptr, training);
+
+  // Optional constant side-feature block.
+  ts::Tensor side;
+  if (options_.side_dim > 0) {
+    side = ts::Tensor::Zeros(static_cast<int>(batch.size()),
+                             options_.side_dim);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      SUDO_CHECK(static_cast<int>(batch[i]->side.size()) ==
+                 options_.side_dim);
+      for (int j = 0; j < options_.side_dim; ++j) {
+        side.set(static_cast<int>(i), j,
+                 batch[i]->side[static_cast<size_t>(j)]);
+      }
+    }
+  }
+
+  if (!options_.sudowoodo_head) {
+    if (options_.side_dim > 0) {
+      return Classify(ts::ConcatCols({z_xy, side}));
+    }
+    return Classify(z_xy);
+  }
+  std::vector<std::vector<int>> x_ids, y_ids;
+  x_ids.reserve(batch.size());
+  y_ids.reserve(batch.size());
+  for (const PairExample* ex : batch) {
+    x_ids.push_back(vocab_->Encode(ex->x));
+    y_ids.push_back(vocab_->Encode(ex->y));
+  }
+  ts::Tensor z_x = encoder_->EncodeBatch(x_ids, nullptr, training);
+  ts::Tensor z_y = encoder_->EncodeBatch(y_ids, nullptr, training);
+  // Z_xy ⊕ |Z_x - Z_y|   (Eq. 3), plus side features when configured.
+  std::vector<ts::Tensor> parts = {z_xy, ts::Abs(ts::Sub(z_x, z_y))};
+  if (options_.side_dim > 0) parts.push_back(side);
+  return Classify(ts::ConcatCols(parts));
+}
+
+Status PairMatcher::Train(const std::vector<PairExample>& train,
+                          const std::vector<PairExample>& valid) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  WallTimer timer;
+  Rng rng(options_.seed + 1);
+
+  std::vector<ts::Tensor> params;
+  if (!options_.freeze_encoder) params = encoder_->Parameters();
+  nn::AppendParameters(&params, options_.mlp_head ? mlp_head_.Parameters()
+                                                  : head_.Parameters());
+  nn::AdamWOptions opt_options;
+  opt_options.lr = options_.lr;
+  nn::AdamW optimizer(params, opt_options);
+
+  nn::WeightSnapshot best;
+  best_valid_f1_ = -1.0;
+
+  std::vector<int> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  int steps = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.max_steps > 0 && steps >= options_.max_steps) break;
+    rng.Shuffle(&order);
+    for (size_t b = 0; b < order.size();
+         b += static_cast<size_t>(options_.batch_size)) {
+      if (options_.max_steps > 0 && steps >= options_.max_steps) break;
+      ++steps;
+      const size_t end =
+          std::min(order.size(), b + static_cast<size_t>(options_.batch_size));
+      std::vector<const PairExample*> batch;
+      std::vector<int> labels;
+      for (size_t i = b; i < end; ++i) {
+        batch.push_back(&train[static_cast<size_t>(order[i])]);
+        labels.push_back(train[static_cast<size_t>(order[i])].label);
+      }
+      ts::Tensor logits = ForwardBatch(batch, /*training=*/true);
+      ts::Tensor loss = ts::CrossEntropyWithLogits(logits, labels);
+      optimizer.ZeroGrad();
+      ts::Backward(loss);
+      optimizer.ClipGradNorm(options_.grad_clip);
+      optimizer.Step();
+    }
+    if (options_.select_best_epoch && !valid.empty()) {
+      std::vector<int> preds = Predict(valid);
+      std::vector<int> labels;
+      labels.reserve(valid.size());
+      for (const auto& ex : valid) labels.push_back(ex.label);
+      const double f1 = pipeline::ComputePRF1(preds, labels).f1;
+      if (f1 > best_valid_f1_) {
+        best_valid_f1_ = f1;
+        best = nn::SnapshotWeights(params);
+      }
+    }
+  }
+  if (options_.select_best_epoch && !best.empty()) {
+    nn::RestoreWeights(params, best);
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<float> PairMatcher::PredictProba(
+    const std::vector<PairExample>& pairs) {
+  ts::NoGradGuard ng;
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  const size_t bs = static_cast<size_t>(options_.batch_size);
+  for (size_t b = 0; b < pairs.size(); b += bs) {
+    const size_t end = std::min(pairs.size(), b + bs);
+    std::vector<const PairExample*> batch;
+    for (size_t i = b; i < end; ++i) batch.push_back(&pairs[i]);
+    ts::Tensor logits = ForwardBatch(batch, /*training=*/false);
+    ts::Tensor probs = ts::RowSoftmax(logits);
+    for (int i = 0; i < probs.rows(); ++i) out.push_back(probs.at(i, 1));
+  }
+  return out;
+}
+
+std::vector<int> PairMatcher::Predict(const std::vector<PairExample>& pairs) {
+  std::vector<float> probs = PredictProba(pairs);
+  std::vector<int> out(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) out[i] = probs[i] >= 0.5f ? 1 : 0;
+  return out;
+}
+
+}  // namespace sudowoodo::matcher

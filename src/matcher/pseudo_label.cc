@@ -1,0 +1,44 @@
+#include "matcher/pseudo_label.h"
+
+#include <algorithm>
+
+namespace sudowoodo::matcher {
+
+PseudoLabelResult GeneratePseudoLabels(const std::vector<ScoredPair>& scored,
+                                       const PseudoLabelOptions& options) {
+  PseudoLabelResult out;
+  if (scored.empty()) return out;
+
+  std::vector<ScoredPair> ranked = scored;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              return a.cosine > b.cosine;
+            });
+
+  const int budget =
+      std::max(0, (options.multiplier - 1) * options.base_label_count);
+  const int total = std::min<int>(budget, static_cast<int>(ranked.size()));
+  if (total == 0) return out;
+  // ρ fixes the split: |C+| / (|C+| + |C−|) = pos_ratio (§III-C).
+  int n_pos = static_cast<int>(total * options.pos_ratio + 0.5);
+  n_pos = std::max(1, std::min(n_pos, total - 1));
+  const int n_neg = total - n_pos;
+
+  for (int i = 0; i < n_pos; ++i) {
+    const auto& p = ranked[static_cast<size_t>(i)];
+    out.labels.push_back({p.a_idx, p.b_idx, 1, p.cosine});
+  }
+  out.theta_pos = ranked[static_cast<size_t>(n_pos - 1)].cosine;
+
+  const int n = static_cast<int>(ranked.size());
+  for (int i = 0; i < n_neg; ++i) {
+    const auto& p = ranked[static_cast<size_t>(n - 1 - i)];
+    out.labels.push_back({p.a_idx, p.b_idx, 0, p.cosine});
+  }
+  out.theta_neg = ranked[static_cast<size_t>(n - n_neg)].cosine;
+  out.n_pos = n_pos;
+  out.n_neg = n_neg;
+  return out;
+}
+
+}  // namespace sudowoodo::matcher

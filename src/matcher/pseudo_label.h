@@ -1,0 +1,59 @@
+// Pseudo labeling (paper §III-C): extracts high-confidence match/non-match
+// labels from the pre-trained embedding space to augment a small manually
+// labeled set. Candidate pairs above θ+ in embedding cosine become
+// positives, pairs below θ− become negatives. Thresholds are tuned
+// semi-automatically from a user-supplied positive-ratio prior ρ: fixing
+// |C+| / (|C+| + |C−|) = ρ leaves one free threshold, found by ranking.
+
+#ifndef SUDOWOODO_MATCHER_PSEUDO_LABEL_H_
+#define SUDOWOODO_MATCHER_PSEUDO_LABEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace sudowoodo::matcher {
+
+/// A blocking-produced candidate pair scored by embedding cosine.
+struct ScoredPair {
+  int a_idx = 0;
+  int b_idx = 0;
+  float cosine = 0.0f;
+};
+
+/// Options; defaults follow the paper (ρ from {5%, 10%, ...}, multiplier 8
+/// meaning "adding 7x extra labels works the best", §VI-B).
+struct PseudoLabelOptions {
+  double pos_ratio = 0.10;
+  /// Target pseudo-label count = (multiplier - 1) * base_label_count.
+  int multiplier = 8;
+  int base_label_count = 500;
+};
+
+/// A pseudo-labeled pair.
+struct PseudoLabel {
+  int a_idx = 0;
+  int b_idx = 0;
+  int label = 0;
+  float cosine = 0.0f;
+};
+
+/// Result of threshold calibration + labeling.
+struct PseudoLabelResult {
+  std::vector<PseudoLabel> labels;
+  double theta_pos = 1.0;
+  double theta_neg = -1.0;
+  int n_pos = 0;
+  int n_neg = 0;
+};
+
+/// Generates pseudo labels from scored candidates. The total label budget
+/// is (multiplier - 1) * base_label_count, with n_pos = ρ * budget drawn
+/// from the top of the cosine ranking (θ+ = lowest admitted similarity)
+/// and the rest from the bottom (θ− = highest admitted similarity).
+PseudoLabelResult GeneratePseudoLabels(const std::vector<ScoredPair>& scored,
+                                       const PseudoLabelOptions& options);
+
+}  // namespace sudowoodo::matcher
+
+#endif  // SUDOWOODO_MATCHER_PSEUDO_LABEL_H_

@@ -1,0 +1,47 @@
+#include "matcher/threshold_search.h"
+
+#include <algorithm>
+
+namespace sudowoodo::matcher {
+
+ThresholdSearchResult HillClimbPositiveRatio(
+    const std::vector<ScoredPair>& scored, const PseudoLabelOptions& base,
+    const std::function<double(const PseudoLabelResult&)>& trial,
+    const ThresholdSearchOptions& options) {
+  ThresholdSearchResult result;
+  auto run_trial = [&](double ratio) {
+    PseudoLabelOptions o = base;
+    o.pos_ratio = std::clamp(ratio, 0.01, 0.5);
+    const double score = trial(GeneratePseudoLabels(scored, o));
+    ++result.trials_run;
+    result.history.emplace_back(o.pos_ratio, score);
+    return score;
+  };
+
+  double cur_ratio = base.pos_ratio;
+  double cur_score = run_trial(cur_ratio);
+  result.best_pos_ratio = cur_ratio;
+  result.best_score = cur_score;
+
+  // Greedy climb: try up, then down, keep moving while improving.
+  double direction = options.step;
+  while (result.trials_run < options.max_trials) {
+    const double next_ratio = cur_ratio * direction;
+    const double next_score = run_trial(next_ratio);
+    if (next_score > cur_score) {
+      cur_ratio = next_ratio;
+      cur_score = next_score;
+      if (cur_score > result.best_score) {
+        result.best_score = cur_score;
+        result.best_pos_ratio = cur_ratio;
+      }
+    } else if (direction > 1.0) {
+      direction = 1.0 / options.step;  // reverse once, then stop on failure
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sudowoodo::matcher

@@ -1,0 +1,50 @@
+// Hill-climbing refinement of the pseudo-label positive threshold
+// (paper §III-C): "We then take a hill-climbing heuristics to find a
+// locally optimal θ+ using a fixed number of fine-tuning trials."
+//
+// The ρ-constraint of GeneratePseudoLabels fixes one degree of freedom;
+// this module searches the remaining one - the effective positive count
+// around the ρ-implied value - by scoring candidate settings with a
+// caller-supplied trial function (typically a short fine-tuning run
+// evaluated on the validation labels) and climbing to a local optimum.
+
+#ifndef SUDOWOODO_MATCHER_THRESHOLD_SEARCH_H_
+#define SUDOWOODO_MATCHER_THRESHOLD_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "matcher/pseudo_label.h"
+
+namespace sudowoodo::matcher {
+
+/// Options for the hill climb.
+struct ThresholdSearchOptions {
+  /// Multiplicative step applied to the positive-ratio ρ per move.
+  double step = 1.3;
+  /// Maximum fine-tuning trials (the paper fixes a small trial budget).
+  int max_trials = 5;
+};
+
+/// Result of the search.
+struct ThresholdSearchResult {
+  double best_pos_ratio = 0.0;
+  double best_score = 0.0;
+  int trials_run = 0;
+  /// Scores per trial in evaluation order (diagnostics).
+  std::vector<std::pair<double, double>> history;  // {pos_ratio, score}
+};
+
+/// Hill-climbs the pseudo-label positive ratio starting from
+/// `options.pos_ratio` in the given PseudoLabelOptions. `trial` receives a
+/// candidate PseudoLabelResult and returns a quality score (higher is
+/// better), e.g. validation F1 after a short fine-tune. Scored pairs are
+/// re-labeled per candidate ratio.
+ThresholdSearchResult HillClimbPositiveRatio(
+    const std::vector<ScoredPair>& scored, const PseudoLabelOptions& base,
+    const std::function<double(const PseudoLabelResult&)>& trial,
+    const ThresholdSearchOptions& options = {});
+
+}  // namespace sudowoodo::matcher
+
+#endif  // SUDOWOODO_MATCHER_THRESHOLD_SEARCH_H_

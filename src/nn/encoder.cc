@@ -1,0 +1,209 @@
+#include "nn/encoder.h"
+
+#include <cmath>
+
+namespace sudowoodo::nn {
+
+namespace ts = sudowoodo::tensor;
+
+std::vector<std::vector<float>> Encoder::EmbedNormalized(
+    const std::vector<std::vector<int>>& batch) {
+  ts::NoGradGuard ng;
+  Tensor z = EncodeBatch(batch, /*cutoff=*/nullptr, /*training=*/false);
+  Tensor zn = ts::L2NormalizeRows(z);
+  std::vector<std::vector<float>> out(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    out[i].assign(zn.data() + i * zn.cols(), zn.data() + (i + 1) * zn.cols());
+  }
+  return out;
+}
+
+Tensor ApplyCutoff(const Tensor& emb, const augment::CutoffPlan& plan) {
+  if (plan.kind == augment::CutoffKind::kNone) return emb;
+  const int t = emb.rows(), d = emb.cols();
+  Tensor mask = Tensor::Constant(t, d, 1.0f);
+  if (plan.kind == augment::CutoffKind::kFeature) {
+    for (int j : plan.feature_dims) {
+      if (j < 0 || j >= d) continue;
+      for (int i = 0; i < t; ++i) mask.set(i, j, 0.0f);
+    }
+  } else {
+    int begin = 0, end = 0;
+    plan.TokenRange(t, &begin, &end);
+    for (int i = begin; i < end; ++i) {
+      for (int j = 0; j < d; ++j) mask.set(i, j, 0.0f);
+    }
+  }
+  return ts::Mul(emb, mask);
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int n_heads, Rng* rng)
+    : n_heads_(n_heads),
+      head_dim_(dim / n_heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  SUDO_CHECK(dim % n_heads == 0);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  Tensor q = wq_.Forward(x);
+  Tensor k = wk_.Forward(x);
+  Tensor v = wv_.Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<size_t>(n_heads_));
+  for (int h = 0; h < n_heads_; ++h) {
+    Tensor qh = ts::SliceCols(q, h * head_dim_, head_dim_);
+    Tensor kh = ts::SliceCols(k, h * head_dim_, head_dim_);
+    Tensor vh = ts::SliceCols(v, h * head_dim_, head_dim_);
+    Tensor scores = ts::Scale(ts::MatMul(qh, ts::Transpose(kh)), scale);
+    Tensor attn = ts::RowSoftmax(scores);
+    heads.push_back(ts::MatMul(attn, vh));
+  }
+  return wo_.Forward(ts::ConcatCols(heads));
+}
+
+std::vector<Tensor> MultiHeadSelfAttention::Parameters() const {
+  std::vector<Tensor> out = wq_.Parameters();
+  AppendParameters(&out, wk_.Parameters());
+  AppendParameters(&out, wv_.Parameters());
+  AppendParameters(&out, wo_.Parameters());
+  return out;
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
+    : config_(config), rng_(config.seed), final_ln_(config.dim) {
+  Rng init_rng = rng_.Fork();
+  token_emb_ = Embedding(config.vocab_size, config.dim, &init_rng);
+  pos_emb_ = Embedding(config.max_len, config.dim, &init_rng);
+  layers_.reserve(static_cast<size_t>(config.n_layers));
+  for (int i = 0; i < config.n_layers; ++i) {
+    Layer layer;
+    layer.ln1 = LayerNorm(config.dim);
+    layer.ln2 = LayerNorm(config.dim);
+    layer.attn = MultiHeadSelfAttention(config.dim, config.n_heads, &init_rng);
+    layer.ffn = Mlp(config.dim, config.ffn_dim, config.dim, &init_rng);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Tensor TransformerEncoder::EncodeOne(const std::vector<int>& ids,
+                                     const augment::CutoffPlan* cutoff,
+                                     bool training) {
+  std::vector<int> trunc = ids;
+  if (static_cast<int>(trunc.size()) > config_.max_len) {
+    trunc.resize(static_cast<size_t>(config_.max_len));
+  }
+  SUDO_CHECK(!trunc.empty());
+  std::vector<int> pos(trunc.size());
+  for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
+
+  Tensor x = ts::Add(token_emb_.Forward(trunc), pos_emb_.Forward(pos));
+  if (cutoff != nullptr) x = ApplyCutoff(x, *cutoff);
+  x = ts::Dropout(x, config_.dropout, &rng_, training);
+
+  for (const Layer& layer : layers_) {
+    Tensor attn_out = layer.attn.Forward(layer.ln1.Forward(x));
+    x = ts::Add(x, ts::Dropout(attn_out, config_.dropout, &rng_, training));
+    Tensor ffn_out = layer.ffn.Forward(layer.ln2.Forward(x));
+    x = ts::Add(x, ts::Dropout(ffn_out, config_.dropout, &rng_, training));
+  }
+  x = final_ln_.Forward(x);
+  return ts::SliceRows(x, 0, 1);  // [CLS] pooling
+}
+
+Tensor TransformerEncoder::EncodeBatch(
+    const std::vector<std::vector<int>>& batch,
+    const augment::CutoffPlan* cutoff, bool training) {
+  SUDO_CHECK(!batch.empty());
+  std::vector<Tensor> pooled;
+  pooled.reserve(batch.size());
+  for (const auto& ids : batch) {
+    pooled.push_back(EncodeOne(ids, cutoff, training));
+  }
+  return ts::ConcatRows(pooled);
+}
+
+std::vector<Tensor> TransformerEncoder::Parameters() const {
+  std::vector<Tensor> out = token_emb_.Parameters();
+  AppendParameters(&out, pos_emb_.Parameters());
+  for (const Layer& layer : layers_) {
+    AppendParameters(&out, layer.ln1.Parameters());
+    AppendParameters(&out, layer.attn.Parameters());
+    AppendParameters(&out, layer.ln2.Parameters());
+    AppendParameters(&out, layer.ffn.Parameters());
+  }
+  AppendParameters(&out, final_ln_.Parameters());
+  return out;
+}
+
+FastBagEncoder::FastBagEncoder(const FastBagConfig& config)
+    : config_(config), rng_(config.seed), ln_(config.dim) {
+  Rng init_rng = rng_.Fork();
+  token_emb_ = Embedding(config.vocab_size, config.dim, &init_rng);
+  mlp_ = Mlp(4 * config.dim, config.hidden_dim, config.dim, &init_rng);
+}
+
+Tensor FastBagEncoder::PoolOne(const std::vector<int>& ids,
+                               const augment::CutoffPlan* cutoff) {
+  std::vector<int> trunc = ids;
+  if (static_cast<int>(trunc.size()) > config_.max_len) {
+    trunc.resize(static_cast<size_t>(config_.max_len));
+  }
+  SUDO_CHECK(!trunc.empty());
+  Tensor emb = token_emb_.Forward(trunc);  // [T, dim]
+  if (cutoff != nullptr) emb = ApplyCutoff(emb, *cutoff);
+
+  // Locate the first [SEP]; if present, pool the two segments separately.
+  int sep = -1;
+  for (size_t i = 0; i < trunc.size(); ++i) {
+    if (trunc[i] == config_.sep_token_id) {
+      sep = static_cast<int>(i);
+      break;
+    }
+  }
+  auto mean_rows = [](const Tensor& m) {
+    // [1, dim] column means via transpose + RowMean.
+    return ts::Transpose(ts::RowMean(ts::Transpose(m)));
+  };
+  Tensor m1, m2;
+  const int t_len = emb.rows();
+  if (sep > 0 && sep + 1 < t_len) {
+    m1 = mean_rows(ts::SliceRows(emb, 0, sep));
+    m2 = mean_rows(ts::SliceRows(emb, sep + 1, t_len - sep - 1));
+  } else {
+    m1 = mean_rows(emb);
+    m2 = m1;
+  }
+  // Cross-segment interaction features (see the class comment).
+  return ts::ConcatCols({m1, m2, ts::Abs(ts::Sub(m1, m2)), ts::Mul(m1, m2)});
+}
+
+Tensor FastBagEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
+                                   const augment::CutoffPlan* cutoff,
+                                   bool training) {
+  SUDO_CHECK(!batch.empty());
+  std::vector<Tensor> pooled;
+  pooled.reserve(batch.size());
+  for (const auto& ids : batch) pooled.push_back(PoolOne(ids, cutoff));
+  Tensor x = ts::ConcatRows(pooled);  // [B, 4*dim]
+  x = ts::Dropout(x, config_.dropout, &rng_, training);
+  // Residual on the mean of the two segment means keeps the informative
+  // bag-of-embeddings signal flowing from step one; the MLP learns the
+  // interaction corrections on top.
+  const int d = config_.dim;
+  Tensor resid = ts::Scale(
+      ts::Add(ts::SliceCols(x, 0, d), ts::SliceCols(x, d, d)), 0.5f);
+  return ln_.Forward(ts::Add(resid, mlp_.Forward(x)));
+}
+
+std::vector<Tensor> FastBagEncoder::Parameters() const {
+  std::vector<Tensor> out = token_emb_.Parameters();
+  AppendParameters(&out, mlp_.Parameters());
+  AppendParameters(&out, ln_.Parameters());
+  return out;
+}
+
+}  // namespace sudowoodo::nn

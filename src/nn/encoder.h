@@ -1,0 +1,159 @@
+// Sequence encoders: the abstract Encoder interface, the Transformer
+// encoder (the paper's RoBERTa/DistilBERT stand-in), and a fast
+// bag-of-embeddings encoder used where the paper trades model size for
+// speed (e.g. the DistilBERT blocking configuration, §VI-B).
+
+#ifndef SUDOWOODO_NN_ENCODER_H_
+#define SUDOWOODO_NN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "augment/cutoff.h"
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace sudowoodo::nn {
+
+/// Encodes token-id sequences into fixed-size pooled vectors.
+///
+/// This is the M_emb of the paper (Definition 1 modulo the final L2
+/// normalization, which callers apply). The optional cutoff plan is applied
+/// to the token-embedding matrix before the encoder stack, implementing the
+/// batch-wise cutoff DA of §IV-A.
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Returns a [batch.size(), dim()] tensor of pooled representations.
+  virtual Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
+                             const augment::CutoffPlan* cutoff,
+                             bool training) = 0;
+
+  /// All trainable parameters (for the optimizer / serialization).
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  /// Output representation width.
+  virtual int dim() const = 0;
+
+  /// Convenience: encode without cutoff in inference mode, L2-normalized
+  /// per Definition 1, returning plain row vectors (no autograd graph).
+  std::vector<std::vector<float>> EmbedNormalized(
+      const std::vector<std::vector<int>>& batch);
+};
+
+/// Multi-head self-attention block (per-sequence, no padding mask needed
+/// because each sequence is encoded individually).
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention() = default;
+  MultiHeadSelfAttention(int dim, int n_heads, Rng* rng);
+
+  /// x is [T, dim]; returns [T, dim].
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const;
+
+ private:
+  int n_heads_ = 1;
+  int head_dim_ = 0;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+/// Configuration for TransformerEncoder.
+struct TransformerConfig {
+  int vocab_size = 1000;
+  int max_len = 64;    // sequences are truncated to this many tokens
+  int dim = 64;        // model width
+  int n_layers = 2;
+  int n_heads = 4;
+  int ffn_dim = 128;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+/// A pre-LayerNorm Transformer encoder with learned positional embeddings
+/// and [CLS] pooling.
+class TransformerEncoder : public Encoder {
+ public:
+  explicit TransformerEncoder(const TransformerConfig& config);
+
+  Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
+                     const augment::CutoffPlan* cutoff, bool training) override;
+
+  std::vector<Tensor> Parameters() const override;
+  int dim() const override { return config_.dim; }
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  struct Layer {
+    LayerNorm ln1, ln2;
+    MultiHeadSelfAttention attn;
+    Mlp ffn;
+  };
+
+  /// Encodes one sequence to its pooled [1, dim] representation.
+  Tensor EncodeOne(const std::vector<int>& ids,
+                   const augment::CutoffPlan* cutoff, bool training);
+
+  TransformerConfig config_;
+  Rng rng_;  // dropout stream
+  Embedding token_emb_;
+  Embedding pos_emb_;
+  std::vector<Layer> layers_;
+  LayerNorm final_ln_;
+};
+
+/// Configuration for FastBagEncoder.
+struct FastBagConfig {
+  int vocab_size = 1000;
+  int max_len = 96;
+  int dim = 64;
+  int hidden_dim = 128;
+  float dropout = 0.1f;
+  /// Token id of the [SEP] separator (text::Vocab::kSep). Sequences
+  /// containing it are treated as serialized pairs.
+  int sep_token_id = 3;
+  uint64_t seed = 17;
+};
+
+/// Segment-aware bag-of-embeddings encoder - the cheap LM stand-in.
+///
+/// Single items are encoded as the mean of their token embeddings pushed
+/// through an MLP. Serialized *pairs* ([CLS] x [SEP] y [SEP]) are pooled
+/// per segment, and the MLP sees [m_x, m_y, |m_x - m_y|, m_x ⊙ m_y]: the
+/// multiplicative cross-segment interaction that self-attention over the
+/// concatenated pair computes inside a real Transformer LM, at bag cost
+/// (~100x faster). Without such second-order features a pooled encoder
+/// provably cannot represent token overlap, so concatenation-based
+/// fine-tuning (the Ditto baseline, §III-B's "default option") would be
+/// degenerate rather than merely weaker.
+class FastBagEncoder : public Encoder {
+ public:
+  explicit FastBagEncoder(const FastBagConfig& config);
+
+  Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
+                     const augment::CutoffPlan* cutoff, bool training) override;
+
+  std::vector<Tensor> Parameters() const override;
+  int dim() const override { return config_.dim; }
+
+ private:
+  /// Pooled [1, 4*dim] segment features for one sequence.
+  Tensor PoolOne(const std::vector<int>& ids,
+                 const augment::CutoffPlan* cutoff);
+
+  FastBagConfig config_;
+  Rng rng_;
+  Embedding token_emb_;
+  Mlp mlp_;  // 4*dim -> hidden -> dim
+  LayerNorm ln_;
+};
+
+/// Applies a cutoff plan to a [T, dim] embedding matrix by elementwise
+/// multiplication with a constant 0/1 mask (exposed for testing).
+Tensor ApplyCutoff(const Tensor& emb, const augment::CutoffPlan& plan);
+
+}  // namespace sudowoodo::nn
+
+#endif  // SUDOWOODO_NN_ENCODER_H_

@@ -1,0 +1,64 @@
+#include "nn/gru.h"
+
+namespace sudowoodo::nn {
+
+namespace ts = sudowoodo::tensor;
+
+GruEncoder::GruEncoder(const GruConfig& config)
+    : config_(config), rng_(config.seed) {
+  Rng init_rng = rng_.Fork();
+  token_emb_ = Embedding(config.vocab_size, config.dim, &init_rng);
+  wz_ = Linear(2 * config.dim, config.dim, &init_rng);
+  wr_ = Linear(2 * config.dim, config.dim, &init_rng);
+  wh_ = Linear(2 * config.dim, config.dim, &init_rng);
+}
+
+Tensor GruEncoder::EncodeOne(const std::vector<int>& ids,
+                             const augment::CutoffPlan* cutoff,
+                             bool training) {
+  std::vector<int> trunc = ids;
+  if (static_cast<int>(trunc.size()) > config_.max_len) {
+    trunc.resize(static_cast<size_t>(config_.max_len));
+  }
+  SUDO_CHECK(!trunc.empty());
+  Tensor emb = token_emb_.Forward(trunc);  // [T, dim]
+  if (cutoff != nullptr) emb = ApplyCutoff(emb, *cutoff);
+  emb = ts::Dropout(emb, config_.dropout, &rng_, training);
+
+  Tensor h = Tensor::Zeros(1, config_.dim);
+  const int t_len = emb.rows();
+  for (int t = 0; t < t_len; ++t) {
+    Tensor xt = ts::SliceRows(emb, t, 1);
+    Tensor xh = ts::ConcatCols({xt, h});
+    Tensor z = ts::Sigmoid(wz_.Forward(xh));
+    Tensor r = ts::Sigmoid(wr_.Forward(xh));
+    Tensor xrh = ts::ConcatCols({xt, ts::Mul(r, h)});
+    Tensor cand = ts::Tanh(wh_.Forward(xrh));
+    // h = (1 - z) * h + z * cand
+    Tensor one = Tensor::Constant(1, config_.dim, 1.0f);
+    h = ts::Add(ts::Mul(ts::Sub(one, z), h), ts::Mul(z, cand));
+  }
+  return h;
+}
+
+Tensor GruEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
+                               const augment::CutoffPlan* cutoff,
+                               bool training) {
+  SUDO_CHECK(!batch.empty());
+  std::vector<Tensor> pooled;
+  pooled.reserve(batch.size());
+  for (const auto& ids : batch) {
+    pooled.push_back(EncodeOne(ids, cutoff, training));
+  }
+  return ts::ConcatRows(pooled);
+}
+
+std::vector<Tensor> GruEncoder::Parameters() const {
+  std::vector<Tensor> out = token_emb_.Parameters();
+  AppendParameters(&out, wz_.Parameters());
+  AppendParameters(&out, wr_.Parameters());
+  AppendParameters(&out, wh_.Parameters());
+  return out;
+}
+
+}  // namespace sudowoodo::nn

@@ -1,0 +1,48 @@
+// GRU sequence encoder: the substrate for the DeepMatcher-style RNN
+// baseline (Mudgal et al., SIGMOD 2018) referenced throughout the paper's
+// evaluation (Tables V, XVIII).
+
+#ifndef SUDOWOODO_NN_GRU_H_
+#define SUDOWOODO_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/encoder.h"
+#include "nn/layers.h"
+
+namespace sudowoodo::nn {
+
+/// Configuration for GruEncoder.
+struct GruConfig {
+  int vocab_size = 1000;
+  int max_len = 64;
+  int dim = 64;  // embedding and hidden width
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+/// Single-layer GRU over token embeddings; pools the final hidden state.
+class GruEncoder : public Encoder {
+ public:
+  explicit GruEncoder(const GruConfig& config);
+
+  Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
+                     const augment::CutoffPlan* cutoff, bool training) override;
+
+  std::vector<Tensor> Parameters() const override;
+  int dim() const override { return config_.dim; }
+
+ private:
+  Tensor EncodeOne(const std::vector<int>& ids,
+                   const augment::CutoffPlan* cutoff, bool training);
+
+  GruConfig config_;
+  Rng rng_;
+  Embedding token_emb_;
+  // Fused gate projections: [x, h] -> {update z, reset r, candidate h~}.
+  Linear wz_, wr_, wh_;
+};
+
+}  // namespace sudowoodo::nn
+
+#endif  // SUDOWOODO_NN_GRU_H_

@@ -1,0 +1,48 @@
+#include "nn/layers.h"
+
+namespace sudowoodo::nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng)
+    : w_(Tensor::Randn(in_dim, out_dim, 0.02f, rng, /*requires_grad=*/true)),
+      b_(Tensor::Zeros(1, out_dim, /*requires_grad=*/true)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return tensor::AddRowBroadcast(tensor::MatMul(x, w_), b_);
+}
+
+Embedding::Embedding(int vocab_size, int dim, Rng* rng)
+    : table_(
+          Tensor::Randn(vocab_size, dim, 0.02f, rng, /*requires_grad=*/true)) {}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  return tensor::GatherRows(table_, ids);
+}
+
+LayerNorm::LayerNorm(int dim)
+    : gamma_(Tensor::FromData(1, dim, std::vector<float>(dim, 1.0f),
+                              /*requires_grad=*/true)),
+      beta_(Tensor::Zeros(1, dim, /*requires_grad=*/true)) {}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return tensor::LayerNormRows(x, gamma_, beta_);
+}
+
+Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)
+    : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  return fc2_.Forward(tensor::Gelu(fc1_.Forward(x)));
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> out = fc1_.Parameters();
+  AppendParameters(&out, fc2_.Parameters());
+  return out;
+}
+
+void AppendParameters(std::vector<Tensor>* params,
+                      const std::vector<Tensor>& extra) {
+  params->insert(params->end(), extra.begin(), extra.end());
+}
+
+}  // namespace sudowoodo::nn

@@ -1,0 +1,87 @@
+// Basic neural-network building blocks on top of the tensor autograd engine.
+
+#ifndef SUDOWOODO_NN_LAYERS_H_
+#define SUDOWOODO_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace sudowoodo::nn {
+
+using tensor::Tensor;
+
+/// Fully connected layer: y = x W + b, with W [in,out], b [1,out].
+class Linear {
+ public:
+  Linear() = default;
+  /// Gaussian(0, 0.02) weight init, zero bias.
+  Linear(int in_dim, int out_dim, Rng* rng);
+
+  /// x is [N, in]; returns [N, out].
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const { return {w_, b_}; }
+  int in_dim() const { return w_.rows(); }
+  int out_dim() const { return w_.cols(); }
+
+ private:
+  Tensor w_;
+  Tensor b_;
+};
+
+/// Token embedding table with gather-based lookup.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(int vocab_size, int dim, Rng* rng);
+
+  /// Returns [ids.size(), dim].
+  Tensor Forward(const std::vector<int>& ids) const;
+
+  std::vector<Tensor> Parameters() const { return {table_}; }
+  int vocab_size() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+
+ private:
+  Tensor table_;
+};
+
+/// Layer normalization over the last dimension with learned gain/bias.
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(int dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const { return {gamma_, beta_}; }
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Two-layer MLP with GELU: Linear -> GELU -> Linear.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Appends `extra` to `params`.
+void AppendParameters(std::vector<Tensor>* params,
+                      const std::vector<Tensor>& extra);
+
+}  // namespace sudowoodo::nn
+
+#endif  // SUDOWOODO_NN_LAYERS_H_

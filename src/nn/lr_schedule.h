@@ -1,0 +1,67 @@
+// Learning-rate schedules for the trainers: constant, linear decay, and
+// linear warmup followed by linear decay (the schedule commonly paired
+// with AdamW in LM fine-tuning).
+
+#ifndef SUDOWOODO_NN_LR_SCHEDULE_H_
+#define SUDOWOODO_NN_LR_SCHEDULE_H_
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace sudowoodo::nn {
+
+/// Schedule shapes.
+enum class LrScheduleKind {
+  kConstant,
+  kLinearDecay,
+  kWarmupLinearDecay,
+};
+
+/// Computes per-step learning rates for a fixed total step budget.
+class LrSchedule {
+ public:
+  /// `warmup_steps` is only used by kWarmupLinearDecay.
+  LrSchedule(LrScheduleKind kind, float base_lr, int total_steps,
+             int warmup_steps = 0)
+      : kind_(kind),
+        base_lr_(base_lr),
+        total_steps_(std::max(1, total_steps)),
+        warmup_steps_(std::max(0, warmup_steps)) {
+    SUDO_CHECK(base_lr > 0.0f);
+    SUDO_CHECK(warmup_steps_ <= total_steps_);
+  }
+
+  /// Learning rate at 0-based step `step` (clamped into the budget).
+  float At(int step) const {
+    step = std::clamp(step, 0, total_steps_ - 1);
+    switch (kind_) {
+      case LrScheduleKind::kConstant:
+        return base_lr_;
+      case LrScheduleKind::kLinearDecay:
+        return base_lr_ *
+               (1.0f - static_cast<float>(step) / total_steps_);
+      case LrScheduleKind::kWarmupLinearDecay: {
+        if (warmup_steps_ > 0 && step < warmup_steps_) {
+          return base_lr_ * static_cast<float>(step + 1) / warmup_steps_;
+        }
+        const int decay_steps = total_steps_ - warmup_steps_;
+        if (decay_steps <= 0) return base_lr_;
+        return base_lr_ *
+               (1.0f -
+                static_cast<float>(step - warmup_steps_) / decay_steps);
+      }
+    }
+    return base_lr_;
+  }
+
+ private:
+  LrScheduleKind kind_;
+  float base_lr_;
+  int total_steps_;
+  int warmup_steps_;
+};
+
+}  // namespace sudowoodo::nn
+
+#endif  // SUDOWOODO_NN_LR_SCHEDULE_H_

@@ -1,0 +1,66 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace sudowoodo::nn {
+
+AdamW::AdamW(std::vector<tensor::Tensor> params, const AdamWOptions& options)
+    : params_(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    tensor::Tensor& param = params_[p];
+    if (!param.requires_grad()) continue;
+    float* w = param.data();
+    const float* g = param.grad();
+    float* m = m_[p].data();
+    float* v = v_[p].data();
+    const size_t n = param.size();
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g[i];
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= options_.lr *
+              (mhat / (std::sqrt(vhat) + options_.eps) +
+               options_.weight_decay * w[i]);
+    }
+  }
+}
+
+void AdamW::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float AdamW::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    if (!p.requires_grad()) continue;
+    const float* g = p.grad();
+    for (size_t i = 0; i < p.size(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      if (!p.requires_grad()) continue;
+      float* g = p.grad();
+      for (size_t i = 0; i < p.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace sudowoodo::nn

@@ -1,0 +1,74 @@
+#include "nn/weights.h"
+
+#include <cstdio>
+
+namespace sudowoodo::nn {
+
+WeightSnapshot SnapshotWeights(const std::vector<tensor::Tensor>& params) {
+  WeightSnapshot out;
+  out.reserve(params.size());
+  for (const auto& p : params) {
+    out.emplace_back(p.data(), p.data() + p.size());
+  }
+  return out;
+}
+
+void RestoreWeights(const std::vector<tensor::Tensor>& params,
+                    const WeightSnapshot& snapshot) {
+  SUDO_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    SUDO_CHECK(params[i].size() == snapshot[i].size());
+    std::copy(snapshot[i].begin(), snapshot[i].end(),
+              const_cast<tensor::Tensor&>(params[i]).data());
+  }
+}
+
+Status SaveWeights(const std::vector<tensor::Tensor>& params,
+                   const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for write: " + path);
+  }
+  const int32_t n = static_cast<int32_t>(params.size());
+  std::fwrite(&n, sizeof(n), 1, f);
+  for (const auto& p : params) {
+    const int32_t rows = p.rows(), cols = p.cols();
+    std::fwrite(&rows, sizeof(rows), 1, f);
+    std::fwrite(&cols, sizeof(cols), 1, f);
+    std::fwrite(p.data(), sizeof(float), p.size(), f);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status LoadWeights(const std::vector<tensor::Tensor>& params,
+                   const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  int32_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 ||
+      n != static_cast<int32_t>(params.size())) {
+    std::fclose(f);
+    return Status::InvalidArgument("parameter count mismatch in " + path);
+  }
+  for (const auto& p : params) {
+    int32_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1 || rows != p.rows() ||
+        cols != p.cols()) {
+      std::fclose(f);
+      return Status::InvalidArgument("parameter shape mismatch in " + path);
+    }
+    if (std::fread(const_cast<tensor::Tensor&>(p).data(), sizeof(float),
+                   p.size(), f) != p.size()) {
+      std::fclose(f);
+      return Status::InvalidArgument("truncated weight file: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace sudowoodo::nn

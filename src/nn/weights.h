@@ -1,0 +1,34 @@
+// Parameter snapshot / restore, used for best-validation-epoch selection
+// ("we select the epoch with the highest F1 on the validation set", §VI-A2)
+// and for model persistence.
+
+#ifndef SUDOWOODO_NN_WEIGHTS_H_
+#define SUDOWOODO_NN_WEIGHTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace sudowoodo::nn {
+
+/// A deep copy of parameter values (not gradients).
+using WeightSnapshot = std::vector<std::vector<float>>;
+
+/// Copies current parameter values.
+WeightSnapshot SnapshotWeights(const std::vector<tensor::Tensor>& params);
+
+/// Writes snapshot values back into the parameters. Shapes must match.
+void RestoreWeights(const std::vector<tensor::Tensor>& params,
+                    const WeightSnapshot& snapshot);
+
+/// Serializes parameters to a binary file (shape-checked on load).
+Status SaveWeights(const std::vector<tensor::Tensor>& params,
+                   const std::string& path);
+Status LoadWeights(const std::vector<tensor::Tensor>& params,
+                   const std::string& path);
+
+}  // namespace sudowoodo::nn
+
+#endif  // SUDOWOODO_NN_WEIGHTS_H_

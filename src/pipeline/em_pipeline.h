@@ -1,0 +1,146 @@
+// The end-to-end Entity Matching pipeline of Fig. 2:
+//
+//   ① contrastive pre-training on the unlabeled union of tables A and B,
+//   ② blocking by kNN similarity search over the learned embeddings,
+//   ③ pseudo labeling from the candidate set,
+//   ④ similarity-aware fine-tuning of the pairwise matcher.
+//
+// Every Sudowoodo optimization is a switch, so this one class runs the full
+// method, the SimCLR base, all ablations of Table V/VI, and the
+// no-pre-training (Ditto-style) baseline configurations.
+
+#ifndef SUDOWOODO_PIPELINE_EM_PIPELINE_H_
+#define SUDOWOODO_PIPELINE_EM_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contrastive/pretrainer.h"
+#include "data/em_dataset.h"
+#include "matcher/pair_matcher.h"
+#include "matcher/pseudo_label.h"
+#include "nn/encoder.h"
+#include "pipeline/metrics.h"
+#include "text/vocab.h"
+
+namespace sudowoodo::pipeline {
+
+/// Which encoder backbone to instantiate. FastBag is the cheap DistilBERT
+/// analogue; Transformer is the RoBERTa analogue (§VI-A2 / §VI-B).
+enum class EncoderKind { kFastBag, kTransformer };
+
+/// Full pipeline configuration.
+struct EmPipelineOptions {
+  EncoderKind encoder_kind = EncoderKind::kFastBag;
+  int encoder_dim = 64;
+  /// Token budget per sequence; pairs need roughly twice the single-item
+  /// length under the [COL]/[VAL] serialization.
+  int max_len = 96;
+  int vocab_size = 6000;
+
+  contrastive::PretrainOptions pretrain;
+  matcher::FinetuneOptions finetune;
+
+  /// Manually labeled pairs sampled uniformly from train+valid. The same
+  /// labels double as the validation set ("We use the same 500 labels for
+  /// validation for further label saving", §VI-B). 0 = unsupervised.
+  int label_budget = 500;
+  /// Step ③: augment with pseudo labels (the PL optimization).
+  bool use_pseudo_labels = true;
+  /// Positive-ratio prior ρ; < 0 uses the dataset statistic, which the
+  /// paper treats as available ("prior knowledge of the positive label
+  /// ratio which is available as a dataset statistics", §VI-B).
+  double pl_pos_ratio = -1.0;
+  int pl_multiplier = 8;
+  /// k of the kNN blocking that produces the candidate set for PL.
+  int blocking_k = 10;
+  /// Skip step ① (the pre-trained-LM-only baselines: Ditto, RoBERTa-base).
+  bool skip_pretrain = false;
+  /// Rotom-style fine-tuning augmentation: every manual training pair is
+  /// duplicated through a DA operator (the meta-learned operator-selection
+  /// of the real Rotom is approximated by a fixed operator).
+  bool augment_finetune = false;
+
+  uint64_t seed = 7;
+};
+
+/// Output of a blocking run at one k.
+struct BlockingPoint {
+  int k = 0;
+  int n_candidates = 0;
+  double recall = 0.0;
+  double cssr = 0.0;  // candidate set size ratio = |cand| / (|A|·|B|)
+};
+
+/// Everything a bench needs from one pipeline run.
+struct EmRunResult {
+  PRF1 test;
+  std::vector<int> test_preds;
+  std::vector<float> test_probs;
+
+  double pretrain_seconds = 0.0;
+  double blocking_seconds = 0.0;
+  double finetune_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Pseudo-label quality vs (hidden) gold labels - Table XI.
+  TprTnr pl_quality;
+  int n_pseudo = 0;
+  double theta_pos = 0.0;
+  double theta_neg = 0.0;
+  /// Fraction of in-batch cluster negatives that are actually matches
+  /// (the false-negative rate of Fig. 8, row 3).
+  double cluster_fnr = 0.0;
+};
+
+/// Runs the Fig. 2 pipeline on one dataset.
+class EmPipeline {
+ public:
+  explicit EmPipeline(const EmPipelineOptions& options);
+
+  /// Full run: pre-train, block, pseudo-label, fine-tune, evaluate on test.
+  EmRunResult Run(const data::EmDataset& ds);
+
+  /// Pre-trains (or not, per options) and sweeps blocking k = 1..k_max,
+  /// reporting recall/CSSR points (Table VII, Fig. 7).
+  std::vector<BlockingPoint> BlockingSweep(const data::EmDataset& ds,
+                                           int k_max);
+
+  /// Serialized token stream of a row (exposed for the baselines/benches).
+  static std::vector<std::string> SerializeRow(const data::Table& table,
+                                               int row);
+
+  /// Converts a labeled pair into a training example.
+  static matcher::PairExample MakeExample(const data::EmDataset& ds,
+                                          const data::LabeledPair& pair);
+
+ private:
+  /// Builds vocab + encoder and (unless skipped) runs pre-training.
+  struct Prepared {
+    text::Vocab vocab;
+    std::unique_ptr<nn::Encoder> encoder;
+    std::vector<std::vector<std::string>> tokens_a;
+    std::vector<std::vector<std::string>> tokens_b;
+    double pretrain_seconds = 0.0;
+    double cluster_fnr = 0.0;
+  };
+  Prepared Prepare(const data::EmDataset& ds);
+
+  EmPipelineOptions options_;
+};
+
+/// Creates an encoder of the given kind (shared with other pipelines).
+std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
+                                         int dim, int max_len, uint64_t seed);
+
+/// Measures how often Algorithm 2's in-batch negatives are actually gold
+/// matches (the FNR panel of Fig. 8).
+double MeasureClusterFnr(const std::vector<std::vector<std::string>>& tokens_a,
+                         const std::vector<std::vector<std::string>>& tokens_b,
+                         const data::EmDataset& ds, int num_clusters,
+                         int batch_size, uint64_t seed);
+
+}  // namespace sudowoodo::pipeline
+
+#endif  // SUDOWOODO_PIPELINE_EM_PIPELINE_H_

@@ -1,0 +1,68 @@
+#include "pipeline/metrics.h"
+
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace sudowoodo::pipeline {
+
+PRF1 ComputePRF1(const std::vector<int>& preds,
+                 const std::vector<int>& labels) {
+  SUDO_CHECK(preds.size() == labels.size());
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == 1 && labels[i] == 1) ++tp;
+    if (preds[i] == 1 && labels[i] == 0) ++fp;
+    if (preds[i] == 0 && labels[i] == 1) ++fn;
+  }
+  PRF1 out;
+  out.precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  out.recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+TprTnr ComputeTprTnr(const std::vector<int>& preds,
+                     const std::vector<int>& labels) {
+  SUDO_CHECK(preds.size() == labels.size());
+  int64_t tp = 0, pos = 0, tn = 0, neg = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (labels[i] == 1) {
+      ++pos;
+      if (preds[i] == 1) ++tp;
+    } else {
+      ++neg;
+      if (preds[i] == 0) ++tn;
+    }
+  }
+  TprTnr out;
+  out.tpr = pos > 0 ? static_cast<double>(tp) / pos : 1.0;
+  out.tnr = neg > 0 ? static_cast<double>(tn) / neg : 1.0;
+  return out;
+}
+
+double ClusterPurity(const std::vector<std::vector<int>>& clusters,
+                     const std::vector<int>& labels) {
+  int64_t total = 0, pure = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.empty()) continue;
+    std::unordered_map<int, int> votes;
+    for (int member : cluster) {
+      ++votes[labels[static_cast<size_t>(member)]];
+    }
+    int best = 0;
+    for (const auto& [label, count] : votes) {
+      (void)label;
+      best = std::max(best, count);
+    }
+    total += static_cast<int64_t>(cluster.size());
+    pure += best;
+  }
+  return total > 0 ? static_cast<double>(pure) / static_cast<double>(total)
+                   : 1.0;
+}
+
+}  // namespace sudowoodo::pipeline

@@ -1,0 +1,38 @@
+// Evaluation metrics used across the reproduction: binary P/R/F1 for
+// matching tasks, blocking recall / CSSR (Table VII, Fig. 7), cluster
+// purity (Table XIII/Appendix C), and pseudo-label TPR/TNR (Table XI).
+
+#ifndef SUDOWOODO_PIPELINE_METRICS_H_
+#define SUDOWOODO_PIPELINE_METRICS_H_
+
+#include <vector>
+
+namespace sudowoodo::pipeline {
+
+/// Precision / recall / F1 of the positive class.
+struct PRF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Binary classification metrics. preds and labels are 0/1.
+PRF1 ComputePRF1(const std::vector<int>& preds,
+                 const std::vector<int>& labels);
+
+/// True-positive rate and true-negative rate (Table XI).
+struct TprTnr {
+  double tpr = 0.0;
+  double tnr = 0.0;
+};
+TprTnr ComputeTprTnr(const std::vector<int>& preds,
+                     const std::vector<int>& labels);
+
+/// Average cluster purity: for each cluster, the fraction of members
+/// sharing the majority ground-truth label, weighted by cluster size.
+double ClusterPurity(const std::vector<std::vector<int>>& clusters,
+                     const std::vector<int>& labels);
+
+}  // namespace sudowoodo::pipeline
+
+#endif  // SUDOWOODO_PIPELINE_METRICS_H_

@@ -1,0 +1,79 @@
+#include "sparse/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace sudowoodo::sparse {
+
+namespace {
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::unordered_set<std::string>(v.begin(), v.end());
+}
+
+size_t IntersectionSize(const std::unordered_set<std::string>& a,
+                        const std::unordered_set<std::string>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& big = a.size() <= b.size() ? b : a;
+  size_t n = 0;
+  for (const auto& x : small) {
+    if (big.count(x)) ++n;
+  }
+  return n;
+}
+}  // namespace
+
+double Jaccard(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size() - inter);
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double NumericJaccard(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  std::vector<std::string> na, nb;
+  for (const auto& t : a) {
+    if (IsNumeric(t)) na.push_back(t);
+  }
+  for (const auto& t : b) {
+    if (IsNumeric(t)) nb.push_back(t);
+  }
+  if (na.empty() && nb.empty()) return 1.0;
+  return Jaccard(na, nb);
+}
+
+double EditSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const int d = EditDistance(a, b);
+  const double m = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - static_cast<double>(d) / m;
+}
+
+std::vector<double> PairFeatures(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b) {
+  const std::string ja = JoinStrings(a, " ");
+  const std::string jb = JoinStrings(b, " ");
+  const double len_ratio =
+      (a.empty() && b.empty())
+          ? 1.0
+          : static_cast<double>(std::min(a.size(), b.size())) /
+                static_cast<double>(std::max<size_t>(
+                    1, std::max(a.size(), b.size())));
+  return {Jaccard(a, b), OverlapCoefficient(a, b), NumericJaccard(a, b),
+          EditSimilarity(ja, jb), len_ratio};
+}
+
+}  // namespace sudowoodo::sparse

@@ -1,0 +1,38 @@
+// Classical string/set similarity measures used for data profiling
+// (Table XVI's Jaccard difficulty levels), the unsupervised baselines
+// (ZeroER, Auto-FuzzyJoin) and candidate-correction generation.
+
+#ifndef SUDOWOODO_SPARSE_SIMILARITY_H_
+#define SUDOWOODO_SPARSE_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+namespace sudowoodo::sparse {
+
+/// |A ∩ B| / |A ∪ B| over token multiset-collapsed sets. The paper's
+/// profiling metric (Appendix E1).
+double Jaccard(const std::vector<std::string>& a,
+               const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|)  (containment / overlap coefficient).
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Jaccard restricted to numeric-looking tokens; 1.0 when neither side has
+/// numbers. Captures the "product ID / price" signal of Appendix E1.
+double NumericJaccard(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Normalized edit similarity 1 - dist/max_len over the joined strings.
+double EditSimilarity(const std::string& a, const std::string& b);
+
+/// Per-pair similarity feature vector used by the feature-based baselines
+/// (ZeroER's GMM, Auto-FuzzyJoin's join scoring):
+/// {jaccard, overlap, numeric_jaccard, edit_sim, len_ratio}.
+std::vector<double> PairFeatures(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b);
+
+}  // namespace sudowoodo::sparse
+
+#endif  // SUDOWOODO_SPARSE_SIMILARITY_H_

@@ -1,0 +1,78 @@
+#include "sparse/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace sudowoodo::sparse {
+
+float SparseDot(const SparseVector& a, const SparseVector& b) {
+  float dot = 0.0f;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+void TfIdfFeaturizer::Fit(
+    const std::vector<std::vector<std::string>>& corpus) {
+  term_ids_.clear();
+  std::vector<int64_t> df;
+  n_docs_ = static_cast<int64_t>(corpus.size());
+  for (const auto& doc : corpus) {
+    std::unordered_set<int> seen;
+    for (const auto& tok : doc) {
+      auto [it, inserted] = term_ids_.try_emplace(
+          tok, static_cast<int>(term_ids_.size()));
+      if (inserted) df.push_back(0);
+      if (seen.insert(it->second).second) ++df[static_cast<size_t>(it->second)];
+    }
+  }
+  idf_.resize(df.size());
+  for (size_t t = 0; t < df.size(); ++t) {
+    idf_[t] = std::log(static_cast<float>(n_docs_ + 1) /
+                       static_cast<float>(df[t] + 1)) +
+              1.0f;
+  }
+}
+
+SparseVector TfIdfFeaturizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<int, float> tf;
+  for (const auto& tok : tokens) {
+    auto it = term_ids_.find(tok);
+    if (it != term_ids_.end()) tf[it->second] += 1.0f;
+  }
+  SparseVector vec(tf.begin(), tf.end());
+  std::sort(vec.begin(), vec.end());
+  float norm = 0.0f;
+  for (auto& [t, w] : vec) {
+    w *= idf_[static_cast<size_t>(t)];
+    norm += w * w;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0f) {
+    for (auto& [t, w] : vec) w /= norm;
+  }
+  return vec;
+}
+
+std::vector<SparseVector> TfIdfFeaturizer::FitTransform(
+    const std::vector<std::vector<std::string>>& corpus) {
+  Fit(corpus);
+  std::vector<SparseVector> out;
+  out.reserve(corpus.size());
+  for (const auto& doc : corpus) out.push_back(Transform(doc));
+  return out;
+}
+
+}  // namespace sudowoodo::sparse

@@ -1,0 +1,44 @@
+// TF-IDF sparse vectorization, the lexical-similarity substrate used by
+// Sudowoodo's clustering-based negative sampling (§IV-B, Algorithm 2) and by
+// several baselines (DL-Block stand-in, ZeroER features, Auto-FuzzyJoin).
+
+#ifndef SUDOWOODO_SPARSE_TFIDF_H_
+#define SUDOWOODO_SPARSE_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sudowoodo::sparse {
+
+/// Sorted (term-id, weight) pairs; L2-normalized unless noted otherwise.
+using SparseVector = std::vector<std::pair<int, float>>;
+
+/// Dot product of two sorted sparse vectors (== cosine if both normalized).
+float SparseDot(const SparseVector& a, const SparseVector& b);
+
+/// Fits document frequencies on a corpus, then maps token streams to
+/// L2-normalized TF-IDF vectors.
+class TfIdfFeaturizer {
+ public:
+  /// Builds the term dictionary and document frequencies.
+  void Fit(const std::vector<std::vector<std::string>>& corpus);
+
+  /// TF-IDF vector for one document; unseen terms are skipped.
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Fit + Transform over the same corpus.
+  std::vector<SparseVector> FitTransform(
+      const std::vector<std::vector<std::string>>& corpus);
+
+  int vocab_size() const { return static_cast<int>(term_ids_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> term_ids_;
+  std::vector<float> idf_;
+  int64_t n_docs_ = 0;
+};
+
+}  // namespace sudowoodo::sparse
+
+#endif  // SUDOWOODO_SPARSE_TFIDF_H_

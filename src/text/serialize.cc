@@ -1,0 +1,39 @@
+#include "text/serialize.h"
+
+#include "text/tokenizer.h"
+
+namespace sudowoodo::text {
+
+std::vector<std::string> SerializeAttrs(const std::vector<AttrValue>& attrs) {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : attrs) {
+    out.push_back("[COL]");
+    for (const auto& tok : Tokenize(name)) out.push_back(tok);
+    out.push_back("[VAL]");
+    for (const auto& tok : Tokenize(value)) out.push_back(tok);
+  }
+  return out;
+}
+
+std::vector<std::string> SerializeColumn(
+    const std::vector<std::string>& values) {
+  std::vector<std::string> out;
+  for (const auto& v : values) {
+    out.push_back("[VAL]");
+    for (const auto& tok : Tokenize(v)) out.push_back(tok);
+  }
+  return out;
+}
+
+std::vector<std::string> SerializePairTokens(
+    const std::vector<std::string>& x, const std::vector<std::string>& y) {
+  std::vector<std::string> out;
+  out.reserve(x.size() + y.size() + 2);
+  out.insert(out.end(), x.begin(), x.end());
+  out.push_back("[SEP]");
+  out.insert(out.end(), y.begin(), y.end());
+  out.push_back("[SEP]");
+  return out;
+}
+
+}  // namespace sudowoodo::text

@@ -1,0 +1,35 @@
+// Serialization of data items into token streams, following the Ditto
+// scheme the paper adopts (§II-B):
+//
+//   entity entry:   [COL] attr1 [VAL] v1 ... [COL] attrm [VAL] vm
+//   pair (x, y):    [CLS] serialize(x) [SEP] serialize(y) [SEP]
+//   table column:   [VAL] cell1 [VAL] cell2 ...          (§V-B, bare-bone)
+//   cell (ctx-free):[COL] attr_i [VAL] r_i               (§V-A)
+
+#ifndef SUDOWOODO_TEXT_SERIALIZE_H_
+#define SUDOWOODO_TEXT_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sudowoodo::text {
+
+/// One attribute of a data item: {name, raw value}.
+using AttrValue = std::pair<std::string, std::string>;
+
+/// Serializes an entity entry / table row into a token stream.
+std::vector<std::string> SerializeAttrs(const std::vector<AttrValue>& attrs);
+
+/// Serializes a table column (value concatenation, no meta-information).
+std::vector<std::string> SerializeColumn(
+    const std::vector<std::string>& values);
+
+/// Joins two serialized items into the pair form; no [CLS] here - the vocab
+/// encoder prepends it.
+std::vector<std::string> SerializePairTokens(
+    const std::vector<std::string>& x, const std::vector<std::string>& y);
+
+}  // namespace sudowoodo::text
+
+#endif  // SUDOWOODO_TEXT_SERIALIZE_H_

@@ -1,0 +1,51 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace sudowoodo::text {
+
+namespace {
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.';
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&]() {
+    // Strip leading/trailing '-'/'.' so "end." tokenizes as "end".
+    size_t b = 0, e = cur.size();
+    while (b < e && (cur[b] == '-' || cur[b] == '.')) ++b;
+    while (e > b && (cur[e - 1] == '-' || cur[e - 1] == '.')) --e;
+    if (e > b) out.push_back(cur.substr(b, e - b));
+    cur.clear();
+  };
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '[') {
+      // Pass through special markers like [COL] atomically.
+      size_t close = s.find(']', i);
+      if (close != std::string::npos && close - i <= 6) {
+        flush();
+        out.push_back(s.substr(i, close - i + 1));
+        i = close;
+        continue;
+      }
+    }
+    if (IsWordChar(c)) {
+      cur.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+bool IsSpecialToken(const std::string& tok) {
+  return tok.size() >= 3 && tok.front() == '[' && tok.back() == ']';
+}
+
+}  // namespace sudowoodo::text

@@ -1,0 +1,26 @@
+// Word-level tokenization for serialized data items.
+//
+// The paper serializes data items into token sequences consumed by a
+// (sub)word-level LM. Our from-scratch stand-in uses word-level tokens:
+// lowercase, split on whitespace, punctuation split off, with special
+// marker tokens ([COL], [VAL], ...) passed through atomically.
+
+#ifndef SUDOWOODO_TEXT_TOKENIZER_H_
+#define SUDOWOODO_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace sudowoodo::text {
+
+/// Splits free text into lowercase word/number tokens. Alphanumeric runs
+/// (including '-', '.') stay together so model numbers like "mx-4820" and
+/// prices like "36.11" survive as single tokens.
+std::vector<std::string> Tokenize(const std::string& s);
+
+/// True for marker tokens of the serialization scheme, e.g. "[COL]".
+bool IsSpecialToken(const std::string& tok);
+
+}  // namespace sudowoodo::text
+
+#endif  // SUDOWOODO_TEXT_TOKENIZER_H_

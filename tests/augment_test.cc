@@ -1,0 +1,191 @@
+// Tests for the DA operators (Table I) and the cutoff plans (§IV-A).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "augment/cutoff.h"
+#include "augment/da_ops.h"
+#include "text/tokenizer.h"
+
+namespace sudowoodo::augment {
+namespace {
+
+const std::vector<std::string> kEntity = {
+    "[COL]", "title", "[VAL]", "instant", "immersion", "spanish",
+    "[COL]", "price", "[VAL]", "36.11"};
+
+std::multiset<std::string> Multiset(const std::vector<std::string>& v) {
+  return std::multiset<std::string>(v.begin(), v.end());
+}
+
+TEST(DaOpsTest, NamesRoundTrip) {
+  for (DaOp op : EntityDaOps()) {
+    EXPECT_EQ(ParseDaOp(DaOpName(op)), op);
+  }
+  EXPECT_EQ(ParseDaOp("cell_shuffle"), DaOp::kCellShuffle);
+}
+
+TEST(DaOpsTest, EntityOpsListMatchesTableI) {
+  EXPECT_EQ(EntityDaOps().size(), 8u);
+}
+
+TEST(DaOpsTest, NoneIsIdentity) {
+  Rng rng(1);
+  EXPECT_EQ(ApplyDaOp(DaOp::kNone, kEntity, &rng), kEntity);
+}
+
+TEST(DaOpsTest, TokenDelRemovesExactlyOnePlainToken) {
+  Rng rng(2);
+  auto out = ApplyDaOp(DaOp::kTokenDel, kEntity, &rng);
+  EXPECT_EQ(out.size(), kEntity.size() - 1);
+  // Markers survive.
+  EXPECT_EQ(std::count(out.begin(), out.end(), "[COL]"), 2);
+  EXPECT_EQ(std::count(out.begin(), out.end(), "[VAL]"), 2);
+}
+
+TEST(DaOpsTest, TokenReplSwapsInSynonym) {
+  Rng rng(3);
+  // "spanish" has a synonym? No - but "immersion" -> "immers" does.
+  auto out = ApplyDaOp(DaOp::kTokenRepl, kEntity, &rng);
+  EXPECT_EQ(out.size(), kEntity.size());
+  EXPECT_NE(out, kEntity);  // some synonym-eligible token replaced
+}
+
+TEST(DaOpsTest, TokenSwapPreservesMultiset) {
+  Rng rng(4);
+  auto out = ApplyDaOp(DaOp::kTokenSwap, kEntity, &rng);
+  EXPECT_EQ(Multiset(out), Multiset(kEntity));
+}
+
+TEST(DaOpsTest, TokenInsertGrowsByOne) {
+  Rng rng(5);
+  auto out = ApplyDaOp(DaOp::kTokenInsert, kEntity, &rng);
+  EXPECT_EQ(out.size(), kEntity.size() + 1);
+}
+
+TEST(DaOpsTest, SpanDelShrinks) {
+  Rng rng(6);
+  auto out = ApplyDaOp(DaOp::kSpanDel, kEntity, &rng);
+  EXPECT_LT(out.size(), kEntity.size());
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(DaOpsTest, SpanShufflePreservesMultiset) {
+  Rng rng(7);
+  auto out = ApplyDaOp(DaOp::kSpanShuffle, kEntity, &rng);
+  EXPECT_EQ(Multiset(out), Multiset(kEntity));
+}
+
+TEST(DaOpsTest, ColShufflePreservesMultisetAndSegments) {
+  Rng rng(8);
+  auto out = ApplyDaOp(DaOp::kColShuffle, kEntity, &rng);
+  EXPECT_EQ(Multiset(out), Multiset(kEntity));
+  EXPECT_EQ(std::count(out.begin(), out.end(), "[COL]"), 2);
+}
+
+TEST(DaOpsTest, ColDelDropsOneAttribute) {
+  Rng rng(9);
+  auto out = ApplyDaOp(DaOp::kColDel, kEntity, &rng);
+  EXPECT_EQ(std::count(out.begin(), out.end(), "[COL]"), 1);
+  EXPECT_LT(out.size(), kEntity.size());
+}
+
+TEST(DaOpsTest, CellShufflePreservesCells) {
+  const std::vector<std::string> column = {"[VAL]", "new", "york",
+                                           "[VAL]", "california",
+                                           "[VAL]", "florida"};
+  Rng rng(10);
+  auto out = ApplyDaOp(DaOp::kCellShuffle, column, &rng);
+  EXPECT_EQ(Multiset(out), Multiset(column));
+  EXPECT_EQ(std::count(out.begin(), out.end(), "[VAL]"), 3);
+  // "new york" must stay contiguous after any shuffle.
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == "new") {
+      ASSERT_LT(i + 1, out.size());
+      EXPECT_EQ(out[i + 1], "york");
+    }
+  }
+}
+
+TEST(DaOpsTest, ShortInputNeverEmpty) {
+  Rng rng(11);
+  for (DaOp op : EntityDaOps()) {
+    auto out = ApplyDaOp(op, {"only"}, &rng);
+    EXPECT_FALSE(out.empty()) << DaOpName(op);
+  }
+}
+
+// Property sweep: every operator yields non-empty output and never touches
+// marker counts beyond its contract.
+class DaOpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DaOpPropertyTest, OutputsValid) {
+  const auto [op_idx, seed] = GetParam();
+  const DaOp op = EntityDaOps()[static_cast<size_t>(op_idx)];
+  Rng rng(static_cast<uint64_t>(seed) * 131 + 7);
+  auto out = ApplyDaOp(op, kEntity, &rng);
+  EXPECT_FALSE(out.empty());
+  // Token-level ops never change the number of [COL] markers.
+  if (op != DaOp::kColDel && op != DaOp::kColShuffle &&
+      op != DaOp::kSpanDel && op != DaOp::kSpanShuffle) {
+    EXPECT_EQ(std::count(out.begin(), out.end(), "[COL]"), 2)
+        << DaOpName(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsManySeeds, DaOpPropertyTest,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 5)));
+
+TEST(CutoffTest, NonePlanHasEmptyRange) {
+  CutoffPlan plan;
+  int b = -1, e = -1;
+  plan.TokenRange(10, &b, &e);
+  EXPECT_EQ(b, e);
+}
+
+TEST(CutoffTest, TokenRangeWithinBoundsAndSkipsCls) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    CutoffPlan plan = SampleCutoff(CutoffKind::kToken, 16, 0.05, &rng);
+    int b = 0, e = 0;
+    plan.TokenRange(8, &b, &e);
+    EXPECT_GE(b, 1);  // never cut [CLS] at position 0
+    EXPECT_EQ(e, b + 1);
+    EXPECT_LE(e, 8);
+  }
+}
+
+TEST(CutoffTest, SpanRangeRespectsRatio) {
+  Rng rng(13);
+  CutoffPlan plan = SampleCutoff(CutoffKind::kSpan, 16, 0.25, &rng);
+  int b = 0, e = 0;
+  plan.TokenRange(20, &b, &e);
+  EXPECT_EQ(e - b, 5);  // 25% of 20
+  EXPECT_GE(b, 1);
+  EXPECT_LE(e, 20);
+}
+
+TEST(CutoffTest, FeatureDimsWithinBounds) {
+  Rng rng(14);
+  CutoffPlan plan = SampleCutoff(CutoffKind::kFeature, 32, 0.1, &rng);
+  EXPECT_FALSE(plan.feature_dims.empty());
+  for (int d : plan.feature_dims) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 32);
+  }
+}
+
+TEST(CutoffTest, DegenerateSequenceLength) {
+  Rng rng(15);
+  CutoffPlan plan = SampleCutoff(CutoffKind::kSpan, 16, 0.5, &rng);
+  int b = 0, e = 0;
+  plan.TokenRange(1, &b, &e);
+  EXPECT_EQ(b, e);  // a 1-token sequence is never cut
+}
+
+}  // namespace
+}  // namespace sudowoodo::augment

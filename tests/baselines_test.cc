@@ -1,0 +1,238 @@
+// Tests for the baseline implementations: classical classifiers, ZeroER,
+// Auto-FuzzyJoin, the lexical blocker, column featurizers, DeepMatcher,
+// and Baran/Raha.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/baran.h"
+#include "baselines/classifiers.h"
+#include "baselines/column_features.h"
+#include "baselines/deepmatcher.h"
+#include "baselines/fuzzyjoin.h"
+#include "baselines/tfidf_blocker.h"
+#include "baselines/zeroer.h"
+#include "data/cleaning_dataset.h"
+#include "data/em_dataset.h"
+
+namespace sudowoodo::baselines {
+namespace {
+
+// XOR-free separable 2-D data: y = 1 iff x0 + x1 > 1.
+void MakeLinearData(FeatureMatrix* x, std::vector<int>* y, int n,
+                    uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(), b = rng.Uniform();
+    x->push_back({a, b});
+    y->push_back(a + b > 1.0 ? 1 : 0);
+  }
+}
+
+// XOR data: only non-linear models can fit it.
+void MakeXorData(FeatureMatrix* x, std::vector<int>* y, int n,
+                 uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(), b = rng.Uniform();
+    x->push_back({a, b});
+    y->push_back((a > 0.5) != (b > 0.5) ? 1 : 0);
+  }
+}
+
+double Accuracy(const BinaryClassifier& clf, const FeatureMatrix& x,
+                const std::vector<int>& y) {
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (clf.Predict(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+// Property sweep: every classifier fits linearly separable data.
+class ClassifierPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<BinaryClassifier> Make() {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<LogisticRegression>();
+      case 1:
+        return std::make_unique<LinearSvm>();
+      case 2:
+        return std::make_unique<RandomForest>();
+      default:
+        return std::make_unique<GradientBoostedTrees>();
+    }
+  }
+};
+
+TEST_P(ClassifierPropertyTest, FitsLinearlySeparableData) {
+  FeatureMatrix x_train, x_test;
+  std::vector<int> y_train, y_test;
+  MakeLinearData(&x_train, &y_train, 300, 1);
+  MakeLinearData(&x_test, &y_test, 100, 2);
+  auto clf = Make();
+  clf->Fit(x_train, y_train);
+  EXPECT_GT(Accuracy(*clf, x_test, y_test), 0.85);
+}
+
+TEST_P(ClassifierPropertyTest, ProbabilitiesInUnitInterval) {
+  FeatureMatrix x;
+  std::vector<int> y;
+  MakeLinearData(&x, &y, 100, 3);
+  auto clf = Make();
+  clf->Fit(x, y);
+  for (const auto& row : x) {
+    const double p = clf->PredictProba(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassifierPropertyTest,
+                         ::testing::Range(0, 4));
+
+TEST(TreeModelsTest, TreesFitXorButLinearsCannot) {
+  FeatureMatrix x_train, x_test;
+  std::vector<int> y_train, y_test;
+  MakeXorData(&x_train, &y_train, 400, 4);
+  MakeXorData(&x_test, &y_test, 150, 5);
+  GradientBoostedTrees gbt;
+  gbt.Fit(x_train, y_train);
+  EXPECT_GT(Accuracy(gbt, x_test, y_test), 0.85);
+  RandomForest rf;
+  rf.Fit(x_train, y_train);
+  EXPECT_GT(Accuracy(rf, x_test, y_test), 0.85);
+  LogisticRegression lr;
+  lr.Fit(x_train, y_train);
+  EXPECT_LT(Accuracy(lr, x_test, y_test), 0.75);  // linear can't do XOR
+}
+
+TEST(DecisionTreeTest, ExactSplitOnThresholdData) {
+  FeatureMatrix x = {{0.1}, {0.2}, {0.3}, {0.7}, {0.8}, {0.9}};
+  std::vector<double> y = {0, 0, 0, 1, 1, 1};
+  DecisionTree::Options opts;
+  opts.min_samples_leaf = 1;
+  DecisionTree tree(opts);
+  tree.Fit(x, y, {0, 1, 2, 3, 4, 5});
+  EXPECT_NEAR(tree.Predict({0.15}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({0.85}), 1.0, 1e-9);
+  EXPECT_GT(tree.node_count(), 1);
+}
+
+TEST(ZeroErTest, SeparatesTwoGaussianClusters) {
+  Rng rng(6);
+  FeatureMatrix features;
+  std::vector<int> truth;
+  for (int i = 0; i < 300; ++i) {
+    const bool match = i % 10 == 0;  // 10% match rate
+    std::vector<double> f(3);
+    for (auto& v : f) {
+      v = match ? rng.Gaussian(0.9, 0.05) : rng.Gaussian(0.2, 0.05);
+    }
+    features.push_back(std::move(f));
+    truth.push_back(match ? 1 : 0);
+  }
+  ZeroErOptions opts;
+  opts.prior_match = 0.1;
+  ZeroEr model(opts);
+  model.Fit(features);
+  auto preds = model.PredictBatch(features);
+  int correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == truth[i]) ++correct;
+  }
+  EXPECT_GT(correct / 300.0, 0.95);
+}
+
+TEST(ZeroErTest, EndToEndOnEasyDataset) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("DA"));
+  auto prf = RunZeroErOnEm(ds);
+  EXPECT_GT(prf.f1, 0.5);  // citations are lexically easy
+}
+
+TEST(FuzzyJoinTest, ReasonableOnEasyDataset) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("DA"));
+  auto prf = RunAutoFuzzyJoinOnEm(ds);
+  EXPECT_GT(prf.f1, 0.5);
+}
+
+TEST(TfidfBlockerTest, RecallIncreasesWithK) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("DA"));
+  auto points = TfidfBlockingSweep(ds, 10);
+  ASSERT_EQ(points.size(), 10u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].recall, points[i - 1].recall);
+    EXPECT_GE(points[i].cssr, points[i - 1].cssr);
+  }
+  EXPECT_GT(points.back().recall, 0.7);
+}
+
+TEST(ColumnFeaturesTest, StableDimensions) {
+  data::Column c1{{"austin", "boston"}, 0, 0};
+  data::Column c2{{"42", "17", "93"}, 1, 1};
+  EXPECT_EQ(SherlockFeatures(c1).size(), SherlockFeatures(c2).size());
+  EXPECT_EQ(SatoFeatures(c1).size(), SatoFeatures(c2).size());
+  EXPECT_GT(SatoFeatures(c1).size(), SherlockFeatures(c1).size());
+}
+
+TEST(ColumnFeaturesTest, NumericColumnsHaveHighDigitFraction) {
+  data::Column numeric{{"42", "17", "93"}, 0, 0};
+  data::Column textual{{"austin", "boston"}, 0, 0};
+  // Feature 2 is the digit fraction.
+  EXPECT_GT(SherlockFeatures(numeric)[2], SherlockFeatures(textual)[2]);
+}
+
+TEST(ColumnFeaturesTest, SameTypeColumnsMoreSimilar) {
+  data::Column a{{"austin", "boston", "denver"}, 0, 0};
+  data::Column b{{"chicago", "seattle", "omaha"}, 0, 0};
+  data::Column c{{"$42.10", "$7.99", "$13.50"}, 1, 1};
+  const auto fa = SatoFeatures(a), fb = SatoFeatures(b), fc = SatoFeatures(c);
+  EXPECT_GT(FeatureCosine(fa, fb), FeatureCosine(fa, fc));
+}
+
+TEST(ColumnFeaturesTest, PairFeaturesLayout) {
+  std::vector<double> v1 = {1.0, 2.0}, v2 = {0.5, 3.0};
+  auto f = ColumnPairFeatures(v1, v2);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_EQ(f[0], 1.0);
+  EXPECT_EQ(f[2], 0.5);
+  EXPECT_NEAR(f[4], 0.5, 1e-12);  // |1.0 - 0.5|
+}
+
+TEST(BaranTest, RahaFlagsMissingValues) {
+  data::CleaningDataset ds =
+      data::GenerateCleaning(data::GetCleaningSpec("beers"));
+  auto flags = RahaDetectErrors(ds);
+  int flagged_mv = 0, total_mv = 0;
+  for (const auto& e : ds.errors) {
+    if (e.type != data::ErrorType::kMissingValue) continue;
+    ++total_mv;
+    if (flags[static_cast<size_t>(e.row)][static_cast<size_t>(e.col)]) {
+      ++flagged_mv;
+    }
+  }
+  ASSERT_GT(total_mv, 0);
+  EXPECT_EQ(flagged_mv, total_mv);  // empty cells are always flagged
+}
+
+TEST(BaranTest, PerfectEdBeatsRaha) {
+  data::CleaningDataset ds =
+      data::GenerateCleaning(data::GetCleaningSpec("hospital"));
+  auto raha = RunBaranOnCleaning(ds, {EdMode::kRaha, 20, 19});
+  auto perfect = RunBaranOnCleaning(ds, {EdMode::kPerfect, 20, 19});
+  EXPECT_GE(perfect.f1, raha.f1);
+  EXPECT_GT(perfect.f1, 0.3);
+}
+
+TEST(DeepMatcherTest, LearnsOnEasyDataset) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("FZ"));
+  DeepMatcherOptions opts;
+  opts.epochs = 6;
+  auto prf = RunDeepMatcherOnEm(ds, opts);
+  EXPECT_GT(prf.f1, 0.5);
+}
+
+}  // namespace
+}  // namespace sudowoodo::baselines

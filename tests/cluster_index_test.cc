@@ -1,0 +1,187 @@
+// Tests for k-means, the Algorithm 2 batch scheduler, and the kNN index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/batch_scheduler.h"
+#include "cluster/kmeans.h"
+#include "index/knn_index.h"
+
+namespace sudowoodo {
+namespace {
+
+using cluster::BatchScheduler;
+using cluster::KMeans;
+using cluster::KMeansOptions;
+using index::KnnIndex;
+using sparse::SparseVector;
+
+// Two clearly separable groups in disjoint term spaces.
+std::vector<SparseVector> TwoGroups(int per_group) {
+  std::vector<SparseVector> data;
+  for (int i = 0; i < per_group; ++i) {
+    data.push_back({{0, 0.8f}, {1, 0.6f}});
+    data.push_back({{10, 0.6f}, {11, 0.8f}});
+  }
+  return data;
+}
+
+TEST(KMeansTest, SeparatesDisjointGroups) {
+  auto data = TwoGroups(10);
+  KMeansOptions opts;
+  opts.k = 2;
+  auto res = KMeans(data, opts);
+  ASSERT_EQ(res.clusters.size(), 2u);
+  // All even indexes together, all odd together.
+  const int c0 = res.assignments[0];
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(res.assignments[i], c0);
+    } else {
+      EXPECT_NE(res.assignments[i], c0);
+    }
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  auto data = TwoGroups(8);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 42;
+  auto r1 = KMeans(data, opts);
+  auto r2 = KMeans(data, opts);
+  EXPECT_EQ(r1.assignments, r2.assignments);
+}
+
+TEST(KMeansTest, KLargerThanNIsClamped) {
+  std::vector<SparseVector> data = {{{0, 1.0f}}, {{1, 1.0f}}};
+  KMeansOptions opts;
+  opts.k = 10;
+  auto res = KMeans(data, opts);
+  EXPECT_LE(res.clusters.size(), 2u);
+  EXPECT_EQ(res.assignments.size(), 2u);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  auto res = KMeans({}, KMeansOptions{});
+  EXPECT_TRUE(res.assignments.empty());
+  EXPECT_TRUE(res.clusters.empty());
+}
+
+TEST(KMeansTest, ClustersPartitionAllItems) {
+  auto data = TwoGroups(12);
+  KMeansOptions opts;
+  opts.k = 5;
+  auto res = KMeans(data, opts);
+  std::set<int> seen;
+  for (const auto& c : res.clusters) {
+    for (int i : c) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(BatchSchedulerTest, UniformCoversAllItems) {
+  BatchScheduler sched(100, 16, 3);
+  auto batches = sched.NextEpoch();
+  std::set<int> seen;
+  for (const auto& b : batches) {
+    EXPECT_GE(b.size(), 2u);
+    EXPECT_LE(b.size(), 16u);
+    for (int i : b) seen.insert(i);
+  }
+  // At most one short tail batch may be dropped (< 2 items).
+  EXPECT_GE(seen.size(), 95u);
+}
+
+TEST(BatchSchedulerTest, EpochsDiffer) {
+  BatchScheduler sched(64, 8, 5);
+  auto e1 = sched.NextEpoch();
+  auto e2 = sched.NextEpoch();
+  EXPECT_NE(e1, e2);
+}
+
+TEST(BatchSchedulerTest, ClusterModeGroupsSimilarItems) {
+  // 40 "red" docs and 40 "blue" docs: cluster batches should be pure.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back({"red", "crimson", "scarlet"});
+    corpus.push_back({"blue", "navy", "azure"});
+  }
+  BatchScheduler sched(corpus, 8, /*num_clusters=*/2, 7);
+  EXPECT_TRUE(sched.clustered());
+  int pure = 0, total = 0;
+  for (const auto& batch : sched.NextEpoch()) {
+    if (batch.size() < 8) continue;  // tail batch can mix clusters
+    ++total;
+    bool red = batch[0] % 2 == 0;
+    bool is_pure = true;
+    for (int i : batch) {
+      if ((i % 2 == 0) != red) is_pure = false;
+    }
+    pure += is_pure ? 1 : 0;
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(pure) / total, 0.9);
+}
+
+TEST(KnnIndexTest, ExactTopKAgainstBruteForce) {
+  Rng rng(8);
+  std::vector<std::vector<float>> items;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> v(8);
+    float norm = 0;
+    for (auto& x : v) {
+      x = static_cast<float>(rng.Gaussian());
+      norm += x * x;
+    }
+    for (auto& x : v) x /= std::sqrt(norm);
+    items.push_back(v);
+  }
+  KnnIndex index(items);
+  std::vector<float> q = items[7];
+  auto result = index.Query(q, 5);
+  ASSERT_EQ(result.size(), 5u);
+  // The item itself must come first with similarity ~1.
+  EXPECT_EQ(result[0].id, 7);
+  EXPECT_NEAR(result[0].sim, 1.0f, 1e-4f);
+  // Sorted by similarity descending.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].sim, result[i].sim);
+  }
+  // Matches a brute-force top-k.
+  std::vector<std::pair<float, int>> brute;
+  for (int i = 0; i < 50; ++i) {
+    float dot = 0;
+    for (int j = 0; j < 8; ++j) dot += items[static_cast<size_t>(i)][static_cast<size_t>(j)] * q[static_cast<size_t>(j)];
+    brute.emplace_back(dot, i);
+  }
+  std::sort(brute.begin(), brute.end(), std::greater<>());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(result[static_cast<size_t>(i)].id, brute[static_cast<size_t>(i)].second);
+  }
+}
+
+TEST(KnnIndexTest, KClampedToSize) {
+  KnnIndex index({{1.0f, 0.0f}, {0.0f, 1.0f}});
+  EXPECT_EQ(index.Query({1.0f, 0.0f}, 10).size(), 2u);
+}
+
+TEST(KnnIndexTest, QueryBatchMatchesSingleQueries) {
+  std::vector<std::vector<float>> items = {{1, 0}, {0, 1}, {0.7f, 0.7f}};
+  KnnIndex index(items);
+  auto batch = index.QueryBatch({{1, 0}, {0, 1}}, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0][0].id, index.Query({1, 0}, 2)[0].id);
+}
+
+TEST(DenseCosineTest, KnownValues) {
+  EXPECT_NEAR(index::DenseCosine({1, 0}, {1, 0}), 1.0f, 1e-6f);
+  EXPECT_NEAR(index::DenseCosine({1, 0}, {0, 1}), 0.0f, 1e-6f);
+  EXPECT_NEAR(index::DenseCosine({1, 0}, {-1, 0}), -1.0f, 1e-6f);
+  EXPECT_EQ(index::DenseCosine({0, 0}, {1, 0}), 0.0f);
+}
+
+}  // namespace
+}  // namespace sudowoodo

@@ -1,0 +1,239 @@
+// Tests for the common substrate: Status/Result, Rng, string utilities,
+// and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace sudowoodo {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::NotFound("gone"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(8);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformRange(3, 5));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5}));
+}
+
+TEST(RngTest, UniformIsInUnitInterval) {
+  Rng rng(10);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.06);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 5000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(14);
+  auto s = rng.SampleWithoutReplacement(50, 20);
+  std::set<int> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKTooLarge) {
+  Rng rng(15);
+  auto s = rng.SampleWithoutReplacement(5, 100);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, WeightedChoiceRespectsWeights) {
+  Rng rng(16);
+  std::vector<double> w = {0.0, 1.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) ++counts[rng.WeightedChoice(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[2] / 3000.0, 0.9, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(17);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextU32(), b.NextU32());
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = SplitString("a b  c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitCustomDelims) {
+  auto parts = SplitString("a,b;c", ",;");
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitEmpty) {
+  EXPECT_TRUE(SplitString("").empty());
+  EXPECT_TRUE(SplitString("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, ToLowerAndTrim) {
+  EXPECT_EQ(ToLower("HeLLo-42"), "hello-42");
+  EXPECT_EQ(Trim("  abc \n"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("sudowoodo", "sudo"));
+  EXPECT_FALSE(StartsWith("su", "sudo"));
+  EXPECT_TRUE(EndsWith("model.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("model", ".bin"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtilTest, EditDistanceKnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+}
+
+TEST(StringUtilTest, EditDistanceSymmetric) {
+  EXPECT_EQ(EditDistance("abcd", "acbd"), EditDistance("acbd", "abcd"));
+}
+
+TEST(StringUtilTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric("42"));
+  EXPECT_TRUE(IsNumeric("-3.5"));
+  EXPECT_TRUE(IsNumeric("+0.1"));
+  EXPECT_FALSE(IsNumeric(""));
+  EXPECT_FALSE(IsNumeric("12a"));
+  EXPECT_FALSE(IsNumeric("1.2.3"));
+  EXPECT_FALSE(IsNumeric("."));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t("Title");
+  t.SetHeader({"a", "bbbb"});
+  t.AddRow({"xxx", "y"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("a    bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xxx  y"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace sudowoodo

@@ -1,0 +1,294 @@
+// Tests for the synthetic dataset generators (EM, cleaning, columns) and
+// the profiling substrate, including TEST_P sweeps over all benchmarks.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/cleaning_dataset.h"
+#include "data/column_corpus.h"
+#include "data/em_dataset.h"
+#include "data/profiling.h"
+#include "data/word_pools.h"
+
+namespace sudowoodo::data {
+namespace {
+
+TEST(SynonymDictTest, LookupAndSample) {
+  const SynonymDict& dict = SynonymDict::Default();
+  EXPECT_TRUE(dict.HasSynonym("laptop"));
+  EXPECT_FALSE(dict.HasSynonym("zzzz-not-a-word"));
+  Rng rng(1);
+  EXPECT_EQ(dict.Sample("laptop", &rng), "notebook");
+  EXPECT_EQ(dict.Sample("zzzz-not-a-word", &rng), "zzzz-not-a-word");
+  auto syns = dict.Lookup("version");
+  EXPECT_EQ(syns.size(), 2u);  // "ver", "v"
+}
+
+TEST(WordPoolsTest, AlignedPoolsHaveEqualSizes) {
+  EXPECT_EQ(WordPools::Venues().size(), WordPools::VenueLongForms().size());
+  EXPECT_EQ(WordPools::UsStates().size(), WordPools::UsStateNames().size());
+}
+
+TEST(WordPoolsTest, MakersAreWellFormed) {
+  Rng rng(2);
+  const std::string model = MakeModelNumber(&rng);
+  EXPECT_EQ(model.size(), 7u);
+  EXPECT_EQ(model[2], '-');
+  const std::string phone = MakePhoneNumber(&rng);
+  EXPECT_EQ(phone.size(), 12u);
+}
+
+TEST(PerturbTest, ZeroNoiseIsIdentityModuloSwap) {
+  Rng rng(3);
+  std::vector<std::string> tokens = {"zenix", "digital", "camera"};
+  auto out = PerturbTokens(tokens, 0.0, &rng);
+  EXPECT_EQ(out, tokens);
+}
+
+TEST(PerturbTest, NeverEmpty) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    auto out = PerturbTokens({"one"}, 1.0, &rng);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+class EmDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EmDatasetTest, StructureIsConsistent) {
+  EmSpec spec = GetEmSpec(GetParam());
+  EmDataset ds = GenerateEm(spec);
+  // Tables and entity maps align.
+  EXPECT_EQ(ds.entity_a.size(), static_cast<size_t>(ds.table_a.num_rows()));
+  EXPECT_EQ(ds.entity_b.size(), static_cast<size_t>(ds.table_b.num_rows()));
+  EXPECT_GT(ds.table_a.num_attrs(), 1);
+  // Every labeled pair's indexes are valid and its label agrees with the
+  // hidden entity ids.
+  auto check_pairs = [&](const std::vector<LabeledPair>& pairs) {
+    for (const auto& p : pairs) {
+      ASSERT_GE(p.a_idx, 0);
+      ASSERT_LT(p.a_idx, ds.table_a.num_rows());
+      ASSERT_GE(p.b_idx, 0);
+      ASSERT_LT(p.b_idx, ds.table_b.num_rows());
+      const int gold = ds.entity_a[static_cast<size_t>(p.a_idx)] ==
+                               ds.entity_b[static_cast<size_t>(p.b_idx)]
+                           ? 1
+                           : 0;
+      EXPECT_EQ(p.label, gold);
+    }
+  };
+  check_pairs(ds.train);
+  check_pairs(ds.valid);
+  check_pairs(ds.test);
+}
+
+TEST_P(EmDatasetTest, SplitIsThreeOneOne) {
+  EmDataset ds = GenerateEm(GetEmSpec(GetParam()));
+  const double total = ds.TotalPairs();
+  EXPECT_NEAR(ds.train.size() / total, 0.6, 0.02);
+  EXPECT_NEAR(ds.valid.size() / total, 0.2, 0.02);
+  EXPECT_NEAR(ds.test.size() / total, 0.2, 0.03);
+}
+
+TEST_P(EmDatasetTest, PositiveRatioNearSpec) {
+  EmSpec spec = GetEmSpec(GetParam());
+  EmDataset ds = GenerateEm(spec);
+  EXPECT_NEAR(ds.PositiveRatio(), spec.pos_ratio, 0.08);
+  EXPECT_GT(ds.PositiveRatio(), 0.0);
+}
+
+TEST_P(EmDatasetTest, GoldMatchesShareEntityIds) {
+  EmDataset ds = GenerateEm(GetEmSpec(GetParam()));
+  EXPECT_FALSE(ds.gold_matches.empty());
+  for (const auto& [a, b] : ds.gold_matches) {
+    EXPECT_EQ(ds.entity_a[static_cast<size_t>(a)],
+              ds.entity_b[static_cast<size_t>(b)]);
+  }
+}
+
+TEST_P(EmDatasetTest, DeterministicGivenSeed) {
+  EmDataset d1 = GenerateEm(GetEmSpec(GetParam()));
+  EmDataset d2 = GenerateEm(GetEmSpec(GetParam()));
+  ASSERT_EQ(d1.table_b.num_rows(), d2.table_b.num_rows());
+  EXPECT_EQ(d1.table_b.rows[0], d2.table_b.rows[0]);
+  ASSERT_EQ(d1.train.size(), d2.train.size());
+  EXPECT_EQ(d1.train[0].a_idx, d2.train[0].a_idx);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EmDatasetTest,
+                         ::testing::ValuesIn(FullSupEmCodes()));
+
+TEST(EmDatasetTest, HardDatasetsHaveLowerMatchJaccard) {
+  // The AG spec is configured harder than DA; sanity-check the dial.
+  EmDataset easy = GenerateEm(GetEmSpec("DA"));
+  EmDataset hard = GenerateEm(GetEmSpec("AG"));
+  EXPECT_GT(GetEmSpec("AG").noise, GetEmSpec("DA").noise);
+  (void)easy;
+  (void)hard;
+}
+
+class CleaningDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CleaningDatasetTest, ErrorRateMatchesSpec) {
+  CleaningSpec spec = GetCleaningSpec(GetParam());
+  CleaningDataset ds = GenerateCleaning(spec);
+  const double cells =
+      static_cast<double>(ds.dirty.num_rows()) * ds.dirty.num_attrs();
+  EXPECT_NEAR(ds.errors.size() / cells, spec.error_rate, 0.01);
+}
+
+TEST_P(CleaningDatasetTest, ErrorsActuallyDiffer) {
+  CleaningDataset ds = GenerateCleaning(GetCleaningSpec(GetParam()));
+  for (const auto& e : ds.errors) {
+    EXPECT_NE(ds.dirty.Cell(e.row, e.col), ds.clean.Cell(e.row, e.col));
+  }
+}
+
+TEST_P(CleaningDatasetTest, NonErrorCellsAreIdentical) {
+  CleaningDataset ds = GenerateCleaning(GetCleaningSpec(GetParam()));
+  std::set<std::pair<int, int>> error_cells;
+  for (const auto& e : ds.errors) error_cells.insert({e.row, e.col});
+  for (int r = 0; r < ds.dirty.num_rows(); ++r) {
+    for (int c = 0; c < ds.dirty.num_attrs(); ++c) {
+      if (!error_cells.count({r, c})) {
+        ASSERT_EQ(ds.dirty.Cell(r, c), ds.clean.Cell(r, c));
+      }
+    }
+  }
+}
+
+TEST_P(CleaningDatasetTest, CoverageNearTarget) {
+  CleaningSpec spec = GetCleaningSpec(GetParam());
+  CleaningDataset ds = GenerateCleaning(spec);
+  EXPECT_NEAR(ds.Coverage(), spec.coverage, 0.25);
+}
+
+TEST_P(CleaningDatasetTest, ErrorTypesComeFromSpec) {
+  CleaningSpec spec = GetCleaningSpec(GetParam());
+  CleaningDataset ds = GenerateCleaning(spec);
+  for (const auto& e : ds.errors) {
+    EXPECT_NE(std::find(spec.error_types.begin(), spec.error_types.end(),
+                        e.type),
+              spec.error_types.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCleaning, CleaningDatasetTest,
+                         ::testing::ValuesIn(CleaningDatasetNames()));
+
+TEST(CleaningDatasetTest, CandidatesExcludeCurrentValue) {
+  CleaningDataset ds = GenerateCleaning(GetCleaningSpec("beers"));
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < ds.dirty.num_attrs(); ++c) {
+      for (const auto& cand :
+           ds.candidates[static_cast<size_t>(r)][static_cast<size_t>(c)]) {
+        EXPECT_NE(cand, ds.dirty.Cell(r, c));
+      }
+    }
+  }
+}
+
+TEST(CorruptValueTest, AlwaysChangesNonEmptyValues) {
+  Rng rng(5);
+  for (ErrorType t : {ErrorType::kMissingValue, ErrorType::kTypo,
+                      ErrorType::kFormatIssue}) {
+    const std::string out = CorruptValue("chicago", t, &rng);
+    EXPECT_NE(out, "chicago");
+  }
+}
+
+TEST(ColumnCorpusTest, StructureAndDeterminism) {
+  ColumnCorpusSpec spec;
+  spec.n_columns = 100;
+  ColumnCorpus c1 = GenerateColumnCorpus(spec);
+  ColumnCorpus c2 = GenerateColumnCorpus(spec);
+  ASSERT_EQ(c1.columns.size(), 100u);
+  EXPECT_EQ(c1.columns[0].values, c2.columns[0].values);
+  EXPECT_GT(c1.num_types(), 10);
+  EXPECT_GT(c1.num_subtypes(), c1.num_types());
+  for (const auto& col : c1.columns) {
+    EXPECT_GE(static_cast<int>(col.values.size()), spec.min_values);
+    EXPECT_LE(static_cast<int>(col.values.size()), spec.max_values);
+    ASSERT_GE(col.subtype_id, 0);
+    ASSERT_LT(col.subtype_id, c1.num_subtypes());
+    EXPECT_EQ(col.type_id,
+              c1.subtype_to_type[static_cast<size_t>(col.subtype_id)]);
+  }
+}
+
+TEST(ColumnCorpusTest, SubtypesShareCoarseType) {
+  ColumnCorpusSpec spec;
+  spec.n_columns = 50;
+  ColumnCorpus corpus = GenerateColumnCorpus(spec);
+  // "city" has two subtypes by construction.
+  int city_type = -1;
+  for (int t = 0; t < corpus.num_types(); ++t) {
+    if (corpus.type_names[static_cast<size_t>(t)] == "city") city_type = t;
+  }
+  ASSERT_GE(city_type, 0);
+  int subtypes = 0;
+  for (int s = 0; s < corpus.num_subtypes(); ++s) {
+    if (corpus.subtype_to_type[static_cast<size_t>(s)] == city_type) {
+      ++subtypes;
+    }
+  }
+  EXPECT_EQ(subtypes, 2);
+}
+
+TEST(ProfilingTest, FrequencyAndBuckets) {
+  Table t;
+  t.attrs = {"c"};
+  for (int i = 0; i < 10; ++i) t.rows.push_back({"common"});
+  t.rows.push_back({"rare"});
+  ColumnProfiles p(t);
+  EXPECT_NEAR(p.Frequency(0, "common"), 10.0 / 11.0, 1e-9);
+  EXPECT_EQ(p.FrequencyBucket(0, "common"), "high");
+  EXPECT_EQ(p.FrequencyBucket(0, "rare"), "rare");
+  EXPECT_EQ(p.FrequencyBucket(0, "absent"), "rare");
+}
+
+TEST(ProfilingTest, VicinityRecoversFunctionalDependency) {
+  Table t;
+  t.attrs = {"zip", "city"};
+  for (int i = 0; i < 5; ++i) t.rows.push_back({"11111", "austin"});
+  for (int i = 0; i < 5; ++i) t.rows.push_back({"22222", "boston"});
+  t.rows.push_back({"11111", "boston"});  // one violation
+  VicinityModel v(t);
+  EXPECT_EQ(v.ImpliedValue(t, 0, 1), "austin");
+  EXPECT_GT(v.Agreement(t, 0, 1, "austin"), v.Agreement(t, 0, 1, "boston"));
+  // The violating row's implied city disagrees with its stored value.
+  EXPECT_EQ(v.ImpliedValue(t, 10, 1), "austin");
+}
+
+TEST(ProfilingTest, BigramScoresTyposLower) {
+  Table t;
+  t.attrs = {"name"};
+  const std::vector<std::string> names = {"anderson", "johansson", "eriksson",
+                                          "larsen",   "fischer",   "weber"};
+  for (int rep = 0; rep < 5; ++rep) {
+    for (const auto& n : names) t.rows.push_back({n});
+  }
+  CharBigramModel m(t);
+  EXPECT_GT(m.Score(0, "anderson"), m.Score(0, "andxerson"));
+  EXPECT_GT(m.Score(0, "fischer"), m.Score(0, "fxxcher"));
+}
+
+TEST(TableTest, CellAccessAndAttrIndex) {
+  Table t;
+  t.name = "test";
+  t.attrs = {"a", "b"};
+  t.rows = {{"1", "2"}, {"3", "4"}};
+  EXPECT_EQ(t.Cell(1, 0), "3");
+  t.SetCell(1, 0, "x");
+  EXPECT_EQ(t.Cell(1, 0), "x");
+  EXPECT_EQ(t.AttrIndex("b"), 1);
+  EXPECT_EQ(t.AttrIndex("zz"), -1);
+  auto attrs = t.RowAttrs(0);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[1].first, "b");
+  EXPECT_EQ(attrs[1].second, "2");
+}
+
+}  // namespace
+}  // namespace sudowoodo::data

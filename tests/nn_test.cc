@@ -1,0 +1,282 @@
+// Tests for the neural building blocks: layers, encoders, the optimizer,
+// and weight persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/encoder.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/weights.h"
+
+namespace sudowoodo::nn {
+namespace {
+
+namespace ts = sudowoodo::tensor;
+
+TEST(LinearTest, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear fc(4, 3, &rng);
+  Tensor x = Tensor::Constant(2, 4, 0.0f);
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  // Zero input -> bias (zero-initialized).
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(y.at(0, j), 0.0f);
+}
+
+TEST(EmbeddingTest, GatherReturnsRows) {
+  Rng rng(2);
+  Embedding emb(10, 4, &rng);
+  Tensor out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.rows(), 3);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.at(0, j), out.at(1, j));  // same id, same row
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm ln(8);
+  Rng rng(3);
+  Tensor x = Tensor::Randn(4, 8, 3.0f, &rng, false);
+  Tensor y = ln.Forward(x);
+  for (int i = 0; i < 4; ++i) {
+    float mean = 0, var = 0;
+    for (int j = 0; j < 8; ++j) mean += y.at(i, j);
+    mean /= 8;
+    for (int j = 0; j < 8; ++j) var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(4);
+  Mlp mlp(4, 8, 2, &rng);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);  // 2 layers x (W, b)
+}
+
+TEST(AttentionTest, ShapePreservedAndGradFlows) {
+  Rng rng(5);
+  MultiHeadSelfAttention attn(8, 2, &rng);
+  Tensor x = Tensor::Randn(5, 8, 1.0f, &rng, true);
+  Tensor y = attn.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 8);
+  x.ZeroGrad();
+  for (auto& p : attn.Parameters()) p.ZeroGrad();
+  ts::Backward(ts::MeanAll(attn.Forward(x)));
+  float grad_norm = 0;
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) grad_norm += std::fabs(x.grad_at(r, c));
+  }
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TransformerConfig SmallTransformer() {
+  TransformerConfig config;
+  config.vocab_size = 50;
+  config.max_len = 12;
+  config.dim = 16;
+  config.n_layers = 2;
+  config.n_heads = 2;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(TransformerTest, EncodeBatchShape) {
+  TransformerEncoder enc(SmallTransformer());
+  Tensor z = enc.EncodeBatch({{2, 7, 8}, {2, 9}}, nullptr, false);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 16);
+}
+
+TEST(TransformerTest, DeterministicWithoutDropout) {
+  TransformerEncoder enc(SmallTransformer());
+  ts::NoGradGuard ng;
+  Tensor z1 = enc.EncodeBatch({{2, 7, 8}}, nullptr, false);
+  Tensor z2 = enc.EncodeBatch({{2, 7, 8}}, nullptr, false);
+  for (int j = 0; j < z1.cols(); ++j) EXPECT_FLOAT_EQ(z1.at(0, j), z2.at(0, j));
+}
+
+TEST(TransformerTest, TruncatesLongSequences) {
+  TransformerEncoder enc(SmallTransformer());
+  std::vector<int> long_seq(100, 5);
+  ts::NoGradGuard ng;
+  Tensor z = enc.EncodeBatch({long_seq}, nullptr, false);
+  EXPECT_EQ(z.rows(), 1);  // no crash; truncated internally
+}
+
+TEST(TransformerTest, CutoffChangesEncoding) {
+  TransformerEncoder enc(SmallTransformer());
+  ts::NoGradGuard ng;
+  augment::CutoffPlan plan;
+  plan.kind = augment::CutoffKind::kSpan;
+  plan.ratio = 0.4;
+  plan.start_frac = 0.2;
+  Tensor z1 = enc.EncodeBatch({{2, 7, 8, 9, 10}}, nullptr, false);
+  Tensor z2 = enc.EncodeBatch({{2, 7, 8, 9, 10}}, &plan, false);
+  float diff = 0;
+  for (int j = 0; j < z1.cols(); ++j) diff += std::fabs(z1.at(0, j) - z2.at(0, j));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(ApplyCutoffTest, TokenCutoffZeroesOneRow) {
+  Tensor emb = Tensor::Constant(5, 4, 1.0f);
+  augment::CutoffPlan plan;
+  plan.kind = augment::CutoffKind::kToken;
+  plan.start_frac = 0.5;
+  Tensor out = ApplyCutoff(emb, plan);
+  int zero_rows = 0;
+  for (int i = 0; i < 5; ++i) {
+    bool all_zero = true;
+    for (int j = 0; j < 4; ++j) {
+      if (out.at(i, j) != 0.0f) all_zero = false;
+    }
+    zero_rows += all_zero ? 1 : 0;
+  }
+  EXPECT_EQ(zero_rows, 1);
+  // Row 0 ([CLS]) is never cut.
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.0f);
+}
+
+TEST(ApplyCutoffTest, FeatureCutoffZeroesColumns) {
+  Tensor emb = Tensor::Constant(3, 6, 1.0f);
+  augment::CutoffPlan plan;
+  plan.kind = augment::CutoffKind::kFeature;
+  plan.feature_dims = {1, 4};
+  Tensor out = ApplyCutoff(emb, plan);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(out.at(i, 1), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(i, 4), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(i, 0), 1.0f);
+  }
+}
+
+FastBagConfig SmallBag() {
+  FastBagConfig config;
+  config.vocab_size = 50;
+  config.dim = 16;
+  config.hidden_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(FastBagTest, ShapeAndDeterminism) {
+  FastBagEncoder enc(SmallBag());
+  ts::NoGradGuard ng;
+  Tensor z1 = enc.EncodeBatch({{2, 7, 8}, {2, 9, 10, 11}}, nullptr, false);
+  EXPECT_EQ(z1.rows(), 2);
+  EXPECT_EQ(z1.cols(), 16);
+  Tensor z2 = enc.EncodeBatch({{2, 7, 8}, {2, 9, 10, 11}}, nullptr, false);
+  for (int j = 0; j < 16; ++j) EXPECT_FLOAT_EQ(z1.at(0, j), z2.at(0, j));
+}
+
+TEST(FastBagTest, PairSegmentsChangeEncoding) {
+  FastBagEncoder enc(SmallBag());
+  ts::NoGradGuard ng;
+  // Same multiset of tokens, but with/without [SEP]=3 segment split.
+  Tensor merged = enc.EncodeBatch({{2, 7, 8, 9, 10}}, nullptr, false);
+  Tensor split = enc.EncodeBatch({{2, 7, 8, 3, 9, 10}}, nullptr, false);
+  float diff = 0;
+  for (int j = 0; j < 16; ++j) diff += std::fabs(merged.at(0, j) - split.at(0, j));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(FastBagTest, IdenticalSegmentsGiveZeroDiffFeature) {
+  // x [SEP] x: the |m1 - m2| block is zero, distinguishing matches.
+  FastBagEncoder enc(SmallBag());
+  ts::NoGradGuard ng;
+  Tensor same = enc.EncodeBatch({{2, 7, 8, 3, 7, 8}}, nullptr, false);
+  Tensor diff = enc.EncodeBatch({{2, 7, 8, 3, 9, 10}}, nullptr, false);
+  float delta = 0;
+  for (int j = 0; j < 16; ++j) delta += std::fabs(same.at(0, j) - diff.at(0, j));
+  EXPECT_GT(delta, 1e-4f);
+}
+
+TEST(GruTest, ShapeAndOrderSensitivity) {
+  GruConfig config;
+  config.vocab_size = 50;
+  config.dim = 12;
+  config.dropout = 0.0f;
+  GruEncoder enc(config);
+  ts::NoGradGuard ng;
+  Tensor z1 = enc.EncodeBatch({{2, 7, 8}}, nullptr, false);
+  EXPECT_EQ(z1.cols(), 12);
+  // GRUs are order-sensitive, unlike the bag encoder.
+  Tensor z2 = enc.EncodeBatch({{2, 8, 7}}, nullptr, false);
+  float diff = 0;
+  for (int j = 0; j < 12; ++j) diff += std::fabs(z1.at(0, j) - z2.at(0, j));
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST(AdamWTest, MinimizesQuadratic) {
+  // Minimize ||x - 3||^2 elementwise.
+  Tensor x = Tensor::Zeros(1, 4, true);
+  AdamWOptions opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 0.0f;
+  AdamW optimizer({x}, opts);
+  Tensor target = Tensor::Constant(1, 4, 3.0f);
+  for (int step = 0; step < 300; ++step) {
+    optimizer.ZeroGrad();
+    Tensor diff = ts::Sub(x, target);
+    ts::Backward(ts::MeanAll(ts::Mul(diff, diff)));
+    optimizer.Step();
+  }
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(x.at(0, j), 3.0f, 0.05f);
+}
+
+TEST(AdamWTest, ClipGradNormScales) {
+  Tensor x = Tensor::Zeros(1, 2, true);
+  x.ZeroGrad();
+  x.grad()[0] = 3.0f;
+  x.grad()[1] = 4.0f;  // norm 5
+  AdamW optimizer({x}, AdamWOptions{});
+  const float pre = optimizer.ClipGradNorm(1.0f);
+  EXPECT_NEAR(pre, 5.0f, 1e-5f);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(WeightsTest, SnapshotRestoreRoundTrip) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn(2, 3, 1.0f, &rng, true);
+  WeightSnapshot snap = SnapshotWeights({a});
+  const float orig = a.at(0, 0);
+  a.set(0, 0, 99.0f);
+  RestoreWeights({a}, snap);
+  EXPECT_FLOAT_EQ(a.at(0, 0), orig);
+}
+
+TEST(WeightsTest, SaveLoadRoundTrip) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn(3, 2, 1.0f, &rng, true);
+  Tensor b = Tensor::Randn(1, 4, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_test.bin";
+  ASSERT_TRUE(SaveWeights({a, b}, path).ok());
+  Tensor a2 = Tensor::Zeros(3, 2, true);
+  Tensor b2 = Tensor::Zeros(1, 4, true);
+  ASSERT_TRUE(LoadWeights({a2, b2}, path).ok());
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_FLOAT_EQ(a2.at(r, c), a.at(r, c));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightsTest, LoadRejectsShapeMismatch) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn(2, 2, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_test2.bin";
+  ASSERT_TRUE(SaveWeights({a}, path).ok());
+  Tensor wrong = Tensor::Zeros(3, 3, true);
+  EXPECT_FALSE(LoadWeights({wrong}, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sudowoodo::nn

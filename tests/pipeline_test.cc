@@ -1,0 +1,177 @@
+// Integration tests for the three pipelines and unit tests for metrics.
+// Pipeline configurations here are deliberately tiny so the whole file
+// runs in well under a minute.
+
+#include <gtest/gtest.h>
+
+#include "data/cleaning_dataset.h"
+#include "data/column_corpus.h"
+#include "data/em_dataset.h"
+#include "pipeline/cleaning_pipeline.h"
+#include "pipeline/column_pipeline.h"
+#include "pipeline/em_pipeline.h"
+#include "pipeline/metrics.h"
+
+namespace sudowoodo::pipeline {
+namespace {
+
+TEST(MetricsTest, PRF1KnownValues) {
+  // preds: TP=2, FP=1, FN=1.
+  PRF1 m = ComputePRF1({1, 1, 1, 0, 0}, {1, 1, 0, 1, 0});
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, PRF1DegenerateCases) {
+  PRF1 all_neg = ComputePRF1({0, 0}, {1, 0});
+  EXPECT_EQ(all_neg.precision, 0.0);
+  EXPECT_EQ(all_neg.f1, 0.0);
+  PRF1 perfect = ComputePRF1({1, 0}, {1, 0});
+  EXPECT_EQ(perfect.f1, 1.0);
+}
+
+TEST(MetricsTest, TprTnr) {
+  TprTnr m = ComputeTprTnr({1, 0, 1, 0}, {1, 1, 0, 0});
+  EXPECT_NEAR(m.tpr, 0.5, 1e-9);
+  EXPECT_NEAR(m.tnr, 0.5, 1e-9);
+}
+
+TEST(MetricsTest, ClusterPurity) {
+  // Cluster 0 pure, cluster 1 half-half.
+  const double p = ClusterPurity({{0, 1}, {2, 3}}, {7, 7, 8, 9});
+  EXPECT_NEAR(p, 3.0 / 4.0, 1e-9);
+  EXPECT_EQ(ClusterPurity({}, {}), 1.0);
+}
+
+TEST(ConnectedComponentsTest, FindsComponents) {
+  auto comps = ConnectedComponents(5, {{0, 1}, {1, 2}});
+  // {0,1,2}, {3}, {4}
+  EXPECT_EQ(comps.size(), 3u);
+  size_t largest = 0;
+  for (const auto& c : comps) largest = std::max(largest, c.size());
+  EXPECT_EQ(largest, 3u);
+}
+
+TEST(ConnectedComponentsTest, NoEdgesMeansSingletons) {
+  EXPECT_EQ(ConnectedComponents(4, {}).size(), 4u);
+}
+
+EmPipelineOptions TinyEmOptions() {
+  EmPipelineOptions o;
+  o.encoder_dim = 32;
+  o.pretrain.epochs = 2;
+  o.pretrain.corpus_cap = 400;
+  o.pretrain.num_clusters = 20;
+  o.finetune.epochs = 6;
+  o.seed = 5;
+  return o;
+}
+
+TEST(EmPipelineIntegrationTest, FullRunBeatsTrivialBaselines) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  EmPipeline p(EmPipelineOptions{});  // default = full Sudowoodo
+  EmRunResult r = p.Run(ds);
+  // Better than both all-negative (F1 0) and random guessing.
+  EXPECT_GT(r.test.f1, 0.45);
+  EXPECT_EQ(r.test_preds.size(), ds.test.size());
+  EXPECT_GT(r.n_pseudo, 0);
+  EXPECT_GT(r.theta_pos, r.theta_neg);
+  EXPECT_GT(r.pretrain_seconds, 0.0);
+  EXPECT_GT(r.pl_quality.tnr, 0.7);
+}
+
+TEST(EmPipelineIntegrationTest, UnsupervisedModeRuns) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  EmPipelineOptions o;
+  o.label_budget = 0;
+  EmPipeline p(o);
+  EmRunResult r = p.Run(ds);
+  EXPECT_GT(r.test.f1, 0.25);
+}
+
+TEST(EmPipelineIntegrationTest, BlockingSweepIsMonotone) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  EmPipeline p(TinyEmOptions());
+  auto points = p.BlockingSweep(ds, 8);
+  ASSERT_EQ(points.size(), 8u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].recall, points[i - 1].recall);
+    EXPECT_GT(points[i].n_candidates, points[i - 1].n_candidates);
+  }
+  EXPECT_GT(points.back().recall, 0.6);
+  EXPECT_LT(points.back().cssr, 0.2);
+}
+
+TEST(EmPipelineIntegrationTest, SerializeRowUsesDittoScheme) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  auto toks = EmPipeline::SerializeRow(ds.table_a, 0);
+  EXPECT_EQ(toks[0], "[COL]");
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "[VAL]"), toks.end());
+}
+
+TEST(EmPipelineIntegrationTest, ClusterFnrSmall) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  std::vector<std::vector<std::string>> ta, tb;
+  for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+    ta.push_back(EmPipeline::SerializeRow(ds.table_a, i));
+  }
+  for (int i = 0; i < ds.table_b.num_rows(); ++i) {
+    tb.push_back(EmPipeline::SerializeRow(ds.table_b, i));
+  }
+  const double fnr = MeasureClusterFnr(ta, tb, ds, 30, 32, 7);
+  EXPECT_GE(fnr, 0.0);
+  EXPECT_LT(fnr, 0.1);  // paper: < 2% at full scale; generous bound here
+}
+
+TEST(CleaningPipelineIntegrationTest, ProducesSaneMetrics) {
+  data::CleaningDataset ds =
+      data::GenerateCleaning(data::GetCleaningSpec("beers"));
+  CleaningPipelineOptions o;
+  o.pretrain.epochs = 2;
+  o.pretrain.corpus_cap = 400;
+  o.finetune.epochs = 10;
+  CleaningPipeline p(o);
+  CleaningRunResult r = p.Run(ds);
+  EXPECT_GT(r.true_errors, 0);
+  EXPECT_GE(r.correction.precision, 0.0);
+  EXPECT_LE(r.correction.precision, 1.0);
+  EXPECT_GT(r.corrections_made, 0);
+  EXPECT_GT(r.correction.f1, 0.1);
+}
+
+TEST(CleaningPipelineIntegrationTest, SerializeCellContextFree) {
+  data::CleaningDataset ds =
+      data::GenerateCleaning(data::GetCleaningSpec("beers"));
+  CleaningPipelineOptions o;
+  o.profile_hints = false;
+  CleaningPipeline p(o);
+  auto toks = p.SerializeCell(ds, 0, 1, nullptr);
+  EXPECT_EQ(toks[0], "[COL]");
+  const std::string replaced = "replacement";
+  auto toks2 = p.SerializeCell(ds, 0, 1, &replaced);
+  EXPECT_NE(toks, toks2);
+}
+
+TEST(ColumnPipelineIntegrationTest, MatchesAndClusters) {
+  data::ColumnCorpusSpec spec;
+  spec.n_columns = 300;
+  spec.seed = 9;
+  data::ColumnCorpus corpus = data::GenerateColumnCorpus(spec);
+  ColumnPipelineOptions o;
+  o.encoder_dim = 32;
+  o.pretrain.epochs = 2;
+  o.pretrain.corpus_cap = 300;
+  o.finetune.epochs = 6;
+  o.labeled_pairs = 600;
+  ColumnPipeline p(o);
+  ColumnRunResult r = p.Run(corpus);
+  EXPECT_GT(r.test.f1, 0.5);
+  EXPECT_GT(r.n_candidates, 0);
+  EXPECT_GT(r.clusters.size(), 10u);
+  EXPECT_GT(r.purity, 0.5);
+  EXPECT_EQ(r.per_type.size(), static_cast<size_t>(corpus.num_types()));
+}
+
+}  // namespace
+}  // namespace sudowoodo::pipeline

@@ -1,0 +1,148 @@
+// Tests for TF-IDF featurization and the classical similarity measures,
+// including property-style sweeps over random token sets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sparse/similarity.h"
+#include "sparse/tfidf.h"
+
+namespace sudowoodo::sparse {
+namespace {
+
+std::vector<std::string> RandomTokens(Rng* rng, int max_len) {
+  static const std::vector<std::string> kPool = {"a", "b", "c", "d", "e",
+                                                 "f", "g", "12", "3.5"};
+  std::vector<std::string> out;
+  const int n = rng->UniformInt(max_len + 1);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(kPool[static_cast<size_t>(
+        rng->UniformInt(static_cast<int>(kPool.size())))]);
+  }
+  return out;
+}
+
+TEST(TfIdfTest, TransformIsL2Normalized) {
+  TfIdfFeaturizer f;
+  f.Fit({{"a", "b"}, {"a", "c"}, {"d"}});
+  auto v = f.Transform({"a", "b", "b"});
+  double norm = 0.0;
+  for (const auto& [t, w] : v) norm += w * w;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(TfIdfTest, RareTermsGetHigherIdf) {
+  TfIdfFeaturizer f;
+  // "a" in every doc, "z" in one.
+  f.Fit({{"a", "z"}, {"a"}, {"a"}, {"a"}});
+  auto v = f.Transform({"a", "z"});
+  ASSERT_EQ(v.size(), 2u);
+  float wa = 0, wz = 0;
+  for (const auto& [t, w] : v) {
+    if (t == 0) wa = w;  // "a" seen first -> id 0
+    else wz = w;
+  }
+  EXPECT_GT(wz, wa);
+}
+
+TEST(TfIdfTest, UnseenTermsSkipped) {
+  TfIdfFeaturizer f;
+  f.Fit({{"a"}});
+  EXPECT_TRUE(f.Transform({"zzz"}).empty());
+}
+
+TEST(TfIdfTest, IdenticalDocsHaveCosineOne) {
+  TfIdfFeaturizer f;
+  f.Fit({{"a", "b", "c"}, {"d", "e"}});
+  auto v1 = f.Transform({"a", "b"});
+  auto v2 = f.Transform({"a", "b"});
+  EXPECT_NEAR(SparseDot(v1, v2), 1.0, 1e-5);
+}
+
+TEST(TfIdfTest, DisjointDocsHaveCosineZero) {
+  TfIdfFeaturizer f;
+  f.Fit({{"a", "b"}, {"c", "d"}});
+  EXPECT_NEAR(SparseDot(f.Transform({"a"}), f.Transform({"c"})), 0.0, 1e-6);
+}
+
+TEST(TfIdfTest, FitTransformMatchesSeparateCalls) {
+  TfIdfFeaturizer f1, f2;
+  std::vector<std::vector<std::string>> corpus = {{"a", "b"}, {"b", "c"}};
+  auto vecs = f1.FitTransform(corpus);
+  f2.Fit(corpus);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto v = f2.Transform(corpus[i]);
+    EXPECT_NEAR(SparseDot(vecs[i], v), 1.0, 1e-5);
+  }
+}
+
+TEST(SparseDotTest, HandlesEmpty) {
+  EXPECT_EQ(SparseDot({}, {}), 0.0f);
+  EXPECT_EQ(SparseDot({{0, 1.0f}}, {}), 0.0f);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_NEAR(Jaccard({"a", "b"}, {"a", "b"}), 1.0, 1e-9);
+  EXPECT_NEAR(Jaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(Jaccard({"a"}, {"b"}), 0.0, 1e-9);
+  EXPECT_NEAR(Jaccard({}, {}), 1.0, 1e-9);
+}
+
+TEST(JaccardTest, DuplicatesCollapse) {
+  EXPECT_NEAR(Jaccard({"a", "a", "b"}, {"a", "b", "b"}), 1.0, 1e-9);
+}
+
+TEST(OverlapTest, KnownValues) {
+  EXPECT_NEAR(OverlapCoefficient({"a", "b", "c"}, {"a"}), 1.0, 1e-9);
+  EXPECT_NEAR(OverlapCoefficient({"a", "b"}, {"c"}), 0.0, 1e-9);
+  EXPECT_NEAR(OverlapCoefficient({}, {"a"}), 0.0, 1e-9);
+}
+
+TEST(NumericJaccardTest, OnlyComparesNumbers) {
+  EXPECT_NEAR(NumericJaccard({"x", "42"}, {"y", "42"}), 1.0, 1e-9);
+  EXPECT_NEAR(NumericJaccard({"x", "42"}, {"y", "43"}), 0.0, 1e-9);
+  // No numbers on either side: vacuously similar.
+  EXPECT_NEAR(NumericJaccard({"x"}, {"y"}), 1.0, 1e-9);
+}
+
+TEST(EditSimilarityTest, KnownValues) {
+  EXPECT_NEAR(EditSimilarity("abc", "abc"), 1.0, 1e-9);
+  EXPECT_NEAR(EditSimilarity("abcd", "abce"), 0.75, 1e-9);
+  EXPECT_NEAR(EditSimilarity("", ""), 1.0, 1e-9);
+}
+
+TEST(PairFeaturesTest, DimensionAndRange) {
+  auto f = PairFeatures({"a", "b", "42"}, {"b", "c", "42"});
+  ASSERT_EQ(f.size(), 5u);
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+// Property sweep: similarity measures are symmetric and bounded on random
+// token multisets.
+class SimilarityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityPropertyTest, SymmetricAndBounded) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto a = RandomTokens(&rng, 8);
+  auto b = RandomTokens(&rng, 8);
+  EXPECT_NEAR(Jaccard(a, b), Jaccard(b, a), 1e-12);
+  EXPECT_NEAR(OverlapCoefficient(a, b), OverlapCoefficient(b, a), 1e-12);
+  EXPECT_NEAR(NumericJaccard(a, b), NumericJaccard(b, a), 1e-12);
+  for (double v : {Jaccard(a, b), OverlapCoefficient(a, b)}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Identity: similarity with itself is maximal.
+  EXPECT_NEAR(Jaccard(a, a), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, SimilarityPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sudowoodo::sparse

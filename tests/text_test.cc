@@ -1,0 +1,134 @@
+// Tests for tokenization, vocabulary construction and the Ditto-style
+// serialization scheme.
+
+#include <gtest/gtest.h>
+
+#include "text/serialize.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace sudowoodo::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto toks = Tokenize("Instant Immersion Spanish");
+  EXPECT_EQ(toks, (std::vector<std::string>{"instant", "immersion",
+                                            "spanish"}));
+}
+
+TEST(TokenizerTest, KeepsModelNumbersTogether) {
+  auto toks = Tokenize("camera mx-4820 v2.0");
+  EXPECT_EQ(toks, (std::vector<std::string>{"camera", "mx-4820", "v2.0"}));
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  auto toks = Tokenize("end. (ok), yes!");
+  EXPECT_EQ(toks, (std::vector<std::string>{"end", "ok", "yes"}));
+}
+
+TEST(TokenizerTest, PassesSpecialMarkersThrough) {
+  auto toks = Tokenize("[COL] price [VAL] 36.11");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "[COL]");
+  EXPECT_EQ(toks[2], "[VAL]");
+  EXPECT_EQ(toks[3], "36.11");
+}
+
+TEST(TokenizerTest, EmptyInput) { EXPECT_TRUE(Tokenize("").empty()); }
+
+TEST(TokenizerTest, IsSpecialToken) {
+  EXPECT_TRUE(IsSpecialToken("[COL]"));
+  EXPECT_TRUE(IsSpecialToken("[SEP]"));
+  EXPECT_FALSE(IsSpecialToken("col"));
+  EXPECT_FALSE(IsSpecialToken("[x"));
+}
+
+TEST(VocabTest, SpecialTokensHaveFixedIds) {
+  Vocab v;
+  EXPECT_EQ(v.Id("[PAD]"), Vocab::kPad);
+  EXPECT_EQ(v.Id("[UNK]"), Vocab::kUnk);
+  EXPECT_EQ(v.Id("[CLS]"), Vocab::kCls);
+  EXPECT_EQ(v.Id("[SEP]"), Vocab::kSep);
+  EXPECT_EQ(v.Id("[COL]"), Vocab::kCol);
+  EXPECT_EQ(v.Id("[VAL]"), Vocab::kVal);
+  EXPECT_EQ(v.size(), 6);
+}
+
+TEST(VocabTest, BuildOrdersByFrequency) {
+  Vocab v = Vocab::Build({{"b", "a", "a"}, {"a", "c"}});
+  // "a" appears 3x -> first non-special id.
+  EXPECT_EQ(v.Id("a"), 6);
+  EXPECT_EQ(v.Token(6), "a");
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v = Vocab::Build({{"a"}});
+  EXPECT_EQ(v.Id("never-seen"), Vocab::kUnk);
+}
+
+TEST(VocabTest, MaxSizeRespected) {
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 100; ++i) {
+    corpus.push_back({"tok" + std::to_string(i)});
+  }
+  Vocab v = Vocab::Build(corpus, /*max_size=*/10);
+  EXPECT_EQ(v.size(), 10);
+}
+
+TEST(VocabTest, MinFreqFiltersRareTokens) {
+  Vocab v = Vocab::Build({{"common", "common", "rare"}}, 8000, /*min_freq=*/2);
+  EXPECT_NE(v.Id("common"), Vocab::kUnk);
+  EXPECT_EQ(v.Id("rare"), Vocab::kUnk);
+}
+
+TEST(VocabTest, EncodePrependsClsByDefault) {
+  Vocab v = Vocab::Build({{"a", "b"}});
+  auto ids = v.Encode({"a", "b"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], Vocab::kCls);
+  auto no_cls = v.Encode({"a"}, /*add_cls=*/false);
+  EXPECT_EQ(no_cls.size(), 1u);
+}
+
+TEST(VocabTest, DeterministicTieBreak) {
+  Vocab v1 = Vocab::Build({{"z", "y", "x"}});
+  Vocab v2 = Vocab::Build({{"z", "y", "x"}});
+  for (int i = 0; i < v1.size(); ++i) EXPECT_EQ(v1.Token(i), v2.Token(i));
+}
+
+TEST(SerializeTest, AttrsFollowDittoScheme) {
+  auto toks = SerializeAttrs({{"title", "instant spanish"}, {"price", "36.11"}});
+  const std::vector<std::string> expected = {
+      "[COL]", "title", "[VAL]", "instant", "spanish",
+      "[COL]", "price", "[VAL]", "36.11"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(SerializeTest, EmptyValueStillEmitsMarkers) {
+  auto toks = SerializeAttrs({{"venue", ""}});
+  EXPECT_EQ(toks, (std::vector<std::string>{"[COL]", "venue", "[VAL]"}));
+}
+
+TEST(SerializeTest, ColumnSchemeUsesValMarkers) {
+  auto toks = SerializeColumn({"new york", "california"});
+  const std::vector<std::string> expected = {"[VAL]", "new", "york", "[VAL]",
+                                             "california"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(SerializeTest, PairInsertsSeparators) {
+  auto toks = SerializePairTokens({"a"}, {"b"});
+  EXPECT_EQ(toks, (std::vector<std::string>{"a", "[SEP]", "b", "[SEP]"}));
+}
+
+TEST(SerializeTest, RoundTripThroughVocab) {
+  auto toks = SerializeAttrs({{"name", "zenix camera"}});
+  Vocab v = Vocab::Build({toks});
+  auto ids = v.Encode(toks);
+  // [CLS] + 5 tokens, no UNKs.
+  ASSERT_EQ(ids.size(), 6u);
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_NE(ids[i], Vocab::kUnk);
+}
+
+}  // namespace
+}  // namespace sudowoodo::text
