@@ -1,0 +1,93 @@
+// Thread-scaling microbenchmark for the parallel execution subsystem:
+// brute-force kNN blocking and TF-IDF scoring over >= 2k records at
+// num_threads = 1, 2, 4, verifying bit-identical results while timing.
+//
+// On a single-core container the parallel wall-clock will not beat the
+// serial one (there is no second core to run the shards); the bench still
+// verifies the determinism contract and reports honest numbers.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random_vectors.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "index/knn_index.h"
+#include "sparse/tfidf.h"
+
+namespace sudowoodo {
+namespace {
+
+bool SameNeighbors(const std::vector<std::vector<index::Neighbor>>& a,
+                   const std::vector<std::vector<index::Neighbor>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].id != b[i][j].id || a[i][j].sim != b[i][j].sim) return false;
+    }
+  }
+  return true;
+}
+
+void Run() {
+  const int n_items = 2500, n_queries = 2500, dim = 64, k = 10;
+  std::printf("kNN blocking: %d items x %d queries, dim=%d, k=%d\n", n_items,
+              n_queries, dim, k);
+  index::KnnIndex index(RandomUnitVectors(n_items, dim, 7));
+  const auto queries = RandomUnitVectors(n_queries, dim, 11);
+
+  std::vector<std::vector<index::Neighbor>> baseline;
+  TablePrinter table("kNN QueryBatch thread scaling");
+  table.SetHeader({"num_threads", "knn_seconds", "speedup", "identical"});
+  double serial_seconds = 0.0;
+  for (int num_threads : {1, 2, 4}) {
+    WallTimer timer;
+    auto result = index.QueryBatch(queries, k, num_threads);
+    const double seconds = timer.ElapsedSeconds();
+    if (num_threads == 1) {
+      serial_seconds = seconds;
+      baseline = result;
+    }
+    table.AddRow({std::to_string(num_threads), StrFormat("%.3f", seconds),
+                  StrFormat("%.2fx", serial_seconds / seconds),
+                  SameNeighbors(result, baseline) ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf("\nTF-IDF transform: %d docs\n", 2 * n_items);
+  Rng rng(3);
+  std::vector<std::vector<std::string>> corpus;
+  for (int d = 0; d < 2 * n_items; ++d) {
+    std::vector<std::string> doc;
+    const int len = 10 + rng.UniformInt(30);
+    for (int t = 0; t < len; ++t) {
+      doc.push_back("tok" + std::to_string(rng.UniformInt(4000)));
+    }
+    corpus.push_back(std::move(doc));
+  }
+  sparse::TfIdfFeaturizer tfidf;
+  tfidf.Fit(corpus);
+  TablePrinter table2("TF-IDF TransformBatch thread scaling");
+  table2.SetHeader({"num_threads", "tfidf_seconds", "speedup"});
+  double tfidf_serial = 0.0;
+  for (int num_threads : {1, 2, 4}) {
+    WallTimer timer;
+    auto vecs = tfidf.TransformBatch(corpus, num_threads);
+    const double seconds = timer.ElapsedSeconds();
+    if (num_threads == 1) tfidf_serial = seconds;
+    table2.AddRow({std::to_string(num_threads), StrFormat("%.3f", seconds),
+                   StrFormat("%.2fx", tfidf_serial / seconds)});
+  }
+  table2.Print();
+}
+
+}  // namespace
+}  // namespace sudowoodo
+
+int main() {
+  sudowoodo::Run();
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+# Usage:
+#   scripts/check.sh            # plain Release build + ctest
+#   SANITIZE=thread scripts/check.sh   # same, under TSan (or address/undefined)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_ARGS=""
+if [ -n "${SANITIZE:-}" ]; then
+  BUILD_DIR="${BUILD_DIR}-${SANITIZE}"
+  CMAKE_ARGS="-DSUDOWOODO_SANITIZE=${SANITIZE}"
+fi
+
+cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS}
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "$(nproc)"

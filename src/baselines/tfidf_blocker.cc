@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <set>
 
+#include "common/parallel.h"
 #include "sparse/tfidf.h"
 
 namespace sudowoodo::baselines {
 
 std::vector<pipeline::BlockingPoint> TfidfBlockingSweep(
-    const data::EmDataset& ds, int k_max) {
+    const data::EmDataset& ds, int k_max, int num_threads) {
   std::vector<std::vector<std::string>> tokens_a, tokens_b;
   for (int i = 0; i < ds.table_a.num_rows(); ++i) {
     tokens_a.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, i));
@@ -22,27 +23,32 @@ std::vector<pipeline::BlockingPoint> TfidfBlockingSweep(
     corpus.insert(corpus.end(), tokens_b.begin(), tokens_b.end());
     tfidf.Fit(corpus);
   }
-  std::vector<sparse::SparseVector> vec_a, vec_b;
-  for (const auto& t : tokens_a) vec_a.push_back(tfidf.Transform(t));
-  for (const auto& t : tokens_b) vec_b.push_back(tfidf.Transform(t));
+  std::vector<sparse::SparseVector> vec_a =
+      tfidf.TransformBatch(tokens_a, num_threads);
+  std::vector<sparse::SparseVector> vec_b =
+      tfidf.TransformBatch(tokens_b, num_threads);
 
-  // Top-k_max B neighbours for every A record.
+  // Top-k_max B neighbours for every A record; each A row owns its output
+  // slot so the parallel scoring merges bit-identically.
   const int na = ds.table_a.num_rows(), nb = ds.table_b.num_rows();
   std::vector<std::vector<std::pair<float, int>>> topk(
       static_cast<size_t>(na));
-  for (int a = 0; a < na; ++a) {
-    auto& heap = topk[static_cast<size_t>(a)];
-    for (int b = 0; b < nb; ++b) {
-      const float s = sparse::SparseDot(vec_a[static_cast<size_t>(a)],
-                                        vec_b[static_cast<size_t>(b)]);
-      heap.emplace_back(s, b);
+  ParallelFor(na, num_threads, [&](int64_t begin, int64_t end, int /*shard*/) {
+    for (int64_t a = begin; a < end; ++a) {
+      auto& heap = topk[static_cast<size_t>(a)];
+      for (int b = 0; b < nb; ++b) {
+        const float s = sparse::SparseDot(vec_a[static_cast<size_t>(a)],
+                                          vec_b[static_cast<size_t>(b)]);
+        heap.emplace_back(s, b);
+      }
+      std::partial_sort(
+          heap.begin(),
+          heap.begin() +
+              std::min<size_t>(heap.size(), static_cast<size_t>(k_max)),
+          heap.end(), std::greater<>());
+      heap.resize(std::min<size_t>(heap.size(), static_cast<size_t>(k_max)));
     }
-    std::partial_sort(heap.begin(),
-                      heap.begin() + std::min<size_t>(heap.size(),
-                                                      static_cast<size_t>(k_max)),
-                      heap.end(), std::greater<>());
-    heap.resize(std::min<size_t>(heap.size(), static_cast<size_t>(k_max)));
-  }
+  });
 
   std::set<std::pair<int, int>> gold(ds.gold_matches.begin(),
                                      ds.gold_matches.end());

@@ -20,8 +20,10 @@ namespace sudowoodo::baselines {
 
 /// Recall/CSSR points for TF-IDF cosine kNN blocking, k = 1..k_max
 /// (the same sweep EmPipeline::BlockingSweep performs for Sudowoodo).
+/// Scoring is sharded over the A records when num_threads > 1; the
+/// candidate sets are bit-identical to the serial path.
 std::vector<pipeline::BlockingPoint> TfidfBlockingSweep(
-    const data::EmDataset& ds, int k_max);
+    const data::EmDataset& ds, int k_max, int num_threads = 1);
 
 }  // namespace sudowoodo::baselines
 

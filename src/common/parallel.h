@@ -1,0 +1,96 @@
+// Deterministic data-parallel loops on top of ThreadPool.
+//
+// ParallelFor splits [0, n) into `num_shards` *fixed* contiguous ranges -
+// the shard boundaries depend only on (n, num_shards), never on worker
+// count or scheduling - and invokes the body once per shard. Callers write
+// each index's result into a pre-sized output slot (or accumulate
+// per-shard and merge in shard order), which makes the parallel result
+// bit-identical to the serial one: every existing unit test doubles as a
+// parallel-correctness oracle.
+//
+// num_shards <= 1 (or n <= 1) bypasses the pool entirely and runs the
+// loop on the calling thread, so `num_threads = 1` is exactly the serial
+// code path, not a 1-worker simulation of it.
+
+#ifndef SUDOWOODO_COMMON_PARALLEL_H_
+#define SUDOWOODO_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sudowoodo {
+
+/// Half-open index range [begin, end) handled by one shard.
+struct ShardRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int shard = 0;
+};
+
+/// The fixed shard decomposition of [0, n) into at most `num_shards`
+/// near-equal contiguous ranges (empty ranges are dropped).
+inline std::vector<ShardRange> MakeShards(int64_t n, int num_shards) {
+  std::vector<ShardRange> shards;
+  if (n <= 0) return shards;
+  num_shards = std::max(1, std::min<int>(num_shards, static_cast<int>(n)));
+  const int64_t base = n / num_shards;
+  const int64_t extra = n % num_shards;  // first `extra` shards get +1
+  int64_t begin = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const int64_t len = base + (s < extra ? 1 : 0);
+    shards.push_back({begin, begin + len, s});
+    begin += len;
+  }
+  return shards;
+}
+
+/// Runs body(begin, end, shard) over the fixed shard decomposition of
+/// [0, n). Shards other than the first run on ThreadPool::Global(); the
+/// first runs on the calling thread. Blocks until every shard finishes;
+/// the first exception (in shard order) is rethrown.
+template <typename Body>
+void ParallelFor(int64_t n, int num_threads, const Body& body) {
+  const std::vector<ShardRange> shards = MakeShards(n, num_threads);
+  if (shards.empty()) return;
+  if (shards.size() == 1) {
+    body(shards[0].begin, shards[0].end, shards[0].shard);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards.size() - 1);
+  for (size_t s = 1; s < shards.size(); ++s) {
+    const ShardRange r = shards[s];
+    futures.push_back(pool.Submit([&body, r] { body(r.begin, r.end, r.shard); }));
+  }
+  std::exception_ptr first_error;
+  try {
+    body(shards[0].begin, shards[0].end, shards[0].shard);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Element-wise convenience: body(i) for each i in [0, n).
+template <typename Body>
+void ParallelForEach(int64_t n, int num_threads, const Body& body) {
+  ParallelFor(n, num_threads, [&body](int64_t begin, int64_t end, int) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace sudowoodo
+
+#endif  // SUDOWOODO_COMMON_PARALLEL_H_

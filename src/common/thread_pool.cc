@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sudowoodo {
+
+namespace {
+// Which pool (if any) owns the current thread. Lets Submit detect nested
+// submission and run inline instead of deadlocking.
+thread_local const ThreadPool* g_current_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  num_workers = std::max(num_workers, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::InWorkerThread() const { return g_current_pool == this; }
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty() || InWorkerThread()) {
+    task();  // inline: 0-worker pool, or nested submit from a worker
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  g_current_pool = this;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(std::max(1, static_cast<int>(hw) - 1));
+  }();
+  return *pool;
+}
+
+}  // namespace sudowoodo

@@ -1,0 +1,70 @@
+// A fixed-size, work-stealing-free thread pool.
+//
+// Design goals, in order:
+//   1. Determinism of the *callers* that use it: the pool itself never
+//      reorders results - callers shard work into fixed ranges and write
+//      disjoint output slots, so the merged result is bit-identical to the
+//      serial path regardless of worker count or scheduling.
+//   2. No deadlocks on nested use: a task submitted from inside a pool
+//      worker of the same pool runs inline on that worker instead of being
+//      queued (queueing could deadlock once every worker blocks on a
+//      child future).
+//   3. Exceptions propagate: a task that throws stores the exception in its
+//      future; future.get() rethrows on the waiting thread.
+//
+// A pool with 0 workers is valid and degenerates to inline execution on the
+// submitting thread - callers can treat `ThreadPool(options.num_threads - 1)`
+// uniformly without special-casing the serial configuration.
+
+#ifndef SUDOWOODO_COMMON_THREAD_POOL_H_
+#define SUDOWOODO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sudowoodo {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads. 0 is valid: every Submit runs inline.
+  explicit ThreadPool(int num_workers);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`. The returned future yields when the task finishes and
+  /// rethrows anything the task threw. Tasks submitted from a worker of
+  /// this same pool run inline (see the header comment).
+  std::future<void> Submit(std::function<void()> fn);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+  /// Process-wide shared pool, lazily created with
+  /// max(hardware_concurrency - 1, 1) workers. Used by ParallelFor so hot
+  /// paths do not pay thread-spawn cost per call.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sudowoodo
+
+#endif  // SUDOWOODO_COMMON_THREAD_POOL_H_

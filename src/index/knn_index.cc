@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace sudowoodo::index {
@@ -43,10 +44,16 @@ std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
 }
 
 std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
-    const std::vector<std::vector<float>>& queries, int k) const {
-  std::vector<std::vector<Neighbor>> out;
-  out.reserve(queries.size());
-  for (const auto& q : queries) out.push_back(Query(q, k));
+    const std::vector<std::vector<float>>& queries, int k,
+    int num_threads) const {
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  ParallelFor(static_cast<int64_t>(queries.size()), num_threads,
+              [&](int64_t begin, int64_t end, int /*shard*/) {
+                for (int64_t i = begin; i < end; ++i) {
+                  out[static_cast<size_t>(i)] =
+                      Query(queries[static_cast<size_t>(i)], k);
+                }
+              });
   return out;
 }
 

@@ -27,9 +27,13 @@ class KnnIndex {
   /// Top-k most similar items, most similar first.
   std::vector<Neighbor> Query(const std::vector<float>& query, int k) const;
 
-  /// Top-k for every query vector.
+  /// Top-k for every query vector. With num_threads > 1 the queries are
+  /// sharded across workers in fixed contiguous ranges; each query's result
+  /// is written to its own output slot, so the batch is bit-identical to
+  /// the serial (num_threads = 1) path.
   std::vector<std::vector<Neighbor>> QueryBatch(
-      const std::vector<std::vector<float>>& queries, int k) const;
+      const std::vector<std::vector<float>>& queries, int k,
+      int num_threads = 1) const;
 
   int size() const { return static_cast<int>(items_.size()); }
   int dim() const { return dim_; }

@@ -2,9 +2,34 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace sudowoodo::nn {
 
 namespace ts = sudowoodo::tensor;
+
+std::vector<Tensor> Encoder::EncodeRows(
+    size_t n, bool training,
+    const std::function<Tensor(size_t)>& encode_row) {
+  std::vector<Tensor> rows(n);
+  // Training-mode forwards stay serial: they build the autograd graph and
+  // draw from the shared dropout RNG, both of which are order-sensitive.
+  // Inference with the tape off touches only read-only weights.
+  if (num_threads_ > 1 && !training && !ts::GradEnabled()) {
+    ParallelFor(static_cast<int64_t>(n), num_threads_,
+                [&](int64_t begin, int64_t end, int /*shard*/) {
+                  // GradEnabled() is thread-local; re-disable it on workers.
+                  ts::NoGradGuard ng;
+                  for (int64_t i = begin; i < end; ++i) {
+                    rows[static_cast<size_t>(i)] =
+                        encode_row(static_cast<size_t>(i));
+                  }
+                });
+  } else {
+    for (size_t i = 0; i < n; ++i) rows[i] = encode_row(i);
+  }
+  return rows;
+}
 
 std::vector<std::vector<float>> Encoder::EmbedNormalized(
     const std::vector<std::vector<int>>& batch) {
@@ -118,11 +143,10 @@ Tensor TransformerEncoder::EncodeBatch(
     const std::vector<std::vector<int>>& batch,
     const augment::CutoffPlan* cutoff, bool training) {
   SUDO_CHECK(!batch.empty());
-  std::vector<Tensor> pooled;
-  pooled.reserve(batch.size());
-  for (const auto& ids : batch) {
-    pooled.push_back(EncodeOne(ids, cutoff, training));
-  }
+  std::vector<Tensor> pooled =
+      EncodeRows(batch.size(), training, [&](size_t i) {
+        return EncodeOne(batch[i], cutoff, training);
+      });
   return ts::ConcatRows(pooled);
 }
 
@@ -185,9 +209,9 @@ Tensor FastBagEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
                                    const augment::CutoffPlan* cutoff,
                                    bool training) {
   SUDO_CHECK(!batch.empty());
-  std::vector<Tensor> pooled;
-  pooled.reserve(batch.size());
-  for (const auto& ids : batch) pooled.push_back(PoolOne(ids, cutoff));
+  std::vector<Tensor> pooled =
+      EncodeRows(batch.size(), training,
+                 [&](size_t i) { return PoolOne(batch[i], cutoff); });
   Tensor x = ts::ConcatRows(pooled);  // [B, 4*dim]
   x = ts::Dropout(x, config_.dropout, &rng_, training);
   // Residual on the mean of the two segment means keeps the informative

@@ -6,6 +6,7 @@
 #ifndef SUDOWOODO_NN_ENCODER_H_
 #define SUDOWOODO_NN_ENCODER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,26 @@ class Encoder {
   /// per Definition 1, returning plain row vectors (no autograd graph).
   std::vector<std::vector<float>> EmbedNormalized(
       const std::vector<std::vector<int>>& batch);
+
+  /// Degree of parallelism for *inference-mode* batched forward passes
+  /// (rows of a minibatch are encoded independently across workers and
+  /// concatenated in index order, so results are bit-identical to the
+  /// serial path). Training-mode forward/backward stays serial for
+  /// gradient determinism.
+  void set_num_threads(int n) { num_threads_ = n > 0 ? n : 1; }
+  int num_threads() const { return num_threads_; }
+
+ protected:
+  /// Shared fan-out for EncodeBatch implementations: evaluates
+  /// encode_row(i) for i in [0, n), in parallel over fixed shards when
+  /// eligible (inference mode, autograd tape off, num_threads_ > 1) and
+  /// serially otherwise. Row i's tensor always lands in slot i, so the
+  /// result is bit-identical either way.
+  std::vector<Tensor> EncodeRows(
+      size_t n, bool training,
+      const std::function<Tensor(size_t)>& encode_row);
+
+  int num_threads_ = 1;
 };
 
 /// Multi-head self-attention block (per-sequence, no padding mask needed

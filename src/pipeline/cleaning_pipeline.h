@@ -55,6 +55,10 @@ struct CleaningPipelineOptions {
   /// speed knob; the true correction is always kept when covered).
   int max_train_candidates = 4;
 
+  /// Worker threads for inference-mode encoding (prediction over cell /
+  /// candidate pairs); bit-identical results for any value, 1 = serial.
+  int num_threads = 1;
+
   uint64_t seed = 23;
 };
 

@@ -68,6 +68,7 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
   auto encoder =
       MakeEncoder(options_.encoder_kind, vocab.size(), options_.encoder_dim,
                   options_.max_len, options_.seed);
+  encoder->set_num_threads(options_.num_threads);
 
   // Pre-training with the cell-level operator (attribute ops do not apply
   // to columns, §V-B).
@@ -87,9 +88,10 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
   auto emb = encoder->EmbedNormalized(ids);
   index::KnnIndex index(emb);
   std::set<std::pair<int, int>> candidate_set;
+  const auto col_topk =
+      index.QueryBatch(emb, options_.blocking_k + 1, options_.num_threads);
   for (int i = 0; i < n; ++i) {
-    for (const auto& nb :
-         index.Query(emb[static_cast<size_t>(i)], options_.blocking_k + 1)) {
+    for (const auto& nb : col_topk[static_cast<size_t>(i)]) {
       if (nb.id == i) continue;
       candidate_set.insert({std::min(i, nb.id), std::max(i, nb.id)});
     }

@@ -40,6 +40,10 @@ struct ColumnPipelineOptions {
   /// threshold keeps components pure instead of collapsing into one blob.
   float cluster_edge_threshold = 0.9f;
 
+  /// Worker threads for inference-mode encoding and kNN blocking;
+  /// bit-identical results for any value, 1 = serial.
+  int num_threads = 1;
+
   uint64_t seed = 29;
 };
 

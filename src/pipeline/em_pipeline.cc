@@ -75,6 +75,7 @@ EmPipeline::Prepared EmPipeline::Prepare(const data::EmDataset& ds) {
   prep.encoder =
       MakeEncoder(options_.encoder_kind, prep.vocab.size(),
                   options_.encoder_dim, options_.max_len, options_.seed);
+  prep.encoder->set_num_threads(options_.num_threads);
 
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;
@@ -102,9 +103,10 @@ EmRunResult EmPipeline::Run(const data::EmDataset& ds) {
   auto emb_b = prep.encoder->EmbedNormalized(ids_b);
   index::KnnIndex index_b(emb_b);
   std::vector<matcher::ScoredPair> candidates;
+  const auto topk =
+      index_b.QueryBatch(emb_a, options_.blocking_k, options_.num_threads);
   for (int a = 0; a < ds.table_a.num_rows(); ++a) {
-    for (const auto& nb :
-         index_b.Query(emb_a[static_cast<size_t>(a)], options_.blocking_k)) {
+    for (const auto& nb : topk[static_cast<size_t>(a)]) {
       candidates.push_back({a, nb.id, nb.sim});
     }
   }
@@ -227,7 +229,7 @@ std::vector<BlockingPoint> EmPipeline::BlockingSweep(const data::EmDataset& ds,
 
   // One query at k_max; prefixes give every smaller k.
   std::vector<std::vector<index::Neighbor>> topk =
-      index_b.QueryBatch(emb_a, k_max);
+      index_b.QueryBatch(emb_a, k_max, options_.num_threads);
 
   std::set<std::pair<int, int>> gold(ds.gold_matches.begin(),
                                      ds.gold_matches.end());

@@ -62,6 +62,11 @@ struct EmPipelineOptions {
   /// of the real Rotom is approximated by a fixed operator).
   bool augment_finetune = false;
 
+  /// Worker threads for the embarrassingly parallel stages (inference-mode
+  /// encoding and kNN blocking). Results are bit-identical for any value;
+  /// 1 = the serial path. Training stays serial regardless.
+  int num_threads = 1;
+
   uint64_t seed = 7;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/parallel.h"
+
 namespace sudowoodo::sparse {
 
 float SparseDot(const SparseVector& a, const SparseVector& b) {
@@ -66,13 +68,24 @@ SparseVector TfIdfFeaturizer::Transform(
   return vec;
 }
 
-std::vector<SparseVector> TfIdfFeaturizer::FitTransform(
-    const std::vector<std::vector<std::string>>& corpus) {
-  Fit(corpus);
-  std::vector<SparseVector> out;
-  out.reserve(corpus.size());
-  for (const auto& doc : corpus) out.push_back(Transform(doc));
+std::vector<SparseVector> TfIdfFeaturizer::TransformBatch(
+    const std::vector<std::vector<std::string>>& corpus,
+    int num_threads) const {
+  std::vector<SparseVector> out(corpus.size());
+  ParallelFor(static_cast<int64_t>(corpus.size()), num_threads,
+              [&](int64_t begin, int64_t end, int /*shard*/) {
+                for (int64_t i = begin; i < end; ++i) {
+                  out[static_cast<size_t>(i)] =
+                      Transform(corpus[static_cast<size_t>(i)]);
+                }
+              });
   return out;
+}
+
+std::vector<SparseVector> TfIdfFeaturizer::FitTransform(
+    const std::vector<std::vector<std::string>>& corpus, int num_threads) {
+  Fit(corpus);
+  return TransformBatch(corpus, num_threads);
 }
 
 }  // namespace sudowoodo::sparse

@@ -27,9 +27,17 @@ class TfIdfFeaturizer {
   /// TF-IDF vector for one document; unseen terms are skipped.
   SparseVector Transform(const std::vector<std::string>& tokens) const;
 
-  /// Fit + Transform over the same corpus.
+  /// Transform for every document. Documents are scored independently on
+  /// fixed shards, so the result is bit-identical for any num_threads.
+  std::vector<SparseVector> TransformBatch(
+      const std::vector<std::vector<std::string>>& corpus,
+      int num_threads = 1) const;
+
+  /// Fit + Transform over the same corpus. Fit (dictionary construction)
+  /// is order-dependent and stays serial; the transform half parallelizes.
   std::vector<SparseVector> FitTransform(
-      const std::vector<std::vector<std::string>>& corpus);
+      const std::vector<std::vector<std::string>>& corpus,
+      int num_threads = 1);
 
   int vocab_size() const { return static_cast<int>(term_ids_.size()); }
 

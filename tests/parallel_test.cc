@@ -1,0 +1,273 @@
+// Tests for the parallel execution subsystem (common/thread_pool.h,
+// common/parallel.h) and for the determinism contract of the parallelized
+// hot paths: every parallel result must be bit-identical to num_threads=1.
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/tfidf_blocker.h"
+#include "common/parallel.h"
+#include "common/random_vectors.h"
+#include "common/thread_pool.h"
+#include "data/em_dataset.h"
+#include "gtest/gtest.h"
+#include "index/knn_index.h"
+#include "nn/encoder.h"
+#include "sparse/tfidf.h"
+
+namespace sudowoodo {
+namespace {
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, submitter);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsAllTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ManyWorkersRunAllTasks) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.num_workers(), 8);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 1000; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 1000 * 1001 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(1);  // the harshest case: one worker submits to itself
+  std::atomic<int> inner_runs{0};
+  auto outer = pool.Submit([&] {
+    std::vector<std::future<void>> inner;
+    for (int i = 0; i < 4; ++i) {
+      inner.push_back(pool.Submit([&inner_runs] { ++inner_runs; }));
+    }
+    for (auto& f : inner) f.get();
+  });
+  outer.get();
+  EXPECT_EQ(inner_runs.load(), 4);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // ~ThreadPool drains and joins
+  EXPECT_EQ(count.load(), 50);
+}
+
+// --- ParallelFor ------------------------------------------------------------
+
+TEST(ParallelForTest, ShardsAreFixedContiguousAndCoverTheRange) {
+  const auto shards = MakeShards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].begin, 0);
+  EXPECT_EQ(shards[0].end, 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(shards[1].begin, 4);
+  EXPECT_EQ(shards[1].end, 7);
+  EXPECT_EQ(shards[2].begin, 7);
+  EXPECT_EQ(shards[2].end, 10);
+  EXPECT_TRUE(MakeShards(0, 4).empty());
+  // More shards than items degrades to one item per shard.
+  EXPECT_EQ(MakeShards(2, 8).size(), 2u);
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  for (int num_threads : {1, 2, 4, 7}) {
+    std::vector<int> visits(131, 0);
+    ParallelForEach(131, num_threads, [&](int64_t i) {
+      ++visits[static_cast<size_t>(i)];
+    });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 131)
+        << "num_threads=" << num_threads;
+    for (int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelForTest, ExceptionInShardPropagates) {
+  EXPECT_THROW(
+      ParallelFor(100, 4,
+                  [](int64_t begin, int64_t, int) {
+                    if (begin == 0) throw std::logic_error("shard 0 failed");
+                  }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  std::atomic<int64_t> total{0};
+  ParallelFor(8, 4, [&](int64_t begin, int64_t end, int) {
+    for (int64_t i = begin; i < end; ++i) {
+      ParallelForEach(16, 4, [&](int64_t) { ++total; });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+// --- Determinism oracles on the hot paths ----------------------------------
+
+TEST(ParallelDeterminismTest, KnnQueryBatchBitIdenticalToSerial) {
+  const auto items = RandomUnitVectors(400, 16, 7);
+  const auto queries = RandomUnitVectors(123, 16, 11);
+  index::KnnIndex index(items);
+  const auto serial = index.QueryBatch(queries, 10, /*num_threads=*/1);
+  for (int num_threads : {2, 4, 8}) {
+    const auto parallel = index.QueryBatch(queries, 10, num_threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t q = 0; q < serial.size(); ++q) {
+      ASSERT_EQ(parallel[q].size(), serial[q].size());
+      for (size_t j = 0; j < serial[q].size(); ++j) {
+        EXPECT_EQ(parallel[q][j].id, serial[q][j].id);
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(parallel[q][j].sim, serial[q][j].sim);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TfidfTransformBatchBitIdenticalToSerial) {
+  Rng rng(3);
+  std::vector<std::vector<std::string>> corpus;
+  for (int d = 0; d < 200; ++d) {
+    std::vector<std::string> doc;
+    const int len = 3 + rng.UniformInt(12);
+    for (int t = 0; t < len; ++t) {
+      doc.push_back("tok" + std::to_string(rng.UniformInt(50)));
+    }
+    corpus.push_back(std::move(doc));
+  }
+  sparse::TfIdfFeaturizer tfidf;
+  tfidf.Fit(corpus);
+  const auto serial = tfidf.TransformBatch(corpus, 1);
+  for (int num_threads : {2, 4}) {
+    const auto parallel = tfidf.TransformBatch(corpus, num_threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t d = 0; d < serial.size(); ++d) {
+      ASSERT_EQ(parallel[d].size(), serial[d].size());
+      for (size_t j = 0; j < serial[d].size(); ++j) {
+        EXPECT_EQ(parallel[d][j].first, serial[d][j].first);
+        EXPECT_EQ(parallel[d][j].second, serial[d][j].second);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<int>> MakeTokenBatch(int n, int vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> batch(static_cast<size_t>(n));
+  for (auto& ids : batch) {
+    const int len = 2 + rng.UniformInt(20);
+    for (int t = 0; t < len; ++t) {
+      ids.push_back(4 + rng.UniformInt(vocab - 4));
+    }
+  }
+  return batch;
+}
+
+template <typename EncoderT, typename ConfigT>
+void ExpectParallelEncodeBitIdentical(const ConfigT& config) {
+  const auto batch = MakeTokenBatch(40, config.vocab_size, 19);
+  EncoderT serial_enc(config);
+  const auto serial = serial_enc.EmbedNormalized(batch);
+  for (int num_threads : {2, 4}) {
+    EncoderT parallel_enc(config);  // same seed => same weights
+    parallel_enc.set_num_threads(num_threads);
+    const auto parallel = parallel_enc.EmbedNormalized(batch);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].size(), serial[i].size());
+      for (size_t j = 0; j < serial[i].size(); ++j) {
+        EXPECT_EQ(parallel[i][j], serial[i][j])
+            << "row " << i << " dim " << j << " num_threads " << num_threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TransformerEncodeBitIdenticalToSerial) {
+  nn::TransformerConfig config;
+  config.vocab_size = 120;
+  config.dim = 16;
+  config.n_layers = 2;
+  config.n_heads = 2;
+  config.ffn_dim = 32;
+  config.max_len = 24;
+  ExpectParallelEncodeBitIdentical<nn::TransformerEncoder>(config);
+}
+
+TEST(ParallelDeterminismTest, FastBagEncodeBitIdenticalToSerial) {
+  nn::FastBagConfig config;
+  config.vocab_size = 120;
+  config.dim = 16;
+  config.hidden_dim = 32;
+  config.max_len = 24;
+  ExpectParallelEncodeBitIdentical<nn::FastBagEncoder>(config);
+}
+
+TEST(ParallelDeterminismTest, TfidfBlockingSweepBitIdenticalToSerial) {
+  const data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  const auto serial = baselines::TfidfBlockingSweep(ds, 8, /*num_threads=*/1);
+  const auto parallel = baselines::TfidfBlockingSweep(ds, 8, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(parallel[k].n_candidates, serial[k].n_candidates);
+    EXPECT_EQ(parallel[k].recall, serial[k].recall);
+    EXPECT_EQ(parallel[k].cssr, serial[k].cssr);
+  }
+}
+
+TEST(ParallelDeterminismTest, TrainingModeForwardStaysSerialAndIdentical) {
+  // With the autograd tape on, EncodeBatch must ignore num_threads: the
+  // forward builds a graph and draws dropout noise from a shared stream.
+  nn::FastBagConfig config;
+  config.vocab_size = 60;
+  config.dim = 8;
+  config.hidden_dim = 16;
+  const auto batch = MakeTokenBatch(12, config.vocab_size, 5);
+
+  nn::FastBagEncoder a(config);
+  nn::FastBagEncoder b(config);
+  b.set_num_threads(4);
+  nn::Tensor za = a.EncodeBatch(batch, nullptr, /*training=*/true);
+  nn::Tensor zb = b.EncodeBatch(batch, nullptr, /*training=*/true);
+  ASSERT_EQ(za.rows(), zb.rows());
+  ASSERT_EQ(za.cols(), zb.cols());
+  for (size_t i = 0; i < za.size(); ++i) {
+    EXPECT_EQ(za.data()[i], zb.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sudowoodo

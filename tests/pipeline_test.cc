@@ -103,6 +103,35 @@ TEST(EmPipelineIntegrationTest, BlockingSweepIsMonotone) {
   EXPECT_LT(points.back().cssr, 0.2);
 }
 
+TEST(EmPipelineIntegrationTest, ParallelRunBitIdenticalToSerial) {
+  // The parallel execution subsystem must not change any result: the same
+  // tiny run at num_threads = 1 and 4 has to produce identical predictions,
+  // pseudo labels and blocking candidates (see common/parallel.h).
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  EmRunResult results[2];
+  std::vector<BlockingPoint> sweeps[2];
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    EmPipelineOptions o = TinyEmOptions();
+    o.num_threads = thread_counts[i];
+    EmPipeline p(o);
+    results[i] = p.Run(ds);
+    sweeps[i] = p.BlockingSweep(ds, 6);
+  }
+  EXPECT_EQ(results[0].test.f1, results[1].test.f1);
+  ASSERT_EQ(results[0].test_preds.size(), results[1].test_preds.size());
+  EXPECT_EQ(results[0].test_preds, results[1].test_preds);
+  EXPECT_EQ(results[0].test_probs, results[1].test_probs);
+  EXPECT_EQ(results[0].n_pseudo, results[1].n_pseudo);
+  EXPECT_EQ(results[0].theta_pos, results[1].theta_pos);
+  EXPECT_EQ(results[0].theta_neg, results[1].theta_neg);
+  ASSERT_EQ(sweeps[0].size(), sweeps[1].size());
+  for (size_t k = 0; k < sweeps[0].size(); ++k) {
+    EXPECT_EQ(sweeps[0][k].n_candidates, sweeps[1][k].n_candidates);
+    EXPECT_EQ(sweeps[0][k].recall, sweeps[1][k].recall);
+  }
+}
+
 TEST(EmPipelineIntegrationTest, SerializeRowUsesDittoScheme) {
   data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
   auto toks = EmPipeline::SerializeRow(ds.table_a, 0);
