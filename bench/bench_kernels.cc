@@ -1,0 +1,229 @@
+// GFLOP/s microbenchmark for the tensor/kernels.h layer at the dense
+// shapes the pipelines actually run (see EXPERIMENTS.md "Kernel shapes"),
+// measured with the kernel each workload actually executes:
+//
+//   - "gemm" shapes (Transformer projections, feed-forward) go through
+//     ks::Gemm (MatMul / Linear): naive vs blocked vs blocked+threads,
+//     verified bit-identical before timing is reported.
+//   - "gemm_bt" shapes (attention scores Q*K^T, NT-Xent Z*Z^T, kNN batch
+//     scoring) go through ks::GemmBT (MatMulBT / KnnIndex): a scalar
+//     single-chain dot reference (the seed engine's structure) vs the
+//     4-lane fused kernel, verified within 1e-4 relative.
+//
+// The output buffer is zeroed *outside* the timed region, so the numbers
+// are kernel time only. `--json <path>` additionally writes the
+// measurements as JSON records.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "tensor/kernels.h"
+
+namespace sudowoodo {
+namespace {
+
+namespace ks = tensor::kernels;
+
+/// The seed engine's accumulation structure for C += A*B: i/k/j with a
+/// saxpy inner loop but no cache blocking. Per-element order matches the
+/// blocked kernel, so the two must agree bit for bit.
+void NaiveGemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// The seed engine's structure for C += A*B^T (B is [n,k]): one scalar
+/// single-chain dot per output element.
+void NaiveGemmBT(int m, int n, int k, const float* a, const float* b,
+                 float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] += acc;
+    }
+  }
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+  return v;
+}
+
+enum class Kind { kGemm, kGemmBT };
+
+struct Shape {
+  const char* name;  // which pipeline hot path this shape stands for
+  Kind kind;
+  int m, n, k;
+};
+
+struct Measurement {
+  std::string variant;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  bool matches = true;
+};
+
+/// Mean seconds per call over enough repetitions to pass ~0.2s of kernel
+/// time. The per-rep zeroing of C runs outside the timed window.
+template <typename Fn>
+double TimePerCall(std::vector<float>* c, const Fn& fn) {
+  std::fill(c->begin(), c->end(), 0.0f);
+  fn();  // warm-up
+  double total = 0.0;
+  int reps = 0;
+  while (total < 0.2) {
+    std::fill(c->begin(), c->end(), 0.0f);
+    WallTimer timer;
+    fn();
+    total += timer.ElapsedSeconds();
+    ++reps;
+  }
+  return total / reps;
+}
+
+bool MatchesExactly(const std::vector<float>& got,
+                    const std::vector<float>& want) {
+  return got == want;
+}
+
+bool MatchesWithin(const std::vector<float>& got,
+                   const std::vector<float>& want, float rel_tol) {
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = rel_tol * (std::fabs(want[i]) + 1.0f);
+    if (!(std::fabs(got[i] - want[i]) <= tol)) return false;
+  }
+  return true;
+}
+
+void Run(const std::string& json_path) {
+  const Shape shapes[] = {
+      // ks::Gemm consumers: MatMul forward, Linear inference.
+      {"transformer_proj", Kind::kGemm, 128, 768, 768},
+      {"ffn_up", Kind::kGemm, 128, 3072, 768},
+      // ks::GemmBT consumers: MatMulBT (attention, NT-Xent), kNN scoring.
+      {"attention_scores", Kind::kGemmBT, 128, 128, 64},
+      {"ntxent_similarity", Kind::kGemmBT, 256, 256, 768},
+      {"knn_batch_score", Kind::kGemmBT, 512, 2500, 768},
+  };
+  const int kShards = 4;
+  ThreadPool& pool = ThreadPool::Global();
+
+  bench::JsonRecords records;
+  TablePrinter table("GEMM kernels, GFLOP/s (verified against the naive reference)");
+  table.SetHeader({"shape", "kernel", "m", "n", "k", "variant", "ms",
+                   "GFLOP/s", "matches"});
+
+  for (const Shape& s : shapes) {
+    // For kGemmBT, b is the [n,k] transposed operand.
+    const auto a = RandomVec(static_cast<size_t>(s.m) * s.k, 7);
+    const auto b = RandomVec(static_cast<size_t>(s.k) * s.n, 11);
+    std::vector<float> c(static_cast<size_t>(s.m) * s.n, 0.0f);
+    const double flops = 2.0 * s.m * s.n * s.k;
+
+    std::vector<float> reference;
+    std::vector<Measurement> ms;
+    if (s.kind == Kind::kGemm) {
+      {
+        Measurement x;
+        x.variant = "naive";
+        x.seconds = TimePerCall(&c, [&] {
+          NaiveGemm(s.m, s.n, s.k, a.data(), b.data(), c.data());
+        });
+        reference = c;
+        ms.push_back(x);
+      }
+      {
+        Measurement x;
+        x.variant = "blocked";
+        x.seconds = TimePerCall(&c, [&] {
+          ks::Gemm(s.m, s.n, s.k, a.data(), b.data(), c.data());
+        });
+        x.matches = MatchesExactly(c, reference);
+        ms.push_back(x);
+      }
+      {
+        Measurement x;
+        x.variant = "blocked_threads";
+        x.seconds = TimePerCall(&c, [&] {
+          ks::Gemm(s.m, s.n, s.k, a.data(), b.data(), c.data(), &pool,
+                   kShards);
+        });
+        x.matches = MatchesExactly(c, reference);
+        ms.push_back(x);
+      }
+    } else {
+      {
+        Measurement x;
+        x.variant = "naive";
+        x.seconds = TimePerCall(&c, [&] {
+          NaiveGemmBT(s.m, s.n, s.k, a.data(), b.data(), c.data());
+        });
+        reference = c;
+        ms.push_back(x);
+      }
+      {
+        Measurement x;
+        x.variant = "fused_bt";
+        x.seconds = TimePerCall(&c, [&] {
+          ks::GemmBT(s.m, s.n, s.k, a.data(), b.data(), c.data());
+        });
+        // 4-lane reduction vs single chain: equal within rounding only.
+        x.matches = MatchesWithin(c, reference, 1e-4f);
+        ms.push_back(x);
+      }
+    }
+
+    const char* kernel = s.kind == Kind::kGemm ? "gemm" : "gemm_bt";
+    for (Measurement& x : ms) {
+      x.gflops = flops / x.seconds / 1e9;
+      table.AddRow({s.name, kernel, std::to_string(s.m), std::to_string(s.n),
+                    std::to_string(s.k), x.variant,
+                    StrFormat("%.2f", x.seconds * 1e3),
+                    StrFormat("%.2f", x.gflops), x.matches ? "yes" : "NO"});
+      auto& r = records.Add();
+      r.Str("bench", "kernels_gemm");
+      r.Str("shape", s.name);
+      r.Str("kernel", kernel);
+      r.Int("m", s.m);
+      r.Int("n", s.n);
+      r.Int("k", s.k);
+      r.Str("variant", x.variant);
+      r.Int("num_shards", x.variant == "blocked_threads" ? kShards : 1);
+      r.Num("seconds", x.seconds);
+      r.Num("gflops", x.gflops);
+      r.Bool("matches_reference", x.matches);
+    }
+  }
+  table.Print();
+  bench::WriteOrReport(records, json_path);
+}
+
+}  // namespace
+}  // namespace sudowoodo
+
+int main(int argc, char** argv) {
+  sudowoodo::Run(sudowoodo::bench::JsonPathFromArgs(argc, argv));
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json_out.h"
 #include "common/random_vectors.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -32,7 +33,8 @@ bool SameNeighbors(const std::vector<std::vector<index::Neighbor>>& a,
   return true;
 }
 
-void Run() {
+void Run(const std::string& json_path) {
+  bench::JsonRecords records;
   const int n_items = 2500, n_queries = 2500, dim = 64, k = 10;
   std::printf("kNN blocking: %d items x %d queries, dim=%d, k=%d\n", n_items,
               n_queries, dim, k);
@@ -51,9 +53,20 @@ void Run() {
       serial_seconds = seconds;
       baseline = result;
     }
+    const bool identical = SameNeighbors(result, baseline);
     table.AddRow({std::to_string(num_threads), StrFormat("%.3f", seconds),
                   StrFormat("%.2fx", serial_seconds / seconds),
-                  SameNeighbors(result, baseline) ? "yes" : "NO"});
+                  identical ? "yes" : "NO"});
+    auto& r = records.Add();
+    r.Str("bench", "knn_query_batch");
+    r.Int("n_items", n_items);
+    r.Int("n_queries", n_queries);
+    r.Int("dim", dim);
+    r.Int("k", k);
+    r.Int("num_threads", num_threads);
+    r.Num("seconds", seconds);
+    r.Num("speedup", serial_seconds / seconds);
+    r.Bool("identical_to_serial", identical);
   }
   table.Print();
 
@@ -80,14 +93,21 @@ void Run() {
     if (num_threads == 1) tfidf_serial = seconds;
     table2.AddRow({std::to_string(num_threads), StrFormat("%.3f", seconds),
                    StrFormat("%.2fx", tfidf_serial / seconds)});
+    auto& r = records.Add();
+    r.Str("bench", "tfidf_transform_batch");
+    r.Int("n_docs", 2 * n_items);
+    r.Int("num_threads", num_threads);
+    r.Num("seconds", seconds);
+    r.Num("speedup", tfidf_serial / seconds);
   }
   table2.Print();
+  bench::WriteOrReport(records, json_path);
 }
 
 }  // namespace
 }  // namespace sudowoodo
 
-int main() {
-  sudowoodo::Run();
+int main(int argc, char** argv) {
+  sudowoodo::Run(sudowoodo::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

@@ -1,0 +1,112 @@
+// Minimal machine-readable output for the bench_* binaries: a flat JSON
+// array of records, one per measured configuration. Kept dependency-free
+// (no JSON library in the image) - values are either numbers or strings.
+//
+// Usage:
+//   JsonRecords out;
+//   auto& r = out.Add();
+//   r.Str("kernel", "gemm_blocked");
+//   r.Num("gflops", 3.2);
+//   out.Write("BENCH_kernels.json");
+
+#ifndef SUDOWOODO_BENCH_JSON_OUT_H_
+#define SUDOWOODO_BENCH_JSON_OUT_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace sudowoodo::bench {
+
+/// One JSON object, field order preserved.
+class JsonRecord {
+ public:
+  void Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Num(const std::string& key, double value) {
+    fields_.emplace_back(key, StrFormat("%.6g", value));
+  }
+  void Int(const std::string& key, long long value) {
+    fields_.emplace_back(key, StrFormat("%lld", value));
+  }
+  void Bool(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// A JSON array of records, written atomically enough for bench use.
+class JsonRecords {
+ public:
+  JsonRecord& Add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes `[ {...},\n {...} ]` to `path`; returns false on I/O error.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fputs("  ", f);
+      std::fputs(records_[i].ToJson().c_str(), f);
+      if (i + 1 < records_.size()) std::fputc(',', f);
+      std::fputc('\n', f);
+    }
+    std::fputs("]\n", f);
+    return std::fclose(f) == 0;
+  }
+
+  bool empty() const { return records_.empty(); }
+
+ private:
+  std::vector<JsonRecord> records_;
+};
+
+/// Writes `records` to `path` (no-op when `path` is empty), reporting the
+/// outcome on stdout/stderr. Shared tail of every --json-capable bench.
+inline void WriteOrReport(const JsonRecords& records,
+                          const std::string& path) {
+  if (path.empty()) return;
+  if (records.Write(path)) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+}
+
+/// Parses a `--json <path>` flag pair from argv; returns "" when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+}  // namespace sudowoodo::bench
+
+#endif  // SUDOWOODO_BENCH_JSON_OUT_H_

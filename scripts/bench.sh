@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Runs the machine-readable perf benches and drops BENCH_*.json at the
+# repo root. Builds (or reuses) the Release tree in ${BUILD_DIR:-build}.
+#
+# Usage:
+#   scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+# Pin Release: a build dir previously configured as Debug would otherwise
+# be silently reused and unoptimized numbers would land in BENCH_*.json.
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DSUDOWOODO_BUILD_BENCHES=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target bench_kernels bench_parallel_scaling
+
+"${BUILD_DIR}/bench_kernels" --json BENCH_kernels.json
+"${BUILD_DIR}/bench_parallel_scaling" --json BENCH_parallel_scaling.json
+
+echo
+echo "Wrote:"
+ls -l BENCH_*.json

@@ -2,8 +2,9 @@
 # Tier-1 verification: configure, build, and run the full test suite.
 #
 # Usage:
-#   scripts/check.sh            # plain Release build + ctest
-#   SANITIZE=thread scripts/check.sh   # same, under TSan (or address/undefined)
+#   scripts/check.sh                     # plain build + ctest (Release default)
+#   BUILD_TYPE=Release scripts/check.sh  # pin an explicit CMAKE_BUILD_TYPE
+#   SANITIZE=thread scripts/check.sh     # under TSan (or address/undefined)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,6 +14,10 @@ CMAKE_ARGS=""
 if [ -n "${SANITIZE:-}" ]; then
   BUILD_DIR="${BUILD_DIR}-${SANITIZE}"
   CMAKE_ARGS="-DSUDOWOODO_SANITIZE=${SANITIZE}"
+fi
+if [ -n "${BUILD_TYPE:-}" ]; then
+  BUILD_DIR="${BUILD_DIR}-$(echo "${BUILD_TYPE}" | tr '[:upper:]' '[:lower:]')"
+  CMAKE_ARGS="${CMAKE_ARGS} -DCMAKE_BUILD_TYPE=${BUILD_TYPE}"
 fi
 
 cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace sudowoodo::cluster {
 
 namespace {
@@ -20,9 +22,10 @@ struct Centroid {
   }
 
   void Normalize() {
-    double n = 0.0;
-    for (float x : v) n += static_cast<double>(x) * x;
-    n = std::sqrt(n);
+    // Dense self-dot through the kernel layer (double accumulation: term
+    // counts can reach vocabulary size).
+    const double n = std::sqrt(tensor::kernels::DotDouble(
+        v.data(), v.data(), static_cast<int>(v.size())));
     if (n > 1e-12) {
       for (float& x : v) x = static_cast<float>(x / n);
     }

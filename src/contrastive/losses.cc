@@ -14,8 +14,8 @@ Tensor NtXentLoss(const Tensor& z_ori, const Tensor& z_aug, float tau) {
 
   // Z = [Z_ori; Z_aug], rows L2-normalized so the similarity is cosine.
   Tensor z = ts::L2NormalizeRows(ts::ConcatRows({z_ori, z_aug}));
-  // Pairwise similarities scaled by temperature.
-  Tensor sim = ts::Scale(ts::MatMul(z, ts::Transpose(z)), 1.0f / tau);
+  // Pairwise similarities scaled by temperature (fused Z*Z^T).
+  Tensor sim = ts::Scale(ts::MatMulBT(z, z), 1.0f / tau);
   // Mask self-similarity (the 1[k != i] in Eq. 1's denominator).
   Tensor mask = Tensor::Zeros(2 * n, 2 * n);
   for (int i = 0; i < 2 * n; ++i) mask.set(i, i, -1e9f);
@@ -39,8 +39,7 @@ Tensor BarlowTwinsObjective(const Tensor& z_ori, const Tensor& z_aug,
   // Eq. 4 computed on centered features.
   Tensor zo = ts::StandardizeCols(z_ori);
   Tensor za = ts::StandardizeCols(z_aug);
-  Tensor c = ts::Scale(ts::MatMul(ts::Transpose(zo), za),
-                       1.0f / static_cast<float>(n));
+  Tensor c = ts::Scale(ts::MatMulAT(zo, za), 1.0f / static_cast<float>(n));
   return ts::BarlowTwinsLoss(c, lambda);
 }
 

@@ -2,43 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <numeric>
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "tensor/kernels.h"
 
 namespace sudowoodo::index {
 
-KnnIndex::KnnIndex(std::vector<std::vector<float>> items)
-    : items_(std::move(items)) {
-  if (!items_.empty()) dim_ = static_cast<int>(items_[0].size());
-  for (const auto& v : items_) {
-    SUDO_CHECK(static_cast<int>(v.size()) == dim_);
+namespace ks = sudowoodo::tensor::kernels;
+
+KnnIndex::KnnIndex(const std::vector<std::vector<float>>& items) {
+  n_ = static_cast<int>(items.size());
+  if (n_ > 0) dim_ = static_cast<int>(items[0].size());
+  // Pack the item vectors into one contiguous row-major buffer so the
+  // scoring loop is a stride-1 dot per row (SIMD-friendly, no pointer
+  // chasing through per-item allocations).
+  flat_.resize(static_cast<size_t>(n_) * dim_);
+  for (int i = 0; i < n_; ++i) {
+    SUDO_CHECK(static_cast<int>(items[static_cast<size_t>(i)].size()) == dim_);
+    std::copy(items[static_cast<size_t>(i)].begin(),
+              items[static_cast<size_t>(i)].end(),
+              flat_.begin() + static_cast<size_t>(i) * dim_);
   }
 }
 
 std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
                                       int k) const {
   SUDO_CHECK(static_cast<int>(query.size()) == dim_);
-  k = std::min(k, size());
-  // Min-heap of the current top-k by similarity.
-  auto cmp = [](const Neighbor& a, const Neighbor& b) { return a.sim > b.sim; };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
-  for (int i = 0; i < size(); ++i) {
-    const float* v = items_[static_cast<size_t>(i)].data();
-    float dot = 0.0f;
-    for (int j = 0; j < dim_; ++j) dot += v[j] * query[static_cast<size_t>(j)];
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push({i, dot});
-    } else if (dot > heap.top().sim) {
-      heap.pop();
-      heap.push({i, dot});
-    }
+  k = std::min(k, n_);
+  if (k <= 0) return {};
+
+  // Score all items, then select the top k with a bounded partial sort
+  // (O(n + k log k)) instead of maintaining a heap inside the hot loop.
+  std::vector<float> scores(static_cast<size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    scores[static_cast<size_t>(i)] =
+        ks::Dot(flat_.data() + static_cast<size_t>(i) * dim_, query.data(),
+                dim_);
   }
-  std::vector<Neighbor> out(heap.size());
-  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
-    out[static_cast<size_t>(i)] = heap.top();
-    heap.pop();
+  std::vector<int> idx(static_cast<size_t>(n_));
+  std::iota(idx.begin(), idx.end(), 0);
+  // Ties break toward the lower id, which makes the result a deterministic
+  // function of (items, query, k). NaN scores (degenerate embeddings) rank
+  // last as one id-ordered equivalence class - a NaN-oblivious float
+  // comparator would break strict weak ordering and make nth_element/sort
+  // undefined behavior.
+  auto better = [&scores](int a, int b) {
+    const float sa = scores[static_cast<size_t>(a)];
+    const float sb = scores[static_cast<size_t>(b)];
+    const bool nan_a = std::isnan(sa), nan_b = std::isnan(sb);
+    if (nan_a != nan_b) return nan_b;
+    if (!nan_a && sa != sb) return sa > sb;
+    return a < b;
+  };
+  if (k < n_) {
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), better);
+    idx.resize(static_cast<size_t>(k));
+  }
+  std::sort(idx.begin(), idx.end(), better);
+
+  std::vector<Neighbor> out(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    out[static_cast<size_t>(i)] = {idx[static_cast<size_t>(i)],
+                                   scores[static_cast<size_t>(idx[static_cast<size_t>(i)])]};
   }
   return out;
 }
@@ -59,12 +86,10 @@ std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
 
 float DenseCosine(const std::vector<float>& a, const std::vector<float>& b) {
   SUDO_CHECK(a.size() == b.size());
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
-  }
+  const int n = static_cast<int>(a.size());
+  const double dot = ks::DotDouble(a.data(), b.data(), n);
+  const double na = ks::DotDouble(a.data(), a.data(), n);
+  const double nb = ks::DotDouble(b.data(), b.data(), n);
   if (na <= 0.0 || nb <= 0.0) return 0.0f;
   return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
 }

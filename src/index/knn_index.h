@@ -18,13 +18,17 @@ struct Neighbor {
 };
 
 /// Brute-force inner-product index. Vectors are expected to be
-/// L2-normalized so inner product equals cosine similarity.
+/// L2-normalized so inner product equals cosine similarity. Items are
+/// stored in one contiguous row-major buffer and scored through the
+/// SIMD-friendly dot kernel in tensor/kernels.h.
 class KnnIndex {
  public:
-  /// Takes ownership of the item vectors (all the same width).
-  explicit KnnIndex(std::vector<std::vector<float>> items);
+  /// Copies the item vectors (all the same width) into contiguous storage.
+  explicit KnnIndex(const std::vector<std::vector<float>>& items);
 
-  /// Top-k most similar items, most similar first.
+  /// Top-k most similar items, most similar first; ties break toward the
+  /// lower item id. Selection is a bounded partial sort (nth_element),
+  /// O(n + k log k) for k << n.
   std::vector<Neighbor> Query(const std::vector<float>& query, int k) const;
 
   /// Top-k for every query vector. With num_threads > 1 the queries are
@@ -35,11 +39,12 @@ class KnnIndex {
       const std::vector<std::vector<float>>& queries, int k,
       int num_threads = 1) const;
 
-  int size() const { return static_cast<int>(items_.size()); }
+  int size() const { return n_; }
   int dim() const { return dim_; }
 
  private:
-  std::vector<std::vector<float>> items_;
+  std::vector<float> flat_;  // [n, dim] row-major
+  int n_ = 0;
   int dim_ = 0;
 };
 

@@ -83,7 +83,7 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
     Tensor qh = ts::SliceCols(q, h * head_dim_, head_dim_);
     Tensor kh = ts::SliceCols(k, h * head_dim_, head_dim_);
     Tensor vh = ts::SliceCols(v, h * head_dim_, head_dim_);
-    Tensor scores = ts::Scale(ts::MatMul(qh, ts::Transpose(kh)), scale);
+    Tensor scores = ts::Scale(ts::MatMulBT(qh, kh), scale);
     Tensor attn = ts::RowSoftmax(scores);
     heads.push_back(ts::MatMul(attn, vh));
   }

@@ -1,5 +1,7 @@
 #include "nn/layers.h"
 
+#include "tensor/kernels.h"
+
 namespace sudowoodo::nn {
 
 Linear::Linear(int in_dim, int out_dim, Rng* rng)
@@ -7,6 +9,19 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng)
       b_(Tensor::Zeros(1, out_dim, /*requires_grad=*/true)) {}
 
 Tensor Linear::Forward(const Tensor& x) const {
+  namespace ks = tensor::kernels;
+  if (!tensor::GradEnabled()) {
+    // Inference: one fused GEMM + bias on raw buffers, skipping the two
+    // autograd nodes. Gemm accumulates into the zeroed output and the bias
+    // is added afterwards, so this is bit-identical to the graph path.
+    const int m = x.rows(), k = x.cols(), n = w_.cols();
+    Tensor out = Tensor::Zeros(m, n);
+    ks::Gemm(m, n, k, x.data(), w_.data(), out.data());
+    for (int i = 0; i < m; ++i) {
+      ks::Axpy(n, 1.0f, b_.data(), out.data() + static_cast<size_t>(i) * n);
+    }
+    return out;
+  }
   return tensor::AddRowBroadcast(tensor::MatMul(x, w_), b_);
 }
 

@@ -26,6 +26,11 @@ class Linear {
   int in_dim() const { return w_.rows(); }
   int out_dim() const { return w_.cols(); }
 
+  /// Raw parameter handles for graph-free inference paths that call the
+  /// kernel layer directly (e.g. the GRU recurrence).
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+
  private:
   Tensor w_;
   Tensor b_;
@@ -43,6 +48,9 @@ class Embedding {
   std::vector<Tensor> Parameters() const { return {table_}; }
   int vocab_size() const { return table_.rows(); }
   int dim() const { return table_.cols(); }
+
+  /// Raw table handle for graph-free inference paths.
+  const Tensor& table() const { return table_; }
 
  private:
   Tensor table_;

@@ -1,0 +1,163 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace sudowoodo::tensor::kernels {
+
+namespace {
+
+// Cache-blocking tile sizes. A KC x NC panel of B (32 KiB at 128x64) stays
+// hot while it is swept across all m rows; KC-long slices of A and NC-long
+// slices of C stream through L1. Correctness does not depend on these
+// values (accumulation order per output element is k-increasing for any
+// tiling), so they are tuning knobs only.
+constexpr int kGemmKC = 128;
+constexpr int kGemmNC = 256;
+
+/// Serial C[rows begin..end) += A * B over the full k and n extents.
+/// Inner loop is a stride-1 axpy over a bounded column tile, which the
+/// compiler auto-vectorizes; the `av == 0` skip preserves the seed
+/// engine's sparse-activation shortcut (adding 0 either way).
+void GemmRows(int m_begin, int m_end, int n, int k, const float* a,
+              const float* b, float* c) {
+  for (int jc = 0; jc < n; jc += kGemmNC) {
+    const int j_end = std::min(jc + kGemmNC, n);
+    for (int kc = 0; kc < k; kc += kGemmKC) {
+      const int k_end = std::min(kc + kGemmKC, k);
+      for (int i = m_begin; i < m_end; ++i) {
+        const float* arow = a + static_cast<size_t>(i) * k;
+        float* crow = c + static_cast<size_t>(i) * n;
+        for (int kk = kc; kk < k_end; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<size_t>(kk) * n;
+          for (int j = jc; j < j_end; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
+          ThreadPool* pool, int num_shards) {
+  if (pool == nullptr || num_shards <= 1 || m <= 1) {
+    GemmRows(0, m, n, k, a, b, c);
+    return;
+  }
+  // Fixed row sharding on the *caller's* pool: each shard owns a
+  // contiguous range of output rows, so the result is bit-identical to
+  // the serial path for any shard count or pool size. Shard 0 runs on the
+  // calling thread (mirrors ParallelFor).
+  const std::vector<ShardRange> shards = MakeShards(m, num_shards);
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards.size() - 1);
+  for (size_t s = 1; s < shards.size(); ++s) {
+    const ShardRange r = shards[s];
+    futures.push_back(pool->Submit([=] {
+      GemmRows(static_cast<int>(r.begin), static_cast<int>(r.end), n, k, a, b,
+               c);
+    }));
+  }
+  GemmRows(static_cast<int>(shards[0].begin), static_cast<int>(shards[0].end),
+           n, k, a, b, c);
+  for (auto& f : futures) f.get();
+}
+
+void GemmAT(int m, int n, int k, const float* a, const float* b, float* c) {
+  // C[i,j] = sum_l A[l,i] * B[l,j]: axpy B's row l into C's row i, scaled
+  // by the walked-down column i of A. l (the contraction index) is the
+  // outer loop, so per-element accumulation order is l-increasing.
+  for (int lc = 0; lc < k; lc += kGemmKC) {
+    const int l_end = std::min(lc + kGemmKC, k);
+    for (int jc = 0; jc < n; jc += kGemmNC) {
+      const int j_end = std::min(jc + kGemmNC, n);
+      for (int i = 0; i < m; ++i) {
+        float* crow = c + static_cast<size_t>(i) * n;
+        for (int l = lc; l < l_end; ++l) {
+          const float av = a[static_cast<size_t>(l) * m + i];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<size_t>(l) * n;
+          for (int j = jc; j < j_end; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmBT(int m, int n, int k, const float* a, const float* b, float* c) {
+  // C[i,j] = <A row i, B row j>: both operands are contiguous, so each
+  // output element is one vectorizable dot.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      crow[j] += Dot(arow, b + static_cast<size_t>(j) * k, k);
+    }
+  }
+}
+
+float Dot(const float* a, const float* b, int n) {
+  // Four independent partial sums: the chains have no cross dependency, so
+  // the compiler can keep them in vector lanes; the combine order is fixed.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double DotDouble(const float* a, const float* b, int n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(a[i]) * b[i];
+    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += static_cast<double>(a[i]) * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void Axpy(int n, float alpha, const float* x, float* y) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAdd(int n, float alpha, const float* x, float beta, float* y) {
+  for (int i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void RowSoftmax(int m, int n, const float* x, float* y) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * n;
+    float* yr = y + static_cast<size_t>(i) * n;
+    float mx = xr[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+    float z = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      z += yr[j];
+    }
+    const float inv = 1.0f / z;
+    for (int j = 0; j < n; ++j) yr[j] *= inv;
+  }
+}
+
+void L2NormRows(int m, int n, const float* x, float* norms) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * n;
+    norms[i] = std::sqrt(Dot(xr, xr, n));
+  }
+}
+
+}  // namespace sudowoodo::tensor::kernels

@@ -1,0 +1,73 @@
+// SIMD-friendly dense float kernels: the raw-math layer below the autograd
+// engine.
+//
+// Layering contract (see src/tensor/README.md): everything in this header
+// operates on plain row-major float buffers with tight strides - no Tensor,
+// no graph, no allocation. tensor.cc owns autograd bookkeeping and calls
+// down into these kernels for every dense hot loop; the layers above
+// (nn/, cluster/, index/) either go through tensor ops or call the kernels
+// directly on their own buffers for graph-free inference paths.
+//
+// Determinism: every kernel accumulates each output element along a fixed
+// floating-point order that does not depend on blocking parameters or on
+// the number of shards. For finite inputs, blocked GEMM is exactly equal
+// (bit-for-bit) to the naive i/k/j accumulation loop, and the ThreadPool
+// overload shards output rows in fixed contiguous ranges, so threaded
+// results are bit-identical to serial ones. Caveat: Gemm/GemmAT skip the
+// products of exact-zero A elements (the seed engine's sparse-activation
+// shortcut - dropout and ReLU produce many exact zeros). Adding 0 is
+// exact for finite B, but it means 0 * Inf/NaN contributes 0 instead of
+// poisoning the output with NaN. Reductions (Dot, L2NormRows) use a fixed
+// 4-lane partial sum so the compiler can vectorize them; the lane-combine
+// order is fixed, so they too are deterministic - but note they are *not*
+// the same rounding as a single-chain scalar loop.
+
+#ifndef SUDOWOODO_TENSOR_KERNELS_H_
+#define SUDOWOODO_TENSOR_KERNELS_H_
+
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h; only the pointer is used here.
+}
+
+namespace sudowoodo::tensor::kernels {
+
+/// C[m,n] += A[m,k] * B[k,n]. Blocked over k and n for cache reuse; the
+/// per-element accumulation order is k-increasing regardless of blocking.
+/// With `num_shards > 1` the m rows are split into fixed contiguous shards
+/// run on `pool` (bit-identical to serial; pass the global pool from
+/// common/thread_pool.h). `pool == nullptr` or `num_shards <= 1` is the
+/// serial path.
+void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
+          ThreadPool* pool = nullptr, int num_shards = 1);
+
+/// C[m,n] += A^T * B where A is [k,m] and B is [k,n] (both row-major).
+/// The transposed operand is never materialized.
+void GemmAT(int m, int n, int k, const float* a, const float* b, float* c);
+
+/// C[m,n] += A * B^T where A is [m,k] and B is [n,k] (both row-major).
+/// Each output element is a dot of two contiguous rows.
+void GemmBT(int m, int n, int k, const float* a, const float* b, float* c);
+
+/// Dot product of two contiguous float spans (4-lane partial sums).
+float Dot(const float* a, const float* b, int n);
+
+/// Dot product accumulated in double precision (4-lane partial sums), for
+/// callers that need the extra headroom (norms over long vectors).
+double DotDouble(const float* a, const float* b, int n);
+
+/// y[i] += alpha * x[i].
+void Axpy(int n, float alpha, const float* x, float* y);
+
+/// y[i] = alpha * x[i] + beta * y[i].
+void ScaleAdd(int n, float alpha, const float* x, float beta, float* y);
+
+/// Numerically stable per-row softmax: y[i,:] = softmax(x[i,:]).
+/// x and y are [m,n]; in-place (y == x) is allowed.
+void RowSoftmax(int m, int n, const float* x, float* y);
+
+/// norms[i] = sqrt(sum_j x[i,j]^2) for x of shape [m,n].
+void L2NormRows(int m, int n, const float* x, float* norms);
+
+}  // namespace sudowoodo::tensor::kernels
+
+#endif  // SUDOWOODO_TENSOR_KERNELS_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/kernels.h"
+
 namespace sudowoodo::tensor {
 
 namespace {
@@ -134,54 +136,66 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   SUDO_CHECK(a.cols() == b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   auto out = NewNode(m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->value.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), b.data(), out->value.data());
   auto ai = a.impl(), bi = b.impl();
   TensorImpl* o = out.get();
   Attach(out, {ai, bi}, [ai, bi, o, m, k, n]() {
     const float* g = o->grad.data();
     if (ai->requires_grad) {
       ai->EnsureGrad();
-      // dA += dC * B^T
-      float* da = ai->grad.data();
-      const float* pb = bi->value.data();
-      for (int i = 0; i < m; ++i) {
-        const float* grow = g + static_cast<size_t>(i) * n;
-        float* darow = da + static_cast<size_t>(i) * k;
-        for (int kk = 0; kk < k; ++kk) {
-          const float* brow = pb + static_cast<size_t>(kk) * n;
-          float acc = 0.0f;
-          for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-          darow[kk] += acc;
-        }
-      }
+      // dA[m,k] += dC[m,n] * B[k,n]^T
+      kernels::GemmBT(m, k, n, g, bi->value.data(), ai->grad.data());
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
-      // dB += A^T * dC
-      float* db = bi->grad.data();
-      const float* pa = ai->value.data();
-      for (int i = 0; i < m; ++i) {
-        const float* arow = pa + static_cast<size_t>(i) * k;
-        const float* grow = g + static_cast<size_t>(i) * n;
-        for (int kk = 0; kk < k; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;
-          float* dbrow = db + static_cast<size_t>(kk) * n;
-          for (int j = 0; j < n; ++j) dbrow[j] += av * grow[j];
-        }
-      }
+      // dB[k,n] += A[m,k]^T * dC[m,n]
+      kernels::GemmAT(k, n, m, ai->value.data(), g, bi->grad.data());
+    }
+  });
+  return WrapNode(out);
+}
+
+Tensor MatMulBT(const Tensor& a, const Tensor& b) {
+  SUDO_CHECK(a.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  auto out = NewNode(m, n);
+  kernels::GemmBT(m, n, k, a.data(), b.data(), out->value.data());
+  auto ai = a.impl(), bi = b.impl();
+  TensorImpl* o = out.get();
+  Attach(out, {ai, bi}, [ai, bi, o, m, k, n]() {
+    const float* g = o->grad.data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      // dA[m,k] += dC[m,n] * B[n,k]
+      kernels::Gemm(m, k, n, g, bi->value.data(), ai->grad.data());
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      // dB[n,k] += dC[m,n]^T * A[m,k]
+      kernels::GemmAT(n, k, m, g, ai->value.data(), bi->grad.data());
+    }
+  });
+  return WrapNode(out);
+}
+
+Tensor MatMulAT(const Tensor& a, const Tensor& b) {
+  SUDO_CHECK(a.rows() == b.rows());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  auto out = NewNode(m, n);
+  kernels::GemmAT(m, n, k, a.data(), b.data(), out->value.data());
+  auto ai = a.impl(), bi = b.impl();
+  TensorImpl* o = out.get();
+  Attach(out, {ai, bi}, [ai, bi, o, m, k, n]() {
+    const float* g = o->grad.data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      // dA[k,m] += B[k,n] * dC[m,n]^T
+      kernels::GemmBT(k, m, n, bi->value.data(), g, ai->grad.data());
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      // dB[k,n] += A[k,m] * dC[m,n]
+      kernels::Gemm(k, n, m, ai->value.data(), g, bi->grad.data());
     }
   });
   return WrapNode(out);
@@ -566,19 +580,7 @@ Tensor MeanAll(const Tensor& a) {
 Tensor RowSoftmax(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   auto out = NewNode(m, n);
-  for (int i = 0; i < m; ++i) {
-    const float* x = a.data() + static_cast<size_t>(i) * n;
-    float* y = out->value.data() + static_cast<size_t>(i) * n;
-    float mx = x[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, x[j]);
-    float z = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      y[j] = std::exp(x[j] - mx);
-      z += y[j];
-    }
-    const float inv = 1.0f / z;
-    for (int j = 0; j < n; ++j) y[j] *= inv;
-  }
+  kernels::RowSoftmax(m, n, a.data(), out->value.data());
   auto ai = a.impl();
   TensorImpl* o = out.get();
   Attach(out, {ai}, [ai, o, m, n]() {
@@ -587,8 +589,7 @@ Tensor RowSoftmax(const Tensor& a) {
     for (int i = 0; i < m; ++i) {
       const float* y = o->value.data() + static_cast<size_t>(i) * n;
       const float* gy = o->grad.data() + static_cast<size_t>(i) * n;
-      float dot = 0.0f;
-      for (int j = 0; j < n; ++j) dot += y[j] * gy[j];
+      const float dot = kernels::Dot(y, gy, n);
       float* gx = ai->grad.data() + static_cast<size_t>(i) * n;
       for (int j = 0; j < n; ++j) gx[j] += y[j] * (gy[j] - dot);
     }
@@ -692,14 +693,12 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   const int m = a.rows(), n = a.cols();
   auto out = NewNode(m, n);
   auto inv_norm = std::make_shared<std::vector<float>>(static_cast<size_t>(m));
+  kernels::L2NormRows(m, n, a.data(), inv_norm->data());
   for (int i = 0; i < m; ++i) {
-    const float* x = a.data() + static_cast<size_t>(i) * n;
-    float s = 0.0f;
-    for (int j = 0; j < n; ++j) s += x[j] * x[j];
-    const float inv = 1.0f / (std::sqrt(s) + eps);
+    const float inv = 1.0f / ((*inv_norm)[static_cast<size_t>(i)] + eps);
     (*inv_norm)[static_cast<size_t>(i)] = inv;
-    float* y = out->value.data() + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) y[j] = x[j] * inv;
+    kernels::ScaleAdd(n, inv, a.data() + static_cast<size_t>(i) * n, 0.0f,
+                      out->value.data() + static_cast<size_t>(i) * n);
   }
   auto ai = a.impl();
   TensorImpl* o = out.get();
@@ -709,8 +708,7 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
     for (int i = 0; i < m; ++i) {
       const float* y = o->value.data() + static_cast<size_t>(i) * n;
       const float* gy = o->grad.data() + static_cast<size_t>(i) * n;
-      float dot = 0.0f;
-      for (int j = 0; j < n; ++j) dot += y[j] * gy[j];
+      const float dot = kernels::Dot(y, gy, n);
       const float inv = (*inv_norm)[static_cast<size_t>(i)];
       float* gx = ai->grad.data() + static_cast<size_t>(i) * n;
       for (int j = 0; j < n; ++j) gx[j] += inv * (gy[j] - y[j] * dot);

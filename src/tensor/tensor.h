@@ -119,6 +119,13 @@ void Backward(const Tensor& loss);
 
 /// --- elementwise & shape ops ----------------------------------------------
 Tensor MatMul(const Tensor& a, const Tensor& b);
+/// a[m,k] * b[n,k]^T without materializing the transpose (attention scores
+/// Q*K^T, similarity matrices Z*Z^T). Forward is bit-identical to
+/// MatMul(a, Transpose(b)) up to reduction order.
+Tensor MatMulBT(const Tensor& a, const Tensor& b);
+/// a[k,m]^T * b[k,n] without materializing the transpose (Barlow Twins
+/// cross-correlation Z_o^T * Z_a).
+Tensor MatMulAT(const Tensor& a, const Tensor& b);
 Tensor Add(const Tensor& a, const Tensor& b);
 Tensor Sub(const Tensor& a, const Tensor& b);
 Tensor Mul(const Tensor& a, const Tensor& b);  // Hadamard

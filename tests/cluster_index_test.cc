@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "cluster/batch_scheduler.h"
@@ -161,6 +163,67 @@ TEST(KnnIndexTest, ExactTopKAgainstBruteForce) {
   for (int i = 0; i < 5; ++i) {
     EXPECT_EQ(result[static_cast<size_t>(i)].id, brute[static_cast<size_t>(i)].second);
   }
+}
+
+TEST(KnnIndexTest, SmallKOverLargeNMatchesFullSort) {
+  // k << N: exercises the bounded nth_element selection path against a
+  // full-sort reference, including deterministic low-id-first tie-breaks
+  // (every item in this set is duplicated once).
+  const int n = 400, dim = 16, k = 5;
+  Rng rng(19);
+  std::vector<std::vector<float>> items;
+  for (int i = 0; i < n / 2; ++i) {
+    std::vector<float> v(static_cast<size_t>(dim));
+    float norm = 0.0f;
+    for (auto& x : v) {
+      x = static_cast<float>(rng.Gaussian());
+      norm += x * x;
+    }
+    for (auto& x : v) x /= std::sqrt(norm);
+    items.push_back(v);
+    items.push_back(v);  // exact duplicate -> guaranteed score tie
+  }
+  KnnIndex index(items);
+  const std::vector<float> q = items[42];
+  auto result = index.Query(q, k);
+  ASSERT_EQ(result.size(), static_cast<size_t>(k));
+
+  // Full-sort reference over the index's own scores (same Query call with
+  // k = N returns every item ranked).
+  auto full = index.Query(q, n);
+  ASSERT_EQ(full.size(), static_cast<size_t>(n));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(result[static_cast<size_t>(i)].id, full[static_cast<size_t>(i)].id);
+    EXPECT_EQ(result[static_cast<size_t>(i)].sim, full[static_cast<size_t>(i)].sim);
+  }
+  // The duplicate pair tied at the top must appear lower id first.
+  EXPECT_EQ(result[0].id, 42);
+  EXPECT_EQ(result[1].id, 43);
+  EXPECT_EQ(result[0].sim, result[1].sim);
+  // Ranking is non-increasing throughout.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].sim, result[i].sim);
+  }
+}
+
+TEST(KnnIndexTest, NanScoresRankLastWithoutUndefinedBehavior) {
+  // Degenerate (NaN) embeddings must not break the selection comparator's
+  // strict weak ordering; they rank after every real score, id-ordered.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<std::vector<float>> items = {
+      {0.5f, 0.5f}, {nan, nan}, {1.0f, 0.0f}, {nan, 0.0f}, {0.0f, 1.0f}};
+  KnnIndex index(items);
+  auto result = index.Query({1.0f, 0.0f}, 5);
+  ASSERT_EQ(result.size(), 5u);
+  EXPECT_EQ(result[0].id, 2);
+  EXPECT_EQ(result[1].id, 0);
+  EXPECT_EQ(result[2].id, 4);
+  EXPECT_EQ(result[3].id, 1);  // NaN items last, lower id first
+  EXPECT_EQ(result[4].id, 3);
+  auto top2 = index.Query({1.0f, 0.0f}, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 2);
+  EXPECT_EQ(top2[1].id, 0);
 }
 
 TEST(KnnIndexTest, KClampedToSize) {

@@ -71,6 +71,52 @@ TEST(TensorTest, MatMulGradient) {
   CheckGradients([&]() { return MeanAll(MatMul(a, b)); }, {a, b});
 }
 
+TEST(TensorTest, MatMulBTMatchesExplicitTranspose) {
+  Tensor a = RandInput(3, 5, 11);
+  Tensor b = RandInput(4, 5, 12);
+  Tensor fused = MatMulBT(a, b);
+  Tensor ref = MatMul(a, Transpose(b));
+  ASSERT_EQ(fused.rows(), 3);
+  ASSERT_EQ(fused.cols(), 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(fused.at(r, c), ref.at(r, c), 1e-5f);
+    }
+  }
+}
+
+TEST(TensorTest, MatMulBTGradient) {
+  Tensor a = RandInput(3, 4, 13);
+  Tensor b = RandInput(5, 4, 14);
+  CheckGradients([&]() { return MeanAll(MatMulBT(a, b)); }, {a, b});
+}
+
+TEST(TensorTest, MatMulBTGradientSharedOperand) {
+  // Z * Z^T with one node feeding both sides (the NT-Xent similarity).
+  Tensor z = RandInput(4, 3, 15);
+  CheckGradients([&]() { return MeanAll(MatMulBT(z, z)); }, {z});
+}
+
+TEST(TensorTest, MatMulATMatchesExplicitTranspose) {
+  Tensor a = RandInput(5, 3, 16);
+  Tensor b = RandInput(5, 4, 17);
+  Tensor fused = MatMulAT(a, b);
+  Tensor ref = MatMul(Transpose(a), b);
+  ASSERT_EQ(fused.rows(), 3);
+  ASSERT_EQ(fused.cols(), 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(fused.at(r, c), ref.at(r, c), 1e-5f);
+    }
+  }
+}
+
+TEST(TensorTest, MatMulATGradient) {
+  Tensor a = RandInput(4, 3, 18);
+  Tensor b = RandInput(4, 5, 19);
+  CheckGradients([&]() { return MeanAll(MatMulAT(a, b)); }, {a, b});
+}
+
 TEST(TensorTest, AddSubMulGradient) {
   Tensor a = RandInput(2, 3, 3);
   Tensor b = RandInput(2, 3, 4);
