@@ -13,7 +13,12 @@ int main() {
   table.SetHeader({"Dataset", "|A|x|B|", "blocking-s"});
   for (const auto& code : data::SemiSupEmCodes()) {
     data::EmDataset ds = data::GenerateEm(data::GetEmSpec(code));
-    pipeline::EmPipeline p(bench::SudowoodoEmOptions());
+    // Blocking = batched inference encoding + kNN; run it the way serving
+    // would, with the encode GEMMs sharded over 4 workers (bit-identical
+    // to serial).
+    pipeline::EmPipelineOptions o = bench::SudowoodoEmOptions();
+    o.num_threads = 4;
+    pipeline::EmPipeline p(o);
     auto r = p.Run(ds);
     table.AddRow({code,
                   StrFormat("%dx%d", ds.table_a.num_rows(),

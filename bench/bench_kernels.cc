@@ -122,6 +122,12 @@ void Run(const std::string& json_path) {
       // ks::Gemm consumers: MatMul forward, Linear inference.
       {"transformer_proj", Kind::kGemm, 128, 768, 768},
       {"ffn_up", Kind::kGemm, 128, 3072, 768},
+      // Batched inference encoding: a length bucket's [B*T, d] residual
+      // stream through the projection GEMMs (m = rows per bucket; the
+      // per-row path capped m at one sequence's T <= 128).
+      {"batched_encode_m256", Kind::kGemm, 256, 768, 768},
+      {"batched_encode_m512", Kind::kGemm, 512, 768, 768},
+      {"batched_encode_m1024", Kind::kGemm, 1024, 768, 768},
       // ks::GemmBT consumers: MatMulBT (attention, NT-Xent), kNN scoring.
       {"attention_scores", Kind::kGemmBT, 128, 128, 64},
       {"ntxent_similarity", Kind::kGemmBT, 256, 256, 768},

@@ -7,6 +7,8 @@
 // verifies the determinism contract and reports honest numbers.
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "index/knn_index.h"
+#include "nn/encoder.h"
 #include "sparse/tfidf.h"
 
 namespace sudowoodo {
@@ -101,6 +104,87 @@ void Run(const std::string& json_path) {
     r.Num("speedup", tfidf_serial / seconds);
   }
   table2.Print();
+
+  // --- batched vs per-row inference encoding -------------------------------
+  // The serving hot path of PR 3: padded-pack [B, T] batches through the
+  // blocked GEMMs vs the old per-row fan-out, both verified bit-identical
+  // (the batched path is exactly equivalent by construction - see
+  // tests/batch_encode_test.cc).
+  {
+    Rng erng(23);
+    std::vector<std::vector<int>> token_batch;
+    const int n_seqs = 1500, vocab = 2000;
+    for (int i = 0; i < n_seqs; ++i) {
+      std::vector<int> ids;
+      const int len = 4 + erng.UniformInt(60);
+      for (int t = 0; t < len; ++t) ids.push_back(6 + erng.UniformInt(vocab - 6));
+      token_batch.push_back(std::move(ids));
+    }
+
+    struct EncoderCase {
+      const char* name;
+      std::function<std::unique_ptr<nn::Encoder>()> make;
+    };
+    nn::FastBagConfig bag;
+    bag.vocab_size = vocab;
+    bag.dim = 64;
+    bag.hidden_dim = 128;
+    bag.max_len = 64;
+    nn::TransformerConfig trf;
+    trf.vocab_size = vocab;
+    trf.dim = 32;
+    trf.n_layers = 2;
+    trf.n_heads = 4;
+    trf.ffn_dim = 64;
+    trf.max_len = 64;
+    const EncoderCase cases[] = {
+        {"fastbag_d64",
+         [&] { return std::make_unique<nn::FastBagEncoder>(bag); }},
+        {"transformer_d32",
+         [&] { return std::make_unique<nn::TransformerEncoder>(trf); }},
+    };
+
+    std::printf("\nInference encoding: %d ragged sequences, batched vs per-row\n",
+                n_seqs);
+    TablePrinter table3("Batched vs per-row inference encoding");
+    table3.SetHeader({"encoder", "mode", "num_threads", "seconds", "speedup",
+                      "identical"});
+    for (const EncoderCase& c : cases) {
+      std::vector<std::vector<float>> baseline;
+      double per_row_serial = 0.0;
+      for (const bool batched : {false, true}) {
+        for (int num_threads : {1, 4}) {
+          auto encoder = c.make();
+          encoder->set_batched_inference(batched);
+          encoder->set_num_threads(num_threads);
+          WallTimer timer;
+          const auto emb = encoder->EmbedNormalized(token_batch);
+          const double seconds = timer.ElapsedSeconds();
+          if (!batched && num_threads == 1) {
+            per_row_serial = seconds;
+            baseline = emb;
+          }
+          const bool identical = emb == baseline;
+          const char* mode = batched ? "batched" : "per_row";
+          table3.AddRow({c.name, mode, std::to_string(num_threads),
+                         StrFormat("%.3f", seconds),
+                         StrFormat("%.2fx", per_row_serial / seconds),
+                         identical ? "yes" : "NO"});
+          auto& r = records.Add();
+          r.Str("bench", "inference_encoding");
+          r.Str("encoder", c.name);
+          r.Str("mode", mode);
+          r.Int("n_seqs", n_seqs);
+          r.Int("num_threads", num_threads);
+          r.Num("seconds", seconds);
+          r.Num("speedup_vs_per_row_serial", per_row_serial / seconds);
+          r.Bool("identical_to_per_row", identical);
+        }
+      }
+    }
+    table3.Print();
+  }
+
   bench::WriteOrReport(records, json_path);
 }
 

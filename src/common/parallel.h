@@ -49,18 +49,21 @@ inline std::vector<ShardRange> MakeShards(int64_t n, int num_shards) {
 }
 
 /// Runs body(begin, end, shard) over the fixed shard decomposition of
-/// [0, n). Shards other than the first run on ThreadPool::Global(); the
-/// first runs on the calling thread. Blocks until every shard finishes;
-/// the first exception (in shard order) is rethrown.
+/// [0, n). Shards other than the first run on `pool` (defaulting to
+/// ThreadPool::Global() when nullptr); the first runs on the calling
+/// thread. Blocks until every shard finishes; the first exception (in
+/// shard order) is rethrown.
 template <typename Body>
-void ParallelFor(int64_t n, int num_threads, const Body& body) {
+void ParallelFor(int64_t n, int num_threads, const Body& body,
+                 ThreadPool* pool_override = nullptr) {
   const std::vector<ShardRange> shards = MakeShards(n, num_threads);
   if (shards.empty()) return;
   if (shards.size() == 1) {
     body(shards[0].begin, shards[0].end, shards[0].shard);
     return;
   }
-  ThreadPool& pool = ThreadPool::Global();
+  ThreadPool& pool =
+      pool_override != nullptr ? *pool_override : ThreadPool::Global();
   std::vector<std::future<void>> futures;
   futures.reserve(shards.size() - 1);
   for (size_t s = 1; s < shards.size(); ++s) {

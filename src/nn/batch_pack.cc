@@ -1,0 +1,113 @@
+#include "nn/batch_pack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace sudowoodo::nn {
+
+namespace {
+
+/// Truncated length of one sequence under TruncateOrPad's rule.
+int PackedLength(const std::vector<int>& seq, int max_len) {
+  const int len = std::min<int>(static_cast<int>(seq.size()), max_len);
+  return std::max(len, 1);
+}
+
+PackedBucket FillBucket(const std::vector<std::vector<int>>& seqs,
+                        std::vector<int> rows, const PackOptions& opts) {
+  PackedBucket bucket;
+  std::sort(rows.begin(), rows.end());
+  bucket.row_index = std::move(rows);
+  bucket.lengths.reserve(bucket.row_index.size());
+  for (int r : bucket.row_index) {
+    const int len = PackedLength(seqs[static_cast<size_t>(r)], opts.max_len);
+    bucket.lengths.push_back(len);
+    bucket.t = std::max(bucket.t, len);
+  }
+  bucket.ids.assign(
+      static_cast<size_t>(bucket.rows()) * static_cast<size_t>(bucket.t),
+      opts.pad_id);
+  for (int i = 0; i < bucket.rows(); ++i) {
+    const auto& seq = seqs[static_cast<size_t>(bucket.row_index[static_cast<size_t>(i)])];
+    int* dst = bucket.ids.data() + static_cast<size_t>(i) * bucket.t;
+    const int len = bucket.lengths[static_cast<size_t>(i)];
+    for (int j = 0; j < len && j < static_cast<int>(seq.size()); ++j) {
+      dst[j] = seq[static_cast<size_t>(j)];
+    }
+  }
+  return bucket;
+}
+
+}  // namespace
+
+std::vector<int> TruncateOrPad(const std::vector<int>& ids, int max_len,
+                               int pad_id) {
+  std::vector<int> trunc = ids;
+  if (static_cast<int>(trunc.size()) > max_len) {
+    trunc.resize(static_cast<size_t>(max_len));
+  }
+  if (trunc.empty()) trunc.push_back(pad_id);
+  return trunc;
+}
+
+void ScatterPackedRows(const float* src, int d,
+                       const std::vector<int>& row_index, float* dst) {
+  for (size_t i = 0; i < row_index.size(); ++i) {
+    std::copy(src + i * d, src + (i + 1) * d,
+              dst + static_cast<size_t>(row_index[i]) * d);
+  }
+}
+
+std::vector<PackedBucket> PackBatches(
+    const std::vector<std::vector<int>>& seqs, const PackOptions& opts) {
+  SUDO_CHECK(opts.max_len >= 1 && opts.max_rows >= 1);
+  std::vector<PackedBucket> buckets;
+  if (seqs.empty()) return buckets;
+
+  if (!opts.bucket_by_length) {
+    std::vector<int> all(seqs.size());
+    std::iota(all.begin(), all.end(), 0);
+    buckets.push_back(FillBucket(seqs, std::move(all), opts));
+    return buckets;
+  }
+
+  // Stable order by (truncated length, original index), then greedy cuts:
+  // lengths within a walk are non-decreasing, so the running bucket's T is
+  // always the candidate row's length and the padded-slot fraction of the
+  // prospective [rows+1, T'] block is cheap to evaluate exactly.
+  std::vector<int> order(seqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return PackedLength(seqs[static_cast<size_t>(a)], opts.max_len) <
+           PackedLength(seqs[static_cast<size_t>(b)], opts.max_len);
+  });
+
+  std::vector<int> current;
+  int64_t current_tokens = 0;  // sum of valid lengths in `current`
+  for (int r : order) {
+    const int len = PackedLength(seqs[static_cast<size_t>(r)], opts.max_len);
+    if (!current.empty()) {
+      const int64_t slots =
+          (static_cast<int64_t>(current.size()) + 1) * len;
+      const double waste =
+          static_cast<double>(slots - (current_tokens + len)) /
+          static_cast<double>(slots);
+      if (static_cast<int>(current.size()) >= opts.max_rows ||
+          waste > opts.max_padding_waste) {
+        buckets.push_back(FillBucket(seqs, std::move(current), opts));
+        current.clear();
+        current_tokens = 0;
+      }
+    }
+    current.push_back(r);
+    current_tokens += len;
+  }
+  if (!current.empty()) {
+    buckets.push_back(FillBucket(seqs, std::move(current), opts));
+  }
+  return buckets;
+}
+
+}  // namespace sudowoodo::nn

@@ -3,10 +3,32 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace sudowoodo::nn {
 
 namespace ts = sudowoodo::tensor;
+namespace ks = sudowoodo::tensor::kernels;
+
+bool Encoder::UseBatchedInference(const augment::CutoffPlan* cutoff,
+                                  bool training) const {
+  return batched_inference_ && !training && cutoff == nullptr &&
+         !ts::GradEnabled();
+}
+
+ThreadPool* Encoder::InferencePool() const {
+  if (num_threads_ <= 1) return nullptr;
+  return pool_ != nullptr ? pool_ : &ThreadPool::Global();
+}
+
+PackOptions Encoder::MakePackOptions(int max_len, int pad_id) const {
+  PackOptions opts;
+  opts.max_len = max_len;
+  opts.pad_id = pad_id;
+  opts.bucket_by_length = bucketing_;
+  return opts;
+}
 
 std::vector<Tensor> Encoder::EncodeRows(
     size_t n, bool training,
@@ -16,15 +38,16 @@ std::vector<Tensor> Encoder::EncodeRows(
   // draw from the shared dropout RNG, both of which are order-sensitive.
   // Inference with the tape off touches only read-only weights.
   if (num_threads_ > 1 && !training && !ts::GradEnabled()) {
-    ParallelFor(static_cast<int64_t>(n), num_threads_,
-                [&](int64_t begin, int64_t end, int /*shard*/) {
-                  // GradEnabled() is thread-local; re-disable it on workers.
-                  ts::NoGradGuard ng;
-                  for (int64_t i = begin; i < end; ++i) {
-                    rows[static_cast<size_t>(i)] =
-                        encode_row(static_cast<size_t>(i));
-                  }
-                });
+    ParallelFor(
+        static_cast<int64_t>(n), num_threads_,
+        [&](int64_t begin, int64_t end, int /*shard*/) {
+          // GradEnabled() is thread-local; re-disable it on workers.
+          ts::NoGradGuard ng;
+          for (int64_t i = begin; i < end; ++i) {
+            rows[static_cast<size_t>(i)] = encode_row(static_cast<size_t>(i));
+          }
+        },
+        pool_);
   } else {
     for (size_t i = 0; i < n; ++i) rows[i] = encode_row(i);
   }
@@ -90,6 +113,58 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
   return wo_.Forward(ts::ConcatCols(heads));
 }
 
+Tensor MultiHeadSelfAttention::ForwardPacked(const Tensor& x, int t,
+                                             const std::vector<int>& lengths,
+                                             ThreadPool* pool,
+                                             int num_shards) const {
+  SUDO_CHECK(!ts::GradEnabled());
+  SUDO_CHECK(t > 0 && x.rows() % t == 0);
+  const int b = x.rows() / t;
+  SUDO_CHECK(static_cast<int>(lengths.size()) == b);
+  // The projections are where the batch pays off: one [b*t, dim] GEMM
+  // each instead of b separate [t, dim] ones, row-sharded over the pool.
+  Tensor q = wq_.Forward(x, pool, num_shards);
+  Tensor k = wk_.Forward(x, pool, num_shards);
+  Tensor v = wv_.Forward(x, pool, num_shards);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Score matrices are per sequence; fan them out across the pool, each
+  // sequence writing only its own disjoint slot of the output-projection
+  // input. Only the valid query rows are computed ([len, t] scores, not
+  // [t, t]); the padded rows of each block stay exact zero, which both
+  // bounds the padding overhead and lets wo_'s GEMM zero-skip them.
+  const int dim = n_heads_ * head_dim_;
+  Tensor attn_in = Tensor::Zeros(b * t, dim);
+  auto encode_range = [&](int64_t begin, int64_t end, int /*shard*/) {
+    ts::NoGradGuard ng;  // GradEnabled() is thread-local; workers re-disable.
+    for (int64_t s = begin; s < end; ++s) {
+      const int len = lengths[static_cast<size_t>(s)];
+      Tensor qs = ts::SliceRows(q, static_cast<int>(s) * t, len);
+      Tensor ks_ = ts::SliceRows(k, static_cast<int>(s) * t, t);
+      Tensor vs = ts::SliceRows(v, static_cast<int>(s) * t, t);
+      const std::vector<int> valid(static_cast<size_t>(len), len);
+      std::vector<Tensor> heads;
+      heads.reserve(static_cast<size_t>(n_heads_));
+      for (int h = 0; h < n_heads_; ++h) {
+        Tensor qh = ts::SliceCols(qs, h * head_dim_, head_dim_);
+        Tensor kh = ts::SliceCols(ks_, h * head_dim_, head_dim_);
+        Tensor vh = ts::SliceCols(vs, h * head_dim_, head_dim_);
+        Tensor scores = ts::Scale(ts::MatMulBT(qh, kh), scale);
+        // Padded key columns get exact-0 weight, so the value GEMM's
+        // zero-skip never reads the padded value rows.
+        Tensor attn = MaskedRowSoftmax(scores, valid);
+        heads.push_back(ts::MatMul(attn, vh));
+      }
+      Tensor merged = ts::ConcatCols(heads);  // [len, dim]
+      std::copy(merged.data(),
+                merged.data() + static_cast<size_t>(len) * dim,
+                attn_in.data() + static_cast<size_t>(s) * t * dim);
+    }
+  };
+  ParallelFor(b, num_shards, encode_range, pool);
+  return wo_.Forward(attn_in, pool, num_shards);
+}
+
 std::vector<Tensor> MultiHeadSelfAttention::Parameters() const {
   std::vector<Tensor> out = wq_.Parameters();
   AppendParameters(&out, wk_.Parameters());
@@ -117,11 +192,8 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
 Tensor TransformerEncoder::EncodeOne(const std::vector<int>& ids,
                                      const augment::CutoffPlan* cutoff,
                                      bool training) {
-  std::vector<int> trunc = ids;
-  if (static_cast<int>(trunc.size()) > config_.max_len) {
-    trunc.resize(static_cast<size_t>(config_.max_len));
-  }
-  SUDO_CHECK(!trunc.empty());
+  std::vector<int> trunc =
+      TruncateOrPad(ids, config_.max_len, config_.pad_id);
   std::vector<int> pos(trunc.size());
   for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
 
@@ -143,11 +215,55 @@ Tensor TransformerEncoder::EncodeBatch(
     const std::vector<std::vector<int>>& batch,
     const augment::CutoffPlan* cutoff, bool training) {
   SUDO_CHECK(!batch.empty());
+  if (UseBatchedInference(cutoff, training)) {
+    return EncodeBatchedInference(batch);
+  }
   std::vector<Tensor> pooled =
       EncodeRows(batch.size(), training, [&](size_t i) {
         return EncodeOne(batch[i], cutoff, training);
       });
   return ts::ConcatRows(pooled);
+}
+
+Tensor TransformerEncoder::EncodeBucket(const PackedBucket& bucket) {
+  const int b = bucket.rows(), t = bucket.t;
+  ThreadPool* pool = InferencePool();
+  const int shards = num_threads_;
+
+  // One [b*t, dim] residual stream for the whole bucket. Padded rows hold
+  // the pad-token embedding and stay finite but meaningless; they never
+  // feed a valid row (attention masks them, everything else is row-local).
+  std::vector<int> pos(bucket.ids.size());
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < t; ++j) pos[static_cast<size_t>(i) * t + j] = j;
+  }
+  Tensor x = ts::Add(token_emb_.Forward(bucket.ids), pos_emb_.Forward(pos));
+
+  for (const Layer& layer : layers_) {
+    Tensor attn_out = layer.attn.ForwardPacked(
+        layer.ln1.Forward(x), t, bucket.lengths, pool, shards);
+    x = ts::Add(x, attn_out);
+    Tensor ffn_out = layer.ffn.Forward(layer.ln2.Forward(x), pool, shards);
+    x = ts::Add(x, ffn_out);
+  }
+  x = final_ln_.Forward(x);
+
+  // [CLS] pooling: row 0 of each padded block.
+  std::vector<int> cls_rows(static_cast<size_t>(b));
+  for (int i = 0; i < b; ++i) cls_rows[static_cast<size_t>(i)] = i * t;
+  return ts::GatherRows(x, cls_rows);
+}
+
+Tensor TransformerEncoder::EncodeBatchedInference(
+    const std::vector<std::vector<int>>& batch) {
+  const auto buckets = PackBatches(
+      batch, MakePackOptions(config_.max_len, config_.pad_id));
+  Tensor out = Tensor::Zeros(static_cast<int>(batch.size()), config_.dim);
+  for (const PackedBucket& bucket : buckets) {
+    ScatterPackedRows(EncodeBucket(bucket).data(), config_.dim,
+                      bucket.row_index, out.data());
+  }
+  return out;
 }
 
 std::vector<Tensor> TransformerEncoder::Parameters() const {
@@ -172,11 +288,8 @@ FastBagEncoder::FastBagEncoder(const FastBagConfig& config)
 
 Tensor FastBagEncoder::PoolOne(const std::vector<int>& ids,
                                const augment::CutoffPlan* cutoff) {
-  std::vector<int> trunc = ids;
-  if (static_cast<int>(trunc.size()) > config_.max_len) {
-    trunc.resize(static_cast<size_t>(config_.max_len));
-  }
-  SUDO_CHECK(!trunc.empty());
+  std::vector<int> trunc =
+      TruncateOrPad(ids, config_.max_len, config_.pad_id);
   Tensor emb = token_emb_.Forward(trunc);  // [T, dim]
   if (cutoff != nullptr) emb = ApplyCutoff(emb, *cutoff);
 
@@ -205,14 +318,80 @@ Tensor FastBagEncoder::PoolOne(const std::vector<int>& ids,
   return ts::ConcatCols({m1, m2, ts::Abs(ts::Sub(m1, m2)), ts::Mul(m1, m2)});
 }
 
+Tensor FastBagEncoder::PoolBatchedInference(
+    const std::vector<std::vector<int>>& batch) {
+  const int d = config_.dim;
+  const auto buckets = PackBatches(
+      batch, MakePackOptions(config_.max_len, config_.pad_id));
+  Tensor feats = Tensor::Zeros(static_cast<int>(batch.size()), 4 * d);
+  for (const PackedBucket& bucket : buckets) {
+    const int b = bucket.rows(), t = bucket.t;
+    Tensor emb = token_emb_.Forward(bucket.ids);  // [b*t, dim]
+    // Segment split per row, matching PoolOne: the first [SEP] inside the
+    // valid prefix, provided both segments are non-empty.
+    std::vector<int> sep(static_cast<size_t>(b), -1);
+    std::vector<int> l1 = bucket.lengths;
+    for (int i = 0; i < b; ++i) {
+      const int* row = bucket.ids.data() + static_cast<size_t>(i) * t;
+      const int len = bucket.lengths[static_cast<size_t>(i)];
+      for (int j = 0; j < len; ++j) {
+        if (row[j] == config_.sep_token_id) {
+          if (j > 0 && j + 1 < len) sep[static_cast<size_t>(i)] = j;
+          break;
+        }
+      }
+      if (sep[static_cast<size_t>(i)] >= 0) {
+        l1[static_cast<size_t>(i)] = sep[static_cast<size_t>(i)];
+      }
+    }
+    // m1 is a mask-aware mean-pool over each block's first segment (the
+    // whole valid prefix when there is no split).
+    Tensor m1 = MaskedMeanPool(emb, t, l1);
+    Tensor m2 = Tensor::Zeros(b, d);
+    for (int i = 0; i < b; ++i) {
+      float* m2_row = m2.data() + static_cast<size_t>(i) * d;
+      if (sep[static_cast<size_t>(i)] >= 0) {
+        ks::ColMeanRange(emb.data() + static_cast<size_t>(i) * t * d, d,
+                         sep[static_cast<size_t>(i)] + 1,
+                         bucket.lengths[static_cast<size_t>(i)], m2_row);
+      } else {
+        std::copy(m1.data() + static_cast<size_t>(i) * d,
+                  m1.data() + static_cast<size_t>(i + 1) * d, m2_row);
+      }
+    }
+    // [m1, m2, |m1-m2|, m1⊙m2] scattered into batch order; the same
+    // elementwise arithmetic as the per-row ConcatCols feature build.
+    for (int i = 0; i < b; ++i) {
+      const float* a = m1.data() + static_cast<size_t>(i) * d;
+      const float* c = m2.data() + static_cast<size_t>(i) * d;
+      float* dst =
+          feats.data() +
+          static_cast<size_t>(bucket.row_index[static_cast<size_t>(i)]) * 4 *
+              d;
+      for (int j = 0; j < d; ++j) {
+        dst[j] = a[j];
+        dst[d + j] = c[j];
+        dst[2 * d + j] = std::fabs(a[j] - c[j]);
+        dst[3 * d + j] = a[j] * c[j];
+      }
+    }
+  }
+  return feats;
+}
+
 Tensor FastBagEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
                                    const augment::CutoffPlan* cutoff,
                                    bool training) {
   SUDO_CHECK(!batch.empty());
-  std::vector<Tensor> pooled =
-      EncodeRows(batch.size(), training,
-                 [&](size_t i) { return PoolOne(batch[i], cutoff); });
-  Tensor x = ts::ConcatRows(pooled);  // [B, 4*dim]
+  Tensor x;
+  if (UseBatchedInference(cutoff, training)) {
+    x = PoolBatchedInference(batch);  // [B, 4*dim]
+  } else {
+    std::vector<Tensor> pooled =
+        EncodeRows(batch.size(), training,
+                   [&](size_t i) { return PoolOne(batch[i], cutoff); });
+    x = ts::ConcatRows(pooled);  // [B, 4*dim]
+  }
   x = ts::Dropout(x, config_.dropout, &rng_, training);
   // Residual on the mean of the two segment means keeps the informative
   // bag-of-embeddings signal flowing from step one; the MLP learns the
@@ -220,7 +399,8 @@ Tensor FastBagEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
   const int d = config_.dim;
   Tensor resid = ts::Scale(
       ts::Add(ts::SliceCols(x, 0, d), ts::SliceCols(x, d, d)), 0.5f);
-  return ln_.Forward(ts::Add(resid, mlp_.Forward(x)));
+  return ln_.Forward(
+      ts::Add(resid, mlp_.Forward(x, InferencePool(), num_threads_)));
 }
 
 std::vector<Tensor> FastBagEncoder::Parameters() const {

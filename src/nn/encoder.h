@@ -11,8 +11,13 @@
 #include <vector>
 
 #include "augment/cutoff.h"
+#include "nn/batch_pack.h"
 #include "nn/layers.h"
 #include "tensor/tensor.h"
+
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h
+}
 
 namespace sudowoodo::nn {
 
@@ -42,16 +47,34 @@ class Encoder {
   std::vector<std::vector<float>> EmbedNormalized(
       const std::vector<std::vector<int>>& batch);
 
-  /// Degree of parallelism for *inference-mode* batched forward passes
-  /// (rows of a minibatch are encoded independently across workers and
-  /// concatenated in index order, so results are bit-identical to the
-  /// serial path). Training-mode forward/backward stays serial for
-  /// gradient determinism.
+  /// Degree of parallelism for *inference-mode* forward passes: the
+  /// batched path row-shards its GEMMs and fans attention out per
+  /// sequence; the per-row fallback fans whole rows out across workers.
+  /// Results are bit-identical to serial either way. Training-mode
+  /// forward/backward stays serial for gradient determinism.
   void set_num_threads(int n) { num_threads_ = n > 0 ? n : 1; }
   int num_threads() const { return num_threads_; }
 
+  /// Worker pool for the inference paths. nullptr (the default) falls
+  /// back to the process-global pool whenever num_threads > 1; pipelines
+  /// plumb their options' pool through MakeEncoder into here, and from
+  /// here into Linear::Forward's row-sharded GEMM overload.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
+  /// Toggles the padded-pack batched inference path (on by default). The
+  /// per-row path remains for training and as the equivalence oracle in
+  /// tests/batch_encode_test.cc and bench_parallel_scaling.
+  void set_batched_inference(bool on) { batched_inference_ = on; }
+  bool batched_inference() const { return batched_inference_; }
+
+  /// Toggles length bucketing inside the batched path (on by default;
+  /// off packs everything into one block padded to the longest row).
+  void set_bucketing(bool on) { bucketing_ = on; }
+  bool bucketing() const { return bucketing_; }
+
  protected:
-  /// Shared fan-out for EncodeBatch implementations: evaluates
+  /// Shared fan-out for the per-row EncodeBatch paths: evaluates
   /// encode_row(i) for i in [0, n), in parallel over fixed shards when
   /// eligible (inference mode, autograd tape off, num_threads_ > 1) and
   /// serially otherwise. Row i's tensor always lands in slot i, so the
@@ -60,11 +83,28 @@ class Encoder {
       size_t n, bool training,
       const std::function<Tensor(size_t)>& encode_row);
 
+  /// True when EncodeBatch should take the padded-pack batched route:
+  /// inference mode, autograd tape off, no cutoff mask, batching enabled.
+  bool UseBatchedInference(const augment::CutoffPlan* cutoff,
+                           bool training) const;
+
+  /// Pool to hand to the row-sharded GEMMs / per-sequence fan-out:
+  /// the configured pool, the global one when only num_threads is set,
+  /// nullptr (serial) when num_threads <= 1.
+  ThreadPool* InferencePool() const;
+
+  /// Packing knobs shared by the batched encoder paths.
+  PackOptions MakePackOptions(int max_len, int pad_id) const;
+
   int num_threads_ = 1;
+  ThreadPool* pool_ = nullptr;
+  bool batched_inference_ = true;
+  bool bucketing_ = true;
 };
 
-/// Multi-head self-attention block (per-sequence, no padding mask needed
-/// because each sequence is encoded individually).
+/// Multi-head self-attention block. The per-sequence Forward needs no
+/// padding mask (each sequence is encoded individually); ForwardPacked
+/// handles padded [B, T] blocks with a key-padding mask.
 class MultiHeadSelfAttention {
  public:
   MultiHeadSelfAttention() = default;
@@ -72,6 +112,18 @@ class MultiHeadSelfAttention {
 
   /// x is [T, dim]; returns [T, dim].
   Tensor Forward(const Tensor& x) const;
+
+  /// Batched inference forward over padded blocks: x is [b*t, dim]
+  /// holding b length-t blocks, lengths[i] the valid prefix of block i.
+  /// The Q/K/V/output projections run as single [b*t, dim] GEMMs
+  /// (row-sharded over `pool` with `num_shards`); the per-sequence score
+  /// matrices fan out across the pool. Rows beyond a block's valid prefix
+  /// carry finite garbage that never reaches valid rows (the masked
+  /// softmax zeroes padded key columns and the GEMM zero-skip drops
+  /// them), so every valid row is bit-identical to Forward on the
+  /// unpadded sequence. Inference only (tape must be off).
+  Tensor ForwardPacked(const Tensor& x, int t, const std::vector<int>& lengths,
+                       ThreadPool* pool, int num_shards) const;
 
   std::vector<Tensor> Parameters() const;
 
@@ -90,6 +142,9 @@ struct TransformerConfig {
   int n_heads = 4;
   int ffn_dim = 128;
   float dropout = 0.1f;
+  /// Fill token for padded batch slots; also substituted for an empty
+  /// input sequence (text::Vocab::kPad).
+  int pad_id = 0;
   uint64_t seed = 17;
 };
 
@@ -117,6 +172,17 @@ class TransformerEncoder : public Encoder {
   Tensor EncodeOne(const std::vector<int>& ids,
                    const augment::CutoffPlan* cutoff, bool training);
 
+  /// Batched inference: packs the batch into padded buckets and runs each
+  /// bucket's residual stream as [rows*t, dim] tensors through the
+  /// blocked (optionally row-sharded) GEMMs. Bit-identical to the per-row
+  /// path - every reduction (LayerNorm, masked softmax, GEMM
+  /// accumulation) is row-local and walks the same valid prefix in the
+  /// same order.
+  Tensor EncodeBatchedInference(const std::vector<std::vector<int>>& batch);
+
+  /// Encodes one padded bucket to [bucket.rows(), dim] pooled rows.
+  Tensor EncodeBucket(const PackedBucket& bucket);
+
   TransformerConfig config_;
   Rng rng_;  // dropout stream
   Embedding token_emb_;
@@ -135,6 +201,9 @@ struct FastBagConfig {
   /// Token id of the [SEP] separator (text::Vocab::kSep). Sequences
   /// containing it are treated as serialized pairs.
   int sep_token_id = 3;
+  /// Fill token for padded batch slots; also substituted for an empty
+  /// input sequence (text::Vocab::kPad).
+  int pad_id = 0;
   uint64_t seed = 17;
 };
 
@@ -163,6 +232,11 @@ class FastBagEncoder : public Encoder {
   /// Pooled [1, 4*dim] segment features for one sequence.
   Tensor PoolOne(const std::vector<int>& ids,
                  const augment::CutoffPlan* cutoff);
+
+  /// Batched inference pooling: [B, 4*dim] segment features for the whole
+  /// batch via one embedding gather per bucket and the masked mean-pool
+  /// kernels; bit-identical to per-row PoolOne.
+  Tensor PoolBatchedInference(const std::vector<std::vector<int>>& batch);
 
   FastBagConfig config_;
   Rng rng_;

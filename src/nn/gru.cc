@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+#include "nn/batch_pack.h"
 #include "tensor/kernels.h"
 
 namespace sudowoodo::nn {
@@ -11,17 +13,24 @@ namespace ks = sudowoodo::tensor::kernels;
 
 namespace {
 
-/// One gate projection on raw buffers: out[d] = act(xh[1,2d] * W + b).
-/// Gemm accumulates into the zeroed output and the bias is added after,
-/// mirroring Linear::Forward exactly (bit-identical gate values).
+/// One gate projection on raw buffers for a whole step batch:
+/// out[b,d] = act(xh[b,2d] * W + b). Gemm accumulates into the zeroed
+/// output and the bias is added per row afterwards, mirroring
+/// Linear::Forward exactly (bit-identical gate values for any batch size
+/// or shard count).
 template <typename Act>
-void GateForward(const Linear& gate, const float* xh, int d, float* out,
-                 Act act) {
-  std::fill(out, out + d, 0.0f);
-  ks::Gemm(1, d, 2 * d, xh, gate.weight().data(), out);
-  ks::Axpy(d, 1.0f, gate.bias().data(), out);
-  for (int j = 0; j < d; ++j) out[j] = act(out[j]);
+void GateForward(const Linear& gate, const float* xh, int b, int d, float* out,
+                 Act act, ThreadPool* pool = nullptr, int num_shards = 1) {
+  std::fill(out, out + static_cast<size_t>(b) * d, 0.0f);
+  ks::Gemm(b, d, 2 * d, xh, gate.weight().data(), out, pool, num_shards);
+  for (int i = 0; i < b; ++i) {
+    ks::Axpy(d, 1.0f, gate.bias().data(), out + static_cast<size_t>(i) * d);
+  }
+  for (size_t j = 0; j < static_cast<size_t>(b) * d; ++j) out[j] = act(out[j]);
 }
+
+float SigmoidScalar(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+float TanhScalar(float v) { return std::tanh(v); }
 
 }  // namespace
 
@@ -37,11 +46,10 @@ GruEncoder::GruEncoder(const GruConfig& config)
 Tensor GruEncoder::EncodeOne(const std::vector<int>& ids,
                              const augment::CutoffPlan* cutoff,
                              bool training) {
-  std::vector<int> trunc = ids;
-  if (static_cast<int>(trunc.size()) > config_.max_len) {
-    trunc.resize(static_cast<size_t>(config_.max_len));
-  }
-  SUDO_CHECK(!trunc.empty());
+  // TruncateOrPad is the packing rule: truncation plus the empty-row ->
+  // single-[PAD] substitution, shared with the batched path.
+  std::vector<int> trunc =
+      TruncateOrPad(ids, config_.max_len, config_.pad_id);
 
   // Graph-free inference recurrence: with the tape off, no cutoff mask and
   // dropout a no-op, the whole time loop runs on stack buffers through the
@@ -60,15 +68,13 @@ Tensor GruEncoder::EncodeOne(const std::vector<int>& ids,
       const float* xt = table + static_cast<size_t>(id) * d;
       std::copy(xt, xt + d, xh.begin());
       std::copy(h.begin(), h.end(), xh.begin() + d);
-      auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
-      GateForward(wz_, xh.data(), d, z.data(), sigmoid);
-      GateForward(wr_, xh.data(), d, r.data(), sigmoid);
+      GateForward(wz_, xh.data(), 1, d, z.data(), SigmoidScalar);
+      GateForward(wr_, xh.data(), 1, d, r.data(), SigmoidScalar);
       // Candidate input is [x_t, r * h].
       for (int j = 0; j < d; ++j) {
         xh[static_cast<size_t>(d + j)] = r[static_cast<size_t>(j)] * h[static_cast<size_t>(j)];
       }
-      GateForward(wh_, xh.data(), d, cand.data(),
-                  [](float v) { return std::tanh(v); });
+      GateForward(wh_, xh.data(), 1, d, cand.data(), TanhScalar);
       for (int j = 0; j < d; ++j) {
         h[static_cast<size_t>(j)] = (1.0f - z[static_cast<size_t>(j)]) * h[static_cast<size_t>(j)] +
                                     z[static_cast<size_t>(j)] * cand[static_cast<size_t>(j)];
@@ -97,10 +103,69 @@ Tensor GruEncoder::EncodeOne(const std::vector<int>& ids,
   return h;
 }
 
+Tensor GruEncoder::EncodeBatchedInference(
+    const std::vector<std::vector<int>>& batch) {
+  const int d = config_.dim;
+  const float* table = token_emb_.table().data();
+  ThreadPool* pool = InferencePool();
+  const auto buckets =
+      PackBatches(batch, MakePackOptions(config_.max_len, config_.pad_id));
+  Tensor out = Tensor::Zeros(static_cast<int>(batch.size()), d);
+
+  for (const PackedBucket& bucket : buckets) {
+    const int b = bucket.rows(), t = bucket.t;
+    std::vector<float> h(static_cast<size_t>(b) * d, 0.0f);
+    std::vector<float> xh(static_cast<size_t>(b) * 2 * d);
+    std::vector<float> z(static_cast<size_t>(b) * d),
+        r(static_cast<size_t>(b) * d), cand(static_cast<size_t>(b) * d);
+    for (int step = 0; step < t; ++step) {
+      // Every row steps, including finished ones (their padded inputs
+      // produce finite garbage gates); the masked update below freezes
+      // finished rows, so active rows see exactly the per-row recurrence.
+      for (int i = 0; i < b; ++i) {
+        const int id = bucket.ids[static_cast<size_t>(i) * t + step];
+        SUDO_CHECK(id >= 0 && id < token_emb_.vocab_size());
+        const float* xt = table + static_cast<size_t>(id) * d;
+        float* xh_row = xh.data() + static_cast<size_t>(i) * 2 * d;
+        std::copy(xt, xt + d, xh_row);
+        std::copy(h.data() + static_cast<size_t>(i) * d,
+                  h.data() + static_cast<size_t>(i + 1) * d, xh_row + d);
+      }
+      GateForward(wz_, xh.data(), b, d, z.data(), SigmoidScalar, pool,
+                  num_threads_);
+      GateForward(wr_, xh.data(), b, d, r.data(), SigmoidScalar, pool,
+                  num_threads_);
+      // Candidate input is [x_t, r * h].
+      for (int i = 0; i < b; ++i) {
+        float* xh_row = xh.data() + static_cast<size_t>(i) * 2 * d;
+        const float* r_row = r.data() + static_cast<size_t>(i) * d;
+        const float* h_row = h.data() + static_cast<size_t>(i) * d;
+        for (int j = 0; j < d; ++j) xh_row[d + j] = r_row[j] * h_row[j];
+      }
+      GateForward(wh_, xh.data(), b, d, cand.data(), TanhScalar, pool,
+                  num_threads_);
+      for (int i = 0; i < b; ++i) {
+        if (step >= bucket.lengths[static_cast<size_t>(i)]) continue;
+        float* h_row = h.data() + static_cast<size_t>(i) * d;
+        const float* z_row = z.data() + static_cast<size_t>(i) * d;
+        const float* c_row = cand.data() + static_cast<size_t>(i) * d;
+        for (int j = 0; j < d; ++j) {
+          h_row[j] = (1.0f - z_row[j]) * h_row[j] + z_row[j] * c_row[j];
+        }
+      }
+    }
+    ScatterPackedRows(h.data(), d, bucket.row_index, out.data());
+  }
+  return out;
+}
+
 Tensor GruEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
                                const augment::CutoffPlan* cutoff,
                                bool training) {
   SUDO_CHECK(!batch.empty());
+  if (UseBatchedInference(cutoff, training)) {
+    return EncodeBatchedInference(batch);
+  }
   std::vector<Tensor> pooled;
   pooled.reserve(batch.size());
   for (const auto& ids : batch) {

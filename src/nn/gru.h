@@ -18,6 +18,9 @@ struct GruConfig {
   int max_len = 64;
   int dim = 64;  // embedding and hidden width
   float dropout = 0.1f;
+  /// Fill token for padded batch slots; also substituted for an empty
+  /// input sequence (text::Vocab::kPad).
+  int pad_id = 0;
   uint64_t seed = 17;
 };
 
@@ -35,6 +38,14 @@ class GruEncoder : public Encoder {
  private:
   Tensor EncodeOne(const std::vector<int>& ids,
                    const augment::CutoffPlan* cutoff, bool training);
+
+  /// Batched inference recurrence: packs the batch into padded buckets
+  /// and steps every sequence of a bucket in lockstep, so each gate is
+  /// one [rows, 2*dim] x [2*dim, dim] blocked GEMM per time step instead
+  /// of `rows` GEMV calls. Rows whose sequence has ended keep their
+  /// hidden state frozen (masked update); bit-identical to the per-row
+  /// recurrence.
+  Tensor EncodeBatchedInference(const std::vector<std::vector<int>>& batch);
 
   GruConfig config_;
   Rng rng_;

@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include "common/thread_pool.h"
 #include "tensor/kernels.h"
 
 namespace sudowoodo::nn {
@@ -8,15 +9,17 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng)
     : w_(Tensor::Randn(in_dim, out_dim, 0.02f, rng, /*requires_grad=*/true)),
       b_(Tensor::Zeros(1, out_dim, /*requires_grad=*/true)) {}
 
-Tensor Linear::Forward(const Tensor& x) const {
+Tensor Linear::Forward(const Tensor& x, ThreadPool* pool,
+                       int num_shards) const {
   namespace ks = tensor::kernels;
   if (!tensor::GradEnabled()) {
     // Inference: one fused GEMM + bias on raw buffers, skipping the two
     // autograd nodes. Gemm accumulates into the zeroed output and the bias
-    // is added afterwards, so this is bit-identical to the graph path.
+    // is added afterwards, so this is bit-identical to the graph path -
+    // and, per the kernel contract, identical for any pool/shard count.
     const int m = x.rows(), k = x.cols(), n = w_.cols();
     Tensor out = Tensor::Zeros(m, n);
-    ks::Gemm(m, n, k, x.data(), w_.data(), out.data());
+    ks::Gemm(m, n, k, x.data(), w_.data(), out.data(), pool, num_shards);
     for (int i = 0; i < m; ++i) {
       ks::Axpy(n, 1.0f, b_.data(), out.data() + static_cast<size_t>(i) * n);
     }
@@ -45,8 +48,9 @@ Tensor LayerNorm::Forward(const Tensor& x) const {
 Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)
     : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {}
 
-Tensor Mlp::Forward(const Tensor& x) const {
-  return fc2_.Forward(tensor::Gelu(fc1_.Forward(x)));
+Tensor Mlp::Forward(const Tensor& x, ThreadPool* pool, int num_shards) const {
+  return fc2_.Forward(tensor::Gelu(fc1_.Forward(x, pool, num_shards)), pool,
+                      num_shards);
 }
 
 std::vector<Tensor> Mlp::Parameters() const {
@@ -58,6 +62,26 @@ std::vector<Tensor> Mlp::Parameters() const {
 void AppendParameters(std::vector<Tensor>* params,
                       const std::vector<Tensor>& extra) {
   params->insert(params->end(), extra.begin(), extra.end());
+}
+
+Tensor MaskedRowSoftmax(const Tensor& x, const std::vector<int>& valid) {
+  SUDO_CHECK(!tensor::GradEnabled());
+  SUDO_CHECK(static_cast<int>(valid.size()) == x.rows());
+  Tensor out = Tensor::Zeros(x.rows(), x.cols());
+  tensor::kernels::RowSoftmaxMasked(x.rows(), x.cols(), x.data(), valid.data(),
+                                    out.data());
+  return out;
+}
+
+Tensor MaskedMeanPool(const Tensor& x, int t, const std::vector<int>& lengths) {
+  SUDO_CHECK(!tensor::GradEnabled());
+  SUDO_CHECK(t > 0 && x.rows() % t == 0);
+  const int b = x.rows() / t;
+  SUDO_CHECK(static_cast<int>(lengths.size()) == b);
+  Tensor out = Tensor::Zeros(b, x.cols());
+  tensor::kernels::MaskedMeanPool(b, t, x.cols(), x.data(), lengths.data(),
+                                  out.data());
+  return out;
 }
 
 }  // namespace sudowoodo::nn

@@ -8,6 +8,10 @@
 #include "common/rng.h"
 #include "tensor/tensor.h"
 
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h; only the pointer crosses here.
+}
+
 namespace sudowoodo::nn {
 
 using tensor::Tensor;
@@ -20,7 +24,13 @@ class Linear {
   Linear(int in_dim, int out_dim, Rng* rng);
 
   /// x is [N, in]; returns [N, out].
-  Tensor Forward(const Tensor& x) const;
+  Tensor Forward(const Tensor& x) const { return Forward(x, nullptr, 1); }
+
+  /// Same, with the inference GEMM row-sharded over `pool` when the
+  /// autograd tape is off (`num_shards > 1`; bit-identical to serial by
+  /// the kernel contract). The graph-building training path ignores the
+  /// pool - gradient work stays serial.
+  Tensor Forward(const Tensor& x, ThreadPool* pool, int num_shards) const;
 
   std::vector<Tensor> Parameters() const { return {w_, b_}; }
   int in_dim() const { return w_.rows(); }
@@ -77,7 +87,11 @@ class Mlp {
   Mlp() = default;
   Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng);
 
-  Tensor Forward(const Tensor& x) const;
+  Tensor Forward(const Tensor& x) const { return Forward(x, nullptr, 1); }
+
+  /// Both Linear stages row-shard their inference GEMMs over `pool` (see
+  /// Linear::Forward); GELU stays elementwise-serial.
+  Tensor Forward(const Tensor& x, ThreadPool* pool, int num_shards) const;
 
   std::vector<Tensor> Parameters() const;
 
@@ -89,6 +103,22 @@ class Mlp {
 /// Appends `extra` to `params`.
 void AppendParameters(std::vector<Tensor>* params,
                       const std::vector<Tensor>& extra);
+
+/// --- mask-aware ops for padded [B, T] batches (inference only) -------------
+///
+/// Both helpers are graph-free serving-path ops (they SUDO_CHECK that the
+/// autograd tape is off) backed by the masked kernels in
+/// tensor/kernels.h. Their reductions walk each row's valid prefix in the
+/// per-row op order, so batched encoders built on them are bit-identical
+/// to the per-row paths (see src/tensor/README.md).
+
+/// Per-row softmax over the first valid[i] columns of x; padded columns
+/// become exact 0 (attention with key-padding masks).
+Tensor MaskedRowSoftmax(const Tensor& x, const std::vector<int>& valid);
+
+/// Mean-pools b = x.rows()/t padded blocks of t rows each: returns [b,
+/// x.cols()] where row i averages the first lengths[i] rows of block i.
+Tensor MaskedMeanPool(const Tensor& x, int t, const std::vector<int>& lengths);
 
 }  // namespace sudowoodo::nn
 

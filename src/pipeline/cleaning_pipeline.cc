@@ -87,8 +87,8 @@ CleaningRunResult CleaningPipeline::Run(const data::CleaningDataset& ds) {
   text::Vocab vocab = text::Vocab::Build(corpus, options_.vocab_size);
   auto encoder =
       MakeEncoder(options_.encoder_kind, vocab.size(), options_.encoder_dim,
-                  options_.max_len, options_.seed);
-  encoder->set_num_threads(options_.num_threads);
+                  options_.max_len, options_.seed, options_.pool,
+                  options_.num_threads);
 
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;

@@ -55,9 +55,12 @@ struct CleaningPipelineOptions {
   /// speed knob; the true correction is always kept when covered).
   int max_train_candidates = 4;
 
-  /// Worker threads for inference-mode encoding (prediction over cell /
+  /// Worker threads for batched inference encoding (prediction over cell /
   /// candidate pairs); bit-identical results for any value, 1 = serial.
   int num_threads = 1;
+  /// Worker pool for those stages; nullptr = the process-global pool when
+  /// num_threads > 1 (see EmPipelineOptions::pool).
+  ThreadPool* pool = nullptr;
 
   uint64_t seed = 23;
 };

@@ -67,8 +67,8 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
   text::Vocab vocab = text::Vocab::Build(tokens, options_.vocab_size);
   auto encoder =
       MakeEncoder(options_.encoder_kind, vocab.size(), options_.encoder_dim,
-                  options_.max_len, options_.seed);
-  encoder->set_num_threads(options_.num_threads);
+                  options_.max_len, options_.seed, options_.pool,
+                  options_.num_threads);
 
   // Pre-training with the cell-level operator (attribute ops do not apply
   // to columns, §V-B).

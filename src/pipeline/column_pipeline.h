@@ -40,9 +40,12 @@ struct ColumnPipelineOptions {
   /// threshold keeps components pure instead of collapsing into one blob.
   float cluster_edge_threshold = 0.9f;
 
-  /// Worker threads for inference-mode encoding and kNN blocking;
+  /// Worker threads for batched inference encoding and kNN blocking;
   /// bit-identical results for any value, 1 = serial.
   int num_threads = 1;
+  /// Worker pool for those stages; nullptr = the process-global pool when
+  /// num_threads > 1 (see EmPipelineOptions::pool).
+  ThreadPool* pool = nullptr;
 
   uint64_t seed = 29;
 };

@@ -24,7 +24,9 @@ std::vector<std::vector<int>> EncodeAll(
 }  // namespace
 
 std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
-                                         int dim, int max_len, uint64_t seed) {
+                                         int dim, int max_len, uint64_t seed,
+                                         ThreadPool* pool, int num_threads) {
+  std::unique_ptr<nn::Encoder> encoder;
   if (kind == EncoderKind::kTransformer) {
     nn::TransformerConfig config;
     config.vocab_size = vocab_size;
@@ -33,16 +35,23 @@ std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
     config.n_layers = 2;
     config.n_heads = 4;
     config.ffn_dim = 2 * dim;
+    config.pad_id = text::Vocab::kPad;
     config.seed = seed;
-    return std::make_unique<nn::TransformerEncoder>(config);
+    encoder = std::make_unique<nn::TransformerEncoder>(config);
+  } else {
+    nn::FastBagConfig config;
+    config.vocab_size = vocab_size;
+    config.dim = dim;
+    config.max_len = max_len;
+    config.hidden_dim = 2 * dim;
+    config.sep_token_id = text::Vocab::kSep;
+    config.pad_id = text::Vocab::kPad;
+    config.seed = seed;
+    encoder = std::make_unique<nn::FastBagEncoder>(config);
   }
-  nn::FastBagConfig config;
-  config.vocab_size = vocab_size;
-  config.dim = dim;
-  config.max_len = max_len;
-  config.hidden_dim = 2 * dim;
-  config.seed = seed;
-  return std::make_unique<nn::FastBagEncoder>(config);
+  encoder->set_thread_pool(pool);
+  encoder->set_num_threads(num_threads);
+  return encoder;
 }
 
 std::vector<std::string> EmPipeline::SerializeRow(const data::Table& table,
@@ -74,8 +83,8 @@ EmPipeline::Prepared EmPipeline::Prepare(const data::EmDataset& ds) {
   prep.vocab = text::Vocab::Build(corpus, options_.vocab_size);
   prep.encoder =
       MakeEncoder(options_.encoder_kind, prep.vocab.size(),
-                  options_.encoder_dim, options_.max_len, options_.seed);
-  prep.encoder->set_num_threads(options_.num_threads);
+                  options_.encoder_dim, options_.max_len, options_.seed,
+                  options_.pool, options_.num_threads);
 
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;

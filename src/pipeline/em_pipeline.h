@@ -24,6 +24,10 @@
 #include "pipeline/metrics.h"
 #include "text/vocab.h"
 
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h
+}
+
 namespace sudowoodo::pipeline {
 
 /// Which encoder backbone to instantiate. FastBag is the cheap DistilBERT
@@ -62,10 +66,15 @@ struct EmPipelineOptions {
   /// of the real Rotom is approximated by a fixed operator).
   bool augment_finetune = false;
 
-  /// Worker threads for the embarrassingly parallel stages (inference-mode
-  /// encoding and kNN blocking). Results are bit-identical for any value;
-  /// 1 = the serial path. Training stays serial regardless.
+  /// Worker threads for the embarrassingly parallel stages (batched
+  /// inference encoding - GEMM row shards and per-sequence attention -
+  /// and kNN blocking). Results are bit-identical for any value; 1 = the
+  /// serial path. Training stays serial regardless.
   int num_threads = 1;
+  /// Worker pool those stages run on, plumbed through MakeEncoder into
+  /// Linear::Forward's row-sharded GEMM overload. nullptr = the
+  /// process-global pool (common/thread_pool.h) when num_threads > 1.
+  ThreadPool* pool = nullptr;
 
   uint64_t seed = 7;
 };
@@ -136,8 +145,14 @@ class EmPipeline {
 };
 
 /// Creates an encoder of the given kind (shared with other pipelines).
+/// `pool`/`num_threads` configure the batched inference path: the pool
+/// (or, when nullptr and num_threads > 1, the process-global one) is
+/// threaded through the encoder into Linear::Forward's row-sharded GEMM
+/// overload for serving-time encoding.
 std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
-                                         int dim, int max_len, uint64_t seed);
+                                         int dim, int max_len, uint64_t seed,
+                                         ThreadPool* pool = nullptr,
+                                         int num_threads = 1);
 
 /// Measures how often Algorithm 2's in-batch negatives are actually gold
 /// matches (the FNR panel of Fig. 8).

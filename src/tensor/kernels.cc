@@ -153,6 +153,45 @@ void RowSoftmax(int m, int n, const float* x, float* y) {
   }
 }
 
+void RowSoftmaxMasked(int m, int n, const float* x, const int* valid,
+                      float* y) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * n;
+    float* yr = y + static_cast<size_t>(i) * n;
+    const int v = valid[i];
+    float mx = xr[0];
+    for (int j = 1; j < v; ++j) mx = std::max(mx, xr[j]);
+    float z = 0.0f;
+    for (int j = 0; j < v; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      z += yr[j];
+    }
+    const float inv = 1.0f / z;
+    for (int j = 0; j < v; ++j) yr[j] *= inv;
+    for (int j = v; j < n; ++j) yr[j] = 0.0f;
+  }
+}
+
+void ColMeanRange(const float* x, int d, int r0, int r1, float* out) {
+  // Row-major sweep; out[j] still accumulates strictly r-increasing, so
+  // the sum matches the scalar per-column chain bit for bit.
+  std::fill(out, out + d, 0.0f);
+  for (int r = r0; r < r1; ++r) {
+    const float* xr = x + static_cast<size_t>(r) * d;
+    for (int j = 0; j < d; ++j) out[j] += xr[j];
+  }
+  const float count = static_cast<float>(r1 - r0);
+  for (int j = 0; j < d; ++j) out[j] /= count;
+}
+
+void MaskedMeanPool(int b, int t, int d, const float* x, const int* lengths,
+                    float* out) {
+  for (int i = 0; i < b; ++i) {
+    ColMeanRange(x + static_cast<size_t>(i) * t * d, d, 0, lengths[i],
+                 out + static_cast<size_t>(i) * d);
+  }
+}
+
 void L2NormRows(int m, int n, const float* x, float* norms) {
   for (int i = 0; i < m; ++i) {
     const float* xr = x + static_cast<size_t>(i) * n;

@@ -65,8 +65,31 @@ void ScaleAdd(int n, float alpha, const float* x, float beta, float* y);
 /// x and y are [m,n]; in-place (y == x) is allowed.
 void RowSoftmax(int m, int n, const float* x, float* y);
 
+/// Mask-aware per-row softmax for padded batches: row i is softmaxed over
+/// its first valid[i] columns (1 <= valid[i] <= n) and the remaining
+/// columns are set to exact 0, so a following Gemm's zero-skip never
+/// touches padded operand rows. The max/sum reductions walk the valid
+/// prefix in the same order RowSoftmax walks a full row, so the valid
+/// prefix of a masked row is bit-identical to RowSoftmax on an [m,
+/// valid[i]] matrix. In-place (y == x) is allowed.
+void RowSoftmaxMasked(int m, int n, const float* x, const int* valid,
+                      float* y);
+
 /// norms[i] = sqrt(sum_j x[i,j]^2) for x of shape [m,n].
 void L2NormRows(int m, int n, const float* x, float* norms);
+
+/// Column means over the row range [r0, r1) of x [t, d]:
+/// out[j] = (sum_{r=r0}^{r1-1} x[r,j]) / (r1 - r0). Each out[j]
+/// accumulates in a single r-increasing scalar chain - the same rounding
+/// as a per-row RowMean over the transposed slice, which is what the
+/// per-row mean-pool path computes.
+void ColMeanRange(const float* x, int d, int r0, int r1, float* out);
+
+/// Mask-aware mean pooling over a padded batch: x is b blocks of t rows
+/// each ([b*t, d] row-major); out[i,:] = mean of the first lengths[i]
+/// rows of block i (1 <= lengths[i] <= t). out is [b, d].
+void MaskedMeanPool(int b, int t, int d, const float* x, const int* lengths,
+                    float* out);
 
 }  // namespace sudowoodo::tensor::kernels
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
 #include "nn/encoder.h"
@@ -196,6 +197,48 @@ TEST(FastBagTest, IdenticalSegmentsGiveZeroDiffFeature) {
   float delta = 0;
   for (int j = 0; j < 16; ++j) delta += std::fabs(same.at(0, j) - diff.at(0, j));
   EXPECT_GT(delta, 1e-4f);
+}
+
+template <typename EncoderT, typename ConfigT>
+void ExpectEmptyRowsEncodeLikePerRow(const ConfigT& config) {
+  // An empty token list (and an all-padding row) must produce the same
+  // pooled vector in the batched path as in the per-row path - both
+  // substitute a single [PAD] token - instead of crashing or reading
+  // garbage out of a zero-length block.
+  const std::vector<std::vector<int>> batch = {{}, {2, 7, 8}, {0, 0, 0}, {}};
+  EncoderT per_row(config);
+  per_row.set_batched_inference(false);
+  EncoderT batched(config);
+  ts::NoGradGuard ng;
+  Tensor want = per_row.EncodeBatch(batch, nullptr, /*training=*/false);
+  Tensor got = batched.EncodeBatch(batch, nullptr, /*training=*/false);
+  ASSERT_EQ(got.rows(), 4);
+  for (int i = 0; i < got.rows(); ++i) {
+    for (int j = 0; j < got.cols(); ++j) {
+      ASSERT_EQ(got.at(i, j), want.at(i, j)) << "row " << i << " dim " << j;
+      ASSERT_TRUE(std::isfinite(got.at(i, j)));
+    }
+  }
+  // Both empty rows encode identically (same substituted [PAD] sequence).
+  for (int j = 0; j < got.cols(); ++j) {
+    EXPECT_EQ(got.at(0, j), got.at(3, j));
+  }
+}
+
+TEST(TransformerTest, EmptyTokenListEncodesAsPad) {
+  ExpectEmptyRowsEncodeLikePerRow<TransformerEncoder>(SmallTransformer());
+}
+
+TEST(FastBagTest, EmptyTokenListEncodesAsPad) {
+  ExpectEmptyRowsEncodeLikePerRow<FastBagEncoder>(SmallBag());
+}
+
+TEST(GruTest, EmptyTokenListEncodesAsPad) {
+  GruConfig config;
+  config.vocab_size = 50;
+  config.dim = 12;
+  config.dropout = 0.0f;
+  ExpectEmptyRowsEncodeLikePerRow<GruEncoder>(config);
 }
 
 TEST(GruTest, ShapeAndOrderSensitivity) {

@@ -11,11 +11,15 @@
 #include "common/parallel.h"
 #include "common/random_vectors.h"
 #include "common/thread_pool.h"
+#include "data/cleaning_dataset.h"
 #include "data/em_dataset.h"
 #include "gtest/gtest.h"
 #include "index/knn_index.h"
 #include "nn/encoder.h"
+#include "pipeline/cleaning_pipeline.h"
+#include "pipeline/em_pipeline.h"
 #include "sparse/tfidf.h"
+#include "text/vocab.h"
 
 namespace sudowoodo {
 namespace {
@@ -245,6 +249,87 @@ TEST(ParallelDeterminismTest, TfidfBlockingSweepBitIdenticalToSerial) {
     EXPECT_EQ(parallel[k].n_candidates, serial[k].n_candidates);
     EXPECT_EQ(parallel[k].recall, serial[k].recall);
     EXPECT_EQ(parallel[k].cssr, serial[k].cssr);
+  }
+}
+
+TEST(ParallelDeterminismTest, EmBlockingThreadCountInvariantEndToEnd) {
+  // Full EmPipeline blocking (pre-train + batched inference encoding +
+  // kNN) at num_threads 1/2/4: the embeddings must be bit-identical, so
+  // every BlockingPoint - candidate counts included - must match exactly.
+  // The embeddings themselves are compared through the same encoder
+  // construction the pipeline uses (MakeEncoder + batched EmbedNormalized).
+  const data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  std::vector<std::vector<int>> ids;
+  {
+    std::vector<std::vector<std::string>> corpus;
+    for (int i = 0; i < ds.table_a.num_rows(); ++i) {
+      corpus.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, i));
+    }
+    const text::Vocab vocab = text::Vocab::Build(corpus, 2000);
+    for (const auto& t : corpus) ids.push_back(vocab.Encode(t));
+  }
+  std::vector<std::vector<float>> base_emb;
+  std::vector<pipeline::BlockingPoint> base_points;
+  for (int num_threads : {1, 2, 4}) {
+    auto encoder = pipeline::MakeEncoder(pipeline::EncoderKind::kFastBag,
+                                         2000, 32, 96, /*seed=*/7,
+                                         /*pool=*/nullptr, num_threads);
+    const auto emb = encoder->EmbedNormalized(ids);
+
+    pipeline::EmPipelineOptions o;
+    o.encoder_dim = 32;
+    o.pretrain.epochs = 1;
+    o.pretrain.corpus_cap = 200;
+    o.pretrain.num_clusters = 10;
+    o.num_threads = num_threads;
+    auto points = pipeline::EmPipeline(o).BlockingSweep(ds, 5);
+
+    if (num_threads == 1) {
+      base_emb = emb;
+      base_points = std::move(points);
+      continue;
+    }
+    ASSERT_EQ(emb.size(), base_emb.size());
+    for (size_t i = 0; i < emb.size(); ++i) {
+      ASSERT_EQ(emb[i], base_emb[i]) << "row " << i << " num_threads "
+                                     << num_threads;
+    }
+    ASSERT_EQ(points.size(), base_points.size());
+    for (size_t k = 0; k < points.size(); ++k) {
+      EXPECT_EQ(points[k].n_candidates, base_points[k].n_candidates);
+      EXPECT_EQ(points[k].recall, base_points[k].recall);
+      EXPECT_EQ(points[k].cssr, base_points[k].cssr);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, CleaningRunThreadCountInvariantEndToEnd) {
+  // Full CleaningPipeline at num_threads 1/2/4: batched inference
+  // encoding drives every candidate-scoring prediction, so identical
+  // correction decisions mean identical probabilities underneath. The
+  // dataset is shrunk so the 3 runs stay affordable under TSan (the run
+  // forces >= 25 fine-tuning epochs).
+  data::CleaningSpec spec = data::GetCleaningSpec("beers");
+  spec.n_rows = 40;
+  const data::CleaningDataset ds = data::GenerateCleaning(spec);
+  pipeline::CleaningRunResult base;
+  for (int num_threads : {1, 2, 4}) {
+    pipeline::CleaningPipelineOptions o;
+    o.skip_pretrain = true;  // keep the test fast; prediction still batched
+    o.labeled_rows = 4;
+    o.max_train_candidates = 1;
+    o.encoder_dim = 32;
+    o.max_len = 32;
+    o.num_threads = num_threads;
+    auto r = pipeline::CleaningPipeline(o).Run(ds);
+    if (num_threads == 1) {
+      base = r;
+      continue;
+    }
+    EXPECT_EQ(r.corrections_made, base.corrections_made);
+    EXPECT_EQ(r.corrections_right, base.corrections_right);
+    EXPECT_EQ(r.true_errors, base.true_errors);
+    EXPECT_EQ(r.correction.f1, base.correction.f1);
   }
 }
 
