@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Diffs fresh BENCH_*.json runs against committed baselines.
+
+Each bench JSON is a flat list of records; every record is identified by
+its non-metric fields (bench name, shape, variant, thread count, ...) and
+carries metrics (seconds, speedup, gflops). This tool matches fresh
+records to baseline records by identity, prints a side-by-side table, and
+flags entries whose wall-clock drifted outside a tolerance band.
+
+Intended as a *warn-only* CI step: shared 1-2 core runners make timings
+noisy, so the default band is wide (4x) and catches order-of-magnitude
+regressions (an accidentally quadratic loop, a disabled kernel), not
+percent-level drift. Correctness booleans (identical_to_serial,
+matches_reference) are hard-checked regardless of the band.
+
+Usage:
+  scripts/bench_compare.py [--baseline-ref HEAD] [--baseline-dir DIR]
+                           [--tolerance 4.0] BENCH_a.json [BENCH_b.json ...]
+
+Exit status: 0 when everything is in-band and all correctness flags hold,
+1 otherwise (wire with continue-on-error / `|| true` for warn-only).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+METRIC_FIELDS = ("seconds", "speedup", "speedup_vs_per_row_serial",
+                 "steps_per_second", "gflops")
+CORRECTNESS_FIELDS = ("identical_to_serial", "identical_to_per_row",
+                      "matches_reference", "identical_to_serial_training")
+
+
+def identity(record):
+    """Hashable identity of a record: everything that is not a metric."""
+    return tuple(sorted((k, v) for k, v in record.items()
+                        if k not in METRIC_FIELDS))
+
+
+def load_baseline(name, ref, baseline_dir):
+    if baseline_dir is not None:
+        path = os.path.join(baseline_dir, os.path.basename(name))
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except FileNotFoundError:
+            return None
+    out = subprocess.run(["git", "show", f"{ref}:{name}"],
+                         capture_output=True, text=True)
+    if out.returncode != 0:
+        return None
+    return json.loads(out.stdout)
+
+
+def fmt_seconds(v):
+    return f"{v:.4f}s" if isinstance(v, (int, float)) else "-"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", nargs="+", help="fresh bench JSON files")
+    ap.add_argument("--baseline-ref", default="HEAD",
+                    help="git ref holding the committed baselines")
+    ap.add_argument("--baseline-dir", default=None,
+                    help="read baselines from this dir instead of git")
+    ap.add_argument("--tolerance", type=float, default=4.0,
+                    help="flag when fresh/baseline seconds ratio leaves "
+                         "[1/t, t]")
+    args = ap.parse_args()
+
+    failures = 0
+    for name in args.fresh:
+        with open(name) as f:
+            fresh = json.load(f)
+        baseline = load_baseline(name, args.baseline_ref, args.baseline_dir)
+        print(f"\n== {name} ==")
+        if baseline is None:
+            print(f"  (no committed baseline at {args.baseline_ref}; "
+                  "skipping comparison)")
+            continue
+        base_by_id = {identity(r): r for r in baseline}
+
+        header = f"{'bench/shape':<52} {'baseline':>10} {'fresh':>10} " \
+                 f"{'ratio':>7}  status"
+        print(header)
+        print("-" * len(header))
+        for record in fresh:
+            rid = identity(record)
+            base = base_by_id.pop(rid, None)
+            label_bits = [str(record.get("bench", "?"))]
+            for k in ("shape", "kernel", "variant", "encoder", "mode",
+                      "num_threads", "num_shards"):
+                if k in record:
+                    label_bits.append(f"{k.split('_')[-1]}={record[k]}")
+            label = " ".join(label_bits)[:52]
+
+            status = "ok"
+            ratio_text = "-"
+            for k in CORRECTNESS_FIELDS:
+                if k in record and record[k] is not True:
+                    status = f"FAIL {k}=false"
+                    failures += 1
+            if base is None:
+                status = "new (no baseline)"
+                print(f"{label:<52} {'-':>10} "
+                      f"{fmt_seconds(record.get('seconds')):>10} "
+                      f"{ratio_text:>7}  {status}")
+                continue
+            bs, fs = base.get("seconds"), record.get("seconds")
+            if isinstance(bs, (int, float)) and isinstance(fs, (int, float)) \
+                    and bs > 0:
+                ratio = fs / bs
+                ratio_text = f"{ratio:.2f}x"
+                if ratio > args.tolerance:
+                    status = f"SLOWER than {args.tolerance:.1f}x band"
+                    failures += 1
+                elif ratio < 1.0 / args.tolerance:
+                    # Faster than the band usually means the workload
+                    # shrank by accident; surface it, don't fail.
+                    status = "suspiciously fast (check workload)"
+            print(f"{label:<52} {fmt_seconds(bs):>10} {fmt_seconds(fs):>10} "
+                  f"{ratio_text:>7}  {status}")
+        for rid in base_by_id:
+            print(f"  baseline-only record dropped from fresh run: "
+                  f"{dict(rid).get('bench', rid)}")
+
+    if failures:
+        print(f"\n{failures} record(s) out of band or failing correctness "
+              "flags.")
+        return 1
+    print("\nAll records within the tolerance band.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@
 # Usage:
 #   scripts/check.sh                     # plain build + ctest (Release default)
 #   BUILD_TYPE=Release scripts/check.sh  # pin an explicit CMAKE_BUILD_TYPE
-#   SANITIZE=thread scripts/check.sh     # under TSan (or address/undefined)
+#   SANITIZE=thread scripts/check.sh     # under TSan
+#   SANITIZE=address,undefined ...       # combined ASan+UBSan leg
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +13,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 CMAKE_ARGS=""
 if [ -n "${SANITIZE:-}" ]; then
-  BUILD_DIR="${BUILD_DIR}-${SANITIZE}"
+  # Comma-combined sanitizers (address,undefined) get a dash in the dir name.
+  BUILD_DIR="${BUILD_DIR}-$(echo "${SANITIZE}" | tr ',' '-')"
   CMAKE_ARGS="-DSUDOWOODO_SANITIZE=${SANITIZE}"
 fi
 if [ -n "${BUILD_TYPE:-}" ]; then

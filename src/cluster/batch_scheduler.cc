@@ -14,7 +14,7 @@ BatchScheduler::BatchScheduler(int n_items, int batch_size, uint64_t seed)
 
 BatchScheduler::BatchScheduler(
     const std::vector<std::vector<std::string>>& token_corpus, int batch_size,
-    int num_clusters, uint64_t seed)
+    int num_clusters, uint64_t seed, int num_threads, ThreadPool* pool)
     : n_items_(static_cast<int>(token_corpus.size())),
       batch_size_(batch_size),
       clustered_(true),
@@ -25,6 +25,8 @@ BatchScheduler::BatchScheduler(
   KMeansOptions opts;
   opts.k = num_clusters;
   opts.seed = rng_.Fork().NextU32();
+  opts.num_threads = num_threads;
+  opts.pool = pool;
   KMeansResult res = KMeans(features, opts);               // Alg. 2, line 2
   clusters_ = std::move(res.clusters);
   assignments_ = std::move(res.assignments);

@@ -24,8 +24,11 @@ class BatchScheduler {
 
   /// Cluster-aware scheduler (Algorithm 2): TF-IDF featurize + k-means,
   /// then batches are filled from shuffled clusters in shuffled order.
+  /// `num_threads`/`pool` parallelize the k-means assignment step
+  /// (bit-identical to serial; see cluster/kmeans.h).
   BatchScheduler(const std::vector<std::vector<std::string>>& token_corpus,
-                 int batch_size, int num_clusters, uint64_t seed);
+                 int batch_size, int num_clusters, uint64_t seed,
+                 int num_threads = 1, ThreadPool* pool = nullptr);
 
   /// Mini-batches for one epoch. Every call reshuffles (within and among
   /// clusters in cluster mode), reusing the cached clustering.

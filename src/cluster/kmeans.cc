@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "tensor/kernels.h"
 
 namespace sudowoodo::cluster {
@@ -70,13 +71,20 @@ KMeansResult KMeans(const std::vector<sparse::SparseVector>& data,
     centers.push_back(std::move(c));
   }
   while (static_cast<int>(centers.size()) < k) {
-    for (int i = 0; i < n; ++i) {
-      const double sim =
-          centers.back().DotSparse(data[static_cast<size_t>(i)]);
-      min_dist[static_cast<size_t>(i)] =
-          std::min(min_dist[static_cast<size_t>(i)],
-                   std::max(0.0, 1.0 - sim));
-    }
+    // Each item's distance update is independent and writes only its own
+    // slot: bit-identical to the serial loop for any shard count.
+    ParallelFor(
+        n, options.num_threads,
+        [&](int64_t begin, int64_t end, int /*shard*/) {
+          for (int64_t i = begin; i < end; ++i) {
+            const double sim =
+                centers.back().DotSparse(data[static_cast<size_t>(i)]);
+            min_dist[static_cast<size_t>(i)] =
+                std::min(min_dist[static_cast<size_t>(i)],
+                         std::max(0.0, 1.0 - sim));
+          }
+        },
+        options.pool);
     double total = 0.0;
     for (double d : min_dist) total += d;
     int chosen;
@@ -93,23 +101,35 @@ KMeansResult KMeans(const std::vector<sparse::SparseVector>& data,
 
   result.assignments.assign(static_cast<size_t>(n), 0);
   for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Assignment is the O(n*k) hot step: fan items across workers. Each
+    // item's nearest-centroid scan walks centroids in the same order as
+    // the serial loop and writes only assignments[i] plus a per-shard
+    // changed flag, so the result is bit-identical for any shard count.
+    std::vector<char> shard_changed(
+        static_cast<size_t>(std::max(1, options.num_threads)), 0);
+    ParallelFor(
+        n, options.num_threads,
+        [&](int64_t begin, int64_t end, int shard) {
+          for (int64_t i = begin; i < end; ++i) {
+            float best = -2.0f;
+            int best_c = 0;
+            for (int c = 0; c < static_cast<int>(centers.size()); ++c) {
+              const float sim = centers[static_cast<size_t>(c)].DotSparse(
+                  data[static_cast<size_t>(i)]);
+              if (sim > best) {
+                best = sim;
+                best_c = c;
+              }
+            }
+            if (result.assignments[static_cast<size_t>(i)] != best_c) {
+              result.assignments[static_cast<size_t>(i)] = best_c;
+              shard_changed[static_cast<size_t>(shard)] = 1;
+            }
+          }
+        },
+        options.pool);
     bool changed = false;
-    for (int i = 0; i < n; ++i) {
-      float best = -2.0f;
-      int best_c = 0;
-      for (int c = 0; c < static_cast<int>(centers.size()); ++c) {
-        const float sim = centers[static_cast<size_t>(c)].DotSparse(
-            data[static_cast<size_t>(i)]);
-        if (sim > best) {
-          best = sim;
-          best_c = c;
-        }
-      }
-      if (result.assignments[static_cast<size_t>(i)] != best_c) {
-        result.assignments[static_cast<size_t>(i)] = best_c;
-        changed = true;
-      }
-    }
+    for (char c : shard_changed) changed = changed || (c != 0);
     result.iterations_run = iter + 1;
     if (!changed && iter > 0) break;
     for (auto& c : centers) std::fill(c.v.begin(), c.v.end(), 0.0f);

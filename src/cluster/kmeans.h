@@ -11,6 +11,10 @@
 #include "common/rng.h"
 #include "sparse/tfidf.h"
 
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h
+}
+
 namespace sudowoodo::cluster {
 
 /// Options for KMeans.
@@ -18,6 +22,15 @@ struct KMeansOptions {
   int k = 30;
   int max_iters = 10;
   uint64_t seed = 7;
+  /// Worker threads for the O(n*k) assignment step and the seeding
+  /// distance updates (each item's nearest-centroid scan is independent
+  /// and writes only its own slot, so results are bit-identical to serial
+  /// for any value). The centroid update stays serial - its sparse
+  /// accumulation order is part of the deterministic contract.
+  int num_threads = 1;
+  /// Pool those shards run on; nullptr = the process-global pool when
+  /// num_threads > 1.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of a clustering run.

@@ -117,6 +117,57 @@ class Rng {
   bool has_cached_ = false;
 };
 
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective 64-bit
+/// mixer with full avalanche. The mixing core of CounterRng below.
+constexpr uint64_t SplitMix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based (Philox-style) random stream: the value at position i is
+/// a pure function of (key, i), with no sequential state at all. This is
+/// what makes training-mode dropout masks a function of *logical position*
+/// - (row, element) - rather than draw order, so per-row, padded-batch,
+/// and multi-threaded forwards all see the same mask, and any position can
+/// be evaluated independently by any worker (tests pin golden values).
+class CounterRng {
+ public:
+  explicit CounterRng(uint64_t key) : key_(key) {}
+
+  /// Folds an ordered tuple of words (seed, epoch, step, row, ...) into a
+  /// stream key. Order-sensitive: Key({a, b}) != Key({b, a}).
+  static uint64_t Key(std::initializer_list<uint64_t> words) {
+    uint64_t k = 0x6A09E667F3BCC908ULL;  // sqrt(2) fraction; arbitrary IV
+    for (uint64_t w : words) k = SplitMix64(k + kGoldenGamma + w);
+    return k;
+  }
+
+  uint64_t key() const { return key_; }
+
+  /// Uniform 64-bit value at counter i.
+  uint64_t U64At(uint64_t i) const {
+    return SplitMix64(key_ + (i + 1) * kGoldenGamma);
+  }
+
+  /// Uniform 32-bit value at counter i (the high half of U64At).
+  uint32_t U32At(uint64_t i) const {
+    return static_cast<uint32_t>(U64At(i) >> 32);
+  }
+
+  /// Uniform real in [0, 1) at counter i.
+  double UniformAt(uint64_t i) const {
+    return U32At(i) * (1.0 / 4294967296.0);
+  }
+
+  /// Bernoulli trial with success probability p at counter i.
+  bool BernoulliAt(uint64_t i, double p) const { return UniformAt(i) < p; }
+
+ private:
+  static constexpr uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+  uint64_t key_;
+};
+
 }  // namespace sudowoodo
 
 #endif  // SUDOWOODO_COMMON_RNG_H_

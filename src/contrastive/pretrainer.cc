@@ -1,6 +1,7 @@
 #include "contrastive/pretrainer.h"
 
 #include "cluster/batch_scheduler.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "contrastive/losses.h"
 #include "nn/optimizer.h"
@@ -22,6 +23,17 @@ Status Pretrainer::Run(const std::vector<std::vector<std::string>>& corpus) {
   }
   WallTimer timer;
   Rng rng(options_.seed);
+
+  // Training parallelism + batching knobs flow into the encoder here;
+  // both are loss-invariant (see PretrainOptions), so they are execution
+  // strategy, not hyper-parameters.
+  encoder_->set_train_num_threads(options_.num_threads);
+  encoder_->set_batched_training(options_.batched_training);
+  if (options_.pool != nullptr) encoder_->set_thread_pool(options_.pool);
+  ThreadPool* pool =
+      options_.num_threads > 1
+          ? (options_.pool != nullptr ? options_.pool : &ThreadPool::Global())
+          : nullptr;
 
   // Fix the corpus size by up/down-sampling (§VI-A2 fixes it to 10k).
   std::vector<std::vector<std::string>> items;
@@ -55,7 +67,8 @@ Status Pretrainer::Run(const std::vector<std::vector<std::string>>& corpus) {
   std::unique_ptr<cluster::BatchScheduler> scheduler;
   if (options_.cluster_negatives) {
     scheduler = std::make_unique<cluster::BatchScheduler>(
-        items, options_.batch_size, options_.num_clusters, rng.Fork().NextU32());
+        items, options_.batch_size, options_.num_clusters,
+        rng.Fork().NextU32(), options_.num_threads, pool);
   } else {
     scheduler = std::make_unique<cluster::BatchScheduler>(
         static_cast<int>(items.size()), options_.batch_size,
@@ -67,6 +80,11 @@ Status Pretrainer::Run(const std::vector<std::vector<std::string>>& corpus) {
     double epoch_loss = 0.0;
     int n_batches = 0;
     for (const auto& batch_idx : scheduler->NextEpoch()) {
+      // Counter-based dropout streams for this step: ori is view 0, aug
+      // view 1, and each mask element is keyed by (epoch, step, row,
+      // site, position) - independent of batching and thread count.
+      encoder_->BeginTrainStep(static_cast<uint64_t>(epoch),
+                               static_cast<uint64_t>(n_batches));
       // Build the two views (Algorithm 1, line 7): the original item and a
       // DA-transformed item; the aug view additionally gets the batch-wise
       // cutoff at the embedding level (§IV-A).
@@ -89,8 +107,8 @@ Status Pretrainer::Run(const std::vector<std::vector<std::string>>& corpus) {
           aug_ids, options_.cutoff == augment::CutoffKind::kNone ? nullptr
                                                                  : &plan,
           /*training=*/true);
-      ts::Tensor z_ori = projector.Forward(h_ori);
-      ts::Tensor z_aug = projector.Forward(h_aug);
+      ts::Tensor z_ori = projector.Forward(h_ori, pool, options_.num_threads);
+      ts::Tensor z_aug = projector.Forward(h_aug, pool, options_.num_threads);
 
       // L_Sudowoodo (Eq. 6; line 9 of Algorithm 1).
       ts::Tensor loss = CombinedLoss(z_ori, z_aug, options_.tau,
@@ -102,6 +120,7 @@ Status Pretrainer::Run(const std::vector<std::vector<std::string>>& corpus) {
       optimizer.Step();
 
       epoch_loss += loss.item();
+      stats_.step_loss.push_back(loss.item());
       ++n_batches;
     }
     stats_.epoch_loss.push_back(

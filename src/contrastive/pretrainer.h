@@ -18,6 +18,10 @@
 #include "nn/layers.h"
 #include "text/vocab.h"
 
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h
+}
+
 namespace sudowoodo::contrastive {
 
 /// Pre-training hyper-parameters. Defaults mirror the paper's Table IV
@@ -39,11 +43,28 @@ struct PretrainOptions {
   int projector_dim = 64;    // projector head width g
   float grad_clip = 5.0f;
   uint64_t seed = 97;
+
+  /// Worker threads for the training loop: batched forward + backward
+  /// GEMMs row-shard, per-sequence attention subgraphs fan out, and the
+  /// scheduler's k-means assignment step splits across workers. Losses
+  /// are bit-identical for any value (counter-based dropout + fixed-shard
+  /// kernels); 1 = the serial path.
+  int num_threads = 1;
+  /// Worker pool those stages run on; nullptr = the process-global pool
+  /// (common/thread_pool.h) when num_threads > 1.
+  ThreadPool* pool = nullptr;
+  /// Padded-pack batched training forwards (the default). false = the
+  /// per-row oracle; either way the loss trajectory is bit-identical
+  /// (tests/contrastive_test.cc enforces it).
+  bool batched_training = true;
 };
 
 /// Per-epoch training statistics.
 struct PretrainStats {
   std::vector<float> epoch_loss;
+  /// Loss of every optimizer step in order - the bit-identity surface of
+  /// the batched/threaded training equivalence battery.
+  std::vector<float> step_loss;
   double seconds = 0.0;
   int batches_run = 0;
 };

@@ -73,6 +73,39 @@ std::vector<PackedBucket> PackBatches(
     return buckets;
   }
 
+  if (opts.preserve_order) {
+    // Greedy contiguous cuts in original row order (see PackOptions).
+    // Lengths are not monotone here, so the prospective bucket width is
+    // the running max.
+    std::vector<int> current;
+    int64_t current_tokens = 0;
+    int current_t = 0;
+    for (int r = 0; r < static_cast<int>(seqs.size()); ++r) {
+      const int len = PackedLength(seqs[static_cast<size_t>(r)], opts.max_len);
+      if (!current.empty()) {
+        const int t = std::max(current_t, len);
+        const int64_t slots = (static_cast<int64_t>(current.size()) + 1) * t;
+        const double waste =
+            static_cast<double>(slots - (current_tokens + len)) /
+            static_cast<double>(slots);
+        if (static_cast<int>(current.size()) >= opts.max_rows ||
+            waste > opts.max_padding_waste) {
+          buckets.push_back(FillBucket(seqs, std::move(current), opts));
+          current.clear();
+          current_tokens = 0;
+          current_t = 0;
+        }
+      }
+      current.push_back(r);
+      current_tokens += len;
+      current_t = std::max(current_t, len);
+    }
+    if (!current.empty()) {
+      buckets.push_back(FillBucket(seqs, std::move(current), opts));
+    }
+    return buckets;
+  }
+
   // Stable order by (truncated length, original index), then greedy cuts:
   // lengths within a walk are non-decreasing, so the running bucket's T is
   // always the candidate row's length and the padded-slot fraction of the

@@ -29,6 +29,16 @@ struct PackOptions {
   /// When false, everything lands in one bucket padded to the longest row
   /// (the equivalence-testing configuration).
   bool bucket_by_length = true;
+  /// Training-mode packing: cut buckets greedily over rows in *original*
+  /// order instead of sorting by length, so bucket k holds the contiguous
+  /// row range [off_k, off_k+1). The training paths require this - their
+  /// bit-identity contract pins cross-row gradient accumulation into
+  /// shared parameters to ascending original row order, which bucket
+  /// concatenation only preserves when buckets partition the batch in
+  /// order. Costs more padding than length bucketing (the waste bound is
+  /// checked against the running max length), which is why the training
+  /// paths pair it with a looser max_padding_waste.
+  bool preserve_order = false;
   /// Hard cap on rows per bucket.
   int max_rows = 256;
   /// A bucket is cut when admitting the next (longer) row would push the

@@ -22,6 +22,11 @@ ThreadPool* Encoder::InferencePool() const {
   return pool_ != nullptr ? pool_ : &ThreadPool::Global();
 }
 
+ThreadPool* Encoder::TrainPool() const {
+  if (train_num_threads_ <= 1) return nullptr;
+  return pool_ != nullptr ? pool_ : &ThreadPool::Global();
+}
+
 PackOptions Encoder::MakePackOptions(int max_len, int pad_id) const {
   PackOptions opts;
   opts.max_len = max_len;
@@ -30,19 +35,44 @@ PackOptions Encoder::MakePackOptions(int max_len, int pad_id) const {
   return opts;
 }
 
+PackOptions Encoder::MakeTrainPackOptions(int max_len, int pad_id) const {
+  PackOptions opts = MakePackOptions(max_len, pad_id);
+  opts.preserve_order = true;
+  // Order-preserving cuts cannot sort by length, so a tolerant bound
+  // would routinely pad a short row out to the batch max and burn the
+  // saved GEMM time on garbage rows. 0.25 keeps buckets big enough to
+  // amortize (a run of similar lengths stays together) while capping the
+  // padded-slot overhead at a quarter of the id block.
+  opts.max_padding_waste = 0.25f;
+  return opts;
+}
+
 std::vector<Tensor> Encoder::EncodeRows(
     size_t n, bool training,
     const std::function<Tensor(size_t)>& encode_row) {
   std::vector<Tensor> rows(n);
-  // Training-mode forwards stay serial: they build the autograd graph and
-  // draw from the shared dropout RNG, both of which are order-sensitive.
-  // Inference with the tape off touches only read-only weights.
-  if (num_threads_ > 1 && !training && !ts::GradEnabled()) {
+  if (!training && num_threads_ > 1 && !ts::GradEnabled()) {
+    // Inference fan-out: workers touch only read-only weights.
     ParallelFor(
         static_cast<int64_t>(n), num_threads_,
         [&](int64_t begin, int64_t end, int /*shard*/) {
           // GradEnabled() is thread-local; re-disable it on workers.
           ts::NoGradGuard ng;
+          for (int64_t i = begin; i < end; ++i) {
+            rows[static_cast<size_t>(i)] = encode_row(static_cast<size_t>(i));
+          }
+        },
+        pool_);
+  } else if (training && train_num_threads_ > 1 && ts::GradEnabled()) {
+    // Training fan-out: each worker builds a disjoint per-row subgraph.
+    // Parents (parameter tensors) are only read; dropout masks are
+    // counter-keyed by (row, position), not draw order; and the backward
+    // sweep is ordered by graph structure, not construction time - so the
+    // resulting graph is identical for any thread count. Workers keep the
+    // tape ON (their thread-local default).
+    ParallelFor(
+        static_cast<int64_t>(n), train_num_threads_,
+        [&](int64_t begin, int64_t end, int /*shard*/) {
           for (int64_t i = begin; i < end; ++i) {
             rows[static_cast<size_t>(i)] = encode_row(static_cast<size_t>(i));
           }
@@ -83,6 +113,29 @@ Tensor ApplyCutoff(const Tensor& emb, const augment::CutoffPlan& plan) {
     }
   }
   return ts::Mul(emb, mask);
+}
+
+Tensor PackedCutoffMask(const augment::CutoffPlan& plan,
+                        const PackedBucket& bucket, int d) {
+  const int b = bucket.rows(), t = bucket.t;
+  Tensor mask = Tensor::Constant(b * t, d, 1.0f);
+  for (int i = 0; i < b; ++i) {
+    const int len = bucket.lengths[static_cast<size_t>(i)];
+    float* block = mask.data() + static_cast<size_t>(i) * t * d;
+    if (plan.kind == augment::CutoffKind::kFeature) {
+      for (int j : plan.feature_dims) {
+        if (j < 0 || j >= d) continue;
+        for (int r = 0; r < len; ++r) block[static_cast<size_t>(r) * d + j] = 0.0f;
+      }
+    } else if (plan.kind != augment::CutoffKind::kNone) {
+      int begin = 0, end = 0;
+      plan.TokenRange(len, &begin, &end);
+      for (int r = begin; r < end; ++r) {
+        for (int j = 0; j < d; ++j) block[static_cast<size_t>(r) * d + j] = 0.0f;
+      }
+    }
+  }
+  return mask;
 }
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int n_heads, Rng* rng)
@@ -165,6 +218,59 @@ Tensor MultiHeadSelfAttention::ForwardPacked(const Tensor& x, int t,
   return wo_.Forward(attn_in, pool, num_shards);
 }
 
+Tensor MultiHeadSelfAttention::ForwardPackedTrain(
+    const Tensor& x, int t, const std::vector<int>& lengths, ThreadPool* pool,
+    int num_shards) const {
+  SUDO_CHECK(t > 0 && x.rows() % t == 0);
+  const int b = x.rows() / t;
+  SUDO_CHECK(static_cast<int>(lengths.size()) == b);
+  // Whole-block projections: one graph GEMM each, forward and backward
+  // row-sharded. Padded rows carry finite garbage forward; their q rows
+  // are never sliced, so their gradients stay exact zero and the weight
+  // gradient GEMMs (contraction rows walked upward, one += per term) see
+  // the same nonzero term sequence as the per-row path.
+  Tensor q = wq_.Forward(x, pool, num_shards);
+  Tensor k = wk_.Forward(x, pool, num_shards);
+  Tensor v = wv_.Forward(x, pool, num_shards);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Per-sequence score subgraphs. Workers build disjoint subgraphs over
+  // the shared (read-only) q/k/v parents; the backward sweep is ordered
+  // by structure, so construction order is irrelevant. Each sequence's
+  // gradient lands in its own disjoint row range of q/k/v.
+  std::vector<Tensor> merged(static_cast<size_t>(b));
+  auto build_seq = [&](int64_t begin, int64_t end, int /*shard*/) {
+    for (int64_t s = begin; s < end; ++s) {
+      const int len = lengths[static_cast<size_t>(s)];
+      Tensor qs = ts::SliceRows(q, static_cast<int>(s) * t, len);
+      Tensor ks_ = ts::SliceRows(k, static_cast<int>(s) * t, t);
+      Tensor vs = ts::SliceRows(v, static_cast<int>(s) * t, t);
+      const std::vector<int> valid(static_cast<size_t>(len), len);
+      std::vector<Tensor> heads;
+      heads.reserve(static_cast<size_t>(n_heads_));
+      for (int h = 0; h < n_heads_; ++h) {
+        Tensor qh = ts::SliceCols(qs, h * head_dim_, head_dim_);
+        Tensor kh = ts::SliceCols(ks_, h * head_dim_, head_dim_);
+        Tensor vh = ts::SliceCols(vs, h * head_dim_, head_dim_);
+        Tensor scores = ts::Scale(ts::MatMulBT(qh, kh), scale);
+        // Masked softmax: padded key columns are exact 0 forward and get
+        // no gradient; the valid prefix (and its backward y·gy reduction)
+        // is bit-identical to the per-row RowSoftmax.
+        Tensor attn = ts::RowSoftmaxMasked(scores, valid);
+        // The value GEMM zero-skips the exact-0 padded attention weights,
+        // forward and backward, so padded value rows never contribute.
+        heads.push_back(ts::MatMul(attn, vh));
+      }
+      merged[static_cast<size_t>(s)] = ts::ConcatCols(heads);  // [len, dim]
+    }
+  };
+  ParallelFor(b, num_shards, build_seq, pool);
+  // Exact-zero padding between blocks keeps wo's GEMM (and its backward)
+  // blind to padded rows.
+  Tensor attn_in = ts::PadPackRows(merged, t);
+  return wo_.Forward(attn_in, pool, num_shards);
+}
+
 std::vector<Tensor> MultiHeadSelfAttention::Parameters() const {
   std::vector<Tensor> out = wq_.Parameters();
   AppendParameters(&out, wk_.Parameters());
@@ -175,6 +281,7 @@ std::vector<Tensor> MultiHeadSelfAttention::Parameters() const {
 
 TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
     : config_(config), rng_(config.seed), final_ln_(config.dim) {
+  drop_seed_ = config.seed;
   Rng init_rng = rng_.Fork();
   token_emb_ = Embedding(config.vocab_size, config.dim, &init_rng);
   pos_emb_ = Embedding(config.max_len, config.dim, &init_rng);
@@ -191,21 +298,32 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
 
 Tensor TransformerEncoder::EncodeOne(const std::vector<int>& ids,
                                      const augment::CutoffPlan* cutoff,
-                                     bool training) {
+                                     bool training, const TrainStream& stream,
+                                     int row) {
   std::vector<int> trunc =
       TruncateOrPad(ids, config_.max_len, config_.pad_id);
   std::vector<int> pos(trunc.size());
   for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
 
+  // Dropout masks are keyed by (row, site) and counted by (position,
+  // channel); rows_per_key only needs to cover this row, so max_len works
+  // for any bucket width the batched path might pick.
+  const uint64_t r = static_cast<uint64_t>(row);
   Tensor x = ts::Add(token_emb_.Forward(trunc), pos_emb_.Forward(pos));
   if (cutoff != nullptr) x = ApplyCutoff(x, *cutoff);
-  x = ts::Dropout(x, config_.dropout, &rng_, training);
+  x = ts::DropoutAt(x, config_.dropout, {TrainDropKey(stream, r, 0)},
+                    config_.max_len, training);
 
+  uint64_t site = 1;
   for (const Layer& layer : layers_) {
     Tensor attn_out = layer.attn.Forward(layer.ln1.Forward(x));
-    x = ts::Add(x, ts::Dropout(attn_out, config_.dropout, &rng_, training));
+    x = ts::Add(x, ts::DropoutAt(attn_out, config_.dropout,
+                                 {TrainDropKey(stream, r, site++)},
+                                 config_.max_len, training));
     Tensor ffn_out = layer.ffn.Forward(layer.ln2.Forward(x));
-    x = ts::Add(x, ts::Dropout(ffn_out, config_.dropout, &rng_, training));
+    x = ts::Add(x, ts::DropoutAt(ffn_out, config_.dropout,
+                                 {TrainDropKey(stream, r, site++)},
+                                 config_.max_len, training));
   }
   x = final_ln_.Forward(x);
   return ts::SliceRows(x, 0, 1);  // [CLS] pooling
@@ -218,11 +336,18 @@ Tensor TransformerEncoder::EncodeBatch(
   if (UseBatchedInference(cutoff, training)) {
     return EncodeBatchedInference(batch);
   }
+  const TrainStream stream = training ? NextTrainStream() : TrainStream{};
+  if (training && batched_training_) {
+    return EncodeBatchTraining(batch, cutoff, stream);
+  }
   std::vector<Tensor> pooled =
       EncodeRows(batch.size(), training, [&](size_t i) {
-        return EncodeOne(batch[i], cutoff, training);
+        return EncodeOne(batch[i], cutoff, training, stream,
+                         static_cast<int>(i));
       });
-  return ts::ConcatRows(pooled);
+  // Training joins with ascending-backward order so cross-row parameter
+  // gradients accumulate row-major - the batched path's order.
+  return training ? ts::JoinRows(pooled) : ts::ConcatRows(pooled);
 }
 
 Tensor TransformerEncoder::EncodeBucket(const PackedBucket& bucket) {
@@ -266,6 +391,70 @@ Tensor TransformerEncoder::EncodeBatchedInference(
   return out;
 }
 
+Tensor TransformerEncoder::EncodeBucketTrain(const PackedBucket& bucket,
+                                             const augment::CutoffPlan* cutoff,
+                                             const TrainStream& stream) {
+  const int b = bucket.rows(), t = bucket.t;
+  ThreadPool* pool = TrainPool();
+  const int shards = train_num_threads_;
+
+  // Per-block dropout keys for one site, derived from *original* row ids.
+  auto site_keys = [&](uint64_t site) {
+    std::vector<uint64_t> keys(static_cast<size_t>(b));
+    for (int i = 0; i < b; ++i) {
+      keys[static_cast<size_t>(i)] = TrainDropKey(
+          stream, static_cast<uint64_t>(bucket.row_index[static_cast<size_t>(i)]),
+          site);
+    }
+    return keys;
+  };
+
+  std::vector<int> pos(bucket.ids.size());
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < t; ++j) pos[static_cast<size_t>(i) * t + j] = j;
+  }
+  Tensor x = ts::Add(token_emb_.Forward(bucket.ids), pos_emb_.Forward(pos));
+  if (cutoff != nullptr) {
+    x = ts::Mul(x, PackedCutoffMask(*cutoff, bucket, config_.dim));
+  }
+  x = ts::DropoutAt(x, config_.dropout, site_keys(0), t, /*training=*/true);
+
+  uint64_t site = 1;
+  for (const Layer& layer : layers_) {
+    Tensor attn_out = layer.attn.ForwardPackedTrain(
+        layer.ln1.Forward(x), t, bucket.lengths, pool, shards);
+    x = ts::Add(x, ts::DropoutAt(attn_out, config_.dropout, site_keys(site++),
+                                 t, /*training=*/true));
+    Tensor ffn_out = layer.ffn.Forward(layer.ln2.Forward(x), pool, shards);
+    x = ts::Add(x, ts::DropoutAt(ffn_out, config_.dropout, site_keys(site++),
+                                 t, /*training=*/true));
+  }
+  x = final_ln_.Forward(x);
+
+  // [CLS] pooling: row 0 of each padded block. GatherRows' backward adds
+  // the pooled grads back into exactly those rows; every other (padded or
+  // non-CLS) row keeps whatever gradient the layers routed to it.
+  std::vector<int> cls_rows(static_cast<size_t>(b));
+  for (int i = 0; i < b; ++i) cls_rows[static_cast<size_t>(i)] = i * t;
+  return ts::GatherRows(x, cls_rows);
+}
+
+Tensor TransformerEncoder::EncodeBatchTraining(
+    const std::vector<std::vector<int>>& batch,
+    const augment::CutoffPlan* cutoff, const TrainStream& stream) {
+  const auto buckets = PackBatches(
+      batch, MakeTrainPackOptions(config_.max_len, config_.pad_id));
+  std::vector<Tensor> outs;
+  outs.reserve(buckets.size());
+  for (const PackedBucket& bucket : buckets) {
+    outs.push_back(EncodeBucketTrain(bucket, cutoff, stream));
+  }
+  // Order-preserving buckets partition the batch contiguously, so the
+  // ascending-backward join restores batch order *and* pins cross-bucket
+  // parameter-gradient accumulation to ascending rows.
+  return ts::JoinRows(outs);
+}
+
 std::vector<Tensor> TransformerEncoder::Parameters() const {
   std::vector<Tensor> out = token_emb_.Parameters();
   AppendParameters(&out, pos_emb_.Parameters());
@@ -281,6 +470,7 @@ std::vector<Tensor> TransformerEncoder::Parameters() const {
 
 FastBagEncoder::FastBagEncoder(const FastBagConfig& config)
     : config_(config), rng_(config.seed), ln_(config.dim) {
+  drop_seed_ = config.seed;
   Rng init_rng = rng_.Fork();
   token_emb_ = Embedding(config.vocab_size, config.dim, &init_rng);
   mlp_ = Mlp(4 * config.dim, config.hidden_dim, config.dim, &init_rng);
@@ -379,28 +569,92 @@ Tensor FastBagEncoder::PoolBatchedInference(
   return feats;
 }
 
+Tensor FastBagEncoder::PoolBatchedTraining(
+    const std::vector<std::vector<int>>& batch,
+    const augment::CutoffPlan* cutoff) {
+  const int d = config_.dim;
+  const auto buckets = PackBatches(
+      batch, MakeTrainPackOptions(config_.max_len, config_.pad_id));
+  std::vector<Tensor> feat_rows(batch.size());
+  for (const PackedBucket& bucket : buckets) {
+    const int b = bucket.rows(), t = bucket.t;
+    Tensor emb = token_emb_.Forward(bucket.ids);  // [b*t, dim], one gather
+    if (cutoff != nullptr) {
+      emb = ts::Mul(emb, PackedCutoffMask(*cutoff, bucket, d));
+    }
+    // Segment split per row, matching PoolOne: the first [SEP] inside the
+    // valid prefix, provided both segments are non-empty.
+    std::vector<int> sep(static_cast<size_t>(b), -1);
+    std::vector<int> b1(static_cast<size_t>(b), 0);  // segment-1 begin = 0
+    std::vector<int> e1 = bucket.lengths;
+    std::vector<int> b2(static_cast<size_t>(b), 0);
+    std::vector<int> e2(static_cast<size_t>(b), 0);  // empty = skip row
+    for (int i = 0; i < b; ++i) {
+      const int* row = bucket.ids.data() + static_cast<size_t>(i) * t;
+      const int len = bucket.lengths[static_cast<size_t>(i)];
+      for (int j = 0; j < len; ++j) {
+        if (row[j] == config_.sep_token_id) {
+          if (j > 0 && j + 1 < len) sep[static_cast<size_t>(i)] = j;
+          break;
+        }
+      }
+      if (sep[static_cast<size_t>(i)] >= 0) {
+        e1[static_cast<size_t>(i)] = sep[static_cast<size_t>(i)];
+        b2[static_cast<size_t>(i)] = sep[static_cast<size_t>(i)] + 1;
+        e2[static_cast<size_t>(i)] = len;
+      }
+    }
+    Tensor m1 = ts::SegmentMeanRows(emb, t, b1, e1);
+    Tensor m2seg = ts::SegmentMeanRows(emb, t, b2, e2);
+    // Per-row feature assembly mirrors PoolOne node for node - including
+    // m2 := m1 aliasing for single-segment rows, which pins the order of
+    // the same-buffer gradient double-adds the feature ops produce.
+    for (int i = 0; i < b; ++i) {
+      Tensor m1r = ts::SliceRows(m1, i, 1);
+      Tensor m2r =
+          sep[static_cast<size_t>(i)] >= 0 ? ts::SliceRows(m2seg, i, 1) : m1r;
+      feat_rows[static_cast<size_t>(
+          bucket.row_index[static_cast<size_t>(i)])] =
+          ts::ConcatCols(
+              {m1r, m2r, ts::Abs(ts::Sub(m1r, m2r)), ts::Mul(m1r, m2r)});
+    }
+  }
+  return ts::JoinRows(feat_rows);
+}
+
 Tensor FastBagEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
                                    const augment::CutoffPlan* cutoff,
                                    bool training) {
   SUDO_CHECK(!batch.empty());
+  const TrainStream stream = training ? NextTrainStream() : TrainStream{};
   Tensor x;
   if (UseBatchedInference(cutoff, training)) {
     x = PoolBatchedInference(batch);  // [B, 4*dim]
+  } else if (training && batched_training_) {
+    x = PoolBatchedTraining(batch, cutoff);  // [B, 4*dim]
   } else {
     std::vector<Tensor> pooled =
         EncodeRows(batch.size(), training,
                    [&](size_t i) { return PoolOne(batch[i], cutoff); });
-    x = ts::ConcatRows(pooled);  // [B, 4*dim]
+    // Training joins with ascending-backward order (see JoinRows).
+    x = training ? ts::JoinRows(pooled) : ts::ConcatRows(pooled);
   }
-  x = ts::Dropout(x, config_.dropout, &rng_, training);
+  if (training) {
+    std::vector<uint64_t> keys(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      keys[i] = TrainDropKey(stream, static_cast<uint64_t>(i), /*site=*/0);
+    }
+    x = ts::DropoutAt(x, config_.dropout, keys, /*rows_per_key=*/1, training);
+  }
   // Residual on the mean of the two segment means keeps the informative
   // bag-of-embeddings signal flowing from step one; the MLP learns the
   // interaction corrections on top.
   const int d = config_.dim;
+  ThreadPool* pool = training ? TrainPool() : InferencePool();
+  const int shards = training ? train_num_threads_ : num_threads_;
   Tensor resid = ts::Scale(
       ts::Add(ts::SliceCols(x, 0, d), ts::SliceCols(x, d, d)), 0.5f);
-  return ln_.Forward(
-      ts::Add(resid, mlp_.Forward(x, InferencePool(), num_threads_)));
+  return ln_.Forward(ts::Add(resid, mlp_.Forward(x, pool, shards)));
 }
 
 std::vector<Tensor> FastBagEncoder::Parameters() const {

@@ -50,10 +50,39 @@ class Encoder {
   /// Degree of parallelism for *inference-mode* forward passes: the
   /// batched path row-shards its GEMMs and fans attention out per
   /// sequence; the per-row fallback fans whole rows out across workers.
-  /// Results are bit-identical to serial either way. Training-mode
-  /// forward/backward stays serial for gradient determinism.
+  /// Results are bit-identical to serial either way.
   void set_num_threads(int n) { num_threads_ = n > 0 ? n : 1; }
   int num_threads() const { return num_threads_; }
+
+  /// Degree of parallelism for *training-mode* forwards and backwards:
+  /// the batched path row-shards its forward and backward GEMMs and fans
+  /// the per-sequence attention subgraphs out across workers; the per-row
+  /// path fans whole-row subgraph construction out. Counter-based dropout
+  /// (CounterRng) keys masks by logical position rather than draw order,
+  /// which is what makes any thread count - and batched vs per-row -
+  /// produce bit-identical losses and gradients. 1 = the serial path.
+  void set_train_num_threads(int n) { train_num_threads_ = n > 0 ? n : 1; }
+  int train_num_threads() const { return train_num_threads_; }
+
+  /// Toggles the padded-pack batched *training* path (on by default).
+  /// Off = the per-row training oracle the loss-trajectory equivalence
+  /// battery in tests/contrastive_test.cc compares against.
+  void set_batched_training(bool on) { batched_training_ = on; }
+  bool batched_training() const { return batched_training_; }
+
+  /// Pins the (epoch, step) coordinates of the counter-based dropout
+  /// streams for subsequent training-mode EncodeBatch calls, and resets
+  /// the per-step view counter (each training call consumes one view: the
+  /// pretrainer's original view is 0 and its augmented view is 1). Masks
+  /// are then a pure function of (seed, epoch, step, view, row, site,
+  /// element) - see src/tensor/README.md. Callers that never pin (the
+  /// fine-tuning loops) get an auto-advancing stream: deterministic and
+  /// never reused, just not meaningfully epoch-keyed.
+  void BeginTrainStep(uint64_t epoch, uint64_t step) {
+    stream_epoch_ = epoch;
+    stream_step_ = step;
+    stream_view_ = 0;
+  }
 
   /// Worker pool for the inference paths. nullptr (the default) falls
   /// back to the process-global pool whenever num_threads > 1; pipelines
@@ -74,11 +103,36 @@ class Encoder {
   bool bucketing() const { return bucketing_; }
 
  protected:
+  /// Stream coordinates for one training-mode EncodeBatch call.
+  struct TrainStream {
+    uint64_t epoch = 0;
+    uint64_t step = 0;
+    uint64_t view = 0;
+  };
+
+  /// Consumes one view of the pinned (epoch, step) stream; call exactly
+  /// once per training-mode EncodeBatch.
+  TrainStream NextTrainStream() {
+    return {stream_epoch_, stream_step_, stream_view_++};
+  }
+
+  /// Counter-stream key for one (row, dropout-site) pair of the current
+  /// training call. `row` is the row's index in the *original* batch
+  /// order, so packed and per-row layouts derive identical keys.
+  uint64_t TrainDropKey(const TrainStream& stream, uint64_t row,
+                        uint64_t site) const {
+    return CounterRng::Key(
+        {drop_seed_, stream.epoch, stream.step, stream.view, row, site});
+  }
+
   /// Shared fan-out for the per-row EncodeBatch paths: evaluates
   /// encode_row(i) for i in [0, n), in parallel over fixed shards when
-  /// eligible (inference mode, autograd tape off, num_threads_ > 1) and
-  /// serially otherwise. Row i's tensor always lands in slot i, so the
-  /// result is bit-identical either way.
+  /// eligible and serially otherwise. Inference rows fan out under
+  /// num_threads_ with the tape off; training rows fan out under
+  /// train_num_threads_ with the tape on - each worker builds a disjoint
+  /// per-row subgraph whose dropout masks are counter-keyed, so the graph
+  /// (and every loss derived from it) is identical for any thread count.
+  /// Row i's tensor always lands in slot i.
   std::vector<Tensor> EncodeRows(
       size_t n, bool training,
       const std::function<Tensor(size_t)>& encode_row);
@@ -93,13 +147,34 @@ class Encoder {
   /// nullptr (serial) when num_threads <= 1.
   ThreadPool* InferencePool() const;
 
+  /// Same for the training paths, gated on train_num_threads_.
+  ThreadPool* TrainPool() const;
+
   /// Packing knobs shared by the batched encoder paths.
   PackOptions MakePackOptions(int max_len, int pad_id) const;
 
+  /// Packing knobs for the batched *training* paths: original row order
+  /// is preserved (buckets are contiguous row ranges - required by the
+  /// ascending-row gradient accumulation contract, see
+  /// src/tensor/README.md) and the padding-waste bound is looser since
+  /// unsorted rows pad worse.
+  PackOptions MakeTrainPackOptions(int max_len, int pad_id) const;
+
   int num_threads_ = 1;
+  int train_num_threads_ = 1;
   ThreadPool* pool_ = nullptr;
   bool batched_inference_ = true;
+  bool batched_training_ = true;
   bool bucketing_ = true;
+  /// Key material for the counter-based dropout streams; subclasses set
+  /// this to their config seed so both their paths derive equal keys.
+  uint64_t drop_seed_ = 0;
+
+ private:
+  static constexpr uint64_t kAutoEpoch = ~0ULL;
+  uint64_t stream_epoch_ = kAutoEpoch;
+  uint64_t stream_step_ = 0;
+  uint64_t stream_view_ = 0;
 };
 
 /// Multi-head self-attention block. The per-sequence Forward needs no
@@ -124,6 +199,18 @@ class MultiHeadSelfAttention {
   /// unpadded sequence. Inference only (tape must be off).
   Tensor ForwardPacked(const Tensor& x, int t, const std::vector<int>& lengths,
                        ThreadPool* pool, int num_shards) const;
+
+  /// Autograd-capable sibling of ForwardPacked for batched training: the
+  /// Q/K/V/output projections are graph MatMuls over the whole [b*t, dim]
+  /// block (forward and backward GEMMs row-sharded over `pool`), the
+  /// per-sequence score subgraphs fan out across the pool (disjoint
+  /// subgraphs over read-only parents; construction order never affects
+  /// the backward sweep), and the merged heads pad-pack into an exact-zero
+  /// padded block. Bit-identical - values and gradients - to Forward on
+  /// each unpadded sequence; see src/tensor/README.md.
+  Tensor ForwardPackedTrain(const Tensor& x, int t,
+                            const std::vector<int>& lengths, ThreadPool* pool,
+                            int num_shards) const;
 
   std::vector<Tensor> Parameters() const;
 
@@ -168,9 +255,12 @@ class TransformerEncoder : public Encoder {
     Mlp ffn;
   };
 
-  /// Encodes one sequence to its pooled [1, dim] representation.
+  /// Encodes one sequence to its pooled [1, dim] representation. `row` is
+  /// the sequence's index in the original batch (keys its dropout
+  /// streams); `stream` the current training call's coordinates.
   Tensor EncodeOne(const std::vector<int>& ids,
-                   const augment::CutoffPlan* cutoff, bool training);
+                   const augment::CutoffPlan* cutoff, bool training,
+                   const TrainStream& stream, int row);
 
   /// Batched inference: packs the batch into padded buckets and runs each
   /// bucket's residual stream as [rows*t, dim] tensors through the
@@ -183,8 +273,21 @@ class TransformerEncoder : public Encoder {
   /// Encodes one padded bucket to [bucket.rows(), dim] pooled rows.
   Tensor EncodeBucket(const PackedBucket& bucket);
 
+  /// Batched training: order-preserving buckets, graph-building packed
+  /// attention, position-keyed dropout masks, ascending-row backward join.
+  /// Losses and gradients are bit-identical to the per-row training path
+  /// (the equivalence battery in tests/contrastive_test.cc enforces it).
+  Tensor EncodeBatchTraining(const std::vector<std::vector<int>>& batch,
+                             const augment::CutoffPlan* cutoff,
+                             const TrainStream& stream);
+
+  /// One padded bucket of the training path to [bucket.rows(), dim].
+  Tensor EncodeBucketTrain(const PackedBucket& bucket,
+                           const augment::CutoffPlan* cutoff,
+                           const TrainStream& stream);
+
   TransformerConfig config_;
-  Rng rng_;  // dropout stream
+  Rng rng_;  // weight-init stream (dropout is counter-based; see Encoder)
   Embedding token_emb_;
   Embedding pos_emb_;
   std::vector<Layer> layers_;
@@ -238,8 +341,16 @@ class FastBagEncoder : public Encoder {
   /// kernels; bit-identical to per-row PoolOne.
   Tensor PoolBatchedInference(const std::vector<std::vector<int>>& batch);
 
+  /// Batched training pooling: one graph embedding gather + fused segment
+  /// mean-pool per order-preserving bucket, then per-row feature assembly
+  /// that mirrors PoolOne's node structure exactly (including the m2 := m1
+  /// aliasing for single-segment rows, which pins the gradient
+  /// double-accumulation order). Bit-identical to per-row PoolOne.
+  Tensor PoolBatchedTraining(const std::vector<std::vector<int>>& batch,
+                             const augment::CutoffPlan* cutoff);
+
   FastBagConfig config_;
-  Rng rng_;
+  Rng rng_;  // weight-init stream (dropout is counter-based; see Encoder)
   Embedding token_emb_;
   Mlp mlp_;  // 4*dim -> hidden -> dim
   LayerNorm ln_;
@@ -248,6 +359,15 @@ class FastBagEncoder : public Encoder {
 /// Applies a cutoff plan to a [T, dim] embedding matrix by elementwise
 /// multiplication with a constant 0/1 mask (exposed for testing).
 Tensor ApplyCutoff(const Tensor& emb, const augment::CutoffPlan& plan);
+
+/// Packed-bucket counterpart of ApplyCutoff's mask: a constant
+/// [bucket.rows() * bucket.t, d] 0/1 tensor where block i's valid prefix
+/// carries the plan evaluated at that row's own length (cutoff positions
+/// are length-relative fractions) and padded rows stay 1. Multiplying the
+/// packed embedding by this is bit-identical, row for row, to per-row
+/// ApplyCutoff.
+Tensor PackedCutoffMask(const augment::CutoffPlan& plan,
+                        const PackedBucket& bucket, int d);
 
 }  // namespace sudowoodo::nn
 

@@ -36,6 +36,7 @@ float TanhScalar(float v) { return std::tanh(v); }
 
 GruEncoder::GruEncoder(const GruConfig& config)
     : config_(config), rng_(config.seed) {
+  drop_seed_ = config.seed;
   Rng init_rng = rng_.Fork();
   token_emb_ = Embedding(config.vocab_size, config.dim, &init_rng);
   wz_ = Linear(2 * config.dim, config.dim, &init_rng);
@@ -43,9 +44,22 @@ GruEncoder::GruEncoder(const GruConfig& config)
   wh_ = Linear(2 * config.dim, config.dim, &init_rng);
 }
 
+std::shared_ptr<ts::DeferredGradTape> GruEncoder::MakeGateTape() const {
+  // Single source of truth for the gate order on the deferred tape: the
+  // indices LinearDeferred is called with (kZ/kR/kH) must match this
+  // push_back order in BOTH training paths, or deferred weight grads
+  // would silently mis-route in one of them.
+  auto tape = std::make_shared<ts::DeferredGradTape>();
+  tape->gates.push_back({wz_.weight().impl(), wz_.bias().impl(), {}});  // kZ
+  tape->gates.push_back({wr_.weight().impl(), wr_.bias().impl(), {}});  // kR
+  tape->gates.push_back({wh_.weight().impl(), wh_.bias().impl(), {}});  // kH
+  return tape;
+}
+
 Tensor GruEncoder::EncodeOne(const std::vector<int>& ids,
                              const augment::CutoffPlan* cutoff,
-                             bool training) {
+                             bool training, const TrainStream& stream,
+                             int row) {
   // TruncateOrPad is the packing rule: truncation plus the empty-row ->
   // single-[PAD] substitution, shared with the batched path.
   std::vector<int> trunc =
@@ -85,22 +99,97 @@ Tensor GruEncoder::EncodeOne(const std::vector<int>& ids,
 
   Tensor emb = token_emb_.Forward(trunc);  // [T, dim]
   if (cutoff != nullptr) emb = ApplyCutoff(emb, *cutoff);
-  emb = ts::Dropout(emb, config_.dropout, &rng_, training);
+  emb = ts::DropoutAt(emb, config_.dropout,
+                      {TrainDropKey(stream, static_cast<uint64_t>(row), 0)},
+                      config_.max_len, training);
 
-  Tensor h = Tensor::Zeros(1, config_.dim);
+  // Gate projections run through the deferred tape so weight/bias grads
+  // replay in ascending (row, step) order - the same canonical sequence
+  // the lockstep batched path uses, which is what makes the two
+  // bit-identical (plain autograd would accumulate this row's steps in
+  // *reverse* step order during the sweep).
+  auto tape = MakeGateTape();
+  Tensor h = ts::AnchorDeferred(Tensor::Zeros(1, config_.dim), tape);
   const int t_len = emb.rows();
   for (int t = 0; t < t_len; ++t) {
     Tensor xt = ts::SliceRows(emb, t, 1);
     Tensor xh = ts::ConcatCols({xt, h});
-    Tensor z = ts::Sigmoid(wz_.Forward(xh));
-    Tensor r = ts::Sigmoid(wr_.Forward(xh));
+    Tensor z = ts::Sigmoid(
+        ts::LinearDeferred(xh, wz_.weight(), wz_.bias(), tape, kZ));
+    Tensor r = ts::Sigmoid(
+        ts::LinearDeferred(xh, wr_.weight(), wr_.bias(), tape, kR));
     Tensor xrh = ts::ConcatCols({xt, ts::Mul(r, h)});
-    Tensor cand = ts::Tanh(wh_.Forward(xrh));
+    Tensor cand = ts::Tanh(
+        ts::LinearDeferred(xrh, wh_.weight(), wh_.bias(), tape, kH));
     // h = (1 - z) * h + z * cand
     Tensor one = Tensor::Constant(1, config_.dim, 1.0f);
     h = ts::Add(ts::Mul(ts::Sub(one, z), h), ts::Mul(z, cand));
   }
   return h;
+}
+
+Tensor GruEncoder::EncodeBatchTraining(
+    const std::vector<std::vector<int>>& batch,
+    const augment::CutoffPlan* cutoff, const TrainStream& stream) {
+  const int d = config_.dim;
+  ThreadPool* pool = TrainPool();
+  const int shards = train_num_threads_;
+  const auto buckets = PackBatches(
+      batch, MakeTrainPackOptions(config_.max_len, config_.pad_id));
+  std::vector<Tensor> outs;
+  outs.reserve(buckets.size());
+
+  for (const PackedBucket& bucket : buckets) {
+    const int b = bucket.rows(), t = bucket.t;
+    Tensor emb = token_emb_.Forward(bucket.ids);  // [b*t, d], one gather
+    if (cutoff != nullptr) {
+      emb = ts::Mul(emb, PackedCutoffMask(*cutoff, bucket, d));
+    }
+    std::vector<uint64_t> keys(static_cast<size_t>(b));
+    for (int i = 0; i < b; ++i) {
+      keys[static_cast<size_t>(i)] = TrainDropKey(
+          stream,
+          static_cast<uint64_t>(bucket.row_index[static_cast<size_t>(i)]), 0);
+    }
+    emb = ts::DropoutAt(emb, config_.dropout, keys, t, /*training=*/true);
+
+    auto tape = MakeGateTape();
+    Tensor h = ts::AnchorDeferred(Tensor::Zeros(b, d), tape);
+    Tensor one = Tensor::Constant(b, d, 1.0f);
+    for (int step = 0; step < t; ++step) {
+      std::vector<int> step_rows(static_cast<size_t>(b));
+      for (int i = 0; i < b; ++i) {
+        step_rows[static_cast<size_t>(i)] = i * t + step;
+      }
+      Tensor xt = ts::GatherRows(emb, step_rows);  // [b, d] lockstep inputs
+      Tensor xh = ts::ConcatCols({xt, h});
+      Tensor z = ts::Sigmoid(
+          ts::LinearDeferred(xh, wz_.weight(), wz_.bias(), tape, kZ, pool,
+                             shards));
+      Tensor r = ts::Sigmoid(
+          ts::LinearDeferred(xh, wr_.weight(), wr_.bias(), tape, kR, pool,
+                             shards));
+      Tensor xrh = ts::ConcatCols({xt, ts::Mul(r, h)});
+      Tensor cand = ts::Tanh(
+          ts::LinearDeferred(xrh, wh_.weight(), wh_.bias(), tape, kH, pool,
+                             shards));
+      Tensor upd = ts::Add(ts::Mul(ts::Sub(one, z), h), ts::Mul(z, cand));
+      // Finished rows freeze: an exact row copy, so a frozen step is
+      // bit-identical (values and gradient routing) to not stepping at
+      // all. Skipped entirely when every row is still active - then the
+      // graph is the same shape as the per-row loop's.
+      std::vector<int> active(static_cast<size_t>(b));
+      bool all_active = true;
+      for (int i = 0; i < b; ++i) {
+        active[static_cast<size_t>(i)] =
+            step < bucket.lengths[static_cast<size_t>(i)] ? 1 : 0;
+        all_active = all_active && active[static_cast<size_t>(i)];
+      }
+      h = all_active ? upd : ts::WhereRows(active, upd, h);
+    }
+    outs.push_back(h);  // [b, d], bucket rows in ascending original order
+  }
+  return ts::JoinRows(outs);
 }
 
 Tensor GruEncoder::EncodeBatchedInference(
@@ -166,12 +255,17 @@ Tensor GruEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
   if (UseBatchedInference(cutoff, training)) {
     return EncodeBatchedInference(batch);
   }
-  std::vector<Tensor> pooled;
-  pooled.reserve(batch.size());
-  for (const auto& ids : batch) {
-    pooled.push_back(EncodeOne(ids, cutoff, training));
+  const TrainStream stream = training ? NextTrainStream() : TrainStream{};
+  if (training && batched_training_) {
+    return EncodeBatchTraining(batch, cutoff, stream);
   }
-  return ts::ConcatRows(pooled);
+  std::vector<Tensor> pooled =
+      EncodeRows(batch.size(), training, [&](size_t i) {
+        return EncodeOne(batch[i], cutoff, training, stream,
+                         static_cast<int>(i));
+      });
+  // Training joins with ascending-backward order (see tensor::JoinRows).
+  return training ? ts::JoinRows(pooled) : ts::ConcatRows(pooled);
 }
 
 std::vector<Tensor> GruEncoder::Parameters() const {

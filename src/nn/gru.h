@@ -36,8 +36,16 @@ class GruEncoder : public Encoder {
   int dim() const override { return config_.dim; }
 
  private:
+  /// Gate ordinals on the deferred-gradient tape (see MakeGateTape).
+  enum GateIndex { kZ = 0, kR = 1, kH = 2 };
+
+  /// Registers the three gate projections on a fresh deferred-gradient
+  /// tape in kZ/kR/kH order - the one place that order is defined.
+  std::shared_ptr<tensor::DeferredGradTape> MakeGateTape() const;
+
   Tensor EncodeOne(const std::vector<int>& ids,
-                   const augment::CutoffPlan* cutoff, bool training);
+                   const augment::CutoffPlan* cutoff, bool training,
+                   const TrainStream& stream, int row);
 
   /// Batched inference recurrence: packs the batch into padded buckets
   /// and steps every sequence of a bucket in lockstep, so each gate is
@@ -46,6 +54,17 @@ class GruEncoder : public Encoder {
   /// hidden state frozen (masked update); bit-identical to the per-row
   /// recurrence.
   Tensor EncodeBatchedInference(const std::vector<std::vector<int>>& batch);
+
+  /// Batched *training* recurrence: the same lockstep stepping as the
+  /// inference path, but graph-building - gate projections go through
+  /// LinearDeferred (weight/bias grads replayed row-major by the tape
+  /// anchor, matching the per-row loop bit for bit), finished rows freeze
+  /// via the exact-copy WhereRows select, and the embedding dropout mask
+  /// is counter-keyed by (row, position). Losses and gradients are
+  /// bit-identical to the per-row training path.
+  Tensor EncodeBatchTraining(const std::vector<std::vector<int>>& batch,
+                             const augment::CutoffPlan* cutoff,
+                             const TrainStream& stream);
 
   GruConfig config_;
   Rng rng_;

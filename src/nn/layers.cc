@@ -25,7 +25,10 @@ Tensor Linear::Forward(const Tensor& x, ThreadPool* pool,
     }
     return out;
   }
-  return tensor::AddRowBroadcast(tensor::MatMul(x, w_), b_);
+  // Training: the forward GEMM and both backward GEMMs thread through the
+  // same row-sharded kernels (bit-identical for any shard count); the
+  // graph bookkeeping itself stays serial.
+  return tensor::AddRowBroadcast(tensor::MatMul(x, w_, pool, num_shards), b_);
 }
 
 Embedding::Embedding(int vocab_size, int dim, Rng* rng)

@@ -26,10 +26,10 @@ class Linear {
   /// x is [N, in]; returns [N, out].
   Tensor Forward(const Tensor& x) const { return Forward(x, nullptr, 1); }
 
-  /// Same, with the inference GEMM row-sharded over `pool` when the
-  /// autograd tape is off (`num_shards > 1`; bit-identical to serial by
-  /// the kernel contract). The graph-building training path ignores the
-  /// pool - gradient work stays serial.
+  /// Same, with the GEMMs row-sharded over `pool` (`num_shards > 1`;
+  /// bit-identical to serial by the kernel contract). With the tape off
+  /// this is the fused inference fast path; with it on, the forward GEMM
+  /// *and* both backward GEMMs shard (`pool` must outlive Backward()).
   Tensor Forward(const Tensor& x, ThreadPool* pool, int num_shards) const;
 
   std::vector<Tensor> Parameters() const { return {w_, b_}; }

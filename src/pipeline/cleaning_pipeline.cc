@@ -93,6 +93,8 @@ CleaningRunResult CleaningPipeline::Run(const data::CleaningDataset& ds) {
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;
     popts.seed = options_.seed * 131 + 3;
+    popts.num_threads = options_.train_num_threads;
+    popts.pool = options_.pool;
     contrastive::Pretrainer pretrainer(encoder.get(), &vocab, popts);
     SUDO_CHECK_OK(pretrainer.Run(corpus));
     result.pretrain_seconds = pretrainer.stats().seconds;

@@ -76,6 +76,8 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
     contrastive::PretrainOptions popts = options_.pretrain;
     popts.da_op = augment::DaOp::kCellShuffle;
     popts.seed = options_.seed * 53 + 1;
+    popts.num_threads = options_.train_num_threads;
+    popts.pool = options_.pool;
     contrastive::Pretrainer pretrainer(encoder.get(), &vocab, popts);
     SUDO_CHECK_OK(pretrainer.Run(tokens));
   }

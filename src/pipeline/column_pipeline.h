@@ -43,6 +43,9 @@ struct ColumnPipelineOptions {
   /// Worker threads for batched inference encoding and kNN blocking;
   /// bit-identical results for any value, 1 = serial.
   int num_threads = 1;
+  /// Worker threads for contrastive pre-training (bit-identical losses
+  /// for any value; see EmPipelineOptions::train_num_threads).
+  int train_num_threads = 1;
   /// Worker pool for those stages; nullptr = the process-global pool when
   /// num_threads > 1 (see EmPipelineOptions::pool).
   ThreadPool* pool = nullptr;

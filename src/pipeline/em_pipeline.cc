@@ -89,6 +89,8 @@ EmPipeline::Prepared EmPipeline::Prepare(const data::EmDataset& ds) {
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;
     popts.seed = options_.seed * 7919 + 13;
+    popts.num_threads = options_.train_num_threads;
+    popts.pool = options_.pool;
     contrastive::Pretrainer pretrainer(prep.encoder.get(), &prep.vocab, popts);
     SUDO_CHECK_OK(pretrainer.Run(corpus));
     prep.pretrain_seconds = pretrainer.stats().seconds;

@@ -69,8 +69,14 @@ struct EmPipelineOptions {
   /// Worker threads for the embarrassingly parallel stages (batched
   /// inference encoding - GEMM row shards and per-sequence attention -
   /// and kNN blocking). Results are bit-identical for any value; 1 = the
-  /// serial path. Training stays serial regardless.
+  /// serial path.
   int num_threads = 1;
+  /// Worker threads for contrastive pre-training (batched training
+  /// forward/backward GEMM shards, per-sequence attention subgraphs, and
+  /// the scheduler's k-means assignment). Training losses are
+  /// bit-identical for any value - counter-based dropout keys masks by
+  /// position, not draw order (see common/rng.h). 1 = serial training.
+  int train_num_threads = 1;
   /// Worker pool those stages run on, plumbed through MakeEncoder into
   /// Linear::Forward's row-sharded GEMM overload. nullptr = the
   /// process-global pool (common/thread_pool.h) when num_threads > 1.

@@ -41,42 +41,17 @@ void GemmRows(int m_begin, int m_end, int n, int k, const float* a,
   }
 }
 
-}  // namespace
-
-void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
-          ThreadPool* pool, int num_shards) {
-  if (pool == nullptr || num_shards <= 1 || m <= 1) {
-    GemmRows(0, m, n, k, a, b, c);
-    return;
-  }
-  // Fixed row sharding on the *caller's* pool: each shard owns a
-  // contiguous range of output rows, so the result is bit-identical to
-  // the serial path for any shard count or pool size. Shard 0 runs on the
-  // calling thread (mirrors ParallelFor).
-  const std::vector<ShardRange> shards = MakeShards(m, num_shards);
-  std::vector<std::future<void>> futures;
-  futures.reserve(shards.size() - 1);
-  for (size_t s = 1; s < shards.size(); ++s) {
-    const ShardRange r = shards[s];
-    futures.push_back(pool->Submit([=] {
-      GemmRows(static_cast<int>(r.begin), static_cast<int>(r.end), n, k, a, b,
-               c);
-    }));
-  }
-  GemmRows(static_cast<int>(shards[0].begin), static_cast<int>(shards[0].end),
-           n, k, a, b, c);
-  for (auto& f : futures) f.get();
-}
-
-void GemmAT(int m, int n, int k, const float* a, const float* b, float* c) {
-  // C[i,j] = sum_l A[l,i] * B[l,j]: axpy B's row l into C's row i, scaled
-  // by the walked-down column i of A. l (the contraction index) is the
-  // outer loop, so per-element accumulation order is l-increasing.
+/// Serial C[output rows begin..end) of GemmAT: C[i,j] = sum_l A[l,i] *
+/// B[l,j]. axpy B's row l into C's row i, scaled by the walked-down
+/// column i of A. l (the contraction index) is the outer loop, so
+/// per-element accumulation order is l-increasing.
+void GemmATRows(int m_begin, int m_end, int m, int n, int k, const float* a,
+                const float* b, float* c) {
   for (int lc = 0; lc < k; lc += kGemmKC) {
     const int l_end = std::min(lc + kGemmKC, k);
     for (int jc = 0; jc < n; jc += kGemmNC) {
       const int j_end = std::min(jc + kGemmNC, n);
-      for (int i = 0; i < m; ++i) {
+      for (int i = m_begin; i < m_end; ++i) {
         float* crow = c + static_cast<size_t>(i) * n;
         for (int l = lc; l < l_end; ++l) {
           const float av = a[static_cast<size_t>(l) * m + i];
@@ -89,16 +64,64 @@ void GemmAT(int m, int n, int k, const float* a, const float* b, float* c) {
   }
 }
 
-void GemmBT(int m, int n, int k, const float* a, const float* b, float* c) {
-  // C[i,j] = <A row i, B row j>: both operands are contiguous, so each
-  // output element is one vectorizable dot.
-  for (int i = 0; i < m; ++i) {
+/// Serial C[output rows begin..end) of GemmBT: C[i,j] = <A row i, B row
+/// j>. Both operands are contiguous, so each output element is one
+/// vectorizable dot.
+void GemmBTRows(int m_begin, int m_end, int n, int k, const float* a,
+                const float* b, float* c) {
+  for (int i = m_begin; i < m_end; ++i) {
     const float* arow = a + static_cast<size_t>(i) * k;
     float* crow = c + static_cast<size_t>(i) * n;
     for (int j = 0; j < n; ++j) {
       crow[j] += Dot(arow, b + static_cast<size_t>(j) * k, k);
     }
   }
+}
+
+/// Shared fan-out for the row-sharded GEMM variants: fixed contiguous
+/// shards of the m output rows on the caller's pool, shard 0 on the
+/// calling thread (mirrors ParallelFor). Each output element is computed
+/// whole by exactly one worker, so the result is bit-identical to serial
+/// for any shard count or pool size.
+template <typename RowsFn>
+void ShardRows(int m, ThreadPool* pool, int num_shards, const RowsFn& rows) {
+  if (pool == nullptr || num_shards <= 1 || m <= 1) {
+    rows(0, m);
+    return;
+  }
+  const std::vector<ShardRange> shards = MakeShards(m, num_shards);
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards.size() - 1);
+  for (size_t s = 1; s < shards.size(); ++s) {
+    const ShardRange r = shards[s];
+    futures.push_back(pool->Submit(
+        [&rows, r] { rows(static_cast<int>(r.begin), static_cast<int>(r.end)); }));
+  }
+  rows(static_cast<int>(shards[0].begin), static_cast<int>(shards[0].end));
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace
+
+void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
+          ThreadPool* pool, int num_shards) {
+  ShardRows(m, pool, num_shards, [=](int begin, int end) {
+    GemmRows(begin, end, n, k, a, b, c);
+  });
+}
+
+void GemmAT(int m, int n, int k, const float* a, const float* b, float* c,
+            ThreadPool* pool, int num_shards) {
+  ShardRows(m, pool, num_shards, [=](int begin, int end) {
+    GemmATRows(begin, end, m, n, k, a, b, c);
+  });
+}
+
+void GemmBT(int m, int n, int k, const float* a, const float* b, float* c,
+            ThreadPool* pool, int num_shards) {
+  ShardRows(m, pool, num_shards, [=](int begin, int end) {
+    GemmBTRows(begin, end, n, k, a, b, c);
+  });
 }
 
 float Dot(const float* a, const float* b, int n) {

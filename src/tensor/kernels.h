@@ -41,12 +41,21 @@ void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
           ThreadPool* pool = nullptr, int num_shards = 1);
 
 /// C[m,n] += A^T * B where A is [k,m] and B is [k,n] (both row-major).
-/// The transposed operand is never materialized.
-void GemmAT(int m, int n, int k, const float* a, const float* b, float* c);
+/// The transposed operand is never materialized. With `num_shards > 1`
+/// the m *output* rows are split into fixed contiguous shards run on
+/// `pool`; the k-long contraction of each element stays whole on one
+/// worker, so sharding never changes the accumulation order
+/// (bit-identical to serial). This is the weight-gradient kernel of the
+/// training path (dW += X^T dY).
+void GemmAT(int m, int n, int k, const float* a, const float* b, float* c,
+            ThreadPool* pool = nullptr, int num_shards = 1);
 
 /// C[m,n] += A * B^T where A is [m,k] and B is [n,k] (both row-major).
-/// Each output element is a dot of two contiguous rows.
-void GemmBT(int m, int n, int k, const float* a, const float* b, float* c);
+/// Each output element is a dot of two contiguous rows. Row-sharded over
+/// `pool` like Gemm (bit-identical for any shard count); this is the
+/// input-gradient kernel of the training path (dX += dY W^T).
+void GemmBT(int m, int n, int k, const float* a, const float* b, float* c,
+            ThreadPool* pool = nullptr, int num_shards = 1);
 
 /// Dot product of two contiguous float spans (4-lane partial sums).
 float Dot(const float* a, const float* b, int n);

@@ -133,23 +133,31 @@ void Backward(const Tensor& loss) {
 // --------------------------------------------------------------------------
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return MatMul(a, b, /*pool=*/nullptr, /*num_shards=*/1);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool,
+              int num_shards) {
   SUDO_CHECK(a.cols() == b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   auto out = NewNode(m, n);
-  kernels::Gemm(m, n, k, a.data(), b.data(), out->value.data());
+  kernels::Gemm(m, n, k, a.data(), b.data(), out->value.data(), pool,
+                num_shards);
   auto ai = a.impl(), bi = b.impl();
   TensorImpl* o = out.get();
-  Attach(out, {ai, bi}, [ai, bi, o, m, k, n]() {
+  Attach(out, {ai, bi}, [ai, bi, o, m, k, n, pool, num_shards]() {
     const float* g = o->grad.data();
     if (ai->requires_grad) {
       ai->EnsureGrad();
       // dA[m,k] += dC[m,n] * B[k,n]^T
-      kernels::GemmBT(m, k, n, g, bi->value.data(), ai->grad.data());
+      kernels::GemmBT(m, k, n, g, bi->value.data(), ai->grad.data(), pool,
+                      num_shards);
     }
     if (bi->requires_grad) {
       bi->EnsureGrad();
       // dB[k,n] += A[m,k]^T * dC[m,n]
-      kernels::GemmAT(k, n, m, ai->value.data(), g, bi->grad.data());
+      kernels::GemmAT(k, n, m, ai->value.data(), g, bi->grad.data(), pool,
+                      num_shards);
     }
   });
   return WrapNode(out);
@@ -395,7 +403,50 @@ Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
   return WrapNode(out);
 }
 
-Tensor ConcatRows(const std::vector<Tensor>& parts) {
+Tensor DropoutAt(const Tensor& a, float p, const std::vector<uint64_t>& keys,
+                 int rows_per_key, bool training) {
+  if (!training || p <= 0.0f) return a;
+  SUDO_CHECK(p < 1.0f);
+  SUDO_CHECK(rows_per_key > 0);
+  const int m = a.rows(), n = a.cols();
+  SUDO_CHECK(static_cast<int>(keys.size()) * rows_per_key >= m);
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.size());
+  for (int i = 0; i < m; ++i) {
+    const CounterRng stream(
+        keys[static_cast<size_t>(i / rows_per_key)]);
+    const uint64_t base =
+        static_cast<uint64_t>(i % rows_per_key) * static_cast<uint64_t>(n);
+    float* mrow = mask->data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      mrow[j] = stream.BernoulliAt(base + static_cast<uint64_t>(j), p)
+                    ? 0.0f
+                    : scale;
+    }
+  }
+  auto out = NewNode(m, n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    out->value[i] = a.data()[i] * (*mask)[i];
+  }
+  auto ai = a.impl();
+  TensorImpl* o = out.get();
+  Attach(out, {ai}, [ai, o, mask]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o->size(); ++i) {
+      ai->grad[i] += o->grad[i] * (*mask)[i];
+    }
+  });
+  return WrapNode(out);
+}
+
+namespace {
+/// Shared body of ConcatRows/JoinRows; `ascending_backward` reverses the
+/// autograd parent listing so the backward DFS sweeps part subgraphs in
+/// ascending part order (the grad scatter itself is order-free - each
+/// part owns disjoint output rows).
+Tensor ConcatRowsImpl(const std::vector<Tensor>& parts,
+                      bool ascending_backward) {
   SUDO_CHECK(!parts.empty());
   const int n = parts[0].cols();
   int m = 0;
@@ -415,6 +466,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   }
   TensorImpl* o = out.get();
   auto parents = impls;
+  if (ascending_backward) std::reverse(parents.begin(), parents.end());
   Attach(out, std::move(parents), [impls, o, n]() {
     int r = 0;
     for (const auto& pi : impls) {
@@ -424,6 +476,46 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
         for (size_t i = 0; i < pi->size(); ++i) pi->grad[i] += g[i];
       }
       r += pi->rows;
+    }
+  });
+  return WrapNode(out);
+}
+}  // namespace
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  return ConcatRowsImpl(parts, /*ascending_backward=*/false);
+}
+
+Tensor JoinRows(const std::vector<Tensor>& parts) {
+  return ConcatRowsImpl(parts, /*ascending_backward=*/true);
+}
+
+Tensor PadPackRows(const std::vector<Tensor>& parts, int t) {
+  SUDO_CHECK(!parts.empty() && t > 0);
+  const int n = parts[0].cols();
+  const int b = static_cast<int>(parts.size());
+  auto out = NewNode(b * t, n);  // NewNode zero-fills: padding is exact 0
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  for (int i = 0; i < b; ++i) {
+    SUDO_CHECK(parts[static_cast<size_t>(i)].cols() == n);
+    SUDO_CHECK(parts[static_cast<size_t>(i)].rows() <= t);
+    std::copy(parts[static_cast<size_t>(i)].data(),
+              parts[static_cast<size_t>(i)].data() +
+                  parts[static_cast<size_t>(i)].size(),
+              out->value.data() + static_cast<size_t>(i) * t * n);
+    impls.push_back(parts[static_cast<size_t>(i)].impl());
+  }
+  TensorImpl* o = out.get();
+  auto parents = impls;
+  std::reverse(parents.begin(), parents.end());
+  Attach(out, std::move(parents), [impls, o, t, n]() {
+    for (size_t i = 0; i < impls.size(); ++i) {
+      const auto& pi = impls[i];
+      if (!pi->requires_grad) continue;
+      pi->EnsureGrad();
+      const float* g = o->grad.data() + i * static_cast<size_t>(t) * n;
+      for (size_t j = 0; j < pi->size(); ++j) pi->grad[j] += g[j];
     }
   });
   return WrapNode(out);
@@ -535,6 +627,33 @@ Tensor GatherRows(const Tensor& table, const std::vector<int>& ids) {
   return WrapNode(out);
 }
 
+Tensor WhereRows(const std::vector<int>& take_a, const Tensor& a,
+                 const Tensor& b) {
+  SUDO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const int m = a.rows(), n = a.cols();
+  SUDO_CHECK(static_cast<int>(take_a.size()) == m);
+  auto out = NewNode(m, n);
+  for (int i = 0; i < m; ++i) {
+    const float* src = (take_a[static_cast<size_t>(i)] ? a : b).data() +
+                       static_cast<size_t>(i) * n;
+    std::copy(src, src + n, out->value.data() + static_cast<size_t>(i) * n);
+  }
+  auto ai = a.impl(), bi = b.impl();
+  TensorImpl* o = out.get();
+  auto take = std::make_shared<std::vector<int>>(take_a);
+  Attach(out, {ai, bi}, [ai, bi, o, take, m, n]() {
+    for (int i = 0; i < m; ++i) {
+      const auto& pi = (*take)[static_cast<size_t>(i)] ? ai : bi;
+      if (!pi->requires_grad) continue;
+      pi->EnsureGrad();
+      const float* g = o->grad.data() + static_cast<size_t>(i) * n;
+      float* dst = pi->grad.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) dst[j] += g[j];
+    }
+  });
+  return WrapNode(out);
+}
+
 Tensor RowMean(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   auto out = NewNode(m, 1);
@@ -552,6 +671,51 @@ Tensor RowMean(const Tensor& a) {
       const float g = o->grad[static_cast<size_t>(i)] / n;
       float* dst = ai->grad.data() + static_cast<size_t>(i) * n;
       for (int j = 0; j < n; ++j) dst[j] += g;
+    }
+  });
+  return WrapNode(out);
+}
+
+Tensor SegmentMeanRows(const Tensor& packed, int t,
+                       const std::vector<int>& begins,
+                       const std::vector<int>& ends) {
+  SUDO_CHECK(t > 0 && packed.rows() % t == 0);
+  const int b = packed.rows() / t, d = packed.cols();
+  SUDO_CHECK(static_cast<int>(begins.size()) == b &&
+             static_cast<int>(ends.size()) == b);
+  auto out = NewNode(b, d);
+  for (int i = 0; i < b; ++i) {
+    const int r0 = begins[static_cast<size_t>(i)];
+    const int r1 = ends[static_cast<size_t>(i)];
+    SUDO_CHECK(0 <= r0 && r0 <= r1 && r1 <= t);
+    // An empty range means "skip this block": its output row stays zero
+    // and its backward contributes nothing (a caller that aliases the row
+    // elsewhere must not read it).
+    if (r0 == r1) continue;
+    kernels::ColMeanRange(packed.data() + static_cast<size_t>(i) * t * d, d,
+                          r0, r1, out->value.data() + static_cast<size_t>(i) * d);
+  }
+  auto pi = packed.impl();
+  TensorImpl* o = out.get();
+  auto b0 = std::make_shared<std::vector<int>>(begins);
+  auto b1 = std::make_shared<std::vector<int>>(ends);
+  Attach(out, {pi}, [pi, o, b0, b1, t, b, d]() {
+    if (!pi->requires_grad) return;
+    pi->EnsureGrad();
+    for (int i = 0; i < b; ++i) {
+      const int r0 = (*b0)[static_cast<size_t>(i)];
+      const int r1 = (*b1)[static_cast<size_t>(i)];
+      if (r0 == r1) continue;
+      const float count = static_cast<float>(r1 - r0);
+      const float* g = o->grad.data() + static_cast<size_t>(i) * d;
+      for (int j = 0; j < d; ++j) {
+        // One division per output element, then broadcast - the same
+        // rounding as RowMean's backward on the transposed slice.
+        const float gj = g[j] / count;
+        for (int r = r0; r < r1; ++r) {
+          pi->grad[(static_cast<size_t>(i) * t + r) * d + j] += gj;
+        }
+      }
     }
   });
   return WrapNode(out);
@@ -592,6 +756,32 @@ Tensor RowSoftmax(const Tensor& a) {
       const float dot = kernels::Dot(y, gy, n);
       float* gx = ai->grad.data() + static_cast<size_t>(i) * n;
       for (int j = 0; j < n; ++j) gx[j] += y[j] * (gy[j] - dot);
+    }
+  });
+  return WrapNode(out);
+}
+
+Tensor RowSoftmaxMasked(const Tensor& a, const std::vector<int>& valid) {
+  const int m = a.rows(), n = a.cols();
+  SUDO_CHECK(static_cast<int>(valid.size()) == m);
+  auto out = NewNode(m, n);
+  kernels::RowSoftmaxMasked(m, n, a.data(), valid.data(), out->value.data());
+  auto ai = a.impl();
+  TensorImpl* o = out.get();
+  auto v = std::make_shared<std::vector<int>>(valid);
+  Attach(out, {ai}, [ai, o, v, m, n]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const int len = (*v)[static_cast<size_t>(i)];
+      const float* y = o->value.data() + static_cast<size_t>(i) * n;
+      const float* gy = o->grad.data() + static_cast<size_t>(i) * n;
+      // The y·gy reduction runs over the valid prefix only, so it is the
+      // same length (and rounding) as RowSoftmax's backward on an
+      // unpadded [*, len] row; padded columns get no gradient at all.
+      const float dot = kernels::Dot(y, gy, len);
+      float* gx = ai->grad.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < len; ++j) gx[j] += y[j] * (gy[j] - dot);
     }
   });
   return WrapNode(out);
@@ -758,6 +948,89 @@ Tensor StandardizeCols(const Tensor& a, float eps) {
         const float xh = o->value[static_cast<size_t>(i) * n + j];
         ai->grad[static_cast<size_t>(i) * n + j] +=
             istd * (g - mean_g - xh * mean_g_xh);
+      }
+    }
+  });
+  return WrapNode(out);
+}
+
+Tensor LinearDeferred(const Tensor& x, const Tensor& w, const Tensor& b,
+                      const std::shared_ptr<DeferredGradTape>& tape, int gate,
+                      ThreadPool* pool, int num_shards) {
+  SUDO_CHECK(x.cols() == w.rows());
+  SUDO_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  const int m = x.rows(), kdim = x.cols(), n = w.cols();
+  auto out = NewNode(m, n);
+  kernels::Gemm(m, n, kdim, x.data(), w.data(), out->value.data(), pool,
+                num_shards);
+  for (int i = 0; i < m; ++i) {
+    kernels::Axpy(n, 1.0f, b.data(),
+                  out->value.data() + static_cast<size_t>(i) * n);
+  }
+  auto xi = x.impl(), wi = w.impl();
+  TensorImpl* o = out.get();
+  // Parents list only x: w/b reach the sweep through the anchor, and
+  // their gradients must NOT accumulate here (that is the whole point).
+  Attach(out, {xi}, [xi, wi, o, m, kdim, n, pool, num_shards]() {
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    kernels::GemmBT(m, kdim, n, o->grad.data(), wi->value.data(),
+                    xi->grad.data(), pool, num_shards);
+  });
+  if (out->requires_grad && tape != nullptr) {
+    SUDO_CHECK(gate >= 0 && gate < static_cast<int>(tape->gates.size()));
+    tape->gates[static_cast<size_t>(gate)].steps.push_back(
+        {xi.get(), out.get()});
+  }
+  return WrapNode(out);
+}
+
+Tensor AnchorDeferred(const Tensor& init,
+                      const std::shared_ptr<DeferredGradTape>& tape) {
+  SUDO_CHECK(tape != nullptr);
+  auto out = NewNode(init.rows(), init.cols());
+  std::copy(init.data(), init.data() + init.size(), out->value.data());
+  auto ii = init.impl();
+  std::vector<std::shared_ptr<TensorImpl>> parents = {ii};
+  for (const auto& gate : tape->gates) {
+    parents.push_back(gate.w);
+    parents.push_back(gate.b);
+  }
+  TensorImpl* o = out.get();
+  Attach(out, std::move(parents), [ii, o, tape]() {
+    if (ii->requires_grad) {
+      ii->EnsureGrad();
+      for (size_t i = 0; i < o->size(); ++i) ii->grad[i] += o->grad[i];
+    }
+    // Replay the tape in canonical ascending (row, step) order - the
+    // exact sequence a per-row loop over the same data produces, so the
+    // lockstep batch's parameter gradients are bit-identical to it.
+    for (auto& gate : tape->gates) {
+      const bool wg = gate.w->requires_grad, bg = gate.b->requires_grad;
+      if ((!wg && !bg) || gate.steps.empty()) continue;
+      if (wg) gate.w->EnsureGrad();
+      if (bg) gate.b->EnsureGrad();
+      for (auto& step : gate.steps) step.pre->EnsureGrad();
+      const int in = gate.w->rows, outn = gate.w->cols;
+      const int rows = gate.steps[0].x->rows;
+      for (int r = 0; r < rows; ++r) {
+        for (const auto& step : gate.steps) {
+          const float* xrow =
+              step.x->value.data() + static_cast<size_t>(r) * in;
+          const float* grow =
+              step.pre->grad.data() + static_cast<size_t>(r) * outn;
+          if (wg) {
+            for (int i = 0; i < in; ++i) {
+              const float av = xrow[i];
+              if (av == 0.0f) continue;  // mirrors the GEMM zero-skip
+              float* wrow = gate.w->grad.data() + static_cast<size_t>(i) * outn;
+              for (int j = 0; j < outn; ++j) wrow[j] += av * grow[j];
+            }
+          }
+          if (bg) {
+            for (int j = 0; j < outn; ++j) gate.b->grad[j] += grow[j];
+          }
+        }
       }
     }
   });

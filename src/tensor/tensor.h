@@ -27,6 +27,10 @@
 #include "common/rng.h"
 #include "common/status.h"
 
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h; only the pointer crosses here.
+}
+
 namespace sudowoodo::tensor {
 
 /// Heap storage and autograd bookkeeping for one tensor value.
@@ -119,6 +123,13 @@ void Backward(const Tensor& loss);
 
 /// --- elementwise & shape ops ----------------------------------------------
 Tensor MatMul(const Tensor& a, const Tensor& b);
+/// MatMul whose forward GEMM *and* both backward GEMMs (dA += dC B^T,
+/// dB += A^T dC) row-shard over `pool` (see tensor/kernels.h; bit-identical
+/// to serial for any shard count). `pool` must outlive Backward(). This is
+/// how the training-mode forwards thread their dense work without touching
+/// gradient determinism.
+Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool,
+              int num_shards);
 /// a[m,k] * b[n,k]^T without materializing the transpose (attention scores
 /// Q*K^T, similarity matrices Z*Z^T). Forward is bit-identical to
 /// MatMul(a, Transpose(b)) up to reduction order.
@@ -140,8 +151,34 @@ Tensor Tanh(const Tensor& a);
 Tensor Sigmoid(const Tensor& a);
 /// Inverted dropout; identity when !training or p == 0.
 Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training);
+/// Counter-based inverted dropout (the training-parallelism enabler; see
+/// CounterRng in common/rng.h and src/tensor/README.md): element (i, j)
+/// is dropped iff the stream keyed by keys[i / rows_per_key] fires at
+/// counter (i % rows_per_key) * cols + j. The mask is a pure function of
+/// (key, logical position), never of draw order, so a row gets the same
+/// mask whether it is encoded alone ([len, d], its own key) or as one
+/// block of a padded pack ([b*t, d], rows_per_key = t) and whichever
+/// thread evaluates it. Identity when !training or p <= 0.
+Tensor DropoutAt(const Tensor& a, float p, const std::vector<uint64_t>& keys,
+                 int rows_per_key, bool training);
 /// Stacks same-width tensors vertically.
 Tensor ConcatRows(const std::vector<Tensor>& parts);
+/// ConcatRows variant for the training paths: values are identical, but
+/// the autograd parents are listed in *reverse* part order so the
+/// backward topological sweep visits part subgraphs in ascending part
+/// order. Cross-part gradient accumulation into shared parameters then
+/// runs part 0 first, part 1 second, ... - the same ascending row-major
+/// order the packed batched ops use internally (GemmAT walks contraction
+/// rows upward), which is what makes per-row and batched training
+/// gradients bit-identical. See "Training batching rules" in
+/// src/tensor/README.md.
+Tensor JoinRows(const std::vector<Tensor>& parts);
+/// Packs b = parts.size() variable-length blocks into one [b*t, cols]
+/// tensor: part i (len_i <= t rows) lands at rows [i*t, i*t + len_i) and
+/// padded rows are exact zero (so downstream GEMM zero-skips never read
+/// them). Backward routes each part's grad slice back; parents are listed
+/// in reverse part order like JoinRows.
+Tensor PadPackRows(const std::vector<Tensor>& parts, int t);
 /// Stacks same-height tensors horizontally.
 Tensor ConcatCols(const std::vector<Tensor>& parts);
 /// Columns [start, start+len) of a.
@@ -150,14 +187,39 @@ Tensor SliceCols(const Tensor& a, int start, int len);
 Tensor SliceRows(const Tensor& a, int start, int len);
 /// out[i,:] = table[ids[i],:]; backward scatter-adds (embedding lookup).
 Tensor GatherRows(const Tensor& table, const std::vector<int>& ids);
+/// Row-wise exact-copy select: out[i,:] = take_a[i] ? a[i,:] : b[i,:].
+/// No arithmetic touches the values, and gradients route only to the
+/// chosen parent per row - the batched GRU uses this to freeze finished
+/// rows so a padded lockstep step is bit-identical to not stepping.
+Tensor WhereRows(const std::vector<int>& take_a, const Tensor& a,
+                 const Tensor& b);
 /// Column vector [m,1] of row means.
 Tensor RowMean(const Tensor& a);
+/// Per-block column means over row ranges of a packed [b*t, d] tensor:
+/// out[i,:] = mean of rows [i*t + begins[i], i*t + ends[i]) of block i.
+/// An empty range (begins[i] == ends[i]) skips the block: its output row
+/// stays zero and it neither receives nor emits gradient - callers use
+/// this for rows whose segment does not exist. Forward accumulates each
+/// element in a
+/// single r-increasing chain (kernels::ColMeanRange) and backward adds
+/// grad/count to each contributing row - the same rounding as the
+/// per-row Transpose/RowMean/Transpose chain, which is what makes the
+/// batched FastBag segment pooling bit-identical to per-row.
+Tensor SegmentMeanRows(const Tensor& packed, int t,
+                       const std::vector<int>& begins,
+                       const std::vector<int>& ends);
 Tensor SumAll(const Tensor& a);
 Tensor MeanAll(const Tensor& a);
 
 /// --- normalization ---------------------------------------------------------
 /// Per-row softmax (numerically stable).
 Tensor RowSoftmax(const Tensor& a);
+/// Autograd-capable mask-aware softmax for padded attention: row i is
+/// softmaxed over its first valid[i] columns, padded columns become exact
+/// 0 forward and receive/emit no gradient. The valid prefix (forward and
+/// backward, including the y·gy reduction length) is bit-identical to
+/// RowSoftmax on an unpadded [m, valid[i]] matrix.
+Tensor RowSoftmaxMasked(const Tensor& a, const std::vector<int>& valid);
 /// Per-row log-softmax.
 Tensor LogRowSoftmax(const Tensor& a);
 /// Per-row layer norm with learned gain/bias: gamma,beta are [1,n].
@@ -168,6 +230,55 @@ Tensor L2NormalizeRows(const Tensor& a, float eps = 1e-9f);
 /// Per-column standardization (x - mean)/std over the batch dimension, as
 /// used by Barlow Twins before the cross-correlation matrix (Eq. 4).
 Tensor StandardizeCols(const Tensor& a, float eps = 1e-5f);
+
+/// --- deferred parameter gradients (recurrent training) ---------------------
+///
+/// A recurrence that applies the same Linear at every time step would,
+/// under the plain autograd ops, accumulate its weight gradient in
+/// backward-sweep order: step T-1 for all rows, then step T-2, and so on.
+/// A padded lockstep batch and a per-row loop interleave those float
+/// contributions differently - step-major vs row-major - so their sums
+/// differ in the last bit. The pair below pins the order instead:
+/// LinearDeferred skips the parameter gradients entirely, recording the
+/// (input, pre-activation) node pair on a caller-owned tape, and
+/// AnchorDeferred wraps the recurrence's *initial* state - an ancestor of
+/// every step, so the topological sweep runs its backward only after all
+/// of them - where the tape is replayed in ascending (row, step) order,
+/// accumulating dW and db in the same canonical sequence for any
+/// batching. Frozen/padded (row, step) pairs carry exact-zero
+/// pre-activation grads and so add nothing. See "Training batching
+/// rules" in src/tensor/README.md.
+struct DeferredGradTape {
+  struct Entry {
+    // Raw pointers on purpose: the step nodes transitively own the
+    // anchor (their parent chains run back through the initial state),
+    // and the anchor's backward closure owns this tape - shared_ptrs
+    // here would close a reference cycle and leak the whole recurrence
+    // graph every step. The graph's parent chains keep these nodes alive
+    // for as long as the anchor (and thus the tape) exists.
+    TensorImpl* x = nullptr;    // [rows, in] input at one step
+    TensorImpl* pre = nullptr;  // [rows, out] pre-activation node
+  };
+  struct Gate {
+    std::shared_ptr<TensorImpl> w;  // [in, out]; leaves - no cycle
+    std::shared_ptr<TensorImpl> b;  // [1, out]
+    std::vector<Entry> steps;       // in step order
+  };
+  std::vector<Gate> gates;
+};
+
+/// y = x W + b whose backward propagates only dX += dY W^T (row-sharded
+/// over `pool` like MatMul); dW/db are deferred to the tape's anchor.
+/// Records (x, y) on tape->gates[gate] when the tape is live.
+Tensor LinearDeferred(const Tensor& x, const Tensor& w, const Tensor& b,
+                      const std::shared_ptr<DeferredGradTape>& tape, int gate,
+                      ThreadPool* pool = nullptr, int num_shards = 1);
+
+/// Exact-copy wrapper for the recurrence's initial state whose backward
+/// replays `tape` (see above). Every gate's w/b must be registered on the
+/// tape before this call so they are reachable from the sweep.
+Tensor AnchorDeferred(const Tensor& init,
+                      const std::shared_ptr<DeferredGradTape>& tape);
 
 /// --- losses -----------------------------------------------------------------
 /// Mean negative log-likelihood of `targets` under per-row log-probs.

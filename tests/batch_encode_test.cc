@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "augment/cutoff.h"
 #include "common/rng.h"
 #include "nn/batch_pack.h"
 #include "nn/encoder.h"
@@ -121,6 +122,81 @@ TEST(BatchEncodeEquivalenceTest, GruBitIdenticalAcrossBatchSizes) {
                                           /*bucketed=*/true, 500 + b);
     ExpectBatchedBitIdentical<GruEncoder>(SmallGru(), b,
                                           /*bucketed=*/false, 600 + b);
+  }
+}
+
+// --- batched training equivalence -------------------------------------------
+//
+// The training-mode counterpart of the battery above, and stricter: not
+// just pooled values but every parameter gradient must be bit-identical
+// between the batched padded-pack path and the per-row oracle
+// (set_batched_training(false)). This is what makes full loss
+// *trajectories* identical: any last-bit gradient difference would be
+// amplified by the optimizer within a step or two. Dropout is active
+// (counter-keyed masks) and a span-cutoff plan is applied to mimic the
+// pretrainer's augmented view.
+template <typename EncoderT, typename ConfigT>
+void ExpectTrainingBitIdentical(const ConfigT& config, int batch_size,
+                                bool with_cutoff, uint64_t seed) {
+  const auto batch = RaggedBatch(batch_size, config.vocab_size, seed);
+  augment::CutoffPlan plan;
+  plan.kind = augment::CutoffKind::kSpan;
+  plan.ratio = 0.2;
+  plan.start_frac = 0.4;
+  const augment::CutoffPlan* cutoff = with_cutoff ? &plan : nullptr;
+
+  EncoderT per_row(config);
+  per_row.set_batched_training(false);
+  EncoderT batched(config);  // same seed => same weights & dropout keys
+
+  Tensor want = per_row.EncodeBatch(batch, cutoff, /*training=*/true);
+  Tensor got = batched.EncodeBatch(batch, cutoff, /*training=*/true);
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i])
+        << "value " << i << " B " << batch_size << " cutoff " << with_cutoff;
+  }
+
+  ts::Backward(ts::MeanAll(want));
+  ts::Backward(ts::MeanAll(got));
+  const auto pw = per_row.Parameters(), pg = batched.Parameters();
+  ASSERT_EQ(pw.size(), pg.size());
+  for (size_t p = 0; p < pw.size(); ++p) {
+    for (size_t i = 0; i < pw[p].size(); ++i) {
+      ASSERT_EQ(pg[p].grad()[i], pw[p].grad()[i])
+          << "param " << p << " elem " << i << " B " << batch_size
+          << " cutoff " << with_cutoff;
+    }
+  }
+}
+
+TEST(BatchEncodeEquivalenceTest, TransformerTrainingGradsBitIdentical) {
+  for (int b : {1, 7, 33}) {
+    ExpectTrainingBitIdentical<TransformerEncoder>(SmallTransformer(), b,
+                                                   /*with_cutoff=*/false,
+                                                   700 + b);
+    ExpectTrainingBitIdentical<TransformerEncoder>(SmallTransformer(), b,
+                                                   /*with_cutoff=*/true,
+                                                   710 + b);
+  }
+}
+
+TEST(BatchEncodeEquivalenceTest, FastBagTrainingGradsBitIdentical) {
+  for (int b : {1, 7, 33}) {
+    ExpectTrainingBitIdentical<FastBagEncoder>(SmallBag(), b,
+                                               /*with_cutoff=*/false, 720 + b);
+    ExpectTrainingBitIdentical<FastBagEncoder>(SmallBag(), b,
+                                               /*with_cutoff=*/true, 730 + b);
+  }
+}
+
+TEST(BatchEncodeEquivalenceTest, GruTrainingGradsBitIdentical) {
+  for (int b : {1, 7, 33}) {
+    ExpectTrainingBitIdentical<GruEncoder>(SmallGru(), b,
+                                           /*with_cutoff=*/false, 740 + b);
+    ExpectTrainingBitIdentical<GruEncoder>(SmallGru(), b,
+                                           /*with_cutoff=*/true, 750 + b);
   }
 }
 

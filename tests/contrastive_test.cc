@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "contrastive/losses.h"
 #include "contrastive/pretrainer.h"
 #include "nn/encoder.h"
+#include "nn/gru.h"
 #include "text/vocab.h"
 
 namespace sudowoodo::contrastive {
@@ -204,6 +207,143 @@ TEST_F(PretrainerTest, UniformAndClusterSchedulersBothWork) {
     Pretrainer trainer(&encoder, &vocab, o);
     EXPECT_TRUE(trainer.Run(corpus).ok()) << "cluster=" << cluster;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Loss-trajectory bit-identity battery: training must produce *identical*
+// losses at every optimizer step whether forwards run per-row or padded-
+// batched, and for any thread count. This is the determinism contract of
+// the batched-training tentpole (counter-based dropout + canonical
+// ascending-row gradient accumulation); see src/tensor/README.md.
+// ---------------------------------------------------------------------------
+
+enum class TestEncoderKind { kFastBag, kTransformer, kGru };
+
+const char* KindName(TestEncoderKind k) {
+  switch (k) {
+    case TestEncoderKind::kFastBag:
+      return "FastBag";
+    case TestEncoderKind::kTransformer:
+      return "Transformer";
+    default:
+      return "Gru";
+  }
+}
+
+class TrainingDeterminismTest : public ::testing::Test {
+ protected:
+  // Mixed lengths (1..~20 tokens) plus serialized [SEP] pairs: exercises
+  // truncation, ragged buckets, the empty-ish single-token rows, and the
+  // FastBag two-segment pooling in one corpus.
+  std::vector<std::vector<std::string>> MakeCorpus() {
+    std::vector<std::vector<std::string>> corpus;
+    const std::vector<std::string> words = {"red",  "blue",  "widget",
+                                            "gadget", "acme", "zeta"};
+    for (int i = 0; i < 24; ++i) {
+      std::vector<std::string> item;
+      const int len = 1 + (i * 7) % 20;
+      for (int j = 0; j < len; ++j) {
+        item.push_back(words[static_cast<size_t>((i + j) % words.size())]);
+        if (i % 3 == 0 && j == len / 2) item.push_back("[SEP]");
+      }
+      corpus.push_back(std::move(item));
+    }
+    return corpus;
+  }
+
+  std::unique_ptr<nn::Encoder> MakeEncoder(TestEncoderKind kind, int vocab) {
+    switch (kind) {
+      case TestEncoderKind::kTransformer: {
+        nn::TransformerConfig c;
+        c.vocab_size = vocab;
+        c.max_len = 16;
+        c.dim = 16;
+        c.n_layers = 2;
+        c.n_heads = 2;
+        c.ffn_dim = 32;
+        return std::make_unique<nn::TransformerEncoder>(c);
+      }
+      case TestEncoderKind::kGru: {
+        nn::GruConfig c;
+        c.vocab_size = vocab;
+        c.max_len = 16;
+        c.dim = 12;
+        return std::make_unique<nn::GruEncoder>(c);
+      }
+      default: {
+        nn::FastBagConfig c;
+        c.vocab_size = vocab;
+        c.max_len = 24;
+        c.dim = 16;
+        c.hidden_dim = 32;
+        return std::make_unique<nn::FastBagEncoder>(c);
+      }
+    }
+  }
+
+  std::vector<float> RunPretrain(TestEncoderKind kind,
+                                 const std::vector<std::vector<std::string>>&
+                                     corpus,
+                                 const text::Vocab& vocab, bool batched,
+                                 int threads) {
+    auto encoder = MakeEncoder(kind, vocab.size());
+    PretrainOptions o;
+    o.epochs = 2;
+    o.batch_size = 8;
+    o.corpus_cap = 24;
+    o.num_clusters = 2;
+    o.batched_training = batched;
+    o.num_threads = threads;
+    Pretrainer trainer(encoder.get(), &vocab, o);
+    EXPECT_TRUE(trainer.Run(corpus).ok());
+    EXPECT_FALSE(trainer.stats().step_loss.empty());
+    return trainer.stats().step_loss;
+  }
+};
+
+TEST_F(TrainingDeterminismTest, LossTrajectoryBitIdentityBattery) {
+  auto corpus = MakeCorpus();
+  text::Vocab vocab = text::Vocab::Build(corpus);
+  for (TestEncoderKind kind :
+       {TestEncoderKind::kFastBag, TestEncoderKind::kTransformer,
+        TestEncoderKind::kGru}) {
+    const std::vector<float> ref =
+        RunPretrain(kind, corpus, vocab, /*batched=*/false, /*threads=*/1);
+    for (bool batched : {false, true}) {
+      for (int threads : {1, 2, 4}) {
+        if (!batched && threads == 1) continue;  // the reference itself
+        const std::vector<float> got =
+            RunPretrain(kind, corpus, vocab, batched, threads);
+        ASSERT_EQ(ref.size(), got.size())
+            << KindName(kind) << " batched=" << batched
+            << " threads=" << threads;
+        for (size_t s = 0; s < ref.size(); ++s) {
+          // Exact float equality: the losses must match bit for bit, at
+          // every step - any reduction-order leak diverges within a step
+          // or two once optimizer feedback amplifies it.
+          ASSERT_EQ(ref[s], got[s])
+              << KindName(kind) << " batched=" << batched
+              << " threads=" << threads << " step=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TrainingDeterminismTest, BatchedTrainingLossStillDecreases) {
+  // The batched path is the default; make sure it actually trains.
+  auto corpus = MakeCorpus();
+  text::Vocab vocab = text::Vocab::Build(corpus);
+  auto encoder = MakeEncoder(TestEncoderKind::kFastBag, vocab.size());
+  PretrainOptions o;
+  o.epochs = 4;
+  o.batch_size = 8;
+  o.corpus_cap = 24;
+  o.num_clusters = 2;
+  Pretrainer trainer(encoder.get(), &vocab, o);
+  ASSERT_TRUE(trainer.Run(corpus).ok());
+  const auto& losses = trainer.stats().epoch_loss;
+  EXPECT_LT(losses.back(), losses.front());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baselines/tfidf_blocker.h"
+#include "cluster/kmeans.h"
 #include "common/parallel.h"
 #include "common/random_vectors.h"
 #include "common/thread_pool.h"
@@ -333,9 +334,10 @@ TEST(ParallelDeterminismTest, CleaningRunThreadCountInvariantEndToEnd) {
   }
 }
 
-TEST(ParallelDeterminismTest, TrainingModeForwardStaysSerialAndIdentical) {
-  // With the autograd tape on, EncodeBatch must ignore num_threads: the
-  // forward builds a graph and draws dropout noise from a shared stream.
+TEST(ParallelDeterminismTest, TrainingForwardIgnoresInferenceThreadKnob) {
+  // The inference knob (num_threads) must not leak into training-mode
+  // forwards; training parallelism has its own knob with its own
+  // bit-identity contract (next test).
   nn::FastBagConfig config;
   config.vocab_size = 60;
   config.dim = 8;
@@ -351,6 +353,80 @@ TEST(ParallelDeterminismTest, TrainingModeForwardStaysSerialAndIdentical) {
   ASSERT_EQ(za.cols(), zb.cols());
   for (size_t i = 0; i < za.size(); ++i) {
     EXPECT_EQ(za.data()[i], zb.data()[i]);
+  }
+}
+
+TEST(TrainingDeterminismTest, TrainingForwardAndGradThreadCountInvariant) {
+  // Training forwards and backwards are parallel now (train_num_threads):
+  // row-sharded forward/backward GEMMs plus per-row / per-sequence
+  // subgraph fan-out. Counter-based dropout keys masks by position, so
+  // the graph - values and every parameter gradient - is bit-identical
+  // for any thread count, per-row and batched alike.
+  for (bool batched : {false, true}) {
+    nn::TransformerConfig config;
+    config.vocab_size = 80;
+    config.max_len = 12;
+    config.dim = 16;
+    config.n_layers = 2;
+    config.n_heads = 2;
+    config.ffn_dim = 32;
+    const auto batch = MakeTokenBatch(9, config.vocab_size, 11);
+
+    nn::TransformerEncoder serial(config);
+    serial.set_batched_training(batched);
+    nn::TransformerEncoder threaded(config);
+    threaded.set_batched_training(batched);
+    threaded.set_train_num_threads(4);
+
+    nn::Tensor za = serial.EncodeBatch(batch, nullptr, /*training=*/true);
+    nn::Tensor zb = threaded.EncodeBatch(batch, nullptr, /*training=*/true);
+    ASSERT_EQ(za.size(), zb.size());
+    for (size_t i = 0; i < za.size(); ++i) {
+      ASSERT_EQ(za.data()[i], zb.data()[i]) << "batched=" << batched;
+    }
+
+    tensor::Backward(tensor::MeanAll(za));
+    tensor::Backward(tensor::MeanAll(zb));
+    const auto pa = serial.Parameters(), pb = threaded.Parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t p = 0; p < pa.size(); ++p) {
+      for (size_t i = 0; i < pa[p].size(); ++i) {
+        ASSERT_EQ(pa[p].grad()[i], pb[p].grad()[i])
+            << "batched=" << batched << " param=" << p;
+      }
+    }
+  }
+}
+
+TEST(TrainingDeterminismTest, KMeansAssignmentThreadCountInvariant) {
+  // The parallel k-means assignment step (cluster negatives, Algorithm 2)
+  // must produce identical clusterings for any thread count.
+  std::vector<std::vector<std::string>> corpus;
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::string> doc;
+    const int family = i % 3;
+    for (int w = 0; w < 8; ++w) {
+      doc.push_back("w" + std::to_string(family * 40 + rng.UniformInt(40)));
+    }
+    corpus.push_back(std::move(doc));
+  }
+  sparse::TfIdfFeaturizer featurizer;
+  const auto features = featurizer.FitTransform(corpus);
+
+  cluster::KMeansOptions base;
+  base.k = 12;
+  base.seed = 5;
+  const cluster::KMeansResult want = cluster::KMeans(features, base);
+  for (int threads : {2, 4}) {
+    cluster::KMeansOptions opts = base;
+    opts.num_threads = threads;
+    const cluster::KMeansResult got = cluster::KMeans(features, opts);
+    EXPECT_EQ(got.iterations_run, want.iterations_run);
+    ASSERT_EQ(got.assignments.size(), want.assignments.size());
+    for (size_t i = 0; i < want.assignments.size(); ++i) {
+      ASSERT_EQ(got.assignments[i], want.assignments[i]) << "threads=" << threads;
+    }
   }
 }
 
