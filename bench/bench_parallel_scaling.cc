@@ -6,6 +6,8 @@
 // serial one (there is no second core to run the shards); the bench still
 // verifies the determinism contract and reports honest numbers.
 
+#include "common/alloc_count.h"  // defines operator new for this binary
+
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -18,8 +20,10 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "contrastive/pretrainer.h"
+#include "index/embedding_cache.h"
 #include "index/knn_index.h"
 #include "nn/encoder.h"
+#include "nn/gru.h"
 #include "sparse/tfidf.h"
 #include "text/vocab.h"
 
@@ -185,6 +189,125 @@ void Run(const std::string& json_path) {
       }
     }
     table3.Print();
+  }
+
+  // --- allocation-free steady-state serving + embedding cache --------------
+  // The PR-5 serving subsystem: batched inference on the reusable
+  // Workspace (zero heap allocations after warmup, counted by the
+  // operator-new hook this binary defines) plus the content-keyed
+  // embedding cache. The workload mimics cleaning's pair scoring: a pool
+  // of distinct serialized entries, each encoded `kRepeats` times per
+  // pass - exactly the repetition the cache exploits. Outputs are
+  // asserted bit-identical across cache on/off.
+  {
+    Rng srng(31);
+    const int n_unique = 300, repeats = 5, vocab = 2000;
+    std::vector<std::vector<int>> unique_seqs;
+    for (int i = 0; i < n_unique; ++i) {
+      std::vector<int> ids;
+      const int len = 4 + srng.UniformInt(48);
+      for (int t = 0; t < len; ++t) {
+        ids.push_back(6 + srng.UniformInt(vocab - 6));
+      }
+      unique_seqs.push_back(std::move(ids));
+    }
+    std::vector<std::vector<int>> serve_batch;
+    for (int r = 0; r < repeats; ++r) {
+      for (const auto& s : unique_seqs) serve_batch.push_back(s);
+    }
+
+    struct EncoderCase {
+      const char* name;
+      std::function<std::unique_ptr<nn::Encoder>()> make;
+      int dim;
+    };
+    nn::FastBagConfig bag;
+    bag.vocab_size = vocab;
+    bag.dim = 64;
+    bag.hidden_dim = 128;
+    bag.max_len = 64;
+    nn::TransformerConfig trf;
+    trf.vocab_size = vocab;
+    trf.dim = 32;
+    trf.n_layers = 2;
+    trf.n_heads = 4;
+    trf.ffn_dim = 64;
+    trf.max_len = 64;
+    nn::GruConfig gru;
+    gru.vocab_size = vocab;
+    gru.dim = 32;
+    gru.max_len = 64;
+    const EncoderCase cases[] = {
+        {"fastbag_d64",
+         [&] { return std::make_unique<nn::FastBagEncoder>(bag); }, bag.dim},
+        {"transformer_d32",
+         [&] { return std::make_unique<nn::TransformerEncoder>(trf); },
+         trf.dim},
+        {"gru_d32", [&] { return std::make_unique<nn::GruEncoder>(gru); },
+         gru.dim},
+    };
+
+    std::printf(
+        "\nSteady-state serving: %d rows (%d unique x %d), warm vs cold, "
+        "cache on/off\n",
+        static_cast<int>(serve_batch.size()), n_unique, repeats);
+    TablePrinter table5("Allocation-free serving + embedding cache");
+    table5.SetHeader({"encoder", "cache", "phase", "ms/call", "allocs/call",
+                      "alloc KB/call", "speedup_vs_nocache_warm",
+                      "identical"});
+    for (const EncoderCase& c : cases) {
+      std::vector<float> reference;
+      double nocache_warm_seconds = 0.0;
+      for (const bool cache_on : {false, true}) {
+        auto encoder = c.make();
+        index::EmbeddingCache cache(cache_on ? 8192 : 0);
+        if (cache_on) encoder->set_embedding_cache(&cache);
+        std::vector<float> out(serve_batch.size() *
+                               static_cast<size_t>(c.dim));
+        const int warm_calls = 5;
+        for (const char* phase : {"cold", "warm"}) {
+          const bool cold = phase[0] == 'c';
+          const int calls = cold ? 1 : warm_calls;
+          AllocCounterStart();
+          WallTimer timer;
+          for (int call = 0; call < calls; ++call) {
+            encoder->EncodeInference(serve_batch, out.data());
+          }
+          const double seconds = timer.ElapsedSeconds() / calls;
+          const auto allocs = AllocCounterStop();
+          const double allocs_per_call =
+              static_cast<double>(allocs.count) / calls;
+          const double bytes_per_call =
+              static_cast<double>(allocs.bytes) / calls;
+          if (!cache_on && !cold) nocache_warm_seconds = seconds;
+          if (!cache_on && cold) reference = out;
+          const bool identical = out == reference;
+          const double speedup =
+              !cold && nocache_warm_seconds > 0.0 && seconds > 0.0
+                  ? nocache_warm_seconds / seconds
+                  : 1.0;
+          table5.AddRow({c.name, cache_on ? "on" : "off", phase,
+                         StrFormat("%.2f", seconds * 1e3),
+                         StrFormat("%.0f", allocs_per_call),
+                         StrFormat("%.1f", bytes_per_call / 1024.0),
+                         StrFormat("%.2fx", speedup),
+                         identical ? "yes" : "NO"});
+          auto& r = records.Add();
+          r.Str("bench", "encode_steady_state");
+          r.Str("encoder", c.name);
+          r.Str("cache", cache_on ? "on" : "off");
+          r.Str("phase", phase);
+          r.Int("n_rows", static_cast<int>(serve_batch.size()));
+          r.Int("n_unique", n_unique);
+          r.Num("seconds", seconds);
+          r.Num("allocs_per_call", allocs_per_call);
+          r.Num("alloc_bytes_per_call", bytes_per_call);
+          r.Num("speedup_vs_nocache_warm", speedup);
+          r.Bool("identical_to_uncached", identical);
+        }
+      }
+    }
+    table5.Print();
   }
 
   // --- contrastive training steps: per-row vs batched vs batched+threads ---

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/parallel.h"
 #include "sparse/tfidf.h"
 #include "text/tokenizer.h"
 
@@ -30,24 +31,31 @@ pipeline::PRF1 RunAutoFuzzyJoinOnEm(const data::EmDataset& ds,
   for (const auto& t : tokens_a) vec_a.push_back(tfidf.Transform(t));
   for (const auto& t : tokens_b) vec_b.push_back(tfidf.Transform(t));
 
-  // For each B record: best and second-best reference similarity.
+  // For each B record: best and second-best reference similarity. The
+  // all-pairs scoring pass is the baseline's hot loop; rows of B fan out
+  // across the pool in fixed contiguous shards, each writing only its own
+  // best/second/best_ref slots, so the result is bit-identical to serial
+  // (enforced at {1,2,4} threads by tests/parallel_test.cc).
   const int nb = ds.table_b.num_rows();
   std::vector<double> best(static_cast<size_t>(nb), 0.0);
   std::vector<double> second(static_cast<size_t>(nb), 0.0);
   std::vector<int> best_ref(static_cast<size_t>(nb), -1);
-  for (int b = 0; b < nb; ++b) {
-    for (int a = 0; a < ds.table_a.num_rows(); ++a) {
-      const double s = sparse::SparseDot(vec_a[static_cast<size_t>(a)],
-                                         vec_b[static_cast<size_t>(b)]);
-      if (s > best[static_cast<size_t>(b)]) {
-        second[static_cast<size_t>(b)] = best[static_cast<size_t>(b)];
-        best[static_cast<size_t>(b)] = s;
-        best_ref[static_cast<size_t>(b)] = a;
-      } else if (s > second[static_cast<size_t>(b)]) {
-        second[static_cast<size_t>(b)] = s;
+  ParallelFor(nb, options.num_threads, [&](int64_t begin, int64_t end,
+                                           int /*shard*/) {
+    for (int64_t b = begin; b < end; ++b) {
+      for (int a = 0; a < ds.table_a.num_rows(); ++a) {
+        const double s = sparse::SparseDot(vec_a[static_cast<size_t>(a)],
+                                           vec_b[static_cast<size_t>(b)]);
+        if (s > best[static_cast<size_t>(b)]) {
+          second[static_cast<size_t>(b)] = best[static_cast<size_t>(b)];
+          best[static_cast<size_t>(b)] = s;
+          best_ref[static_cast<size_t>(b)] = a;
+        } else if (s > second[static_cast<size_t>(b)]) {
+          second[static_cast<size_t>(b)] = s;
+        }
       }
     }
-  }
+  });
 
   // Threshold auto-selection: under the reference-table assumption a
   // joined pair is likely wrong when the runner-up is nearly as similar as

@@ -25,6 +25,11 @@ struct FuzzyJoinOptions {
   double target_precision = 0.9;
   /// Candidate thresholds scanned between 0 and 1.
   int threshold_steps = 40;
+  /// Worker threads for candidate scoring (the all-pairs TF-IDF cosine
+  /// pass): each B record's best/second-best scan is independent and
+  /// lands in its own output slot, so results are bit-identical to
+  /// serial for any value (the common/parallel.h contract). 1 = serial.
+  int num_threads = 1;
 };
 
 /// Runs the fuzzy-join matcher on a dataset and evaluates test-split F1.

@@ -1,0 +1,92 @@
+// Heap-allocation counting hook for the allocation-free serving tests and
+// benches.
+//
+// Include this header in EXACTLY ONE translation unit of a binary: it
+// *defines* the global replacement operator new/delete set (replacement,
+// not overload - so it must appear once per executable, never in the
+// library). While counting is enabled, every operator-new call and its
+// byte total are recorded; operator delete is never counted (frees are
+// allowed in a steady state that reuses memory).
+//
+// Counting is process-wide and thread-safe (relaxed atomics). Under ASan/
+// TSan the replacement still routes through malloc, which the sanitizers
+// intercept, so the hook composes with the sanitizer legs of CI.
+
+#ifndef SUDOWOODO_COMMON_ALLOC_COUNT_H_
+#define SUDOWOODO_COMMON_ALLOC_COUNT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace sudowoodo {
+
+struct AllocCounts {
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+namespace alloc_count_internal {
+inline std::atomic<bool> enabled{false};
+inline std::atomic<uint64_t> count{0};
+inline std::atomic<uint64_t> bytes{0};
+
+inline void Record(std::size_t sz) {
+  if (enabled.load(std::memory_order_relaxed)) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(sz, std::memory_order_relaxed);
+  }
+}
+}  // namespace alloc_count_internal
+
+/// Starts counting from zero.
+inline void AllocCounterStart() {
+  alloc_count_internal::count.store(0, std::memory_order_relaxed);
+  alloc_count_internal::bytes.store(0, std::memory_order_relaxed);
+  alloc_count_internal::enabled.store(true, std::memory_order_relaxed);
+}
+
+/// Stops counting and returns the totals since Start.
+inline AllocCounts AllocCounterStop() {
+  alloc_count_internal::enabled.store(false, std::memory_order_relaxed);
+  return {alloc_count_internal::count.load(std::memory_order_relaxed),
+          alloc_count_internal::bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace sudowoodo
+
+void* operator new(std::size_t sz) {
+  sudowoodo::alloc_count_internal::Record(sz);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t sz) {
+  sudowoodo::alloc_count_internal::Record(sz);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
+  sudowoodo::alloc_count_internal::Record(sz);
+  return std::malloc(sz ? sz : 1);
+}
+
+void* operator new[](std::size_t sz, const std::nothrow_t&) noexcept {
+  sudowoodo::alloc_count_internal::Record(sz);
+  return std::malloc(sz ? sz : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // SUDOWOODO_COMMON_ALLOC_COUNT_H_

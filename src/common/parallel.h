@@ -56,6 +56,13 @@ inline std::vector<ShardRange> MakeShards(int64_t n, int num_shards) {
 template <typename Body>
 void ParallelFor(int64_t n, int num_threads, const Body& body,
                  ThreadPool* pool_override = nullptr) {
+  if (n <= 0) return;
+  if (num_threads <= 1 || n == 1) {
+    // Serial fast path: no shard vector, no futures - the inference
+    // workspace paths rely on this performing zero heap allocations.
+    body(0, n, 0);
+    return;
+  }
   const std::vector<ShardRange> shards = MakeShards(n, num_threads);
   if (shards.empty()) return;
   if (shards.size() == 1) {

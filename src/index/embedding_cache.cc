@@ -1,0 +1,92 @@
+#include "index/embedding_cache.h"
+
+#include <algorithm>
+
+namespace sudowoodo::index {
+
+size_t EmbeddingCache::IdsHash::operator()(const std::vector<int>& ids) const {
+  // FNV-1a over the id words; collisions only cost a (value-compared)
+  // map probe, never a wrong hit.
+  uint64_t h = 1469598103934665603ULL;
+  for (int id : ids) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+EmbeddingCache::EmbeddingCache(size_t capacity, int num_shards)
+    : capacity_(capacity) {
+  const size_t n = static_cast<size_t>(std::max(1, num_shards));
+  // Don't spread a tiny budget so thin that shards round down to nothing.
+  const size_t used = std::min(n, std::max<size_t>(capacity, 1));
+  shard_capacity_ = capacity > 0 ? (capacity + used - 1) / used : 0;
+  shards_ = std::vector<Shard>(capacity > 0 ? used : 1);
+}
+
+EmbeddingCache::Shard& EmbeddingCache::ShardFor(const std::vector<int>& ids) {
+  return shards_[IdsHash{}(ids) % shards_.size()];
+}
+
+bool EmbeddingCache::Lookup(const std::vector<int>& ids, float* out,
+                            int dim) {
+  if (capacity_ == 0) return false;
+  Shard& shard = ShardFor(ids);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(ids);
+  // A stored vector of the wrong width (e.g. two encoders of different
+  // dims sharing one cache) is a miss, never a truncated hit: the caller
+  // re-encodes and Insert refreshes the entry at the new width.
+  if (it == shard.by_key.end() ||
+      it->second->value.size() != static_cast<size_t>(dim)) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  const Entry& entry = *it->second;
+  std::copy(entry.value.data(), entry.value.data() + dim, out);
+  return true;
+}
+
+void EmbeddingCache::Insert(const std::vector<int>& ids, const float* vec,
+                            int dim) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(ids);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(ids);
+  if (it != shard.by_key.end()) {
+    it->second->value.assign(vec, vec + dim);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= shard_capacity_ && !shard.lru.empty()) {
+    shard.by_key.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{ids, std::vector<float>(vec, vec + dim)});
+  shard.by_key.emplace(ids, shard.lru.begin());
+}
+
+void EmbeddingCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.by_key.clear();
+  }
+}
+
+EmbeddingCacheStats EmbeddingCache::stats() const {
+  EmbeddingCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace sudowoodo::index

@@ -1,0 +1,98 @@
+// Content-keyed embedding cache for repeated serving-time encodings.
+//
+// The cleaning pipeline's pair scoring and EM blocking re-encode identical
+// serialized entries many times per run (a cell's serialization appears
+// once per candidate correction; identity pairs repeat it again). Since
+// inference encoding is a pure function of the token-id sequence and the
+// (frozen) weights, those repeats can be served from a cache - and because
+// the batched inference paths are bit-identical per row regardless of
+// batch composition (tests/batch_encode_test.cc), a cache hit returns
+// exactly the floats a fresh encode would have produced, so cached and
+// uncached pipeline outputs are bit-identical (tests/embedding_cache_test
+// .cc, tests/pipeline_test.cc).
+//
+// Keys are the full token-id sequences (compared by value on lookup, so
+// hash collisions degrade to misses, never to wrong vectors). The cache is
+// sharded by key hash, each shard holding an independent mutex + LRU list,
+// so concurrent hits from pipeline worker threads do not serialize on one
+// lock. Staleness is the *caller's* contract: nn::Encoder clears the
+// cache on the first serving call after any training-mode encode (weights
+// may have changed), see Encoder::set_embedding_cache.
+
+#ifndef SUDOWOODO_INDEX_EMBEDDING_CACHE_H_
+#define SUDOWOODO_INDEX_EMBEDDING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sudowoodo::index {
+
+/// Aggregated counters, surfaced in the pipeline run results.
+struct EmbeddingCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+};
+
+/// Sharded LRU map from token-id sequence to embedding vector.
+class EmbeddingCache {
+ public:
+  /// `capacity` is the total entry budget across shards; 0 disables the
+  /// cache entirely (Lookup always misses without counting, Insert is a
+  /// no-op) so a zero-capacity cache behaves exactly like no cache.
+  explicit EmbeddingCache(size_t capacity, int num_shards = 8);
+
+  /// On hit, copies the cached `dim`-wide vector into `out` (refreshing
+  /// LRU recency) and returns true. On miss returns false; `out` is
+  /// untouched.
+  bool Lookup(const std::vector<int>& ids, float* out, int dim);
+
+  /// Stores a copy of vec[0..dim) under `ids`, evicting least-recently
+  /// used entries of the shard when it is full. Re-inserting an existing
+  /// key refreshes its value and recency.
+  void Insert(const std::vector<int>& ids, const float* vec, int dim);
+
+  /// Drops every entry (stats are kept; `entries` resets).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  EmbeddingCacheStats stats() const;
+
+  /// FNV-1a over a token-id sequence; public so cache users (the
+  /// encoder's miss dedupe) hash keys the same single way.
+  struct IdsHash {
+    size_t operator()(const std::vector<int>& ids) const;
+  };
+
+ private:
+  struct Entry {
+    std::vector<int> key;
+    std::vector<float> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    // LRU order: front = most recent. The map's keys view the list
+    // entries' key vectors via value equality (own copies; simple and
+    // safe - keys are short token sequences).
+    std::list<Entry> lru;
+    std::unordered_map<std::vector<int>, std::list<Entry>::iterator, IdsHash>
+        by_key;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::vector<int>& ids);
+
+  size_t capacity_ = 0;
+  size_t shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sudowoodo::index
+
+#endif  // SUDOWOODO_INDEX_EMBEDDING_CACHE_H_

@@ -14,6 +14,7 @@
 #ifndef SUDOWOODO_NN_BATCH_PACK_H_
 #define SUDOWOODO_NN_BATCH_PACK_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace sudowoodo::nn {
@@ -62,6 +63,36 @@ struct PackedBucket {
 
   int rows() const { return static_cast<int>(row_index.size()); }
 };
+
+/// Reusable packing buffers for PackBatchesInto. A scratch owned by a
+/// long-lived encoder lets steady-state serving pack every batch with
+/// zero heap allocations: the bucket list and every per-bucket vector
+/// only ever grow (vector capacity is retained across calls), so once the
+/// scratch has seen a batch at least as large as the current one, packing
+/// is pure data movement. Buckets are valid until the next
+/// PackBatchesInto call on the same scratch. Not thread-safe.
+class PackScratch {
+ public:
+  int n_buckets() const { return n_buckets_; }
+  const PackedBucket& bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)];
+  }
+
+ private:
+  friend int PackBatchesInto(const std::vector<std::vector<int>>& seqs,
+                             const PackOptions& opts, PackScratch* scratch);
+  friend std::vector<PackedBucket> PackBatches(
+      const std::vector<std::vector<int>>& seqs, const PackOptions& opts);
+
+  std::vector<PackedBucket> buckets_;  // first n_buckets_ are live
+  int n_buckets_ = 0;
+  std::vector<int> order_;  // packing permutation scratch
+};
+
+/// Packs `seqs` into `scratch` (reusing its buffers; see PackScratch) and
+/// returns the bucket count. Identical bucket contents to PackBatches.
+int PackBatchesInto(const std::vector<std::vector<int>>& seqs,
+                    const PackOptions& opts, PackScratch* scratch);
 
 /// Packs `seqs` into length-bucketed padded blocks. Every input row lands
 /// in exactly one bucket; buckets are ordered by ascending length and rows

@@ -1,20 +1,92 @@
 #include "nn/encoder.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/parallel.h"
 #include "common/thread_pool.h"
+#include "index/embedding_cache.h"
 #include "tensor/kernels.h"
+#include "tensor/workspace.h"
 
 namespace sudowoodo::nn {
 
 namespace ts = sudowoodo::tensor;
 namespace ks = sudowoodo::tensor::kernels;
 
-bool Encoder::UseBatchedInference(const augment::CutoffPlan* cutoff,
-                                  bool training) const {
-  return batched_inference_ && !training && cutoff == nullptr &&
-         !ts::GradEnabled();
+Tensor Encoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
+                            const augment::CutoffPlan* cutoff,
+                            bool training) {
+  SUDO_CHECK(!batch.empty());
+  if (training || ts::GradEnabled()) {
+    // An optimizer step usually follows a training-mode encode, so any
+    // cached vectors may describe stale weights; the next serving call
+    // re-encodes from scratch (see set_embedding_cache).
+    cache_dirty_ = true;
+    return EncodeBatchImpl(batch, cutoff, training);
+  }
+  if (cutoff != nullptr) return EncodeBatchImpl(batch, cutoff, training);
+  Tensor out = Tensor::Zeros(static_cast<int>(batch.size()), dim());
+  EncodeInference(batch, out.data());
+  return out;
+}
+
+void Encoder::EncodeInference(const std::vector<std::vector<int>>& batch,
+                              float* out) {
+  if (batch.empty()) return;
+  ts::NoGradGuard ng;  // cheap (thread-local counter), guards direct calls
+  if (cache_ == nullptr || cache_->capacity() == 0) {
+    EncodeInferenceImpl(batch, out);
+    return;
+  }
+  if (cache_dirty_) {
+    cache_->Clear();
+    cache_dirty_ = false;
+  }
+  const int d = dim();
+  miss_rows_.clear();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!cache_->Lookup(batch[i], out + i * static_cast<size_t>(d), d)) {
+      miss_rows_.push_back(static_cast<int>(i));
+    }
+  }
+  if (miss_rows_.empty()) return;
+  // Dedupe the misses so a batch of repeats (cleaning's candidate pairs)
+  // encodes each distinct sequence once. Encoding only the misses is safe
+  // because every row's batched-inference value is independent of its
+  // co-batch (the bit-identity contract of tests/batch_encode_test.cc).
+  miss_batch_.clear();
+  miss_slot_.clear();
+  std::unordered_map<std::vector<int>, int, index::EmbeddingCache::IdsHash>
+      slot_of;
+  for (int r : miss_rows_) {
+    const auto [it, fresh] = slot_of.try_emplace(
+        batch[static_cast<size_t>(r)],
+        static_cast<int>(miss_batch_.size()));
+    if (fresh) miss_batch_.push_back(batch[static_cast<size_t>(r)]);
+    miss_slot_.push_back(it->second);
+  }
+  miss_out_.resize(miss_batch_.size() * static_cast<size_t>(d));
+  EncodeInferenceImpl(miss_batch_, miss_out_.data());
+  for (size_t i = 0; i < miss_rows_.size(); ++i) {
+    const float* src =
+        miss_out_.data() + static_cast<size_t>(miss_slot_[i]) * d;
+    std::copy(src, src + d,
+              out + static_cast<size_t>(miss_rows_[i]) * d);
+  }
+  for (size_t u = 0; u < miss_batch_.size(); ++u) {
+    cache_->Insert(miss_batch_[u], miss_out_.data() + u * d, d);
+  }
+}
+
+void Encoder::PerRowInferenceInto(
+    size_t n, const std::function<Tensor(size_t)>& encode_row, float* out) {
+  std::vector<Tensor> rows = EncodeRows(n, /*training=*/false, encode_row);
+  const int d = dim();
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(rows[i].data(), rows[i].data() + d, out + i * d);
+  }
 }
 
 ThreadPool* Encoder::InferencePool() const {
@@ -87,11 +159,22 @@ std::vector<Tensor> Encoder::EncodeRows(
 std::vector<std::vector<float>> Encoder::EmbedNormalized(
     const std::vector<std::vector<int>>& batch) {
   ts::NoGradGuard ng;
-  Tensor z = EncodeBatch(batch, /*cutoff=*/nullptr, /*training=*/false);
-  Tensor zn = ts::L2NormalizeRows(z);
   std::vector<std::vector<float>> out(batch.size());
+  if (batch.empty()) return out;
+  const int d = dim();
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  ts::Workspace::Frame frame(ws);
+  float* z = ws.Floats(batch.size() * static_cast<size_t>(d));
+  EncodeInference(batch, z);
+  // Same float chain as tensor::L2NormalizeRows' forward (kernel norm,
+  // then ScaleAdd by 1/(norm + eps)), without the graph node.
+  float* norms = ws.Floats(batch.size());
+  ks::L2NormRows(static_cast<int>(batch.size()), d, z, norms);
   for (size_t i = 0; i < batch.size(); ++i) {
-    out[i].assign(zn.data() + i * zn.cols(), zn.data() + (i + 1) * zn.cols());
+    const float inv = 1.0f / (norms[i] + 1e-9f);
+    float* row = z + i * static_cast<size_t>(d);
+    ks::ScaleAdd(d, inv, row, 0.0f, row);
+    out[i].assign(row, row + d);
   }
   return out;
 }
@@ -166,56 +249,81 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
   return wo_.Forward(ts::ConcatCols(heads));
 }
 
-Tensor MultiHeadSelfAttention::ForwardPacked(const Tensor& x, int t,
-                                             const std::vector<int>& lengths,
-                                             ThreadPool* pool,
-                                             int num_shards) const {
+void MultiHeadSelfAttention::ForwardPackedInto(
+    const float* x, int b, int t, const std::vector<int>& lengths,
+    ThreadPool* pool, int num_shards, float* out) const {
   SUDO_CHECK(!ts::GradEnabled());
-  SUDO_CHECK(t > 0 && x.rows() % t == 0);
-  const int b = x.rows() / t;
+  SUDO_CHECK(b > 0 && t > 0);
   SUDO_CHECK(static_cast<int>(lengths.size()) == b);
+  const int dim = n_heads_ * head_dim_;
+  const int hd = head_dim_;
+  const size_t bt = static_cast<size_t>(b) * t;
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  ts::Workspace::Frame frame(ws);
   // The projections are where the batch pays off: one [b*t, dim] GEMM
   // each instead of b separate [t, dim] ones, row-sharded over the pool.
-  Tensor q = wq_.Forward(x, pool, num_shards);
-  Tensor k = wk_.Forward(x, pool, num_shards);
-  Tensor v = wv_.Forward(x, pool, num_shards);
+  float* q = ws.Floats(bt * dim);
+  float* k = ws.Floats(bt * dim);
+  float* v = ws.Floats(bt * dim);
+  wq_.ForwardInto(x, b * t, q, pool, num_shards);
+  wk_.ForwardInto(x, b * t, k, pool, num_shards);
+  wv_.ForwardInto(x, b * t, v, pool, num_shards);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
   // Score matrices are per sequence; fan them out across the pool, each
   // sequence writing only its own disjoint slot of the output-projection
-  // input. Only the valid query rows are computed ([len, t] scores, not
-  // [t, t]); the padded rows of each block stay exact zero, which both
-  // bounds the padding overhead and lets wo_'s GEMM zero-skip them.
-  const int dim = n_heads_ * head_dim_;
-  Tensor attn_in = Tensor::Zeros(b * t, dim);
+  // input and carving head-sized scratch from its worker's thread-local
+  // workspace. Only the valid query rows are computed ([len, t] scores,
+  // not [t, t]); the padded rows of each block stay exact zero, which
+  // both bounds the padding overhead and lets wo_'s GEMM zero-skip them.
+  float* attn_in = ws.Floats(bt * dim);
+  std::fill(attn_in, attn_in + bt * dim, 0.0f);
   auto encode_range = [&](int64_t begin, int64_t end, int /*shard*/) {
     ts::NoGradGuard ng;  // GradEnabled() is thread-local; workers re-disable.
+    ts::Workspace& wws = ts::Workspace::ThreadLocal();
+    ts::Workspace::Frame wframe(wws);
+    float* qh = wws.Floats(static_cast<size_t>(t) * hd);
+    float* kh = wws.Floats(static_cast<size_t>(t) * hd);
+    float* vh = wws.Floats(static_cast<size_t>(t) * hd);
+    float* scores = wws.Floats(static_cast<size_t>(t) * t);
+    float* head_out = wws.Floats(static_cast<size_t>(t) * hd);
+    int* valid = wws.Ints(static_cast<size_t>(t));
     for (int64_t s = begin; s < end; ++s) {
       const int len = lengths[static_cast<size_t>(s)];
-      Tensor qs = ts::SliceRows(q, static_cast<int>(s) * t, len);
-      Tensor ks_ = ts::SliceRows(k, static_cast<int>(s) * t, t);
-      Tensor vs = ts::SliceRows(v, static_cast<int>(s) * t, t);
-      const std::vector<int> valid(static_cast<size_t>(len), len);
-      std::vector<Tensor> heads;
-      heads.reserve(static_cast<size_t>(n_heads_));
+      const size_t base = static_cast<size_t>(s) * t;
+      std::fill(valid, valid + len, len);
       for (int h = 0; h < n_heads_; ++h) {
-        Tensor qh = ts::SliceCols(qs, h * head_dim_, head_dim_);
-        Tensor kh = ts::SliceCols(ks_, h * head_dim_, head_dim_);
-        Tensor vh = ts::SliceCols(vs, h * head_dim_, head_dim_);
-        Tensor scores = ts::Scale(ts::MatMulBT(qh, kh), scale);
+        // Contiguous per-head slices, the raw equivalent of the oracle's
+        // SliceRows + SliceCols copies.
+        for (int r = 0; r < t; ++r) {
+          const size_t row = (base + r) * dim + static_cast<size_t>(h) * hd;
+          std::copy(k + row, k + row + hd, kh + static_cast<size_t>(r) * hd);
+          std::copy(v + row, v + row + hd, vh + static_cast<size_t>(r) * hd);
+          if (r < len) {
+            std::copy(q + row, q + row + hd,
+                      qh + static_cast<size_t>(r) * hd);
+          }
+        }
+        std::fill(scores, scores + static_cast<size_t>(len) * t, 0.0f);
+        ks::GemmBT(len, t, hd, qh, kh, scores);
+        for (size_t i = 0; i < static_cast<size_t>(len) * t; ++i) {
+          scores[i] *= scale;
+        }
         // Padded key columns get exact-0 weight, so the value GEMM's
         // zero-skip never reads the padded value rows.
-        Tensor attn = MaskedRowSoftmax(scores, valid);
-        heads.push_back(ts::MatMul(attn, vh));
+        ks::RowSoftmaxMasked(len, t, scores, valid, scores);
+        std::fill(head_out, head_out + static_cast<size_t>(len) * hd, 0.0f);
+        ks::Gemm(len, hd, t, scores, vh, head_out);
+        for (int r = 0; r < len; ++r) {
+          std::copy(head_out + static_cast<size_t>(r) * hd,
+                    head_out + static_cast<size_t>(r + 1) * hd,
+                    attn_in + (base + r) * dim + static_cast<size_t>(h) * hd);
+        }
       }
-      Tensor merged = ts::ConcatCols(heads);  // [len, dim]
-      std::copy(merged.data(),
-                merged.data() + static_cast<size_t>(len) * dim,
-                attn_in.data() + static_cast<size_t>(s) * t * dim);
     }
   };
   ParallelFor(b, num_shards, encode_range, pool);
-  return wo_.Forward(attn_in, pool, num_shards);
+  wo_.ForwardInto(attn_in, b * t, out, pool, num_shards);
 }
 
 Tensor MultiHeadSelfAttention::ForwardPackedTrain(
@@ -329,13 +437,9 @@ Tensor TransformerEncoder::EncodeOne(const std::vector<int>& ids,
   return ts::SliceRows(x, 0, 1);  // [CLS] pooling
 }
 
-Tensor TransformerEncoder::EncodeBatch(
+Tensor TransformerEncoder::EncodeBatchImpl(
     const std::vector<std::vector<int>>& batch,
     const augment::CutoffPlan* cutoff, bool training) {
-  SUDO_CHECK(!batch.empty());
-  if (UseBatchedInference(cutoff, training)) {
-    return EncodeBatchedInference(batch);
-  }
   const TrainStream stream = training ? NextTrainStream() : TrainStream{};
   if (training && batched_training_) {
     return EncodeBatchTraining(batch, cutoff, stream);
@@ -350,45 +454,78 @@ Tensor TransformerEncoder::EncodeBatch(
   return training ? ts::JoinRows(pooled) : ts::ConcatRows(pooled);
 }
 
-Tensor TransformerEncoder::EncodeBucket(const PackedBucket& bucket) {
-  const int b = bucket.rows(), t = bucket.t;
+void TransformerEncoder::EncodeBucketInto(const PackedBucket& bucket,
+                                          float* out) {
+  const int b = bucket.rows(), t = bucket.t, d = config_.dim;
   ThreadPool* pool = InferencePool();
   const int shards = num_threads_;
+  const size_t bt = static_cast<size_t>(b) * t;
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  ts::Workspace::Frame frame(ws);
 
-  // One [b*t, dim] residual stream for the whole bucket. Padded rows hold
-  // the pad-token embedding and stay finite but meaningless; they never
-  // feed a valid row (attention masks them, everything else is row-local).
-  std::vector<int> pos(bucket.ids.size());
-  for (int i = 0; i < b; ++i) {
-    for (int j = 0; j < t; ++j) pos[static_cast<size_t>(i) * t + j] = j;
+  // One [b*t, dim] residual stream for the whole bucket, carved from the
+  // workspace. Padded rows hold the pad-token embedding and stay finite
+  // but meaningless; they never feed a valid row (attention masks them,
+  // everything else is row-local).
+  float* x = ws.Floats(bt * d);
+  const float* tok = token_emb_.table().data();
+  const float* pos = pos_emb_.table().data();
+  for (size_t r = 0; r < bt; ++r) {
+    const int id = bucket.ids[r];
+    SUDO_CHECK(id >= 0 && id < token_emb_.vocab_size());
+    const float* trow = tok + static_cast<size_t>(id) * d;
+    const float* prow = pos + (r % t) * d;
+    float* xr = x + r * d;
+    for (int j = 0; j < d; ++j) xr[j] = trow[j] + prow[j];
   }
-  Tensor x = ts::Add(token_emb_.Forward(bucket.ids), pos_emb_.Forward(pos));
 
+  float* ln = ws.Floats(bt * d);
+  float* attn_out = ws.Floats(bt * d);
+  float* ffn_hidden = ws.Floats(bt * static_cast<size_t>(config_.ffn_dim));
+  float* ffn_out = ws.Floats(bt * d);
   for (const Layer& layer : layers_) {
-    Tensor attn_out = layer.attn.ForwardPacked(
-        layer.ln1.Forward(x), t, bucket.lengths, pool, shards);
-    x = ts::Add(x, attn_out);
-    Tensor ffn_out = layer.ffn.Forward(layer.ln2.Forward(x), pool, shards);
-    x = ts::Add(x, ffn_out);
+    layer.ln1.ForwardInto(x, b * t, ln);
+    layer.attn.ForwardPackedInto(ln, b, t, bucket.lengths, pool, shards,
+                                 attn_out);
+    for (size_t i = 0; i < bt * d; ++i) x[i] = x[i] + attn_out[i];
+    layer.ln2.ForwardInto(x, b * t, ln);
+    layer.ffn.fc1().ForwardInto(ln, b * t, ffn_hidden, pool, shards);
+    ks::GeluForward(static_cast<int>(bt) * config_.ffn_dim, ffn_hidden,
+                    ffn_hidden);
+    layer.ffn.fc2().ForwardInto(ffn_hidden, b * t, ffn_out, pool, shards);
+    for (size_t i = 0; i < bt * d; ++i) x[i] = x[i] + ffn_out[i];
   }
-  x = final_ln_.Forward(x);
+  final_ln_.ForwardInto(x, b * t, ln);
 
-  // [CLS] pooling: row 0 of each padded block.
-  std::vector<int> cls_rows(static_cast<size_t>(b));
-  for (int i = 0; i < b; ++i) cls_rows[static_cast<size_t>(i)] = i * t;
-  return ts::GatherRows(x, cls_rows);
+  // [CLS] pooling: row 0 of each padded block, scattered to batch order.
+  for (int i = 0; i < b; ++i) {
+    const float* cls = ln + static_cast<size_t>(i) * t * d;
+    float* dst =
+        out +
+        static_cast<size_t>(bucket.row_index[static_cast<size_t>(i)]) * d;
+    std::copy(cls, cls + d, dst);
+  }
 }
 
-Tensor TransformerEncoder::EncodeBatchedInference(
-    const std::vector<std::vector<int>>& batch) {
-  const auto buckets = PackBatches(
-      batch, MakePackOptions(config_.max_len, config_.pad_id));
-  Tensor out = Tensor::Zeros(static_cast<int>(batch.size()), config_.dim);
-  for (const PackedBucket& bucket : buckets) {
-    ScatterPackedRows(EncodeBucket(bucket).data(), config_.dim,
-                      bucket.row_index, out.data());
+void TransformerEncoder::EncodeInferenceImpl(
+    const std::vector<std::vector<int>>& batch, float* out) {
+  if (!batched_inference_) {
+    const TrainStream stream{};
+    PerRowInferenceInto(
+        batch.size(),
+        [&](size_t i) {
+          return EncodeOne(batch[i], nullptr, /*training=*/false, stream,
+                           static_cast<int>(i));
+        },
+        out);
+    return;
   }
-  return out;
+  const int n_buckets = PackBatchesInto(
+      batch, MakePackOptions(config_.max_len, config_.pad_id),
+      &pack_scratch_);
+  for (int i = 0; i < n_buckets; ++i) {
+    EncodeBucketInto(pack_scratch_.bucket(i), out);
+  }
 }
 
 Tensor TransformerEncoder::EncodeBucketTrain(const PackedBucket& bucket,
@@ -508,65 +645,118 @@ Tensor FastBagEncoder::PoolOne(const std::vector<int>& ids,
   return ts::ConcatCols({m1, m2, ts::Abs(ts::Sub(m1, m2)), ts::Mul(m1, m2)});
 }
 
-Tensor FastBagEncoder::PoolBatchedInference(
-    const std::vector<std::vector<int>>& batch) {
+void FastBagEncoder::PoolBucketInto(const PackedBucket& bucket,
+                                    float* feats) {
   const int d = config_.dim;
-  const auto buckets = PackBatches(
-      batch, MakePackOptions(config_.max_len, config_.pad_id));
-  Tensor feats = Tensor::Zeros(static_cast<int>(batch.size()), 4 * d);
-  for (const PackedBucket& bucket : buckets) {
-    const int b = bucket.rows(), t = bucket.t;
-    Tensor emb = token_emb_.Forward(bucket.ids);  // [b*t, dim]
-    // Segment split per row, matching PoolOne: the first [SEP] inside the
-    // valid prefix, provided both segments are non-empty.
-    std::vector<int> sep(static_cast<size_t>(b), -1);
-    std::vector<int> l1 = bucket.lengths;
-    for (int i = 0; i < b; ++i) {
-      const int* row = bucket.ids.data() + static_cast<size_t>(i) * t;
-      const int len = bucket.lengths[static_cast<size_t>(i)];
-      for (int j = 0; j < len; ++j) {
-        if (row[j] == config_.sep_token_id) {
-          if (j > 0 && j + 1 < len) sep[static_cast<size_t>(i)] = j;
-          break;
-        }
-      }
-      if (sep[static_cast<size_t>(i)] >= 0) {
-        l1[static_cast<size_t>(i)] = sep[static_cast<size_t>(i)];
-      }
-    }
-    // m1 is a mask-aware mean-pool over each block's first segment (the
-    // whole valid prefix when there is no split).
-    Tensor m1 = MaskedMeanPool(emb, t, l1);
-    Tensor m2 = Tensor::Zeros(b, d);
-    for (int i = 0; i < b; ++i) {
-      float* m2_row = m2.data() + static_cast<size_t>(i) * d;
-      if (sep[static_cast<size_t>(i)] >= 0) {
-        ks::ColMeanRange(emb.data() + static_cast<size_t>(i) * t * d, d,
-                         sep[static_cast<size_t>(i)] + 1,
-                         bucket.lengths[static_cast<size_t>(i)], m2_row);
-      } else {
-        std::copy(m1.data() + static_cast<size_t>(i) * d,
-                  m1.data() + static_cast<size_t>(i + 1) * d, m2_row);
+  const int b = bucket.rows(), t = bucket.t;
+  const size_t bt = static_cast<size_t>(b) * t;
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  ts::Workspace::Frame frame(ws);
+  // Embedding gather on the workspace (the raw equivalent of the oracle's
+  // GatherRows copy).
+  float* emb = ws.Floats(bt * d);
+  const float* tok = token_emb_.table().data();
+  for (size_t r = 0; r < bt; ++r) {
+    const int id = bucket.ids[r];
+    SUDO_CHECK(id >= 0 && id < token_emb_.vocab_size());
+    std::copy(tok + static_cast<size_t>(id) * d,
+              tok + static_cast<size_t>(id + 1) * d, emb + r * d);
+  }
+  // Segment split per row, matching PoolOne: the first [SEP] inside the
+  // valid prefix, provided both segments are non-empty.
+  int* sep = ws.Ints(static_cast<size_t>(b));
+  int* l1 = ws.Ints(static_cast<size_t>(b));
+  for (int i = 0; i < b; ++i) {
+    sep[i] = -1;
+    l1[i] = bucket.lengths[static_cast<size_t>(i)];
+    const int* row = bucket.ids.data() + static_cast<size_t>(i) * t;
+    const int len = bucket.lengths[static_cast<size_t>(i)];
+    for (int j = 0; j < len; ++j) {
+      if (row[j] == config_.sep_token_id) {
+        if (j > 0 && j + 1 < len) sep[i] = j;
+        break;
       }
     }
-    // [m1, m2, |m1-m2|, m1⊙m2] scattered into batch order; the same
-    // elementwise arithmetic as the per-row ConcatCols feature build.
-    for (int i = 0; i < b; ++i) {
-      const float* a = m1.data() + static_cast<size_t>(i) * d;
-      const float* c = m2.data() + static_cast<size_t>(i) * d;
-      float* dst =
-          feats.data() +
-          static_cast<size_t>(bucket.row_index[static_cast<size_t>(i)]) * 4 *
-              d;
-      for (int j = 0; j < d; ++j) {
-        dst[j] = a[j];
-        dst[d + j] = c[j];
-        dst[2 * d + j] = std::fabs(a[j] - c[j]);
-        dst[3 * d + j] = a[j] * c[j];
-      }
+    if (sep[i] >= 0) l1[i] = sep[i];
+  }
+  // m1 is a mask-aware mean-pool over each block's first segment (the
+  // whole valid prefix when there is no split).
+  float* m1 = ws.Floats(static_cast<size_t>(b) * d);
+  ks::MaskedMeanPool(b, t, d, emb, l1, m1);
+  float* m2 = ws.Floats(static_cast<size_t>(b) * d);
+  for (int i = 0; i < b; ++i) {
+    float* m2_row = m2 + static_cast<size_t>(i) * d;
+    if (sep[i] >= 0) {
+      ks::ColMeanRange(emb + static_cast<size_t>(i) * t * d, d, sep[i] + 1,
+                       bucket.lengths[static_cast<size_t>(i)], m2_row);
+    } else {
+      std::copy(m1 + static_cast<size_t>(i) * d,
+                m1 + static_cast<size_t>(i + 1) * d, m2_row);
     }
   }
-  return feats;
+  // [m1, m2, |m1-m2|, m1⊙m2] scattered into batch order; the same
+  // elementwise arithmetic as the per-row ConcatCols feature build.
+  for (int i = 0; i < b; ++i) {
+    const float* a = m1 + static_cast<size_t>(i) * d;
+    const float* c = m2 + static_cast<size_t>(i) * d;
+    float* dst =
+        feats +
+        static_cast<size_t>(bucket.row_index[static_cast<size_t>(i)]) * 4 * d;
+    for (int j = 0; j < d; ++j) {
+      dst[j] = a[j];
+      dst[d + j] = c[j];
+      dst[2 * d + j] = std::fabs(a[j] - c[j]);
+      dst[3 * d + j] = a[j] * c[j];
+    }
+  }
+}
+
+void FastBagEncoder::EncodeInferenceImpl(
+    const std::vector<std::vector<int>>& batch, float* out) {
+  const int d = config_.dim;
+  ThreadPool* pool = InferencePool();
+  const int shards = num_threads_;
+  if (!batched_inference_) {
+    // Per-row oracle: PoolOne features, then the Tensor-op tail.
+    std::vector<Tensor> pooled =
+        EncodeRows(batch.size(), /*training=*/false,
+                   [&](size_t i) { return PoolOne(batch[i], nullptr); });
+    Tensor x = ts::ConcatRows(pooled);
+    Tensor resid = ts::Scale(
+        ts::Add(ts::SliceCols(x, 0, d), ts::SliceCols(x, d, d)), 0.5f);
+    Tensor z = ln_.Forward(ts::Add(resid, mlp_.Forward(x, pool, shards)));
+    std::copy(z.data(), z.data() + batch.size() * static_cast<size_t>(d),
+              out);
+    return;
+  }
+  const int n = static_cast<int>(batch.size());
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  ts::Workspace::Frame frame(ws);
+  float* feats = ws.Floats(static_cast<size_t>(n) * 4 * d);
+  const int n_buckets = PackBatchesInto(
+      batch, MakePackOptions(config_.max_len, config_.pad_id),
+      &pack_scratch_);
+  for (int i = 0; i < n_buckets; ++i) {
+    PoolBucketInto(pack_scratch_.bucket(i), feats);
+  }
+  // Raw tail, op for op the inference Tensor tail: residual on the mean
+  // of the two segment means, plus the MLP's interaction corrections,
+  // layer-normed straight into `out`.
+  float* hidden = ws.Floats(static_cast<size_t>(n) * config_.hidden_dim);
+  float* mlp_out = ws.Floats(static_cast<size_t>(n) * d);
+  mlp_.fc1().ForwardInto(feats, n, hidden, pool, shards);
+  ks::GeluForward(n * config_.hidden_dim, hidden, hidden);
+  mlp_.fc2().ForwardInto(hidden, n, mlp_out, pool, shards);
+  float* pre = ws.Floats(static_cast<size_t>(n) * d);
+  for (int i = 0; i < n; ++i) {
+    const float* f = feats + static_cast<size_t>(i) * 4 * d;
+    float* p = pre + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) p[j] = (f[j] + f[d + j]) * 0.5f;
+  }
+  for (size_t i = 0; i < static_cast<size_t>(n) * d; ++i) {
+    pre[i] = pre[i] + mlp_out[i];
+  }
+  ln_.ForwardInto(pre, n, out);
 }
 
 Tensor FastBagEncoder::PoolBatchedTraining(
@@ -622,15 +812,12 @@ Tensor FastBagEncoder::PoolBatchedTraining(
   return ts::JoinRows(feat_rows);
 }
 
-Tensor FastBagEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
-                                   const augment::CutoffPlan* cutoff,
-                                   bool training) {
-  SUDO_CHECK(!batch.empty());
+Tensor FastBagEncoder::EncodeBatchImpl(
+    const std::vector<std::vector<int>>& batch,
+    const augment::CutoffPlan* cutoff, bool training) {
   const TrainStream stream = training ? NextTrainStream() : TrainStream{};
   Tensor x;
-  if (UseBatchedInference(cutoff, training)) {
-    x = PoolBatchedInference(batch);  // [B, 4*dim]
-  } else if (training && batched_training_) {
+  if (training && batched_training_) {
     x = PoolBatchedTraining(batch, cutoff);  // [B, 4*dim]
   } else {
     std::vector<Tensor> pooled =

@@ -19,6 +19,10 @@ namespace sudowoodo {
 class ThreadPool;  // common/thread_pool.h
 }
 
+namespace sudowoodo::index {
+class EmbeddingCache;  // index/embedding_cache.h
+}
+
 namespace sudowoodo::nn {
 
 /// Encodes token-id sequences into fixed-size pooled vectors.
@@ -32,9 +36,29 @@ class Encoder {
   virtual ~Encoder() = default;
 
   /// Returns a [batch.size(), dim()] tensor of pooled representations.
-  virtual Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
-                             const augment::CutoffPlan* cutoff,
-                             bool training) = 0;
+  /// Non-virtual front door: graph-free inference calls (no training, no
+  /// cutoff, tape off) route through EncodeInference below - the
+  /// workspace-backed, cache-aware serving path - while training/cutoff/
+  /// graph calls dispatch to the subclass EncodeBatchImpl.
+  Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
+                     const augment::CutoffPlan* cutoff, bool training);
+
+  /// Graph-free batched inference into caller-owned memory: writes the
+  /// pooled vector of batch[i] to rows i of the [batch.size(), dim()]
+  /// row-major `out`. Identical floats to EncodeBatch's inference route
+  /// (it IS that route). Serves repeated sequences from the embedding
+  /// cache when one is attached, and runs the encoder on the per-thread
+  /// inference Workspace: with num_threads() <= 1, steady state (shapes
+  /// seen before, all hits or cache off) performs zero heap allocations
+  /// - see src/tensor/README.md "Workspace lifetime and aliasing rules".
+  /// (Threaded serving still reuses all workspace buffers, but each
+  /// multi-shard ParallelFor/GEMM fan-out allocates its task futures -
+  /// the zero-alloc contract is the serial one, which is also what the
+  /// allocation-counter tests and the encode_steady_state bench pin.)
+  /// Not re-entrant: one serving call per encoder at a time (internal
+  /// fan-out is fine).
+  void EncodeInference(const std::vector<std::vector<int>>& batch,
+                       float* out);
 
   /// All trainable parameters (for the optimizer / serialization).
   virtual std::vector<Tensor> Parameters() const = 0;
@@ -46,6 +70,15 @@ class Encoder {
   /// per Definition 1, returning plain row vectors (no autograd graph).
   std::vector<std::vector<float>> EmbedNormalized(
       const std::vector<std::vector<int>>& batch);
+
+  /// Attaches a content-keyed embedding cache (caller-owned; may be
+  /// shared) to the serving path. Staleness is handled here: any
+  /// training-mode (or graph-recording) EncodeBatch marks the cache
+  /// dirty, and the next serving call clears it before use - cached
+  /// vectors therefore always come from the current weights, keeping
+  /// cache hits bit-identical to fresh encodes. nullptr detaches.
+  void set_embedding_cache(index::EmbeddingCache* cache) { cache_ = cache; }
+  index::EmbeddingCache* embedding_cache() const { return cache_; }
 
   /// Degree of parallelism for *inference-mode* forward passes: the
   /// batched path row-shards its GEMMs and fans attention out per
@@ -103,6 +136,27 @@ class Encoder {
   bool bucketing() const { return bucketing_; }
 
  protected:
+  /// Subclass hook for the graph-building routes (training, cutoff DA,
+  /// tape on): everything EncodeBatch does not serve via EncodeInference.
+  virtual Tensor EncodeBatchImpl(const std::vector<std::vector<int>>& batch,
+                                 const augment::CutoffPlan* cutoff,
+                                 bool training) = 0;
+
+  /// Subclass hook for graph-free inference into `out` (batch order).
+  /// Implementations run the padded-pack batched route on the per-thread
+  /// Workspace when batched_inference() is on, and fall back to the
+  /// per-row Tensor oracle otherwise.
+  virtual void EncodeInferenceImpl(const std::vector<std::vector<int>>& batch,
+                                   float* out) = 0;
+
+  /// Shared per-row inference fallback: evaluates encode_row(i) (a
+  /// [1, dim()] tensor) for every row via EncodeRows and copies the
+  /// results into `out`. The non-workspace oracle the equivalence tests
+  /// compare against.
+  void PerRowInferenceInto(size_t n,
+                           const std::function<Tensor(size_t)>& encode_row,
+                           float* out);
+
   /// Stream coordinates for one training-mode EncodeBatch call.
   struct TrainStream {
     uint64_t epoch = 0;
@@ -137,11 +191,6 @@ class Encoder {
       size_t n, bool training,
       const std::function<Tensor(size_t)>& encode_row);
 
-  /// True when EncodeBatch should take the padded-pack batched route:
-  /// inference mode, autograd tape off, no cutoff mask, batching enabled.
-  bool UseBatchedInference(const augment::CutoffPlan* cutoff,
-                           bool training) const;
-
   /// Pool to hand to the row-sharded GEMMs / per-sequence fan-out:
   /// the configured pool, the global one when only num_threads is set,
   /// nullptr (serial) when num_threads <= 1.
@@ -170,7 +219,21 @@ class Encoder {
   /// this to their config seed so both their paths derive equal keys.
   uint64_t drop_seed_ = 0;
 
+  /// Reusable packing buffers for the batched inference routes (vector
+  /// capacity retained across calls - the allocation-free part of the
+  /// serving contract). Subclass EncodeInferenceImpl uses this.
+  PackScratch pack_scratch_;
+
  private:
+  index::EmbeddingCache* cache_ = nullptr;
+  /// Set by training/graph encodes; the next serving call clears the
+  /// cache (weights may have stepped since it was filled).
+  bool cache_dirty_ = false;
+  /// Cache-miss scratch (reused across calls; allocates only on misses).
+  std::vector<int> miss_rows_;
+  std::vector<int> miss_slot_;
+  std::vector<std::vector<int>> miss_batch_;
+  std::vector<float> miss_out_;
   static constexpr uint64_t kAutoEpoch = ~0ULL;
   uint64_t stream_epoch_ = kAutoEpoch;
   uint64_t stream_step_ = 0;
@@ -188,17 +251,21 @@ class MultiHeadSelfAttention {
   /// x is [T, dim]; returns [T, dim].
   Tensor Forward(const Tensor& x) const;
 
-  /// Batched inference forward over padded blocks: x is [b*t, dim]
-  /// holding b length-t blocks, lengths[i] the valid prefix of block i.
-  /// The Q/K/V/output projections run as single [b*t, dim] GEMMs
-  /// (row-sharded over `pool` with `num_shards`); the per-sequence score
-  /// matrices fan out across the pool. Rows beyond a block's valid prefix
-  /// carry finite garbage that never reaches valid rows (the masked
-  /// softmax zeroes padded key columns and the GEMM zero-skip drops
-  /// them), so every valid row is bit-identical to Forward on the
-  /// unpadded sequence. Inference only (tape must be off).
-  Tensor ForwardPacked(const Tensor& x, int t, const std::vector<int>& lengths,
-                       ThreadPool* pool, int num_shards) const;
+  /// Batched inference forward over padded blocks, on raw workspace
+  /// buffers: x is [b*t, dim] holding b length-t blocks, lengths[i] the
+  /// valid prefix of block i; the result lands in caller-owned `out`
+  /// (same shape, must not alias x). The Q/K/V/output projections run as
+  /// single [b*t, dim] GEMMs (row-sharded over `pool` with `num_shards`);
+  /// the per-sequence score matrices fan out across the pool, each worker
+  /// on its own thread-local Workspace. Rows beyond a block's valid
+  /// prefix carry finite garbage that never reaches valid rows (the
+  /// masked softmax zeroes padded key columns and the GEMM zero-skip
+  /// drops them), so every valid row is bit-identical to Forward on the
+  /// unpadded sequence. Inference only (tape must be off); allocation-
+  /// free after workspace warmup.
+  void ForwardPackedInto(const float* x, int b, int t,
+                         const std::vector<int>& lengths, ThreadPool* pool,
+                         int num_shards, float* out) const;
 
   /// Autograd-capable sibling of ForwardPacked for batched training: the
   /// Q/K/V/output projections are graph MatMuls over the whole [b*t, dim]
@@ -241,12 +308,24 @@ class TransformerEncoder : public Encoder {
  public:
   explicit TransformerEncoder(const TransformerConfig& config);
 
-  Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
-                     const augment::CutoffPlan* cutoff, bool training) override;
-
   std::vector<Tensor> Parameters() const override;
   int dim() const override { return config_.dim; }
   const TransformerConfig& config() const { return config_; }
+
+ protected:
+  Tensor EncodeBatchImpl(const std::vector<std::vector<int>>& batch,
+                         const augment::CutoffPlan* cutoff,
+                         bool training) override;
+
+  /// Batched inference: packs the batch into padded buckets (reusing the
+  /// pack scratch) and runs each bucket's residual stream as [rows*t,
+  /// dim] workspace buffers through the blocked (optionally row-sharded)
+  /// GEMMs. Bit-identical to the per-row path - every reduction
+  /// (LayerNorm, masked softmax, GEMM accumulation) is row-local, goes
+  /// through the same kernels, and walks the same valid prefix in the
+  /// same order. Zero heap allocations after warmup.
+  void EncodeInferenceImpl(const std::vector<std::vector<int>>& batch,
+                           float* out) override;
 
  private:
   struct Layer {
@@ -262,16 +341,9 @@ class TransformerEncoder : public Encoder {
                    const augment::CutoffPlan* cutoff, bool training,
                    const TrainStream& stream, int row);
 
-  /// Batched inference: packs the batch into padded buckets and runs each
-  /// bucket's residual stream as [rows*t, dim] tensors through the
-  /// blocked (optionally row-sharded) GEMMs. Bit-identical to the per-row
-  /// path - every reduction (LayerNorm, masked softmax, GEMM
-  /// accumulation) is row-local and walks the same valid prefix in the
-  /// same order.
-  Tensor EncodeBatchedInference(const std::vector<std::vector<int>>& batch);
-
-  /// Encodes one padded bucket to [bucket.rows(), dim] pooled rows.
-  Tensor EncodeBucket(const PackedBucket& bucket);
+  /// Encodes one padded bucket on the workspace, scattering each pooled
+  /// [CLS] row to `out` row bucket.row_index[i].
+  void EncodeBucketInto(const PackedBucket& bucket, float* out);
 
   /// Batched training: order-preserving buckets, graph-building packed
   /// attention, position-keyed dropout masks, ascending-row backward join.
@@ -325,21 +397,30 @@ class FastBagEncoder : public Encoder {
  public:
   explicit FastBagEncoder(const FastBagConfig& config);
 
-  Tensor EncodeBatch(const std::vector<std::vector<int>>& batch,
-                     const augment::CutoffPlan* cutoff, bool training) override;
-
   std::vector<Tensor> Parameters() const override;
   int dim() const override { return config_.dim; }
+
+ protected:
+  Tensor EncodeBatchImpl(const std::vector<std::vector<int>>& batch,
+                         const augment::CutoffPlan* cutoff,
+                         bool training) override;
+
+  /// Batched inference on the workspace: per-bucket embedding gather +
+  /// masked mean-pool kernels into a [B, 4*dim] feature block, then the
+  /// raw MLP/LayerNorm tail straight into `out`. Bit-identical to the
+  /// per-row path; zero heap allocations after warmup.
+  void EncodeInferenceImpl(const std::vector<std::vector<int>>& batch,
+                           float* out) override;
 
  private:
   /// Pooled [1, 4*dim] segment features for one sequence.
   Tensor PoolOne(const std::vector<int>& ids,
                  const augment::CutoffPlan* cutoff);
 
-  /// Batched inference pooling: [B, 4*dim] segment features for the whole
-  /// batch via one embedding gather per bucket and the masked mean-pool
-  /// kernels; bit-identical to per-row PoolOne.
-  Tensor PoolBatchedInference(const std::vector<std::vector<int>>& batch);
+  /// Workspace pooling for one bucket: writes each packed row's
+  /// [m1, m2, |m1-m2|, m1⊙m2] features to feats row row_index[i]
+  /// (feats is [B, 4*dim] in batch order); bit-identical to PoolOne.
+  void PoolBucketInto(const PackedBucket& bucket, float* feats);
 
   /// Batched training pooling: one graph embedding gather + fused segment
   /// mean-pool per order-preserving bucket, then per-row feature assembly

@@ -5,6 +5,7 @@
 #include "common/thread_pool.h"
 #include "nn/batch_pack.h"
 #include "tensor/kernels.h"
+#include "tensor/workspace.h"
 
 namespace sudowoodo::nn {
 
@@ -192,21 +193,26 @@ Tensor GruEncoder::EncodeBatchTraining(
   return ts::JoinRows(outs);
 }
 
-Tensor GruEncoder::EncodeBatchedInference(
-    const std::vector<std::vector<int>>& batch) {
+void GruEncoder::EncodeBatchedInferenceInto(
+    const std::vector<std::vector<int>>& batch, float* out) {
   const int d = config_.dim;
   const float* table = token_emb_.table().data();
   ThreadPool* pool = InferencePool();
-  const auto buckets =
-      PackBatches(batch, MakePackOptions(config_.max_len, config_.pad_id));
-  Tensor out = Tensor::Zeros(static_cast<int>(batch.size()), d);
+  const int n_buckets = PackBatchesInto(
+      batch, MakePackOptions(config_.max_len, config_.pad_id),
+      &pack_scratch_);
 
-  for (const PackedBucket& bucket : buckets) {
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  for (int bi = 0; bi < n_buckets; ++bi) {
+    const PackedBucket& bucket = pack_scratch_.bucket(bi);
     const int b = bucket.rows(), t = bucket.t;
-    std::vector<float> h(static_cast<size_t>(b) * d, 0.0f);
-    std::vector<float> xh(static_cast<size_t>(b) * 2 * d);
-    std::vector<float> z(static_cast<size_t>(b) * d),
-        r(static_cast<size_t>(b) * d), cand(static_cast<size_t>(b) * d);
+    ts::Workspace::Frame frame(ws);
+    float* h = ws.Floats(static_cast<size_t>(b) * d);
+    std::fill(h, h + static_cast<size_t>(b) * d, 0.0f);
+    float* xh = ws.Floats(static_cast<size_t>(b) * 2 * d);
+    float* z = ws.Floats(static_cast<size_t>(b) * d);
+    float* r = ws.Floats(static_cast<size_t>(b) * d);
+    float* cand = ws.Floats(static_cast<size_t>(b) * d);
     for (int step = 0; step < t; ++step) {
       // Every row steps, including finished ones (their padded inputs
       // produce finite garbage gates); the masked update below freezes
@@ -215,46 +221,54 @@ Tensor GruEncoder::EncodeBatchedInference(
         const int id = bucket.ids[static_cast<size_t>(i) * t + step];
         SUDO_CHECK(id >= 0 && id < token_emb_.vocab_size());
         const float* xt = table + static_cast<size_t>(id) * d;
-        float* xh_row = xh.data() + static_cast<size_t>(i) * 2 * d;
+        float* xh_row = xh + static_cast<size_t>(i) * 2 * d;
         std::copy(xt, xt + d, xh_row);
-        std::copy(h.data() + static_cast<size_t>(i) * d,
-                  h.data() + static_cast<size_t>(i + 1) * d, xh_row + d);
+        std::copy(h + static_cast<size_t>(i) * d,
+                  h + static_cast<size_t>(i + 1) * d, xh_row + d);
       }
-      GateForward(wz_, xh.data(), b, d, z.data(), SigmoidScalar, pool,
-                  num_threads_);
-      GateForward(wr_, xh.data(), b, d, r.data(), SigmoidScalar, pool,
-                  num_threads_);
+      GateForward(wz_, xh, b, d, z, SigmoidScalar, pool, num_threads_);
+      GateForward(wr_, xh, b, d, r, SigmoidScalar, pool, num_threads_);
       // Candidate input is [x_t, r * h].
       for (int i = 0; i < b; ++i) {
-        float* xh_row = xh.data() + static_cast<size_t>(i) * 2 * d;
-        const float* r_row = r.data() + static_cast<size_t>(i) * d;
-        const float* h_row = h.data() + static_cast<size_t>(i) * d;
+        float* xh_row = xh + static_cast<size_t>(i) * 2 * d;
+        const float* r_row = r + static_cast<size_t>(i) * d;
+        const float* h_row = h + static_cast<size_t>(i) * d;
         for (int j = 0; j < d; ++j) xh_row[d + j] = r_row[j] * h_row[j];
       }
-      GateForward(wh_, xh.data(), b, d, cand.data(), TanhScalar, pool,
-                  num_threads_);
+      GateForward(wh_, xh, b, d, cand, TanhScalar, pool, num_threads_);
       for (int i = 0; i < b; ++i) {
         if (step >= bucket.lengths[static_cast<size_t>(i)]) continue;
-        float* h_row = h.data() + static_cast<size_t>(i) * d;
-        const float* z_row = z.data() + static_cast<size_t>(i) * d;
-        const float* c_row = cand.data() + static_cast<size_t>(i) * d;
+        float* h_row = h + static_cast<size_t>(i) * d;
+        const float* z_row = z + static_cast<size_t>(i) * d;
+        const float* c_row = cand + static_cast<size_t>(i) * d;
         for (int j = 0; j < d; ++j) {
           h_row[j] = (1.0f - z_row[j]) * h_row[j] + z_row[j] * c_row[j];
         }
       }
     }
-    ScatterPackedRows(h.data(), d, bucket.row_index, out.data());
+    ScatterPackedRows(h, d, bucket.row_index, out);
   }
-  return out;
 }
 
-Tensor GruEncoder::EncodeBatch(const std::vector<std::vector<int>>& batch,
-                               const augment::CutoffPlan* cutoff,
-                               bool training) {
-  SUDO_CHECK(!batch.empty());
-  if (UseBatchedInference(cutoff, training)) {
-    return EncodeBatchedInference(batch);
+void GruEncoder::EncodeInferenceImpl(
+    const std::vector<std::vector<int>>& batch, float* out) {
+  if (!batched_inference_) {
+    const TrainStream stream{};
+    PerRowInferenceInto(
+        batch.size(),
+        [&](size_t i) {
+          return EncodeOne(batch[i], nullptr, /*training=*/false, stream,
+                           static_cast<int>(i));
+        },
+        out);
+    return;
   }
+  EncodeBatchedInferenceInto(batch, out);
+}
+
+Tensor GruEncoder::EncodeBatchImpl(const std::vector<std::vector<int>>& batch,
+                                   const augment::CutoffPlan* cutoff,
+                                   bool training) {
   const TrainStream stream = training ? NextTrainStream() : TrainStream{};
   if (training && batched_training_) {
     return EncodeBatchTraining(batch, cutoff, stream);

@@ -1,5 +1,7 @@
 #include "nn/layers.h"
 
+#include <algorithm>
+
 #include "common/thread_pool.h"
 #include "tensor/kernels.h"
 
@@ -11,24 +13,28 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng)
 
 Tensor Linear::Forward(const Tensor& x, ThreadPool* pool,
                        int num_shards) const {
-  namespace ks = tensor::kernels;
   if (!tensor::GradEnabled()) {
     // Inference: one fused GEMM + bias on raw buffers, skipping the two
-    // autograd nodes. Gemm accumulates into the zeroed output and the bias
-    // is added afterwards, so this is bit-identical to the graph path -
-    // and, per the kernel contract, identical for any pool/shard count.
-    const int m = x.rows(), k = x.cols(), n = w_.cols();
-    Tensor out = Tensor::Zeros(m, n);
-    ks::Gemm(m, n, k, x.data(), w_.data(), out.data(), pool, num_shards);
-    for (int i = 0; i < m; ++i) {
-      ks::Axpy(n, 1.0f, b_.data(), out.data() + static_cast<size_t>(i) * n);
-    }
+    // autograd nodes. Bit-identical to the graph path (see ForwardInto).
+    Tensor out = Tensor::Zeros(x.rows(), w_.cols());
+    ForwardInto(x.data(), x.rows(), out.data(), pool, num_shards);
     return out;
   }
   // Training: the forward GEMM and both backward GEMMs thread through the
   // same row-sharded kernels (bit-identical for any shard count); the
   // graph bookkeeping itself stays serial.
   return tensor::AddRowBroadcast(tensor::MatMul(x, w_, pool, num_shards), b_);
+}
+
+void Linear::ForwardInto(const float* x, int m, float* out, ThreadPool* pool,
+                         int num_shards) const {
+  namespace ks = tensor::kernels;
+  const int k = w_.rows(), n = w_.cols();
+  std::fill(out, out + static_cast<size_t>(m) * n, 0.0f);
+  ks::Gemm(m, n, k, x, w_.data(), out, pool, num_shards);
+  for (int i = 0; i < m; ++i) {
+    ks::Axpy(n, 1.0f, b_.data(), out + static_cast<size_t>(i) * n);
+  }
 }
 
 Embedding::Embedding(int vocab_size, int dim, Rng* rng)
@@ -46,6 +52,12 @@ LayerNorm::LayerNorm(int dim)
 
 Tensor LayerNorm::Forward(const Tensor& x) const {
   return tensor::LayerNormRows(x, gamma_, beta_);
+}
+
+void LayerNorm::ForwardInto(const float* x, int m, float* y) const {
+  // eps must match tensor::LayerNormRows' default for bit-identity.
+  tensor::kernels::LayerNormRows(m, gamma_.cols(), x, gamma_.data(),
+                                 beta_.data(), 1e-5f, y, nullptr, nullptr);
 }
 
 Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)

@@ -32,6 +32,15 @@ class Linear {
   /// *and* both backward GEMMs shard (`pool` must outlive Backward()).
   Tensor Forward(const Tensor& x, ThreadPool* pool, int num_shards) const;
 
+  /// Graph-free fast path on raw buffers: out[m, out_dim] = x[m, in_dim]
+  /// * W + b, written into caller-owned (e.g. workspace) memory. `out` is
+  /// overwritten, may be dirty on entry, and must not alias `x`. This is
+  /// the exact float chain of the inference Forward above (zeroed
+  /// accumulator GEMM, then a per-row bias Axpy), so the two are
+  /// bit-identical; the allocation-free serving paths call it directly.
+  void ForwardInto(const float* x, int m, float* out,
+                   ThreadPool* pool = nullptr, int num_shards = 1) const;
+
   std::vector<Tensor> Parameters() const { return {w_, b_}; }
   int in_dim() const { return w_.rows(); }
   int out_dim() const { return w_.cols(); }
@@ -74,6 +83,11 @@ class LayerNorm {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// Graph-free fast path on raw buffers: y[m, dim] = layer-norm of
+  /// x[m, dim], via the same kernels::LayerNormRows float chain the graph
+  /// op runs (bit-identical). In-place (y == x) is allowed.
+  void ForwardInto(const float* x, int m, float* y) const;
+
   std::vector<Tensor> Parameters() const { return {gamma_, beta_}; }
 
  private:
@@ -94,6 +108,11 @@ class Mlp {
   Tensor Forward(const Tensor& x, ThreadPool* pool, int num_shards) const;
 
   std::vector<Tensor> Parameters() const;
+
+  /// Stage handles for the graph-free serving paths, which drive
+  /// Linear::ForwardInto + kernels::GeluForward on workspace buffers.
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
 
  private:
   Linear fc1_;

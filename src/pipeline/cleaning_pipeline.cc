@@ -85,10 +85,15 @@ CleaningRunResult CleaningPipeline::Run(const data::CleaningDataset& ds) {
     }
   }
   text::Vocab vocab = text::Vocab::Build(corpus, options_.vocab_size);
+  std::unique_ptr<index::EmbeddingCache> cache;
+  if (options_.embedding_cache_capacity > 0) {
+    cache = std::make_unique<index::EmbeddingCache>(
+        options_.embedding_cache_capacity);
+  }
   auto encoder =
       MakeEncoder(options_.encoder_kind, vocab.size(), options_.encoder_dim,
                   options_.max_len, options_.seed, options_.pool,
-                  options_.num_threads);
+                  options_.num_threads, cache.get());
 
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;
@@ -292,6 +297,7 @@ CleaningRunResult CleaningPipeline::Run(const data::CleaningDataset& ds) {
           ? 2.0 * result.correction.precision * result.correction.recall /
                 (result.correction.precision + result.correction.recall)
           : 0.0;
+  if (cache != nullptr) result.embed_cache = cache->stats();
   result.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }

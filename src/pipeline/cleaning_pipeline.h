@@ -65,6 +65,13 @@ struct CleaningPipelineOptions {
   /// num_threads > 1 (see EmPipelineOptions::pool).
   ThreadPool* pool = nullptr;
 
+  /// Entry budget of the content-keyed embedding cache on the serving
+  /// path. Cleaning's pair scoring re-encodes each cell's serialization
+  /// once per candidate (plus the identity pair), so repeats dominate and
+  /// the cache skips most encoder calls; hits are bit-identical to fresh
+  /// encodes. 0 disables. Counters land in CleaningRunResult::embed_cache.
+  size_t embedding_cache_capacity = 0;
+
   uint64_t seed = 23;
 };
 
@@ -77,6 +84,8 @@ struct CleaningRunResult {
   int corrections_made = 0;
   int corrections_right = 0;
   int true_errors = 0;
+  /// Serving-time embedding-cache counters (zero when the cache is off).
+  index::EmbeddingCacheStats embed_cache;
 };
 
 /// Runs §V-A end to end on one generated benchmark.

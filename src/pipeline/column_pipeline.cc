@@ -65,10 +65,15 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
     tokens.push_back(text::SerializeColumn(col.values));
   }
   text::Vocab vocab = text::Vocab::Build(tokens, options_.vocab_size);
+  std::unique_ptr<index::EmbeddingCache> cache;
+  if (options_.embedding_cache_capacity > 0) {
+    cache = std::make_unique<index::EmbeddingCache>(
+        options_.embedding_cache_capacity);
+  }
   auto encoder =
       MakeEncoder(options_.encoder_kind, vocab.size(), options_.encoder_dim,
                   options_.max_len, options_.seed, options_.pool,
-                  options_.num_threads);
+                  options_.num_threads, cache.get());
 
   // Pre-training with the cell-level operator (attribute ops do not apply
   // to columns, §V-B).
@@ -226,6 +231,7 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
   for (const auto& col : corpus.columns) coarse_labels.push_back(col.type_id);
   result.purity = ClusterPurity(result.clusters, coarse_labels);
   result.matching_seconds = matching_timer.ElapsedSeconds();
+  if (cache != nullptr) result.embed_cache = cache->stats();
   result.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }

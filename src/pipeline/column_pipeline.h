@@ -50,6 +50,12 @@ struct ColumnPipelineOptions {
   /// num_threads > 1 (see EmPipelineOptions::pool).
   ThreadPool* pool = nullptr;
 
+  /// Entry budget of the content-keyed embedding cache on the serving
+  /// path (column blocking + pair matching re-encode the same serialized
+  /// columns; hits are bit-identical to fresh encodes). 0 disables.
+  /// Counters land in ColumnRunResult::embed_cache.
+  size_t embedding_cache_capacity = 0;
+
   uint64_t seed = 29;
 };
 
@@ -74,6 +80,8 @@ struct ColumnRunResult {
   double total_seconds = 0.0;
   /// Per-coarse-type test F1 (Fig. 12); indexed by type id.
   std::vector<PRF1> per_type;
+  /// Serving-time embedding-cache counters (zero when the cache is off).
+  index::EmbeddingCacheStats embed_cache;
 };
 
 /// Runs §V-B end to end.

@@ -25,7 +25,8 @@ std::vector<std::vector<int>> EncodeAll(
 
 std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
                                          int dim, int max_len, uint64_t seed,
-                                         ThreadPool* pool, int num_threads) {
+                                         ThreadPool* pool, int num_threads,
+                                         index::EmbeddingCache* cache) {
   std::unique_ptr<nn::Encoder> encoder;
   if (kind == EncoderKind::kTransformer) {
     nn::TransformerConfig config;
@@ -51,6 +52,7 @@ std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
   }
   encoder->set_thread_pool(pool);
   encoder->set_num_threads(num_threads);
+  encoder->set_embedding_cache(cache);
   return encoder;
 }
 
@@ -81,10 +83,14 @@ EmPipeline::Prepared EmPipeline::Prepare(const data::EmDataset& ds) {
   std::vector<std::vector<std::string>> corpus = prep.tokens_a;
   corpus.insert(corpus.end(), prep.tokens_b.begin(), prep.tokens_b.end());
   prep.vocab = text::Vocab::Build(corpus, options_.vocab_size);
+  if (options_.embedding_cache_capacity > 0) {
+    prep.cache = std::make_unique<index::EmbeddingCache>(
+        options_.embedding_cache_capacity);
+  }
   prep.encoder =
       MakeEncoder(options_.encoder_kind, prep.vocab.size(),
                   options_.encoder_dim, options_.max_len, options_.seed,
-                  options_.pool, options_.num_threads);
+                  options_.pool, options_.num_threads, prep.cache.get());
 
   if (!options_.skip_pretrain) {
     contrastive::PretrainOptions popts = options_.pretrain;
@@ -195,6 +201,7 @@ EmRunResult EmPipeline::Run(const data::EmDataset& ds) {
 
   if (train_examples.empty()) {
     // Nothing to train on: degenerate configuration.
+    if (prep.cache != nullptr) result.embed_cache = prep.cache->stats();
     result.total_seconds = total_timer.ElapsedSeconds();
     return result;
   }
@@ -225,6 +232,7 @@ EmRunResult EmPipeline::Run(const data::EmDataset& ds) {
     result.test_preds[i] = result.test_probs[i] >= 0.5f ? 1 : 0;
   }
   result.test = ComputePRF1(result.test_preds, test_labels);
+  if (prep.cache != nullptr) result.embed_cache = prep.cache->stats();
   result.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }

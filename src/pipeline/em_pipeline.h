@@ -18,6 +18,7 @@
 
 #include "contrastive/pretrainer.h"
 #include "data/em_dataset.h"
+#include "index/embedding_cache.h"
 #include "matcher/pair_matcher.h"
 #include "matcher/pseudo_label.h"
 #include "nn/encoder.h"
@@ -82,6 +83,13 @@ struct EmPipelineOptions {
   /// process-global pool (common/thread_pool.h) when num_threads > 1.
   ThreadPool* pool = nullptr;
 
+  /// Entry budget of the content-keyed embedding cache attached to the
+  /// serving-time encoder (blocking, prediction): repeated serialized
+  /// entries skip the encoder, with hits bit-identical to fresh encodes
+  /// (stale entries are cleared after any training phase). 0 disables.
+  /// Hit/miss/eviction counters land in EmRunResult::embed_cache.
+  size_t embedding_cache_capacity = 0;
+
   uint64_t seed = 7;
 };
 
@@ -112,6 +120,9 @@ struct EmRunResult {
   /// Fraction of in-batch cluster negatives that are actually matches
   /// (the false-negative rate of Fig. 8, row 3).
   double cluster_fnr = 0.0;
+
+  /// Serving-time embedding-cache counters (zero when the cache is off).
+  index::EmbeddingCacheStats embed_cache;
 };
 
 /// Runs the Fig. 2 pipeline on one dataset.
@@ -139,6 +150,7 @@ class EmPipeline {
   /// Builds vocab + encoder and (unless skipped) runs pre-training.
   struct Prepared {
     text::Vocab vocab;
+    std::unique_ptr<index::EmbeddingCache> cache;  // outlives the encoder use
     std::unique_ptr<nn::Encoder> encoder;
     std::vector<std::vector<std::string>> tokens_a;
     std::vector<std::vector<std::string>> tokens_b;
@@ -154,11 +166,13 @@ class EmPipeline {
 /// `pool`/`num_threads` configure the batched inference path: the pool
 /// (or, when nullptr and num_threads > 1, the process-global one) is
 /// threaded through the encoder into Linear::Forward's row-sharded GEMM
-/// overload for serving-time encoding.
-std::unique_ptr<nn::Encoder> MakeEncoder(EncoderKind kind, int vocab_size,
-                                         int dim, int max_len, uint64_t seed,
-                                         ThreadPool* pool = nullptr,
-                                         int num_threads = 1);
+/// overload for serving-time encoding. `cache` (caller-owned, optional)
+/// attaches a content-keyed embedding cache to the serving path (see
+/// Encoder::set_embedding_cache for the staleness contract).
+std::unique_ptr<nn::Encoder> MakeEncoder(
+    EncoderKind kind, int vocab_size, int dim, int max_len, uint64_t seed,
+    ThreadPool* pool = nullptr, int num_threads = 1,
+    index::EmbeddingCache* cache = nullptr);
 
 /// Measures how often Algorithm 2's in-batch negatives are actually gold
 /// matches (the FNR panel of Fig. 8).

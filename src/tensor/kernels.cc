@@ -222,4 +222,37 @@ void L2NormRows(int m, int n, const float* x, float* norms) {
   }
 }
 
+void LayerNormRows(int m, int n, const float* x, const float* gamma,
+                   const float* beta, float eps, float* y, float* xhat,
+                   float* inv_std) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += xr[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (xr[j] - mean) * (xr[j] - mean);
+    var /= n;
+    const float istd = 1.0f / std::sqrt(var + eps);
+    if (inv_std != nullptr) inv_std[i] = istd;
+    float* yr = y + static_cast<size_t>(i) * n;
+    float* xh = xhat != nullptr ? xhat + static_cast<size_t>(i) * n : nullptr;
+    for (int j = 0; j < n; ++j) {
+      const float h = (xr[j] - mean) * istd;
+      if (xh != nullptr) xh[j] = h;
+      yr[j] = h * gamma[j] + beta[j];
+    }
+  }
+}
+
+void GeluForward(int n, const float* x, float* y) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  for (int i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float inner = kC * (v + kA * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
 }  // namespace sudowoodo::tensor::kernels

@@ -100,6 +100,23 @@ void ColMeanRange(const float* x, int d, int r0, int r1, float* out);
 void MaskedMeanPool(int b, int t, int d, const float* x, const int* lengths,
                     float* out);
 
+/// Per-row layer-norm forward: y[i,:] = xhat[i,:] * gamma + beta with
+/// xhat = (x - mean) / sqrt(var + eps), mean/var reduced per row in one
+/// j-increasing scalar chain. This is THE layer-norm float chain: the
+/// autograd op (tensor::LayerNormRows) calls down here for its forward,
+/// and the workspace inference paths call it directly, so the two are
+/// bit-identical by construction. `xhat` and `inv_std` ([m*n] / [m])
+/// receive the normalized values and 1/sqrt(var+eps) when non-null (the
+/// autograd op saves them for backward); pass nullptr to skip.
+void LayerNormRows(int m, int n, const float* x, const float* gamma,
+                   const float* beta, float eps, float* y, float* xhat,
+                   float* inv_std);
+
+/// Elementwise tanh-approximation GELU forward, shared (like LayerNormRows)
+/// between tensor::Gelu and the workspace inference paths. In-place
+/// (y == x) is allowed.
+void GeluForward(int n, const float* x, float* y);
+
 }  // namespace sudowoodo::tensor::kernels
 
 #endif  // SUDOWOODO_TENSOR_KERNELS_H_

@@ -351,22 +351,31 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Gelu(const Tensor& a) {
-  // tanh approximation of GELU.
+  // tanh approximation of GELU. The forward is one call into
+  // kernels::GeluForward - the same compiled float chain the workspace
+  // inference paths run - so graph and graph-free GELU are bit-identical.
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   constexpr float kA = 0.044715f;
-  return Elementwise1(
-      a,
-      [](float x) {
-        float inner = kC * (x + kA * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(inner));
-      },
-      [](float x, float) {
-        float x3 = x * x * x;
-        float inner = kC * (x + kA * x3);
-        float t = std::tanh(inner);
-        float sech2 = 1.0f - t * t;
-        return 0.5f * (1.0f + t) + 0.5f * x * sech2 * kC * (1.0f + 3.0f * kA * x * x);
-      });
+  auto out = NewNode(a.rows(), a.cols());
+  const size_t sz = out->size();
+  kernels::GeluForward(static_cast<int>(sz), a.data(), out->value.data());
+  auto ai = a.impl();
+  TensorImpl* o = out.get();
+  Attach(out, {ai}, [ai, o, sz]() {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < sz; ++i) {
+      const float x = ai->value[i];
+      const float x3 = x * x * x;
+      const float inner = kC * (x + kA * x3);
+      const float t = std::tanh(inner);
+      const float sech2 = 1.0f - t * t;
+      const float d = 0.5f * (1.0f + t) +
+                      0.5f * x * sech2 * kC * (1.0f + 3.0f * kA * x * x);
+      ai->grad[i] += d * o->grad[i];
+    }
+  });
+  return WrapNode(out);
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -825,23 +834,11 @@ Tensor LayerNormRows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   auto out = NewNode(m, n);
   auto xhat = std::make_shared<std::vector<float>>(a.size());
   auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(m));
-  for (int i = 0; i < m; ++i) {
-    const float* x = a.data() + static_cast<size_t>(i) * n;
-    float mean = 0.0f;
-    for (int j = 0; j < n; ++j) mean += x[j];
-    mean /= n;
-    float var = 0.0f;
-    for (int j = 0; j < n; ++j) var += (x[j] - mean) * (x[j] - mean);
-    var /= n;
-    const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<size_t>(i)] = istd;
-    float* xh = xhat->data() + static_cast<size_t>(i) * n;
-    float* y = out->value.data() + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      xh[j] = (x[j] - mean) * istd;
-      y[j] = xh[j] * gamma.at(0, j) + beta.at(0, j);
-    }
-  }
+  // One kernel call owns the layer-norm float chain; the workspace
+  // inference paths call the same kernel, so graph and graph-free
+  // layer-norm are bit-identical by construction.
+  kernels::LayerNormRows(m, n, a.data(), gamma.data(), beta.data(), eps,
+                         out->value.data(), xhat->data(), inv_std->data());
   auto ai = a.impl(), gi = gamma.impl(), bi = beta.impl();
   TensorImpl* o = out.get();
   Attach(out, {ai, gi, bi}, [ai, gi, bi, o, xhat, inv_std, m, n]() {

@@ -1,0 +1,51 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+
+namespace sudowoodo::tensor {
+
+namespace {
+constexpr size_t kAlign = 64;           // cache-line alignment for kernels
+constexpr size_t kMinChunk = 1 << 16;   // 64 KiB floor keeps chunk count low
+
+size_t AlignUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+Workspace& Workspace::ThreadLocal() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+void* Workspace::Raw(size_t bytes) {
+  bytes = AlignUp(std::max<size_t>(bytes, 1));
+  // Walk forward from the current chunk until one has room. Chunks are
+  // never shrunk or freed, so once the list covers a frame's peak demand
+  // this loop finds space without touching the heap.
+  while (current_chunk_ < chunks_.size()) {
+    Chunk& c = chunks_[current_chunk_];
+    if (c.capacity - current_used_ >= bytes) {
+      void* p = c.base + current_used_;
+      current_used_ += bytes;
+      return p;
+    }
+    ++current_chunk_;
+    current_used_ = 0;
+  }
+  // Warmup: grow the chunk list. Doubling (from the last capacity) bounds
+  // the number of chunks any steady shape mix can need.
+  const size_t last = chunks_.empty() ? 0 : chunks_.back().capacity;
+  Chunk chunk;
+  chunk.capacity = std::max({kMinChunk, 2 * last, bytes});
+  // Over-allocate so the served base can be rounded up to kAlign
+  // (operator new[] only guarantees alignof(max_align_t)).
+  chunk.data = std::make_unique<unsigned char[]>(chunk.capacity + kAlign);
+  chunk.base = reinterpret_cast<unsigned char*>(
+      AlignUp(reinterpret_cast<size_t>(chunk.data.get())));
+  bytes_reserved_ += chunk.capacity;
+  chunks_.push_back(std::move(chunk));
+  current_chunk_ = chunks_.size() - 1;
+  current_used_ = bytes;
+  return chunks_.back().base;
+}
+
+}  // namespace sudowoodo::tensor

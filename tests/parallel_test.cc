@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "baselines/fuzzyjoin.h"
 #include "baselines/tfidf_blocker.h"
 #include "cluster/kmeans.h"
 #include "common/parallel.h"
@@ -331,6 +332,27 @@ TEST(ParallelDeterminismTest, CleaningRunThreadCountInvariantEndToEnd) {
     EXPECT_EQ(r.corrections_right, base.corrections_right);
     EXPECT_EQ(r.true_errors, base.true_errors);
     EXPECT_EQ(r.correction.f1, base.correction.f1);
+  }
+}
+
+TEST(ParallelDeterminismTest, FuzzyJoinThreadCountInvariant) {
+  // The fuzzyjoin baseline's all-pairs candidate scoring now fans B rows
+  // out over the pool; every row writes only its own best/second slots,
+  // so the chosen threshold and the final metrics must be bit-identical
+  // to the serial run at any thread count.
+  const data::EmDataset ds = data::GenerateEm(data::GetEmSpec("FZ"));
+  pipeline::PRF1 base;
+  for (int num_threads : {1, 2, 4}) {
+    baselines::FuzzyJoinOptions opts;
+    opts.num_threads = num_threads;
+    const pipeline::PRF1 prf = baselines::RunAutoFuzzyJoinOnEm(ds, opts);
+    if (num_threads == 1) {
+      base = prf;
+      continue;
+    }
+    EXPECT_EQ(prf.precision, base.precision) << num_threads;
+    EXPECT_EQ(prf.recall, base.recall) << num_threads;
+    EXPECT_EQ(prf.f1, base.f1) << num_threads;
   }
 }
 

@@ -169,6 +169,38 @@ TEST(CleaningPipelineIntegrationTest, ProducesSaneMetrics) {
   EXPECT_GT(r.correction.f1, 0.1);
 }
 
+TEST(CleaningPipelineIntegrationTest, EmbeddingCacheBitIdenticalWithHits) {
+  // Cleaning's pair scoring re-encodes each cell's serialization once per
+  // candidate plus the identity pair, so the content-keyed cache should
+  // serve a large share of encoder calls - with pipeline outputs exactly
+  // equal to the uncached run (cache hits are bit-identical by the
+  // batched-inference row-independence contract).
+  data::CleaningSpec spec = data::GetCleaningSpec("beers");
+  spec.n_rows = 40;
+  const data::CleaningDataset ds = data::GenerateCleaning(spec);
+  CleaningRunResult base;
+  for (const size_t capacity : {size_t{0}, size_t{4096}}) {
+    CleaningPipelineOptions o;
+    o.skip_pretrain = true;
+    o.labeled_rows = 4;
+    o.max_train_candidates = 1;
+    o.encoder_dim = 32;
+    o.max_len = 32;
+    o.embedding_cache_capacity = capacity;
+    auto r = CleaningPipeline(o).Run(ds);
+    if (capacity == 0) {
+      base = r;
+      EXPECT_EQ(r.embed_cache.hits, 0u);
+      continue;
+    }
+    EXPECT_EQ(r.corrections_made, base.corrections_made);
+    EXPECT_EQ(r.corrections_right, base.corrections_right);
+    EXPECT_EQ(r.correction.f1, base.correction.f1);
+    // Repeats dominate the eval pairs: the cache must actually hit.
+    EXPECT_GT(r.embed_cache.hits, r.embed_cache.misses);
+  }
+}
+
 TEST(CleaningPipelineIntegrationTest, SerializeCellContextFree) {
   data::CleaningDataset ds =
       data::GenerateCleaning(data::GetCleaningSpec("beers"));
