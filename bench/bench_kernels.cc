@@ -3,12 +3,20 @@
 // measured with the kernel each workload actually executes:
 //
 //   - "gemm" shapes (Transformer projections, feed-forward) go through
-//     ks::Gemm (MatMul / Linear): naive vs blocked vs blocked+threads,
-//     verified bit-identical before timing is reported.
+//     ks::Gemm (MatMul / Linear): naive vs blocked vs blocked+threads
+//     (all on the scalar reference tier, verified bit-identical) vs the
+//     register-blocked SIMD micro-kernel on the best tier this machine
+//     supports ("micro"/"micro_threads", verified within 1e-4 relative -
+//     the fma-vs-separate rounding split documented in kernels.h).
 //   - "gemm_bt" shapes (attention scores Q*K^T, NT-Xent Z*Z^T, kNN batch
 //     scoring) go through ks::GemmBT (MatMulBT / KnnIndex): a scalar
 //     single-chain dot reference (the seed engine's structure) vs the
-//     4-lane fused kernel, verified within 1e-4 relative.
+//     4-lane fused kernel vs the micro-kernel, within 1e-4 relative.
+//
+// Each record carries the dispatch tier it ran on ("tier"); the compare
+// tool treats that as metadata, not identity, and skips the strict
+// seconds band when the tier changed between baseline and fresh run
+// (different machines legitimately dispatch differently).
 //
 // The output buffer is zeroed *outside* the timed region, so the numbers
 // are kernel time only. `--json <path>` additionally writes the
@@ -80,10 +88,24 @@ struct Shape {
 
 struct Measurement {
   std::string variant;
+  ks::KernelTier tier = ks::KernelTier::kScalar;
+  int num_shards = 1;
   double seconds = 0.0;
   double gflops = 0.0;
   bool matches = true;
 };
+
+/// The best micro-kernel tier available here (never kScalar: the
+/// portable tier exists everywhere, so the micro series is always
+/// measured, even under SUDOWOODO_FORCE_SCALAR_KERNELS).
+ks::KernelTier BestMicroTier() {
+  for (ks::KernelTier t :
+       {ks::KernelTier::kAvx512, ks::KernelTier::kAvx2,
+        ks::KernelTier::kNeon}) {
+    if (ks::KernelTierSupported(t)) return t;
+  }
+  return ks::KernelTier::kPortable;
+}
 
 /// Mean seconds per call over enough repetitions to pass ~0.2s of kernel
 /// time. The per-rep zeroing of C runs outside the timed window.
@@ -138,8 +160,8 @@ void Run(const std::string& json_path) {
 
   bench::JsonRecords records;
   TablePrinter table("GEMM kernels, GFLOP/s (verified against the naive reference)");
-  table.SetHeader({"shape", "kernel", "m", "n", "k", "variant", "ms",
-                   "GFLOP/s", "matches"});
+  table.SetHeader({"shape", "kernel", "m", "n", "k", "variant", "tier",
+                   "ms", "GFLOP/s", "matches"});
 
   for (const Shape& s : shapes) {
     // For kGemmBT, b is the [n,k] transposed operand.
@@ -148,6 +170,7 @@ void Run(const std::string& json_path) {
     std::vector<float> c(static_cast<size_t>(s.m) * s.n, 0.0f);
     const double flops = 2.0 * s.m * s.n * s.k;
 
+    const ks::KernelTier micro_tier = BestMicroTier();
     std::vector<float> reference;
     std::vector<Measurement> ms;
     if (s.kind == Kind::kGemm) {
@@ -160,6 +183,7 @@ void Run(const std::string& json_path) {
         reference = c;
         ms.push_back(x);
       }
+      ks::SetKernelTier(ks::KernelTier::kScalar);
       {
         Measurement x;
         x.variant = "blocked";
@@ -172,6 +196,7 @@ void Run(const std::string& json_path) {
       {
         Measurement x;
         x.variant = "blocked_threads";
+        x.num_shards = kShards;
         x.seconds = TimePerCall(&c, [&] {
           ks::Gemm(s.m, s.n, s.k, a.data(), b.data(), c.data(), &pool,
                    kShards);
@@ -179,6 +204,31 @@ void Run(const std::string& json_path) {
         x.matches = MatchesExactly(c, reference);
         ms.push_back(x);
       }
+      ks::SetKernelTier(micro_tier);
+      {
+        Measurement x;
+        x.variant = "micro";
+        x.tier = micro_tier;
+        x.seconds = TimePerCall(&c, [&] {
+          ks::Gemm(s.m, s.n, s.k, a.data(), b.data(), c.data());
+        });
+        // fma vs separate multiply+add: equal within rounding only.
+        x.matches = MatchesWithin(c, reference, 1e-4f);
+        ms.push_back(x);
+      }
+      {
+        Measurement x;
+        x.variant = "micro_threads";
+        x.tier = micro_tier;
+        x.num_shards = kShards;
+        x.seconds = TimePerCall(&c, [&] {
+          ks::Gemm(s.m, s.n, s.k, a.data(), b.data(), c.data(), &pool,
+                   kShards);
+        });
+        x.matches = MatchesWithin(c, reference, 1e-4f);
+        ms.push_back(x);
+      }
+      ks::ResetKernelTier();
     } else {
       {
         Measurement x;
@@ -189,6 +239,7 @@ void Run(const std::string& json_path) {
         reference = c;
         ms.push_back(x);
       }
+      ks::SetKernelTier(ks::KernelTier::kScalar);
       {
         Measurement x;
         x.variant = "fused_bt";
@@ -199,6 +250,18 @@ void Run(const std::string& json_path) {
         x.matches = MatchesWithin(c, reference, 1e-4f);
         ms.push_back(x);
       }
+      ks::SetKernelTier(micro_tier);
+      {
+        Measurement x;
+        x.variant = "micro";
+        x.tier = micro_tier;
+        x.seconds = TimePerCall(&c, [&] {
+          ks::GemmBT(s.m, s.n, s.k, a.data(), b.data(), c.data());
+        });
+        x.matches = MatchesWithin(c, reference, 1e-4f);
+        ms.push_back(x);
+      }
+      ks::ResetKernelTier();
     }
 
     const char* kernel = s.kind == Kind::kGemm ? "gemm" : "gemm_bt";
@@ -206,6 +269,7 @@ void Run(const std::string& json_path) {
       x.gflops = flops / x.seconds / 1e9;
       table.AddRow({s.name, kernel, std::to_string(s.m), std::to_string(s.n),
                     std::to_string(s.k), x.variant,
+                    ks::KernelTierName(x.tier),
                     StrFormat("%.2f", x.seconds * 1e3),
                     StrFormat("%.2f", x.gflops), x.matches ? "yes" : "NO"});
       auto& r = records.Add();
@@ -216,7 +280,8 @@ void Run(const std::string& json_path) {
       r.Int("n", s.n);
       r.Int("k", s.k);
       r.Str("variant", x.variant);
-      r.Int("num_shards", x.variant == "blocked_threads" ? kShards : 1);
+      r.Int("num_shards", x.num_shards);
+      r.Str("tier", ks::KernelTierName(x.tier));
       r.Num("seconds", x.seconds);
       r.Num("gflops", x.gflops);
       r.Bool("matches_reference", x.matches);

@@ -32,6 +32,17 @@ Two enforcement tiers:
   (default 4x): shared 1-2 core CI runners make end-to-end timings
   noisy, so those catch order-of-magnitude regressions without failing.
 
+The ``tier`` field (which SIMD dispatch tier ran the kernel) is
+machine-dependent metadata: it is excluded from record identity, and a
+record whose fresh tier differs from its baseline tier drops from the
+strict seconds band (and the median normalizer) to the warn-only band -
+an AVX-512 dev-container baseline must not fail an AVX2 CI runner.
+
+Degenerate inputs are clean failures, not crashes or silent passes: an
+empty/unparseable fresh or baseline file FAILs with a one-line message,
+and an all-zero (or otherwise non-finite) strict seconds column FAILs
+instead of zeroing the band out.
+
 Correctness booleans (identical_to_serial, identical_to_per_row,
 identical_to_uncached, matches_reference) are hard-checked regardless of
 any band or env override.
@@ -47,6 +58,7 @@ out of band; 1 otherwise.
 
 import argparse
 import json
+import math
 import os
 import subprocess
 import sys
@@ -58,12 +70,23 @@ CORRECTNESS_FIELDS = ("identical_to_serial", "identical_to_per_row",
                       "matches_reference", "identical_to_serial_training",
                       "identical_to_uncached")
 STRICT_BENCH_PREFIXES = ("kernels_", "encode_steady_state")
+# Machine-dependent metadata: part of neither the record's identity (an
+# AVX-512 baseline and an AVX2 CI runner must still match up) nor the
+# metrics. When the fresh tier differs from the baseline tier the strict
+# seconds band is skipped for that record - the dispatch picked a
+# different kernel, so the timing comparison is apples-to-oranges - but
+# correctness and allocation gates still apply.
+METADATA_FIELDS = ("tier",)
 
 
 def identity(record):
-    """Hashable identity of a record: everything that is not a metric."""
+    """Hashable identity of a record: everything that is not a metric,
+    a correctness outcome, or machine metadata. Correctness booleans are
+    results: a flag that flips to false must still match its baseline
+    record (and FAIL), not surface as an unrelated new record."""
+    skip = METRIC_FIELDS + METADATA_FIELDS + CORRECTNESS_FIELDS
     return tuple(sorted((k, v) for k, v in record.items()
-                        if k not in METRIC_FIELDS))
+                        if k not in skip))
 
 
 def is_strict(record):
@@ -85,19 +108,40 @@ def strict_seconds_gated(record, baseline_seconds):
         baseline_seconds >= STRICT_SECONDS_FLOOR
 
 
+class BenchDataError(Exception):
+    """A bench JSON file that cannot be compared (empty, unparseable,
+    or not a list of records). Raised instead of letting json tracebacks
+    leak: a truncated or zeroed-out file must be a clean FAIL, not a
+    crash (which some CI wrappers treat as flaky) or a silent pass."""
+
+
+def load_records(text, what):
+    try:
+        records = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise BenchDataError(f"{what}: invalid JSON ({e})") from e
+    if not isinstance(records, list) or \
+            not all(isinstance(r, dict) for r in records):
+        raise BenchDataError(f"{what}: expected a JSON list of records")
+    if not records:
+        raise BenchDataError(f"{what}: no records (empty series)")
+    return records
+
+
 def load_baseline(name, ref, baseline_dir):
     if baseline_dir is not None:
         path = os.path.join(baseline_dir, os.path.basename(name))
         try:
             with open(path) as f:
-                return json.load(f)
+                text = f.read()
         except FileNotFoundError:
             return None
+        return load_records(text, f"baseline {path}")
     out = subprocess.run(["git", "show", f"{ref}:{name}"],
                          capture_output=True, text=True)
     if out.returncode != 0:
         return None
-    return json.loads(out.stdout)
+    return load_records(out.stdout, f"baseline {ref}:{name}")
 
 
 def fmt_seconds(v):
@@ -123,10 +167,20 @@ def main():
     failures = 0
     warnings = 0
     for name in args.fresh:
-        with open(name) as f:
-            fresh = json.load(f)
-        baseline = load_baseline(name, args.baseline_ref, args.baseline_dir)
         print(f"\n== {name} ==")
+        try:
+            try:
+                with open(name) as f:
+                    text = f.read()
+            except OSError as e:
+                raise BenchDataError(f"fresh {name}: {e}")
+            fresh = load_records(text, f"fresh {name}")
+            baseline = load_baseline(name, args.baseline_ref,
+                                     args.baseline_dir)
+        except BenchDataError as e:
+            print(f"  FAIL {e}")
+            failures += 1
+            continue
         if baseline is None:
             print(f"  (no committed baseline at {args.baseline_ref}; "
                   "skipping comparison)")
@@ -134,13 +188,15 @@ def main():
         base_by_id = {identity(r): r for r in baseline}
 
         # Median seconds-ratio of the strict records: the machine-speed
-        # normalizer for the strict band (see module docstring).
+        # normalizer for the strict band (see module docstring). Records
+        # whose kernel tier changed are left out - a different dispatch
+        # is a genuine speed change, not machine noise.
         strict_ratios = []
         for record in fresh:
             if not is_strict(record):
                 continue
             base = base_by_id.get(identity(record))
-            if base is None:
+            if base is None or record.get("tier") != base.get("tier"):
                 continue
             bs, fs = base.get("seconds"), record.get("seconds")
             if isinstance(bs, (int, float)) and isinstance(fs, (int, float)) \
@@ -149,6 +205,16 @@ def main():
         strict_ratios.sort()
         strict_norm = strict_ratios[len(strict_ratios) // 2] \
             if strict_ratios else 1.0
+        if not math.isfinite(strict_norm) or strict_norm <= 0:
+            # A zero/NaN median means the strict timings themselves are
+            # garbage (an all-zero seconds column from a broken timer or
+            # a hand-zeroed file). Comparing against it would set the
+            # band to 0 and mask every regression as "suspiciously
+            # fast", so fail the file outright.
+            print(f"  FAIL degenerate strict median ratio "
+                  f"({strict_norm!r}): timings unusable")
+            failures += 1
+            continue
 
         header = f"{'bench/shape':<52} {'baseline':>10} {'fresh':>10} " \
                  f"{'ratio':>7}  status"
@@ -172,7 +238,8 @@ def main():
                     status = f"FAIL {k}=false"
                     failures += 1
             if base is None:
-                status = "new (no baseline)"
+                if status == "ok":
+                    status = "new (no baseline)"
                 print(f"{label:<52} {'-':>10} "
                       f"{fmt_seconds(record.get('seconds')):>10} "
                       f"{ratio_text:>7}  {status}")
@@ -182,7 +249,8 @@ def main():
                     and bs > 0:
                 ratio = fs / bs
                 ratio_text = f"{ratio:.2f}x"
-                hard = strict and strict_seconds_gated(record, bs)
+                hard = strict and strict_seconds_gated(record, bs) and \
+                    record.get("tier") == base.get("tier")
                 band = args.strict_tolerance * strict_norm if hard \
                     else args.tolerance
                 if ratio > band:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "pipeline/em_pipeline.h"
 #include "sparse/similarity.h"
 #include "sparse/tfidf.h"
@@ -77,17 +78,24 @@ void ZeroEr::Fit(const FeatureMatrix& features) {
           std::max(kMinVar, var_[0][j] / (static_cast<double>(n) - wsum));
     }
     if (iter == options_.em_iters) break;
-    // E-step.
-    for (size_t i = 0; i < n; ++i) {
-      const double l1 =
-          std::log(weight_[1]) + LogGaussianDiag(features[i], mean_[1], var_[1]);
-      const double l0 =
-          std::log(weight_[0]) + LogGaussianDiag(features[i], mean_[0], var_[0]);
-      const double m = std::max(l0, l1);
-      const double p1 = std::exp(l1 - m);
-      const double p0 = std::exp(l0 - m);
-      resp[i] = p1 / (p0 + p1);
-    }
+    // E-step: each posterior depends only on the (now frozen) M-step
+    // parameters and its own row, so rows shard freely; resp[i] is a
+    // pre-sized disjoint slot, keeping the result bit-identical to
+    // serial. The M-step reductions above stay serial: a parallel sum
+    // would reassociate doubles and drift across thread counts.
+    ParallelForEach(static_cast<int64_t>(n), options_.num_threads,
+                    [&](int64_t i) {
+                      const double l1 = std::log(weight_[1]) +
+                                        LogGaussianDiag(features[static_cast<size_t>(i)],
+                                                        mean_[1], var_[1]);
+                      const double l0 = std::log(weight_[0]) +
+                                        LogGaussianDiag(features[static_cast<size_t>(i)],
+                                                        mean_[0], var_[0]);
+                      const double m = std::max(l0, l1);
+                      const double p1 = std::exp(l1 - m);
+                      const double p0 = std::exp(l0 - m);
+                      resp[static_cast<size_t>(i)] = p1 / (p0 + p1);
+                    });
   }
   // Identify the match component as the one with the larger mean feature
   // sum (similarity features are all increasing in match likelihood).
@@ -112,42 +120,59 @@ double ZeroEr::PredictProba(const std::vector<double>& x) const {
 }
 
 std::vector<int> ZeroEr::PredictBatch(const FeatureMatrix& x) const {
-  std::vector<int> out;
-  out.reserve(x.size());
-  for (const auto& row : x) out.push_back(PredictProba(row) >= 0.5 ? 1 : 0);
+  std::vector<int> out(x.size(), 0);
+  ParallelForEach(static_cast<int64_t>(x.size()), options_.num_threads,
+                  [&](int64_t i) {
+                    out[static_cast<size_t>(i)] =
+                        PredictProba(x[static_cast<size_t>(i)]) >= 0.5 ? 1 : 0;
+                  });
   return out;
 }
 
 FeatureMatrix EmPairFeatures(const data::EmDataset& ds,
-                             const std::vector<data::LabeledPair>& pairs) {
-  // TF-IDF fitted over both tables' serializations.
-  std::vector<std::vector<std::string>> tokens_a, tokens_b;
-  for (int i = 0; i < ds.table_a.num_rows(); ++i) {
-    tokens_a.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, i));
-  }
-  for (int i = 0; i < ds.table_b.num_rows(); ++i) {
-    tokens_b.push_back(pipeline::EmPipeline::SerializeRow(ds.table_b, i));
-  }
+                             const std::vector<data::LabeledPair>& pairs,
+                             int num_threads) {
+  // TF-IDF fitted over both tables' serializations. Each parallel loop
+  // below writes pre-sized disjoint slots, so any thread count produces
+  // the same matrix bit-for-bit. TfIdfFeaturizer::Fit stays serial (its
+  // document-frequency counts are a cross-row reduction).
+  const size_t na = static_cast<size_t>(ds.table_a.num_rows());
+  const size_t nb = static_cast<size_t>(ds.table_b.num_rows());
+  std::vector<std::vector<std::string>> tokens_a(na), tokens_b(nb);
+  ParallelForEach(static_cast<int64_t>(na), num_threads, [&](int64_t i) {
+    tokens_a[static_cast<size_t>(i)] =
+        pipeline::EmPipeline::SerializeRow(ds.table_a, static_cast<int>(i));
+  });
+  ParallelForEach(static_cast<int64_t>(nb), num_threads, [&](int64_t i) {
+    tokens_b[static_cast<size_t>(i)] =
+        pipeline::EmPipeline::SerializeRow(ds.table_b, static_cast<int>(i));
+  });
   sparse::TfIdfFeaturizer tfidf;
   {
     std::vector<std::vector<std::string>> corpus = tokens_a;
     corpus.insert(corpus.end(), tokens_b.begin(), tokens_b.end());
     tfidf.Fit(corpus);
   }
-  std::vector<sparse::SparseVector> vec_a, vec_b;
-  for (const auto& t : tokens_a) vec_a.push_back(tfidf.Transform(t));
-  for (const auto& t : tokens_b) vec_b.push_back(tfidf.Transform(t));
+  std::vector<sparse::SparseVector> vec_a(na), vec_b(nb);
+  ParallelForEach(static_cast<int64_t>(na), num_threads, [&](int64_t i) {
+    vec_a[static_cast<size_t>(i)] = tfidf.Transform(tokens_a[static_cast<size_t>(i)]);
+  });
+  ParallelForEach(static_cast<int64_t>(nb), num_threads, [&](int64_t i) {
+    vec_b[static_cast<size_t>(i)] = tfidf.Transform(tokens_b[static_cast<size_t>(i)]);
+  });
 
-  FeatureMatrix out;
-  out.reserve(pairs.size());
-  for (const auto& p : pairs) {
-    std::vector<double> f = sparse::PairFeatures(
-        tokens_a[static_cast<size_t>(p.a_idx)],
-        tokens_b[static_cast<size_t>(p.b_idx)]);
-    f.push_back(sparse::SparseDot(vec_a[static_cast<size_t>(p.a_idx)],
-                                  vec_b[static_cast<size_t>(p.b_idx)]));
-    out.push_back(std::move(f));
-  }
+  FeatureMatrix out(pairs.size());
+  ParallelForEach(static_cast<int64_t>(pairs.size()), num_threads,
+                  [&](int64_t idx) {
+                    const data::LabeledPair& p = pairs[static_cast<size_t>(idx)];
+                    std::vector<double> f = sparse::PairFeatures(
+                        tokens_a[static_cast<size_t>(p.a_idx)],
+                        tokens_b[static_cast<size_t>(p.b_idx)]);
+                    f.push_back(
+                        sparse::SparseDot(vec_a[static_cast<size_t>(p.a_idx)],
+                                          vec_b[static_cast<size_t>(p.b_idx)]));
+                    out[static_cast<size_t>(idx)] = std::move(f);
+                  });
   return out;
 }
 
@@ -157,13 +182,13 @@ pipeline::PRF1 RunZeroErOnEm(const data::EmDataset& ds,
   std::vector<data::LabeledPair> all = ds.train;
   all.insert(all.end(), ds.valid.begin(), ds.valid.end());
   all.insert(all.end(), ds.test.begin(), ds.test.end());
-  FeatureMatrix features = EmPairFeatures(ds, all);
+  FeatureMatrix features = EmPairFeatures(ds, all, options.num_threads);
   ZeroErOptions opts = options;
   opts.prior_match = std::max(0.02, ds.PositiveRatio());
   ZeroEr model(opts);
   model.Fit(features);
 
-  FeatureMatrix test_features = EmPairFeatures(ds, ds.test);
+  FeatureMatrix test_features = EmPairFeatures(ds, ds.test, options.num_threads);
   std::vector<int> preds = model.PredictBatch(test_features);
   std::vector<int> labels;
   labels.reserve(ds.test.size());

@@ -23,6 +23,11 @@ struct ZeroErOptions {
   int em_iters = 30;
   double prior_match = 0.1;  // initial mixture weight of the match class
   uint64_t seed = 17;
+  // Shards the per-pair loops (E-step posteriors, batch prediction, pair
+  // featurization) over the global thread pool. Every parallel loop
+  // writes disjoint pre-sized slots - no cross-pair reductions move off
+  // the serial path - so results are bit-identical for any thread count.
+  int num_threads = 1;
 };
 
 /// Diagonal-covariance 2-component GMM over pair features.
@@ -35,6 +40,9 @@ class ZeroEr {
 
   /// Posterior probability of the match component.
   double PredictProba(const std::vector<double>& x) const;
+
+  /// Thresholded per-row predictions; rows are scored independently in
+  /// parallel (options.num_threads), bit-identical to serial.
   std::vector<int> PredictBatch(const FeatureMatrix& x) const;
 
  private:
@@ -50,9 +58,13 @@ pipeline::PRF1 RunZeroErOnEm(const data::EmDataset& ds,
                              const ZeroErOptions& options = {});
 
 /// Pair feature extraction shared with Auto-FuzzyJoin: similarity features
-/// + TF-IDF cosine over serialized rows.
+/// + TF-IDF cosine over serialized rows. Per-row TF-IDF transforms and
+/// per-pair feature builds shard over the global pool when
+/// `num_threads > 1` (each index writes its own pre-sized slot, so the
+/// output is bit-identical to serial).
 FeatureMatrix EmPairFeatures(const data::EmDataset& ds,
-                             const std::vector<data::LabeledPair>& pairs);
+                             const std::vector<data::LabeledPair>& pairs,
+                             int num_threads = 1);
 
 }  // namespace sudowoodo::baselines
 

@@ -36,7 +36,11 @@ struct ShardRange {
 inline std::vector<ShardRange> MakeShards(int64_t n, int num_shards) {
   std::vector<ShardRange> shards;
   if (n <= 0) return shards;
-  num_shards = std::max(1, std::min<int>(num_shards, static_cast<int>(n)));
+  // Clamp in 64-bit: casting n to int first would overflow for
+  // n > 2^31-1 and (sign-wrapped negative) silently collapse the
+  // decomposition to a single shard. num_shards itself always fits.
+  num_shards = static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(num_shards, n)));
   const int64_t base = n / num_shards;
   const int64_t extra = n % num_shards;  // first `extra` shards get +1
   int64_t begin = 0;

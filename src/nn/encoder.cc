@@ -268,6 +268,23 @@ void MultiHeadSelfAttention::ForwardPackedInto(
   wq_.ForwardInto(x, b * t, q, pool, num_shards);
   wk_.ForwardInto(x, b * t, k, pool, num_shards);
   wv_.ForwardInto(x, b * t, v, pool, num_shards);
+  // Padding firewall: zero the K/V rows past each block's valid prefix.
+  // Those rows are projections of the padded residual-stream rows -
+  // garbage that the layer stack could in principle amplify to Inf/NaN -
+  // and the value GEMM multiplies them by the exact-zero weights the
+  // masked softmax writes. A 0-weight times a zeroed row contributes an
+  // exact 0 under every dispatch tier; the retired alternative (the
+  // scalar Gemm's zero-skip) only held for the reference tier, since a
+  // fused multiply-add turns 0 * Inf/NaN into NaN. The q rows need no
+  // zeroing: only the valid prefix is ever read.
+  for (int s = 0; s < b; ++s) {
+    const int len = lengths[static_cast<size_t>(s)];
+    if (len >= t) continue;
+    const size_t pad_begin = (static_cast<size_t>(s) * t + len) * dim;
+    const size_t pad_end = static_cast<size_t>(s + 1) * t * dim;
+    std::fill(k + pad_begin, k + pad_end, 0.0f);
+    std::fill(v + pad_begin, v + pad_end, 0.0f);
+  }
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
   // Score matrices are per sequence; fan them out across the pool, each
@@ -275,7 +292,8 @@ void MultiHeadSelfAttention::ForwardPackedInto(
   // input and carving head-sized scratch from its worker's thread-local
   // workspace. Only the valid query rows are computed ([len, t] scores,
   // not [t, t]); the padded rows of each block stay exact zero, which
-  // both bounds the padding overhead and lets wo_'s GEMM zero-skip them.
+  // bounds the padding overhead (wo_ still projects them, but 0-rows
+  // produce bias-only outputs that are never copied out).
   float* attn_in = ws.Floats(bt * dim);
   std::fill(attn_in, attn_in + bt * dim, 0.0f);
   auto encode_range = [&](int64_t begin, int64_t end, int /*shard*/) {
@@ -309,8 +327,9 @@ void MultiHeadSelfAttention::ForwardPackedInto(
         for (size_t i = 0; i < static_cast<size_t>(len) * t; ++i) {
           scores[i] *= scale;
         }
-        // Padded key columns get exact-0 weight, so the value GEMM's
-        // zero-skip never reads the padded value rows.
+        // Padded key columns get exact-0 weight, and the padded value
+        // rows were zeroed after projection, so the value GEMM adds
+        // exact zeros for them in every dispatch tier.
         ks::RowSoftmaxMasked(len, t, scores, valid, scores);
         std::fill(head_out, head_out + static_cast<size_t>(len) * hd, 0.0f);
         ks::Gemm(len, hd, t, scores, vh, head_out);

@@ -1,9 +1,13 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/parallel.h"
+#include "tensor/kernels_micro.h"
 
 namespace sudowoodo::tensor::kernels {
 
@@ -101,10 +105,127 @@ void ShardRows(int m, ThreadPool* pool, int num_shards, const RowsFn& rows) {
   for (auto& f : futures) f.get();
 }
 
+/// The micro-kernel worker for `tier`, or nullptr for the scalar
+/// reference tier. Call sites for tiers this binary was not built with
+/// are compiled out (SUDOWOODO_HAVE_* come from CMakeLists.txt).
+detail::GemmMicroFn MicroForTier(KernelTier tier) {
+  switch (tier) {
+#if SUDOWOODO_HAVE_AVX512
+    case KernelTier::kAvx512:
+      return detail::GemmMicroAvx512;
+#endif
+#if SUDOWOODO_HAVE_AVX2
+    case KernelTier::kAvx2:
+      return detail::GemmMicroAvx2;
+#endif
+#if SUDOWOODO_HAVE_NEON
+    case KernelTier::kNeon:
+      return detail::GemmMicroNeon;
+#endif
+    case KernelTier::kPortable:
+      return detail::GemmMicroPortable;
+    default:
+      return nullptr;
+  }
+}
+
+bool EnvTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+KernelTier DetectDefaultTier() {
+  if (EnvTruthy("SUDOWOODO_FORCE_SCALAR_KERNELS")) return KernelTier::kScalar;
+  if (const char* name = std::getenv("SUDOWOODO_KERNEL_TIER")) {
+    for (KernelTier t : {KernelTier::kScalar, KernelTier::kPortable,
+                         KernelTier::kNeon, KernelTier::kAvx2,
+                         KernelTier::kAvx512}) {
+      if (std::strcmp(name, KernelTierName(t)) == 0 &&
+          KernelTierSupported(t)) {
+        return t;
+      }
+    }
+    // Unknown or unsupported name: fall through to the best tier rather
+    // than silently running the slow reference.
+  }
+  for (KernelTier t : {KernelTier::kAvx512, KernelTier::kAvx2,
+                       KernelTier::kNeon}) {
+    if (KernelTierSupported(t)) return t;
+  }
+  return KernelTier::kPortable;
+}
+
+// -1 = no override; otherwise the forced tier. Relaxed atomics suffice:
+// the contract (kernels.h) is that overrides happen between kernel
+// calls, the atomic just keeps concurrent readers well-defined.
+std::atomic<int> g_forced_tier{-1};
+
 }  // namespace
+
+KernelTier ActiveKernelTier() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelTier>(forced);
+  static const KernelTier kDefault = DetectDefaultTier();
+  return kDefault;
+}
+
+bool KernelTierSupported(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+    case KernelTier::kPortable:
+      return true;
+    case KernelTier::kNeon:
+#if SUDOWOODO_HAVE_NEON
+      return true;
+#else
+      return false;
+#endif
+    case KernelTier::kAvx2:
+#if SUDOWOODO_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+#else
+      return false;
+#endif
+    case KernelTier::kAvx512:
+#if SUDOWOODO_HAVE_AVX512
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar: return "scalar";
+    case KernelTier::kPortable: return "portable";
+    case KernelTier::kNeon: return "neon";
+    case KernelTier::kAvx2: return "avx2";
+    case KernelTier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool SetKernelTier(KernelTier tier) {
+  if (!KernelTierSupported(tier)) return false;
+  g_forced_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetKernelTier() {
+  g_forced_tier.store(-1, std::memory_order_relaxed);
+}
 
 void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
           ThreadPool* pool, int num_shards) {
+  if (detail::GemmMicroFn micro = MicroForTier(ActiveKernelTier())) {
+    ShardRows(m, pool, num_shards, [=](int begin, int end) {
+      micro(detail::GemmVariant::kNN, begin, end, m, n, k, a, b, c);
+    });
+    return;
+  }
   ShardRows(m, pool, num_shards, [=](int begin, int end) {
     GemmRows(begin, end, n, k, a, b, c);
   });
@@ -112,6 +233,12 @@ void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
 
 void GemmAT(int m, int n, int k, const float* a, const float* b, float* c,
             ThreadPool* pool, int num_shards) {
+  if (detail::GemmMicroFn micro = MicroForTier(ActiveKernelTier())) {
+    ShardRows(m, pool, num_shards, [=](int begin, int end) {
+      micro(detail::GemmVariant::kAT, begin, end, m, n, k, a, b, c);
+    });
+    return;
+  }
   ShardRows(m, pool, num_shards, [=](int begin, int end) {
     GemmATRows(begin, end, m, n, k, a, b, c);
   });
@@ -119,6 +246,12 @@ void GemmAT(int m, int n, int k, const float* a, const float* b, float* c,
 
 void GemmBT(int m, int n, int k, const float* a, const float* b, float* c,
             ThreadPool* pool, int num_shards) {
+  if (detail::GemmMicroFn micro = MicroForTier(ActiveKernelTier())) {
+    ShardRows(m, pool, num_shards, [=](int begin, int end) {
+      micro(detail::GemmVariant::kBT, begin, end, m, n, k, a, b, c);
+    });
+    return;
+  }
   ShardRows(m, pool, num_shards, [=](int begin, int end) {
     GemmBTRows(begin, end, n, k, a, b, c);
   });

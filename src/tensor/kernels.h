@@ -8,19 +8,30 @@
 // (nn/, cluster/, index/) either go through tensor ops or call the kernels
 // directly on their own buffers for graph-free inference paths.
 //
-// Determinism: every kernel accumulates each output element along a fixed
-// floating-point order that does not depend on blocking parameters or on
-// the number of shards. For finite inputs, blocked GEMM is exactly equal
-// (bit-for-bit) to the naive i/k/j accumulation loop, and the ThreadPool
-// overload shards output rows in fixed contiguous ranges, so threaded
-// results are bit-identical to serial ones. Caveat: Gemm/GemmAT skip the
-// products of exact-zero A elements (the seed engine's sparse-activation
-// shortcut - dropout and ReLU produce many exact zeros). Adding 0 is
-// exact for finite B, but it means 0 * Inf/NaN contributes 0 instead of
-// poisoning the output with NaN. Reductions (Dot, L2NormRows) use a fixed
-// 4-lane partial sum so the compiler can vectorize them; the lane-combine
-// order is fixed, so they too are deterministic - but note they are *not*
-// the same rounding as a single-chain scalar loop.
+// Determinism (see src/tensor/README.md for the full contract): the GEMM
+// variants dispatch at runtime to one of several tiers (scalar reference,
+// portable vector, NEON, AVX2, AVX-512). *Within* a tier, every kernel
+// accumulates each output element along a fixed floating-point order that
+// does not depend on blocking parameters or on the number of shards, so
+// threaded results are bit-identical to serial ones and batched results
+// are bit-identical to per-row ones. *Across* tiers the rounding differs
+// (the SIMD tiers accumulate with fused multiply-adds, the scalar tier
+// with separate multiply+add), so outputs from different tiers agree only
+// within a small relative tolerance, never bitwise.
+//
+// The scalar tier is the always-available reference: it is bit-identical
+// to the naive i/k/j accumulation loop for finite inputs. It also skips
+// the products of exact-zero A elements (the seed engine's
+// sparse-activation shortcut), which the FMA tiers cannot replicate
+// (0 * Inf/NaN is NaN under a real fused multiply-add) - so no caller may
+// rely on the skip as a non-finite-data firewall; padded/garbage operand
+// rows must be zeroed at the source (see "Masking and batching rules" in
+// the README).
+//
+// Reductions (Dot, L2NormRows) use a fixed 4-lane partial sum so the
+// compiler can vectorize them; the lane-combine order is fixed, so they
+// too are deterministic - but note they are *not* the same rounding as a
+// single-chain scalar loop.
 
 #ifndef SUDOWOODO_TENSOR_KERNELS_H_
 #define SUDOWOODO_TENSOR_KERNELS_H_
@@ -31,12 +42,49 @@ class ThreadPool;  // common/thread_pool.h; only the pointer is used here.
 
 namespace sudowoodo::tensor::kernels {
 
-/// C[m,n] += A[m,k] * B[k,n]. Blocked over k and n for cache reuse; the
-/// per-element accumulation order is k-increasing regardless of blocking.
-/// With `num_shards > 1` the m rows are split into fixed contiguous shards
-/// run on `pool` (bit-identical to serial; pass the global pool from
-/// common/thread_pool.h). `pool == nullptr` or `num_shards <= 1` is the
-/// serial path.
+/// GEMM dispatch tiers, worst to best. kScalar is the blocked reference
+/// path (separate multiply+add, zero-skip); the others are the
+/// register-blocked FMA micro-kernel compiled for progressively wider
+/// vectors. Every tier is deterministic on its own; tiers differ from
+/// each other by rounding only.
+enum class KernelTier {
+  kScalar = 0,   // blocked reference loops, always available
+  kPortable = 1, // micro-kernel on 4-wide generic vectors, always available
+  kNeon = 2,     // micro-kernel on NEON (aarch64)
+  kAvx2 = 3,     // micro-kernel on AVX2+FMA (x86-64)
+  kAvx512 = 4,   // micro-kernel on AVX-512F (x86-64)
+};
+
+/// The tier Gemm/GemmAT/GemmBT currently dispatch to. Resolved once from
+/// the environment and CPUID on first use: SUDOWOODO_FORCE_SCALAR_KERNELS
+/// (non-empty, not "0") pins the scalar reference tier,
+/// SUDOWOODO_KERNEL_TIER=scalar|portable|neon|avx2|avx512 picks a specific
+/// tier (ignored when unsupported), otherwise the best tier this binary
+/// and CPU support wins.
+KernelTier ActiveKernelTier();
+
+/// Whether `tier` is compiled into this binary and runnable on this CPU.
+/// kScalar and kPortable are always supported.
+bool KernelTierSupported(KernelTier tier);
+
+/// Human-readable tier name ("scalar", "avx2", ...).
+const char* KernelTierName(KernelTier tier);
+
+/// Overrides the dispatch choice (tests and benches). Returns false and
+/// changes nothing when `tier` is unsupported. Not thread-safe against
+/// concurrent kernel calls; set it from the main thread between batches.
+bool SetKernelTier(KernelTier tier);
+
+/// Reverts SetKernelTier to the environment/CPUID default.
+void ResetKernelTier();
+
+/// C[m,n] += A[m,k] * B[k,n]. Dispatches to the active tier (see
+/// KernelTier); every tier accumulates each output element along a
+/// k-increasing chain, so results are bit-identical across blocking and
+/// sharding *within* a tier. With `num_shards > 1` the m rows are split
+/// into fixed contiguous shards run on `pool` (bit-identical to serial;
+/// pass the global pool from common/thread_pool.h). `pool == nullptr` or
+/// `num_shards <= 1` is the serial path.
 void Gemm(int m, int n, int k, const float* a, const float* b, float* c,
           ThreadPool* pool = nullptr, int num_shards = 1);
 

@@ -1,0 +1,46 @@
+// Internal entry points of the register-blocked GEMM micro-kernel tiers.
+//
+// Each tier lives in its own translation unit (kernels_portable.cc,
+// kernels_avx2.cc, kernels_avx512.cc, kernels_neon.cc) compiled with the
+// matching ISA flags; all of them include kernels_micro_impl.h, which
+// holds the one shared implementation parameterized by vector width. The
+// dispatcher in kernels.cc guards every call with a CPUID check, so the
+// wider-ISA functions never execute on hardware that lacks the
+// instructions. Declarations are unconditional; definitions exist only in
+// the TUs CMake compiles for the target architecture (the
+// SUDOWOODO_HAVE_* macros gate the call sites).
+
+#ifndef SUDOWOODO_TENSOR_KERNELS_MICRO_H_
+#define SUDOWOODO_TENSOR_KERNELS_MICRO_H_
+
+namespace sudowoodo::tensor::kernels::detail {
+
+/// Which transpose variant the shared micro-kernel driver is computing.
+/// All three share the same packed-B panel kernel; they differ only in
+/// how the B panel is gathered and how A is strided.
+enum class GemmVariant {
+  kNN,  // C += A[m,k]   * B[k,n]
+  kAT,  // C += A[k,m]^T * B[k,n]
+  kBT,  // C += A[m,k]   * B[n,k]^T
+};
+
+/// One tier's row-range worker: computes output rows [m_begin, m_end) of
+/// the full [m,n] product. Accumulates into C (k-increasing FMA chain per
+/// element); row ranges are independent, so the sharded overloads hand
+/// disjoint ranges to pool workers.
+using GemmMicroFn = void (*)(GemmVariant v, int m_begin, int m_end, int m,
+                             int n, int k, const float* a, const float* b,
+                             float* c);
+
+void GemmMicroPortable(GemmVariant v, int m_begin, int m_end, int m, int n,
+                       int k, const float* a, const float* b, float* c);
+void GemmMicroNeon(GemmVariant v, int m_begin, int m_end, int m, int n,
+                   int k, const float* a, const float* b, float* c);
+void GemmMicroAvx2(GemmVariant v, int m_begin, int m_end, int m, int n,
+                   int k, const float* a, const float* b, float* c);
+void GemmMicroAvx512(GemmVariant v, int m_begin, int m_end, int m, int n,
+                     int k, const float* a, const float* b, float* c);
+
+}  // namespace sudowoodo::tensor::kernels::detail
+
+#endif  // SUDOWOODO_TENSOR_KERNELS_MICRO_H_

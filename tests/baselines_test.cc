@@ -152,6 +152,78 @@ TEST(ZeroErTest, EndToEndOnEasyDataset) {
   EXPECT_GT(prf.f1, 0.5);  // citations are lexically easy
 }
 
+// Thread-invariance: the parallel E-step / prediction / featurization
+// loops write disjoint pre-sized slots, so every thread count must
+// reproduce the serial result exactly - posteriors bit-for-bit, not
+// merely the same thresholded labels.
+TEST(ZeroErTest, FitAndPredictInvariantAcrossThreadCounts) {
+  Rng rng(6);
+  FeatureMatrix features;
+  for (int i = 0; i < 300; ++i) {
+    const bool match = i % 10 == 0;
+    std::vector<double> f(3);
+    for (auto& v : f) {
+      v = match ? rng.Gaussian(0.9, 0.05) : rng.Gaussian(0.2, 0.05);
+    }
+    features.push_back(std::move(f));
+  }
+
+  ZeroErOptions base;
+  base.prior_match = 0.1;
+  base.num_threads = 1;
+  ZeroEr serial(base);
+  serial.Fit(features);
+  const std::vector<int> want_preds = serial.PredictBatch(features);
+  std::vector<double> want_proba(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    want_proba[i] = serial.PredictProba(features[i]);
+  }
+
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    ZeroErOptions opts = base;
+    opts.num_threads = threads;
+    ZeroEr model(opts);
+    model.Fit(features);
+    EXPECT_EQ(model.PredictBatch(features), want_preds);
+    for (size_t i = 0; i < features.size(); ++i) {
+      // Exact equality: the fitted parameters must match bitwise.
+      ASSERT_EQ(model.PredictProba(features[i]), want_proba[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(ZeroErTest, EmPairFeaturesInvariantAcrossThreadCounts) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("DA"));
+  std::vector<data::LabeledPair> pairs = ds.train;
+  pairs.insert(pairs.end(), ds.test.begin(), ds.test.end());
+  const FeatureMatrix want = EmPairFeatures(ds, pairs, /*num_threads=*/1);
+  ASSERT_EQ(want.size(), pairs.size());
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    const FeatureMatrix got = EmPairFeatures(ds, pairs, threads);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "pair " << i;
+    }
+  }
+}
+
+TEST(ZeroErTest, EndToEndInvariantAcrossThreadCounts) {
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("DA"));
+  ZeroErOptions opts;
+  opts.num_threads = 1;
+  const auto want = RunZeroErOnEm(ds, opts);
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    opts.num_threads = threads;
+    const auto got = RunZeroErOnEm(ds, opts);
+    EXPECT_EQ(got.precision, want.precision);
+    EXPECT_EQ(got.recall, want.recall);
+    EXPECT_EQ(got.f1, want.f1);
+  }
+}
+
 TEST(FuzzyJoinTest, ReasonableOnEasyDataset) {
   data::EmDataset ds = data::GenerateEm(data::GetEmSpec("DA"));
   auto prf = RunAutoFuzzyJoinOnEm(ds);

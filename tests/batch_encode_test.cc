@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "augment/cutoff.h"
@@ -96,6 +98,66 @@ GruConfig SmallGru() {
   config.max_len = 24;
   config.dim = 12;
   return config;
+}
+
+// Padded slots must never leak into valid outputs, even when the data
+// sitting in them is NaN/Inf - encoder correctness must not depend on
+// the scalar Gemm's zero-skip (retired as a padding firewall: the SIMD
+// micro-kernel tiers turn 0 * NaN into NaN, see kernels.h). The worst
+// realistic poison is the pad embedding itself: the batched residual
+// stream carries a pad-row projection of it through every layer, so
+// setting the [PAD] table row to NaN/Inf makes every padded slot
+// non-finite from the first gather. The per-row oracle never reads the
+// pad row (no row in this batch is empty), so batched must still match
+// it bitwise.
+template <typename EncoderT, typename ConfigT>
+void ExpectPoisonedPaddingHarmless(const ConfigT& config, float poison,
+                                   uint64_t seed) {
+  const auto batch = RaggedBatch(40, config.vocab_size, seed);
+  EncoderT per_row(config);
+  per_row.set_batched_inference(false);
+  EncoderT batched(config);  // same seed => same weights
+  batched.set_bucketing(true);
+  for (EncoderT* enc : {&per_row, &batched}) {
+    for (Tensor p : enc->Parameters()) {
+      if (p.rows() != config.vocab_size) continue;  // the token table
+      for (int j = 0; j < p.cols(); ++j) p.data()[j] = poison;  // pad row 0
+    }
+  }
+
+  ts::NoGradGuard ng;
+  Tensor want = per_row.EncodeBatch(batch, nullptr, /*training=*/false);
+  Tensor got = batched.EncodeBatch(batch, nullptr, /*training=*/false);
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (int i = 0; i < want.rows(); ++i) {
+    for (int j = 0; j < want.cols(); ++j) {
+      ASSERT_TRUE(std::isfinite(want.at(i, j))) << "oracle row " << i;
+      ASSERT_EQ(got.at(i, j), want.at(i, j))
+          << "row " << i << " dim " << j << " poison " << poison;
+    }
+  }
+}
+
+TEST(BatchEncodePaddingPoisonTest, TransformerSurvivesNaNAndInfPadding) {
+  ExpectPoisonedPaddingHarmless<TransformerEncoder>(
+      SmallTransformer(), std::numeric_limits<float>::quiet_NaN(), 301);
+  ExpectPoisonedPaddingHarmless<TransformerEncoder>(
+      SmallTransformer(), std::numeric_limits<float>::infinity(), 302);
+}
+
+TEST(BatchEncodePaddingPoisonTest, FastBagSurvivesNaNAndInfPadding) {
+  ExpectPoisonedPaddingHarmless<FastBagEncoder>(
+      SmallBag(), std::numeric_limits<float>::quiet_NaN(), 303);
+  ExpectPoisonedPaddingHarmless<FastBagEncoder>(
+      SmallBag(), std::numeric_limits<float>::infinity(), 304);
+}
+
+TEST(BatchEncodePaddingPoisonTest, GruSurvivesNaNAndInfPadding) {
+  ExpectPoisonedPaddingHarmless<GruEncoder>(
+      SmallGru(), std::numeric_limits<float>::quiet_NaN(), 305);
+  ExpectPoisonedPaddingHarmless<GruEncoder>(
+      SmallGru(), std::numeric_limits<float>::infinity(), 306);
 }
 
 TEST(BatchEncodeEquivalenceTest, TransformerBitIdenticalAcrossBatchSizes) {

@@ -1,11 +1,19 @@
 // Tests for the raw kernel layer under the autograd engine.
 //
-// The naive reference loops in this file are the spec: for finite inputs
-// blocked GEMM must match them *bit for bit* (per-output-element
-// accumulation order is k-increasing in both), and the threaded overload
-// must match serial. The one documented divergence (see kernels.h) is
-// non-finite data: the kernels skip products of exact-zero A elements, so
-// 0 * Inf/NaN contributes 0 where the plain loop would produce NaN.
+// The naive reference loops in this file are the spec, with the tolerance
+// split documented in kernels.h: the *scalar* tier must match them bit
+// for bit (per-output-element accumulation order is k-increasing in
+// both), while the SIMD micro-kernel tiers accumulate with fused
+// multiply-adds and so match only within a small relative tolerance.
+// Within ANY tier, the threaded overload must match serial bitwise -
+// that is the per-dispatch determinism contract the dispatch-matrix
+// battery below pins for every tier this machine can run.
+//
+// One further scalar-tier-only behavior: the reference loops skip
+// products of exact-zero A elements, so 0 * Inf/NaN contributes 0 there
+// where the plain loop (and the FMA tiers) would produce NaN. No caller
+// may rely on that skip; see "Masking and batching rules" in
+// src/tensor/README.md.
 
 #include <gtest/gtest.h>
 
@@ -18,6 +26,26 @@
 
 namespace sudowoodo::tensor::kernels {
 namespace {
+
+/// Pins the dispatch tier for one test scope; restores the default on
+/// exit so test order never leaks a tier.
+class ScopedTier {
+ public:
+  explicit ScopedTier(KernelTier t) { EXPECT_TRUE(SetKernelTier(t)); }
+  ~ScopedTier() { ResetKernelTier(); }
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+};
+
+std::vector<KernelTier> AvailableTiers() {
+  std::vector<KernelTier> tiers;
+  for (KernelTier t : {KernelTier::kScalar, KernelTier::kPortable,
+                       KernelTier::kNeon, KernelTier::kAvx2,
+                       KernelTier::kAvx512}) {
+    if (KernelTierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
 
 std::vector<float> RandomVec(int n, uint64_t seed) {
   Rng rng(seed);
@@ -79,6 +107,9 @@ const Shape kShapes[] = {
 };
 
 TEST(KernelsTest, BlockedGemmMatchesNaiveExactly) {
+  // Bitwise equality with the naive loop is a scalar-tier guarantee; the
+  // SIMD tiers are covered with tolerance by the dispatch battery below.
+  ScopedTier scalar(KernelTier::kScalar);
   for (const auto& s : kShapes) {
     const auto a = RandomVec(s.m * s.k, 1 + static_cast<uint64_t>(s.m));
     const auto b = RandomVec(s.k * s.n, 2 + static_cast<uint64_t>(s.n));
@@ -94,6 +125,7 @@ TEST(KernelsTest, BlockedGemmMatchesNaiveExactly) {
 }
 
 TEST(KernelsTest, GemmAccumulatesIntoExistingC) {
+  ScopedTier scalar(KernelTier::kScalar);
   const int m = 3, n = 5, k = 4;
   const auto a = RandomVec(m * k, 11);
   const auto b = RandomVec(k * n, 12);
@@ -106,6 +138,7 @@ TEST(KernelsTest, GemmAccumulatesIntoExistingC) {
 }
 
 TEST(KernelsTest, GemmATMatchesNaiveExactly) {
+  ScopedTier scalar(KernelTier::kScalar);
   for (const auto& s : kShapes) {
     const auto a = RandomVec(s.k * s.m, 3 + static_cast<uint64_t>(s.m));
     const auto b = RandomVec(s.k * s.n, 4 + static_cast<uint64_t>(s.n));
@@ -120,8 +153,10 @@ TEST(KernelsTest, GemmATMatchesNaiveExactly) {
 }
 
 TEST(KernelsTest, GemmBTMatchesDoubleReference) {
-  // GemmBT reduces via the 4-lane Dot, so compare against a double
-  // reference with a small tolerance instead of bitwise.
+  // GemmBT never promises bitwise equality with a single-chain loop (the
+  // scalar tier reduces via the 4-lane Dot, the micro tiers via an FMA
+  // chain), so compare the *default dispatch* against a double reference
+  // with a small tolerance.
   for (const auto& s : kShapes) {
     const auto a = RandomVec(s.m * s.k, 5 + static_cast<uint64_t>(s.m));
     const auto b = RandomVec(s.n * s.k, 6 + static_cast<uint64_t>(s.n));
@@ -147,6 +182,152 @@ TEST(KernelsTest, ThreadedGemmBitIdenticalToSerial) {
     Gemm(m, n, k, a.data(), b.data(), threaded.data(), &ThreadPool::Global(),
          shards);
     EXPECT_EQ(threaded, serial) << "shards=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch-matrix battery: every tier this binary+CPU can run, against
+// the naive references, at edge shapes (non-multiple-of-tile m/n/k for
+// every tile geometry in use, m=1, k=0, multi-k-block), plus the
+// per-tier determinism contract (threaded == serial, repeat == repeat)
+// and the cross-tier tolerance bound.
+
+/// Edge shapes for the micro-kernel geometries: row tiles of 6, column
+/// panels of 8/16/32 floats depending on tier, k blocks of 256.
+const Shape kDispatchShapes[] = {
+    {1, 1, 1},     // everything is a tail
+    {1, 33, 47},   // m=1: single-row tiles only
+    {6, 32, 8},    // exact 6-row tile, exact panels for every width
+    {7, 17, 9},    // one full tile + 1-row tail, ragged panels
+    {13, 31, 129}, // tails in every dimension
+    {5, 33, 300},  // k spans two 256-deep packed blocks
+    {130, 7, 259}, // many row tiles, narrow n, ragged k blocks
+};
+
+TEST(KernelDispatchTest, EveryTierMatchesNaiveAtEdgeShapes) {
+  for (KernelTier tier : AvailableTiers()) {
+    ScopedTier scoped(tier);
+    for (const auto& s : kDispatchShapes) {
+      const auto a = RandomVec(s.m * s.k, 71 + static_cast<uint64_t>(s.m));
+      const auto at = RandomVec(s.k * s.m, 72 + static_cast<uint64_t>(s.m));
+      const auto b = RandomVec(s.k * s.n, 73 + static_cast<uint64_t>(s.n));
+      const auto bt = RandomVec(s.n * s.k, 74 + static_cast<uint64_t>(s.n));
+      // Non-zero initial C: the += contract must hold in every tier.
+      std::vector<float> want(static_cast<size_t>(s.m) * s.n, 0.25f);
+      std::vector<float> got_nn = want, got_at = want, got_bt = want;
+      std::vector<float> want_at = want, want_bt = want;
+      NaiveGemm(s.m, s.n, s.k, a.data(), b.data(), want.data());
+      NaiveGemmAT(s.m, s.n, s.k, at.data(), b.data(), want_at.data());
+      NaiveGemmBT(s.m, s.n, s.k, a.data(), bt.data(), want_bt.data());
+      Gemm(s.m, s.n, s.k, a.data(), b.data(), got_nn.data());
+      GemmAT(s.m, s.n, s.k, at.data(), b.data(), got_at.data());
+      GemmBT(s.m, s.n, s.k, a.data(), bt.data(), got_bt.data());
+      for (size_t i = 0; i < want.size(); ++i) {
+        const char* where = KernelTierName(tier);
+        if (tier == KernelTier::kScalar) {
+          // The reference tier IS the naive chain, bit for bit.
+          ASSERT_EQ(got_nn[i], want[i]) << where << " gemm " << s.m << "x"
+                                        << s.n << "x" << s.k << " at " << i;
+          ASSERT_EQ(got_at[i], want_at[i]) << where << " gemm_at";
+        } else {
+          ASSERT_NEAR(got_nn[i], want[i], 1e-4f * (std::fabs(want[i]) + 1.0f))
+              << where << " gemm " << s.m << "x" << s.n << "x" << s.k;
+          ASSERT_NEAR(got_at[i], want_at[i],
+                      1e-4f * (std::fabs(want_at[i]) + 1.0f))
+              << where << " gemm_at " << s.m << "x" << s.n << "x" << s.k;
+        }
+        ASSERT_NEAR(got_bt[i], want_bt[i],
+                    1e-4f * (std::fabs(want_bt[i]) + 1.0f))
+            << where << " gemm_bt " << s.m << "x" << s.n << "x" << s.k;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, KZeroLeavesCUntouchedInEveryTier) {
+  for (KernelTier tier : AvailableTiers()) {
+    ScopedTier scoped(tier);
+    const int m = 4, n = 9;
+    const std::vector<float> before = RandomVec(m * n, 81);
+    std::vector<float> c = before;
+    Gemm(m, n, 0, nullptr, nullptr, c.data());
+    GemmAT(m, n, 0, nullptr, nullptr, c.data());
+    GemmBT(m, n, 0, nullptr, nullptr, c.data());
+    EXPECT_EQ(c, before) << KernelTierName(tier);
+  }
+}
+
+TEST(KernelDispatchTest, ThreadedBitIdenticalToSerialInEveryTier) {
+  const int m = 37, n = 65, k = 300;  // ragged everywhere, two k blocks
+  const auto a = RandomVec(m * k, 91);
+  const auto at = RandomVec(k * m, 92);
+  const auto b = RandomVec(k * n, 93);
+  const auto bt = RandomVec(n * k, 94);
+  for (KernelTier tier : AvailableTiers()) {
+    ScopedTier scoped(tier);
+    std::vector<float> s_nn(static_cast<size_t>(m) * n, 0.0f);
+    std::vector<float> s_at = s_nn, s_bt = s_nn;
+    Gemm(m, n, k, a.data(), b.data(), s_nn.data());
+    GemmAT(m, n, k, at.data(), b.data(), s_at.data());
+    GemmBT(m, n, k, a.data(), bt.data(), s_bt.data());
+    for (int shards : {2, 3, 8}) {
+      std::vector<float> t_nn(static_cast<size_t>(m) * n, 0.0f);
+      std::vector<float> t_at = t_nn, t_bt = t_nn;
+      Gemm(m, n, k, a.data(), b.data(), t_nn.data(), &ThreadPool::Global(),
+           shards);
+      GemmAT(m, n, k, at.data(), b.data(), t_at.data(),
+             &ThreadPool::Global(), shards);
+      GemmBT(m, n, k, a.data(), bt.data(), t_bt.data(),
+             &ThreadPool::Global(), shards);
+      EXPECT_EQ(t_nn, s_nn) << KernelTierName(tier) << " shards=" << shards;
+      EXPECT_EQ(t_at, s_at) << KernelTierName(tier) << " shards=" << shards;
+      EXPECT_EQ(t_bt, s_bt) << KernelTierName(tier) << " shards=" << shards;
+    }
+    // Same tier, same inputs, run twice: dispatch itself must be stable.
+    std::vector<float> again(static_cast<size_t>(m) * n, 0.0f);
+    Gemm(m, n, k, a.data(), b.data(), again.data());
+    EXPECT_EQ(again, s_nn) << KernelTierName(tier);
+  }
+}
+
+TEST(KernelDispatchTest, TiersAgreeWithScalarWithinTolerance) {
+  // The cross-tier bound: any tier's output stays within a small
+  // relative tolerance of the scalar reference tier. This is the
+  // contract callers get when the same binary dispatches differently on
+  // different machines.
+  const int m = 23, n = 45, k = 131;
+  const auto a = RandomVec(m * k, 95);
+  const auto b = RandomVec(k * n, 96);
+  std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+  {
+    ScopedTier scalar(KernelTier::kScalar);
+    Gemm(m, n, k, a.data(), b.data(), ref.data());
+  }
+  for (KernelTier tier : AvailableTiers()) {
+    ScopedTier scoped(tier);
+    std::vector<float> got(static_cast<size_t>(m) * n, 0.0f);
+    Gemm(m, n, k, a.data(), b.data(), got.data());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(got[i], ref[i], 1e-4f * (std::fabs(ref[i]) + 1.0f))
+          << KernelTierName(tier) << " at " << i;
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ScalarAndPortableAlwaysSupported) {
+  EXPECT_TRUE(KernelTierSupported(KernelTier::kScalar));
+  EXPECT_TRUE(KernelTierSupported(KernelTier::kPortable));
+  // The active tier must be a supported one, whatever the environment
+  // picked.
+  EXPECT_TRUE(KernelTierSupported(ActiveKernelTier()));
+  // Forcing an unsupported tier must fail without changing dispatch.
+  const KernelTier active = ActiveKernelTier();
+  for (KernelTier t : {KernelTier::kNeon, KernelTier::kAvx2,
+                       KernelTier::kAvx512}) {
+    if (!KernelTierSupported(t)) {
+      EXPECT_FALSE(SetKernelTier(t));
+      EXPECT_EQ(ActiveKernelTier(), active);
+    }
   }
 }
 

@@ -111,6 +111,34 @@ TEST(ParallelForTest, ShardsAreFixedContiguousAndCoverTheRange) {
   EXPECT_EQ(MakeShards(2, 8).size(), 2u);
 }
 
+TEST(ParallelForTest, ShardMathStaysExactBeyondInt32) {
+  // Regression: the shard-count clamp used to narrow n to int, so any
+  // n > 2^31-1 wrapped (usually negative) and collapsed the whole
+  // decomposition to one shard. The clamp must stay in 64-bit.
+  const int64_t huge = (int64_t{1} << 33) + 5;
+  for (int num_shards : {2, 4, 7}) {
+    const auto shards = MakeShards(huge, num_shards);
+    ASSERT_EQ(shards.size(), static_cast<size_t>(num_shards)) << num_shards;
+    int64_t expect_begin = 0;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      EXPECT_EQ(shards[s].begin, expect_begin);  // contiguous, in order
+      EXPECT_EQ(shards[s].shard, static_cast<int>(s));
+      EXPECT_GT(shards[s].end, shards[s].begin);
+      expect_begin = shards[s].end;
+    }
+    EXPECT_EQ(expect_begin, huge);  // full coverage, no overflow
+    // Near-equal split: lengths differ by at most one.
+    const int64_t base = huge / num_shards;
+    for (const auto& r : shards) {
+      const int64_t len = r.end - r.begin;
+      EXPECT_TRUE(len == base || len == base + 1) << len;
+    }
+  }
+  // The clamp itself, just past the wrap boundary: n still exceeds the
+  // shard count, so every shard must materialize.
+  EXPECT_EQ(MakeShards((int64_t{1} << 31) + 7, 8).size(), 8u);
+}
+
 TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
   for (int num_threads : {1, 2, 4, 7}) {
     std::vector<int> visits(131, 0);
