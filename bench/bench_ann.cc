@@ -1,0 +1,151 @@
+// Recall-vs-speed series for the IVF approximate blocking index
+// (index/ivf_index.h): at N in {2.5k, 25k, 100k} items, sweep nprobe and
+// report QueryBatch wall-clock, speedup over the exact oracle, and
+// recall@k against the exact top-k. The 2.5k point is paper scale (where
+// the pipelines default to the exact path); the 100k point is where the
+// sub-linear flop count pays. scripts/bench_compare.py treats recall_at_k
+// as a correctness metric: a drop beyond tolerance FAILs the comparison.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "index/ivf_index.h"
+#include "index/knn_index.h"
+
+namespace sudowoodo {
+namespace {
+
+// Clustered unit vectors (cluster direction + Gaussian noise,
+// re-normalized): the workload IVF exists for - contrastively trained
+// embeddings cluster by entity; uniform random directions would make every
+// cell equidistant and nprobe meaningless. Items and queries must share
+// `centers` (queries retrieve the items clustered around the same
+// entities), so the directions are drawn once and passed in.
+std::vector<float> SharedClusterCenters(int n_clusters, int dim,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> centers(static_cast<size_t>(n_clusters) * dim);
+  for (auto& v : centers) v = static_cast<float>(rng.Gaussian());
+  return centers;
+}
+
+std::vector<float> ClusteredUnitRows(const std::vector<float>& centers, int n,
+                                     int dim, float noise, uint64_t seed) {
+  Rng rng(seed);
+  const int n_clusters = static_cast<int>(centers.size()) / dim;
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    const float* c = centers.data() + static_cast<size_t>(i % n_clusters) * dim;
+    float* r = rows.data() + static_cast<size_t>(i) * dim;
+    double norm = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      r[j] = c[j] + noise * static_cast<float>(rng.Gaussian());
+      norm += static_cast<double>(r[j]) * r[j];
+    }
+    norm = std::sqrt(std::max(norm, 1e-20));
+    for (int j = 0; j < dim; ++j) {
+      r[j] = static_cast<float>(r[j] / norm);
+    }
+  }
+  return rows;
+}
+
+double RecallAtK(const std::vector<std::vector<index::Neighbor>>& exact,
+                 const std::vector<std::vector<index::Neighbor>>& approx) {
+  double hit = 0.0, total = 0.0;
+  for (size_t q = 0; q < exact.size(); ++q) {
+    std::set<int> found;
+    for (const auto& nb : approx[q]) found.insert(nb.id);
+    for (const auto& nb : exact[q]) {
+      total += 1.0;
+      hit += found.count(nb.id) ? 1.0 : 0.0;
+    }
+  }
+  return total > 0 ? hit / total : 1.0;
+}
+
+void Run(const std::string& json_path) {
+  bench::JsonRecords records;
+  const int dim = 64, n_queries = 1000, k = 10;
+
+  for (int n_items : {2500, 25000, 100000}) {
+    // Cluster count scales with N so cells stay meaningfully populated.
+    const int n_clusters = std::max(20, n_items / 100);
+    const auto centers = SharedClusterCenters(n_clusters, dim, 7);
+    const auto items = ClusteredUnitRows(centers, n_items, dim, 0.25f, 9);
+    const auto queries = ClusteredUnitRows(centers, n_queries, dim, 0.25f, 11);
+
+    index::KnnIndex exact(items.data(), n_items, dim);
+    WallTimer exact_timer;
+    const auto truth = exact.QueryBatch(queries.data(), n_queries, dim, k);
+    const double exact_seconds = exact_timer.ElapsedSeconds();
+    {
+      auto& r = records.Add();
+      r.Str("bench", "ann_exact_query_batch");
+      r.Int("n_items", n_items);
+      r.Int("n_queries", n_queries);
+      r.Int("dim", dim);
+      r.Int("k", k);
+      r.Num("seconds", exact_seconds);
+    }
+
+    WallTimer build_timer;
+    index::IvfIndex ivf(items.data(), n_items, dim);
+    const double build_seconds = build_timer.ElapsedSeconds();
+    {
+      auto& r = records.Add();
+      r.Str("bench", "ann_ivf_build");
+      r.Int("n_items", n_items);
+      r.Int("dim", dim);
+      r.Int("num_cells", ivf.num_cells());
+      r.Num("seconds", build_seconds);
+    }
+
+    TablePrinter table(StrFormat(
+        "IVF recall-vs-speed: N=%d, dim=%d, Q=%d, k=%d, %d cells "
+        "(exact: %.3fs, build: %.3fs)",
+        n_items, dim, n_queries, k, ivf.num_cells(), exact_seconds,
+        build_seconds));
+    table.SetHeader({"nprobe", "seconds", "speedup_vs_exact", "recall@10"});
+    for (int nprobe : {1, 2, 4, 8, 16}) {
+      WallTimer timer;
+      const auto approx =
+          ivf.QueryBatch(queries.data(), n_queries, dim, k, nprobe);
+      const double seconds = timer.ElapsedSeconds();
+      const double recall = RecallAtK(truth, approx);
+      const double speedup = seconds > 0 ? exact_seconds / seconds : 0.0;
+      table.AddRow({std::to_string(nprobe), StrFormat("%.4f", seconds),
+                    StrFormat("%.2fx", speedup), StrFormat("%.4f", recall)});
+      auto& r = records.Add();
+      r.Str("bench", "ann_query_batch");
+      r.Int("n_items", n_items);
+      r.Int("n_queries", n_queries);
+      r.Int("dim", dim);
+      r.Int("k", k);
+      r.Int("nprobe", nprobe);
+      r.Int("num_cells", ivf.num_cells());
+      r.Num("seconds", seconds);
+      r.Num("speedup_vs_exact", speedup);
+      r.Num("recall_at_k", recall);
+    }
+    table.Print();
+  }
+
+  bench::WriteOrReport(records, json_path);
+}
+
+}  // namespace
+}  // namespace sudowoodo
+
+int main(int argc, char** argv) {
+  sudowoodo::Run(sudowoodo::bench::JsonPathFromArgs(argc, argv));
+  return 0;
+}

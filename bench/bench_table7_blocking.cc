@@ -66,5 +66,27 @@ int main() {
                     StrFormat("%d", kDlBlockPaper[d].cands)});
   }
   summary.Print();
+
+  // ANN check: on the first dataset, force the IVF blocking index and
+  // verify end-to-end EM blocking recall stays within the stated budget of
+  // the exact oracle (0.05 absolute at k = 10; see EXPERIMENTS.md "ANN
+  // blocking"). Paper-scale tables default to exact, so this only runs
+  // when explicitly forced.
+  {
+    data::EmDataset ds = data::GenerateEm(data::GetEmSpec(codes[0]));
+    pipeline::EmPipelineOptions exact_opts = bench::SudowoodoEmOptions();
+    exact_opts.blocking_index.kind = index::BlockingIndexKind::kExact;
+    pipeline::EmPipelineOptions ivf_opts = bench::SudowoodoEmOptions();
+    ivf_opts.blocking_index.kind = index::BlockingIndexKind::kIvf;
+    auto exact_pts = pipeline::EmPipeline(exact_opts).BlockingSweep(ds, 10);
+    auto ivf_pts = pipeline::EmPipeline(ivf_opts).BlockingSweep(ds, 10);
+    const double exact_r = exact_pts.back().recall;
+    const double ivf_r = ivf_pts.back().recall;
+    const bool within_budget = ivf_r >= exact_r - 0.05;
+    std::printf(
+        "\nANN blocking check [%s]: recall@10 exact=%.3f ivf=%.3f "
+        "(budget 0.05) -> %s\n",
+        codes[0].c_str(), exact_r, ivf_r, within_budget ? "OK" : "EXCEEDED");
+  }
   return 0;
 }

@@ -45,7 +45,11 @@ instead of zeroing the band out.
 
 Correctness booleans (identical_to_serial, identical_to_per_row,
 identical_to_uncached, matches_reference) are hard-checked regardless of
-any band or env override.
+any band or env override. ``recall_at_k`` (the ANN series) is likewise a
+correctness metric, not a timing: a fresh recall more than
+``RECALL_EPSILON`` below its committed baseline FAILS on any machine (the
+tiny epsilon absorbs cross-tier FMA rounding flipping borderline
+neighbours), demoted to a warning only by ``BENCH_COMPARE_WARN_ONLY=1``.
 
 Usage:
   scripts/bench_compare.py [--baseline-ref HEAD] [--baseline-dir DIR]
@@ -64,7 +68,8 @@ import subprocess
 import sys
 
 METRIC_FIELDS = ("seconds", "speedup", "speedup_vs_per_row_serial",
-                 "speedup_vs_nocache_warm", "steps_per_second", "gflops",
+                 "speedup_vs_nocache_warm", "speedup_vs_exact",
+                 "steps_per_second", "gflops", "recall_at_k",
                  "allocs_per_call", "alloc_bytes_per_call")
 CORRECTNESS_FIELDS = ("identical_to_serial", "identical_to_per_row",
                       "matches_reference", "identical_to_serial_training",
@@ -100,6 +105,12 @@ def is_strict(record):
 # attention-score kernel shapes). The allocation gate is deterministic
 # and applies regardless.
 STRICT_SECONDS_FLOOR = 0.005
+
+# Largest tolerated drop in a record's recall_at_k below its committed
+# baseline. Recall is deterministic on a fixed kernel tier; the epsilon
+# only absorbs a different tier's FMA rounding flipping ties at the top-k
+# boundary. Anything bigger means the index got worse: hard FAIL.
+RECALL_EPSILON = 0.005
 
 
 def strict_seconds_gated(record, baseline_seconds):
@@ -276,6 +287,20 @@ def main():
                     warnings += 1
                 else:
                     status = f"FAIL {fa:.0f} allocs/call (baseline 0)"
+                    failures += 1
+            # Recall gate: approximate-index quality is correctness, not
+            # timing - machine-independent, so no band or median applies.
+            br = base.get("recall_at_k")
+            fr = record.get("recall_at_k")
+            if isinstance(br, (int, float)) and isinstance(fr, (int, float)) \
+                    and fr < br - RECALL_EPSILON:
+                if warn_only:
+                    status = f"warn: recall_at_k {fr:.4f} < " \
+                             f"baseline {br:.4f}"
+                    warnings += 1
+                else:
+                    status = f"FAIL recall_at_k {fr:.4f} < " \
+                             f"baseline {br:.4f}"
                     failures += 1
             print(f"{label:<52} {fmt_seconds(bs):>10} {fmt_seconds(fs):>10} "
                   f"{ratio_text:>7}  {status}")

@@ -33,6 +33,14 @@ def strict_record(seconds, shape="128x768x768", tier=None, **extra):
     return r
 
 
+def ann_record(recall, nprobe=8, seconds=0.05, **extra):
+    r = {"bench": "ann_query_batch", "n_items": 25000, "n_queries": 1000,
+         "dim": 64, "k": 10, "nprobe": nprobe, "num_cells": 159,
+         "seconds": seconds, "speedup_vs_exact": 10.0, "recall_at_k": recall}
+    r.update(extra)
+    return r
+
+
 class BenchCompareTest(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
@@ -141,6 +149,58 @@ class BenchCompareTest(unittest.TestCase):
         self.assert_clean(proc)
         self.assertEqual(proc.returncode, 1, msg=proc.stdout)
         self.assertIn("missing from fresh run", proc.stdout)
+
+    # ---- ANN recall gate ----------------------------------------------
+
+    def test_recall_drop_fails(self):
+        self.write("baseline/BENCH_ann.json",
+                   [ann_record(0.97), ann_record(0.99, nprobe=16)])
+        fresh = self.write("BENCH_ann.json",
+                           [ann_record(0.90), ann_record(0.99, nprobe=16)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 1, msg=proc.stdout)
+        self.assertIn("FAIL recall_at_k", proc.stdout)
+
+    def test_recall_within_epsilon_passes(self):
+        self.write("baseline/BENCH_ann.json", [ann_record(0.970)])
+        # Within RECALL_EPSILON (cross-tier rounding flipping one tie) and
+        # 2x slower (inside the non-strict warn band): both pass.
+        fresh = self.write("BENCH_ann.json",
+                           [ann_record(0.967, seconds=0.10)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertNotIn("FAIL", proc.stdout)
+
+    def test_recall_improvement_passes(self):
+        self.write("baseline/BENCH_ann.json", [ann_record(0.95)])
+        fresh = self.write("BENCH_ann.json", [ann_record(0.99)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+
+    def test_recall_drop_demoted_by_warn_only(self):
+        self.write("baseline/BENCH_ann.json", [ann_record(0.97)])
+        fresh = self.write("BENCH_ann.json", [ann_record(0.80)])
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baseline-dir", self.baseline_dir,
+             fresh],
+            capture_output=True, text=True, cwd=self.dir,
+            env={**os.environ, "BENCH_COMPARE_WARN_ONLY": "1"})
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertIn("warn: recall_at_k", proc.stdout)
+
+    def test_recall_is_not_identity(self):
+        # recall_at_k is a metric: a changed value must still match its
+        # baseline record, not surface as new + missing-baseline.
+        self.write("baseline/BENCH_ann.json", [ann_record(0.97)])
+        fresh = self.write("BENCH_ann.json", [ann_record(0.99)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertNotIn("no baseline", proc.stdout)
+        self.assertNotIn("baseline-only", proc.stdout)
 
     # ---- tier metadata rules ------------------------------------------
 

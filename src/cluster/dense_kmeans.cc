@@ -1,0 +1,151 @@
+#include "cluster/dense_kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/kernels.h"
+
+namespace sudowoodo::cluster {
+
+namespace ks = sudowoodo::tensor::kernels;
+
+namespace {
+
+/// Items are scored against centroids in fixed blocks so the GemmBT panel
+/// has enough rows to amortize its B-panel packing; block boundaries
+/// depend only on n, never on the thread count.
+constexpr int kItemBlock = 256;
+
+void NormalizeRow(float* row, int dim) {
+  const double n = std::sqrt(ks::DotDouble(row, row, dim));
+  if (n > 1e-12) {
+    for (int j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(row[j] / n);
+    }
+  }
+}
+
+}  // namespace
+
+DenseKMeansResult DenseKMeans(const float* rows, int n, int dim,
+                              const DenseKMeansOptions& options) {
+  DenseKMeansResult result;
+  if (n <= 0) return result;
+  SUDO_CHECK(rows != nullptr && dim > 0);
+  const int k = std::max(1, std::min(options.k, n));
+  Rng rng(options.seed);
+
+  // k-means++-lite seeding, mirroring the sparse variant: first center
+  // uniform, the rest sampled proportionally to (1 - max cosine to the
+  // chosen centers). The distance refresh against the newest center is
+  // sharded (each item writes only its own slot; every score is one fixed
+  // GemmBT chain), the draws stay serial.
+  std::vector<float> centers(static_cast<size_t>(k) * dim, 0.0f);
+  int n_centers = 0;
+  std::vector<double> min_dist(static_cast<size_t>(n), 1.0);
+  std::vector<float> seed_scores(static_cast<size_t>(n));
+  {
+    const int first = rng.UniformInt(n);
+    std::copy(rows + static_cast<size_t>(first) * dim,
+              rows + static_cast<size_t>(first + 1) * dim, centers.begin());
+    NormalizeRow(centers.data(), dim);
+    n_centers = 1;
+  }
+  while (n_centers < k) {
+    const float* latest =
+        centers.data() + static_cast<size_t>(n_centers - 1) * dim;
+    std::fill(seed_scores.begin(), seed_scores.end(), 0.0f);
+    ParallelFor(
+        n, options.num_threads,
+        [&](int64_t begin, int64_t end, int /*shard*/) {
+          ks::GemmBT(static_cast<int>(end - begin), 1, dim,
+                     rows + static_cast<size_t>(begin) * dim, latest,
+                     seed_scores.data() + begin);
+        },
+        options.pool);
+    for (int i = 0; i < n; ++i) {
+      min_dist[static_cast<size_t>(i)] = std::min(
+          min_dist[static_cast<size_t>(i)],
+          std::max(0.0, 1.0 - static_cast<double>(
+                                  seed_scores[static_cast<size_t>(i)])));
+    }
+    double total = 0.0;
+    for (double d : min_dist) total += d;
+    const int chosen =
+        total <= 1e-12 ? rng.UniformInt(n) : rng.WeightedChoice(min_dist);
+    std::copy(rows + static_cast<size_t>(chosen) * dim,
+              rows + static_cast<size_t>(chosen + 1) * dim,
+              centers.begin() + static_cast<size_t>(n_centers) * dim);
+    NormalizeRow(centers.data() + static_cast<size_t>(n_centers) * dim, dim);
+    ++n_centers;
+  }
+
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  const int64_t n_blocks = (static_cast<int64_t>(n) + kItemBlock - 1) /
+                           kItemBlock;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Assignment: the O(n*k) hot step. Fixed item blocks fan across
+    // workers; each block scores (block x k) through one GemmBT panel and
+    // argmaxes per item with a lower-id tie-break, writing only its own
+    // assignment slots plus a per-shard changed flag - bit-identical to
+    // serial for any shard count.
+    std::vector<char> shard_changed(
+        static_cast<size_t>(std::max(1, options.num_threads)), 0);
+    ParallelFor(
+        n_blocks, options.num_threads,
+        [&](int64_t begin, int64_t end, int shard) {
+          std::vector<float> scores(static_cast<size_t>(kItemBlock) * k);
+          for (int64_t b = begin; b < end; ++b) {
+            const int i0 = static_cast<int>(b * kItemBlock);
+            const int i1 = std::min(n, i0 + kItemBlock);
+            const int m = i1 - i0;
+            std::fill(scores.begin(),
+                      scores.begin() + static_cast<size_t>(m) * k, 0.0f);
+            ks::GemmBT(m, k, dim, rows + static_cast<size_t>(i0) * dim,
+                       centers.data(), scores.data());
+            for (int i = 0; i < m; ++i) {
+              const float* s = scores.data() + static_cast<size_t>(i) * k;
+              float best = -2.0f;
+              int best_c = 0;
+              for (int c = 0; c < k; ++c) {
+                if (s[c] > best) {
+                  best = s[c];
+                  best_c = c;
+                }
+              }
+              if (result.assignments[static_cast<size_t>(i0 + i)] != best_c) {
+                result.assignments[static_cast<size_t>(i0 + i)] = best_c;
+                shard_changed[static_cast<size_t>(shard)] = 1;
+              }
+            }
+          }
+        },
+        options.pool);
+    bool changed = false;
+    for (char c : shard_changed) changed = changed || (c != 0);
+    result.iterations_run = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update: serial ascending-item accumulation (part of the
+    // deterministic contract, like the sparse variant's sparse sums).
+    std::fill(centers.begin(), centers.end(), 0.0f);
+    for (int i = 0; i < n; ++i) {
+      ks::Axpy(dim, 1.0f, rows + static_cast<size_t>(i) * dim,
+               centers.data() +
+                   static_cast<size_t>(
+                       result.assignments[static_cast<size_t>(i)]) *
+                       dim);
+    }
+    for (int c = 0; c < k; ++c) {
+      NormalizeRow(centers.data() + static_cast<size_t>(c) * dim, dim);
+    }
+  }
+
+  result.centroids = std::move(centers);
+  result.num_centroids = k;
+  return result;
+}
+
+}  // namespace sudowoodo::cluster

@@ -1,0 +1,58 @@
+// Dense spherical k-means over L2-normalized embedding rows: the cell
+// trainer behind the IVF blocking index (src/index/ivf_index.h). The
+// sparse TF-IDF variant lives in cluster/kmeans.h; this one works on flat
+// row-major float buffers and routes its O(n*k) assignment scoring through
+// the blocked GemmBT kernel instead of per-item scalar dots.
+
+#ifndef SUDOWOODO_CLUSTER_DENSE_KMEANS_H_
+#define SUDOWOODO_CLUSTER_DENSE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h
+}
+
+namespace sudowoodo::cluster {
+
+/// Options for DenseKMeans.
+struct DenseKMeansOptions {
+  /// Number of centroids (clamped to n).
+  int k = 16;
+  int max_iters = 10;
+  uint64_t seed = 7;
+  /// Worker threads for the seeding distance updates and the O(n*k)
+  /// assignment step. Both shard items in fixed contiguous ranges and
+  /// write only their own slots, and every (item, centroid) score is one
+  /// fixed GemmBT accumulation chain, so results are bit-identical to
+  /// serial for any value. Seeding draws and the centroid update stay
+  /// serial - their accumulation order is part of the deterministic
+  /// contract.
+  int num_threads = 1;
+  /// Pool those shards run on; nullptr = the process-global pool when
+  /// num_threads > 1.
+  ThreadPool* pool = nullptr;
+};
+
+/// Result of a dense clustering run.
+struct DenseKMeansResult {
+  /// [num_centroids, dim] row-major, each row L2-normalized (a centroid
+  /// with no members stays all-zero).
+  std::vector<float> centroids;
+  /// Centroid id per input row, in [0, num_centroids).
+  std::vector<int> assignments;
+  int num_centroids = 0;
+  int iterations_run = 0;
+};
+
+/// Clusters `n` L2-normalized rows of width `dim` by cosine similarity
+/// (spherical k-means, k-means++-style seeding). Ties in the assignment
+/// argmax break toward the lower centroid id, so the result is a
+/// deterministic function of (rows, options) independent of num_threads.
+DenseKMeansResult DenseKMeans(const float* rows, int n, int dim,
+                              const DenseKMeansOptions& options);
+
+}  // namespace sudowoodo::cluster
+
+#endif  // SUDOWOODO_CLUSTER_DENSE_KMEANS_H_

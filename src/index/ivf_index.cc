@@ -1,0 +1,272 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/dense_kmeans.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "tensor/kernels.h"
+
+namespace sudowoodo::index {
+
+namespace ks = sudowoodo::tensor::kernels;
+
+namespace {
+
+/// Queries are processed in fixed blocks: one (block x cells) GemmBT
+/// panel scores the centroids, and the block's queries probing the same
+/// cell share one (sub-block x cell-rows) candidate panel. Boundaries
+/// depend only on the query count, never on the thread count, and every
+/// score is a fixed accumulation chain regardless of panel grouping, so
+/// blocking is invisible in the results.
+constexpr int kQueryBlock = 32;
+
+}  // namespace
+
+void IvfIndex::Build(const float* rows, int n, int dim,
+                     const IvfOptions& options) {
+  n_ = n;
+  dim_ = dim;
+  cell_start_.assign(1, 0);
+  if (n <= 0) return;
+  SUDO_CHECK(rows != nullptr && dim > 0);
+
+  int cells = options.num_cells > 0
+                  ? options.num_cells
+                  : static_cast<int>(
+                        std::ceil(std::sqrt(static_cast<double>(n))));
+  cells = std::max(1, std::min(cells, n));
+
+  cluster::DenseKMeansOptions ko;
+  ko.k = cells;
+  ko.max_iters = options.train_iters;
+  ko.seed = options.seed;
+  ko.num_threads = options.num_threads;
+  ko.pool = options.pool;
+  const cluster::DenseKMeansResult km = cluster::DenseKMeans(rows, n, dim, ko);
+
+  // Drop empty cells (keeping relative centroid order) and lay items out
+  // grouped by cell, ascending original id within each cell, so probing a
+  // cell scores one contiguous stride-1 panel.
+  std::vector<int> counts(static_cast<size_t>(km.num_centroids), 0);
+  for (int a : km.assignments) ++counts[static_cast<size_t>(a)];
+  std::vector<int> new_cell(static_cast<size_t>(km.num_centroids), -1);
+  for (int c = 0; c < km.num_centroids; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    new_cell[static_cast<size_t>(c)] =
+        static_cast<int>(cell_start_.size()) - 1;
+    cell_start_.push_back(cell_start_.back() + counts[static_cast<size_t>(c)]);
+    centroids_.insert(centroids_.end(),
+                      km.centroids.begin() + static_cast<size_t>(c) * dim,
+                      km.centroids.begin() + static_cast<size_t>(c + 1) * dim);
+  }
+  flat_.resize(static_cast<size_t>(n) * dim);
+  ids_.resize(static_cast<size_t>(n));
+  std::vector<int> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (int i = 0; i < n; ++i) {
+    const int c = new_cell[static_cast<size_t>(
+        km.assignments[static_cast<size_t>(i)])];
+    const int pos = cursor[static_cast<size_t>(c)]++;
+    ids_[static_cast<size_t>(pos)] = i;
+    std::copy(rows + static_cast<size_t>(i) * dim,
+              rows + static_cast<size_t>(i + 1) * dim,
+              flat_.begin() + static_cast<size_t>(pos) * dim);
+  }
+}
+
+IvfIndex::IvfIndex(const float* rows, int n, int dim,
+                   const IvfOptions& options) {
+  Build(rows, n, dim, options);
+}
+
+IvfIndex::IvfIndex(const std::vector<std::vector<float>>& items,
+                   const IvfOptions& options) {
+  const int n = static_cast<int>(items.size());
+  const int dim = n > 0 ? static_cast<int>(items[0].size()) : 0;
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    SUDO_CHECK(static_cast<int>(items[static_cast<size_t>(i)].size()) == dim);
+    std::copy(items[static_cast<size_t>(i)].begin(),
+              items[static_cast<size_t>(i)].end(),
+              rows.begin() + static_cast<size_t>(i) * dim);
+  }
+  Build(rows.data(), n, dim, options);
+}
+
+std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
+    const float* queries, int n_queries, int dim, int k, int nprobe,
+    int num_threads) const {
+  std::vector<std::vector<Neighbor>> out(static_cast<size_t>(n_queries));
+  if (n_ == 0 || n_queries <= 0 || k <= 0) return out;
+  SUDO_CHECK(dim == dim_ && queries != nullptr);
+  const int n_cells = num_cells();
+  const int p = std::max(1, std::min(nprobe, n_cells));
+
+  const int64_t n_blocks =
+      (static_cast<int64_t>(n_queries) + kQueryBlock - 1) / kQueryBlock;
+  ParallelFor(
+      n_blocks, num_threads, [&](int64_t begin, int64_t end, int /*shard*/) {
+        // Per-shard scratch, reused across the shard's blocks.
+        std::vector<float> cell_scores;               // [m, cells]
+        std::vector<int> sel_idx;                     // selection scratch
+        std::vector<Neighbor> probe_sel;              // one query's cells
+        std::vector<std::pair<int, int>> probes;      // (cell, local q)
+        std::vector<float> gpanel;                    // gathered queries
+        std::vector<float> gscores;                   // [sub-block, rows]
+        std::vector<std::vector<int>> cand_ids(kQueryBlock);
+        std::vector<std::vector<float>> cand_scores(kQueryBlock);
+        for (int64_t b = begin; b < end; ++b) {
+          const int q0 = static_cast<int>(b * kQueryBlock);
+          const int q1 = std::min(n_queries, q0 + kQueryBlock);
+          const int m = q1 - q0;
+
+          // 1) Centroid scoring: one (m x cells) panel.
+          cell_scores.assign(static_cast<size_t>(m) * n_cells, 0.0f);
+          ks::GemmBT(m, n_cells, dim_,
+                     queries + static_cast<size_t>(q0) * dim_,
+                     centroids_.data(), cell_scores.data());
+
+          // 2) Probe selection per query: top-p cells, deterministic
+          // (score desc, cell id asc, NaN last via the shared selector).
+          probes.clear();
+          for (int i = 0; i < m; ++i) {
+            SelectTopKNeighbors(
+                cell_scores.data() + static_cast<size_t>(i) * n_cells,
+                nullptr, n_cells, p, &sel_idx, &probe_sel);
+            for (const Neighbor& nb : probe_sel) {
+              probes.emplace_back(nb.id, i);
+            }
+            cand_ids[static_cast<size_t>(i)].clear();
+            cand_scores[static_cast<size_t>(i)].clear();
+          }
+          // Group by cell so the block's queries probing the same cell
+          // share one candidate panel; ascending (cell, query) order
+          // makes each query's candidate list a concatenation of its
+          // probed cells in ascending cell id - grouping-invariant.
+          std::sort(probes.begin(), probes.end());
+
+          // 3) Candidate scoring: one (sub-block x cell-rows) panel per
+          // probed cell; exact full-dimension similarities.
+          size_t g = 0;
+          while (g < probes.size()) {
+            const int cell = probes[g].first;
+            size_t h = g;
+            while (h < probes.size() && probes[h].first == cell) ++h;
+            const int r0 = cell_start_[static_cast<size_t>(cell)];
+            const int r1 = cell_start_[static_cast<size_t>(cell) + 1];
+            const int nr = r1 - r0;
+            const int gq = static_cast<int>(h - g);
+            gpanel.resize(static_cast<size_t>(gq) * dim_);
+            for (int j = 0; j < gq; ++j) {
+              const int lq = probes[g + static_cast<size_t>(j)].second;
+              std::copy(queries + static_cast<size_t>(q0 + lq) * dim_,
+                        queries + static_cast<size_t>(q0 + lq + 1) * dim_,
+                        gpanel.begin() + static_cast<size_t>(j) * dim_);
+            }
+            gscores.assign(static_cast<size_t>(gq) * nr, 0.0f);
+            ks::GemmBT(gq, nr, dim_, gpanel.data(),
+                       flat_.data() + static_cast<size_t>(r0) * dim_,
+                       gscores.data());
+            for (int j = 0; j < gq; ++j) {
+              const int lq = probes[g + static_cast<size_t>(j)].second;
+              cand_ids[static_cast<size_t>(lq)].insert(
+                  cand_ids[static_cast<size_t>(lq)].end(),
+                  ids_.begin() + r0, ids_.begin() + r1);
+              const float* row =
+                  gscores.data() + static_cast<size_t>(j) * nr;
+              cand_scores[static_cast<size_t>(lq)].insert(
+                  cand_scores[static_cast<size_t>(lq)].end(), row, row + nr);
+            }
+            g = h;
+          }
+
+          // 4) Exact re-rank: top-k over the gathered candidates with the
+          // exact index's NaN-safe low-id tie-break on original ids.
+          for (int i = 0; i < m; ++i) {
+            SelectTopKNeighbors(
+                cand_scores[static_cast<size_t>(i)].data(),
+                cand_ids[static_cast<size_t>(i)].data(),
+                static_cast<int>(cand_ids[static_cast<size_t>(i)].size()), k,
+                &sel_idx, &out[static_cast<size_t>(q0 + i)]);
+          }
+        }
+      });
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
+    const std::vector<std::vector<float>>& queries, int k, int nprobe,
+    int num_threads) const {
+  const int nq = static_cast<int>(queries.size());
+  if (nq == 0) return {};
+  if (n_ == 0) return std::vector<std::vector<Neighbor>>(static_cast<size_t>(nq));
+  std::vector<float> qflat(static_cast<size_t>(nq) * dim_);
+  for (int i = 0; i < nq; ++i) {
+    SUDO_CHECK(static_cast<int>(queries[static_cast<size_t>(i)].size()) ==
+               dim_);
+    std::copy(queries[static_cast<size_t>(i)].begin(),
+              queries[static_cast<size_t>(i)].end(),
+              qflat.begin() + static_cast<size_t>(i) * dim_);
+  }
+  return QueryBatch(qflat.data(), nq, dim_, k, nprobe, num_threads);
+}
+
+std::vector<Neighbor> IvfIndex::Query(const std::vector<float>& query, int k,
+                                      int nprobe) const {
+  if (n_ == 0) return {};
+  SUDO_CHECK(static_cast<int>(query.size()) == dim_);
+  auto batch = QueryBatch(query.data(), 1, dim_, k, nprobe, 1);
+  return std::move(batch[0]);
+}
+
+BlockingIndex::BlockingIndex(const float* rows, int n, int dim,
+                             const BlockingIndexOptions& options)
+    : nprobe_(options.nprobe) {
+  const bool use_ivf =
+      options.kind == BlockingIndexKind::kIvf ||
+      (options.kind == BlockingIndexKind::kAuto &&
+       n >= options.exact_threshold);
+  if (use_ivf) {
+    ivf_ = std::make_unique<IvfIndex>(rows, n, dim, options.ivf);
+  } else {
+    exact_ = std::make_unique<KnnIndex>(rows, n, dim);
+  }
+}
+
+BlockingIndex::BlockingIndex(const std::vector<std::vector<float>>& items,
+                             const BlockingIndexOptions& options)
+    : nprobe_(options.nprobe) {
+  const int n = static_cast<int>(items.size());
+  const bool use_ivf =
+      options.kind == BlockingIndexKind::kIvf ||
+      (options.kind == BlockingIndexKind::kAuto &&
+       n >= options.exact_threshold);
+  if (use_ivf) {
+    ivf_ = std::make_unique<IvfIndex>(items, options.ivf);
+  } else {
+    exact_ = std::make_unique<KnnIndex>(items);
+  }
+}
+
+std::vector<std::vector<Neighbor>> BlockingIndex::QueryBatch(
+    const std::vector<std::vector<float>>& queries, int k,
+    int num_threads) const {
+  return ivf_ != nullptr ? ivf_->QueryBatch(queries, k, nprobe_, num_threads)
+                         : exact_->QueryBatch(queries, k, num_threads);
+}
+
+std::vector<std::vector<Neighbor>> BlockingIndex::QueryBatch(
+    const float* queries, int n_queries, int dim, int k,
+    int num_threads) const {
+  return ivf_ != nullptr
+             ? ivf_->QueryBatch(queries, n_queries, dim, k, nprobe_,
+                                num_threads)
+             : exact_->QueryBatch(queries, n_queries, dim, k, num_threads);
+}
+
+int BlockingIndex::size() const {
+  return ivf_ != nullptr ? ivf_->size() : exact_->size();
+}
+
+}  // namespace sudowoodo::index

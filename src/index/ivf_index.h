@@ -1,0 +1,156 @@
+// Sub-linear approximate top-k search: an IVF (inverted-file) index with
+// exact re-ranking, plus the exact-vs-approximate selection facade the
+// pipelines block through.
+//
+// The exact KnnIndex (knn_index.h) scores every item per query -
+// O(items x queries x dim) - which is the asymptotic wall between
+// paper-scale blocking (~2.5k x 2.5k) and millions of records. IvfIndex
+// makes the flop count sub-linear: a dense spherical k-means
+// (cluster/dense_kmeans.h) partitions the L2-normalized items into
+// ~sqrt(N) cells; a query scores the cell centroids, probes the top
+// `nprobe` cells, and re-ranks the gathered candidates with their exact
+// full-dimension similarity. Per query that is C + nprobe * N/C dots
+// instead of N (~17 * sqrt(N) at the default nprobe), with recall
+// controlled by `nprobe`.
+//
+// Determinism contract: results are a pure function of
+// (items, options, query, k, nprobe), independent of num_threads and of
+// batch composition. Centroid and candidate scores are fixed GemmBT
+// accumulation chains (bit-identical across panel grouping and sharding
+// within a kernel tier - see tensor/README.md), cells are probed in a
+// deterministic order (score desc, cell id asc, NaN last), and the final
+// selection reuses the exact index's NaN-safe low-id tie-break. With
+// nprobe >= the cell count every item is gathered and the result is
+// bit-identical to KnnIndex on the same tier.
+
+#ifndef SUDOWOODO_INDEX_IVF_INDEX_H_
+#define SUDOWOODO_INDEX_IVF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/knn_index.h"
+
+namespace sudowoodo {
+class ThreadPool;  // common/thread_pool.h
+}
+
+namespace sudowoodo::index {
+
+/// Options for IvfIndex construction (cell training).
+struct IvfOptions {
+  /// Number of k-means cells; 0 = ceil(sqrt(N)), always clamped to
+  /// [1, N]. Empty cells are dropped after training.
+  int num_cells = 0;
+  /// k-means refinement iterations over the full item set.
+  int train_iters = 8;
+  uint64_t seed = 7;
+  /// Worker threads / pool for cell training (bit-identical results for
+  /// any value; see cluster/dense_kmeans.h).
+  int num_threads = 1;
+  ThreadPool* pool = nullptr;
+};
+
+/// Inverted-file index over L2-normalized vectors (inner product =
+/// cosine). Items are stored grouped by cell in one contiguous buffer so
+/// probing a cell scores a stride-1 panel.
+class IvfIndex {
+ public:
+  /// Trains cells over `rows` ([n, dim] row-major) and copies the vectors
+  /// into cell-grouped storage.
+  IvfIndex(const float* rows, int n, int dim, const IvfOptions& options = {});
+
+  /// Convenience: per-item vectors (all the same width).
+  explicit IvfIndex(const std::vector<std::vector<float>>& items,
+                    const IvfOptions& options = {});
+
+  /// Approximate top-k, most similar first, probing the `nprobe`
+  /// best-scoring cells (clamped to [1, num_cells]). May return fewer
+  /// than k neighbours when the probed cells hold fewer than k items.
+  std::vector<Neighbor> Query(const std::vector<float>& query, int k,
+                              int nprobe) const;
+
+  /// Batch version: queries are processed in fixed blocks; centroid
+  /// scoring runs one (query-block x cells) GemmBT panel per block, and
+  /// candidate scoring batches the block's queries that probe the same
+  /// cell into one (sub-block x cell-rows) panel. Blocks are sharded
+  /// across workers in fixed contiguous ranges, so results are
+  /// bit-identical for any num_threads.
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const std::vector<std::vector<float>>& queries, int k, int nprobe,
+      int num_threads = 1) const;
+
+  /// Flat-buffer batch query over `queries` ([n_queries, dim] row-major).
+  std::vector<std::vector<Neighbor>> QueryBatch(const float* queries,
+                                                int n_queries, int dim, int k,
+                                                int nprobe,
+                                                int num_threads = 1) const;
+
+  int size() const { return n_; }
+  int dim() const { return dim_; }
+  /// Non-empty cells after training.
+  int num_cells() const { return static_cast<int>(cell_start_.size()) - 1; }
+
+ private:
+  void Build(const float* rows, int n, int dim, const IvfOptions& options);
+
+  std::vector<float> flat_;       // [n, dim], items grouped by cell
+  std::vector<int> ids_;          // storage position -> original item id
+  std::vector<int> cell_start_;   // [cells + 1] prefix into flat_/ids_
+  std::vector<float> centroids_;  // [cells, dim], L2-normalized
+  int n_ = 0;
+  int dim_ = 0;
+};
+
+/// Which index the blocking call sites build.
+enum class BlockingIndexKind {
+  kAuto,   // exact below exact_threshold items, IVF at or above it
+  kExact,  // always the brute-force oracle
+  kIvf,    // always the IVF index
+};
+
+/// Index-selection options carried by the pipeline option structs.
+struct BlockingIndexOptions {
+  BlockingIndexKind kind = BlockingIndexKind::kAuto;
+  /// kAuto: item counts below this stay on the exact oracle (paper-scale
+  /// tables are far below it; the asymptotic win only exists above it).
+  int exact_threshold = 8192;
+  /// Cells probed per query on the IVF path. The default keeps EM
+  /// blocking recall within the stated budget of exact on clustered
+  /// embeddings while staying ~N/(17*sqrt(N)) times cheaper; see
+  /// EXPERIMENTS.md "ANN blocking" for how to tune it.
+  int nprobe = 16;
+  /// IVF construction knobs (the pipelines override seed/threads/pool
+  /// from their own options).
+  IvfOptions ivf;
+};
+
+/// The facade the pipelines block through: builds either the exact oracle
+/// or an IVF index per `options` and serves batch queries uniformly.
+class BlockingIndex {
+ public:
+  BlockingIndex(const std::vector<std::vector<float>>& items,
+                const BlockingIndexOptions& options);
+  BlockingIndex(const float* rows, int n, int dim,
+                const BlockingIndexOptions& options);
+
+  std::vector<std::vector<Neighbor>> QueryBatch(
+      const std::vector<std::vector<float>>& queries, int k,
+      int num_threads = 1) const;
+  std::vector<std::vector<Neighbor>> QueryBatch(const float* queries,
+                                                int n_queries, int dim, int k,
+                                                int num_threads = 1) const;
+
+  bool using_ivf() const { return ivf_ != nullptr; }
+  int size() const;
+
+ private:
+  std::unique_ptr<KnnIndex> exact_;
+  std::unique_ptr<IvfIndex> ivf_;
+  int nprobe_ = 16;
+};
+
+}  // namespace sudowoodo::index
+
+#endif  // SUDOWOODO_INDEX_IVF_INDEX_H_

@@ -12,12 +12,62 @@ namespace sudowoodo::index {
 
 namespace ks = sudowoodo::tensor::kernels;
 
+namespace {
+
+/// Queries are scored in fixed blocks of this many rows so the GemmBT
+/// panel amortizes its B packing across the block; block boundaries
+/// depend only on the query count, never on the thread count, and each
+/// score is one fixed k-increasing accumulation chain regardless of which
+/// block computes it - so blocking is invisible in the results.
+constexpr int kQueryBlock = 32;
+
+}  // namespace
+
+void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
+                         std::vector<int>* idx_scratch,
+                         std::vector<Neighbor>* out) {
+  k = std::min(k, n);
+  out->clear();
+  if (k <= 0) return;
+  std::vector<int>& idx = *idx_scratch;
+  idx.resize(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  // Ties break toward the lower item id, which makes the result a
+  // deterministic function of (scores, ids, k). NaN scores (degenerate
+  // embeddings) rank last as one id-ordered equivalence class - a
+  // NaN-oblivious float comparator would break strict weak ordering and
+  // make nth_element/sort undefined behavior.
+  auto better = [scores, ids](int a, int b) {
+    const float sa = scores[static_cast<size_t>(a)];
+    const float sb = scores[static_cast<size_t>(b)];
+    const bool nan_a = std::isnan(sa), nan_b = std::isnan(sb);
+    if (nan_a != nan_b) return nan_b;
+    if (!nan_a && sa != sb) return sa > sb;
+    const int ia = ids != nullptr ? ids[static_cast<size_t>(a)] : a;
+    const int ib = ids != nullptr ? ids[static_cast<size_t>(b)] : b;
+    return ia < ib;
+  };
+  if (k < n) {
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), better);
+    idx.resize(static_cast<size_t>(k));
+  }
+  std::sort(idx.begin(), idx.end(), better);
+
+  out->resize(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const int pos = idx[static_cast<size_t>(i)];
+    (*out)[static_cast<size_t>(i)] = {
+        ids != nullptr ? ids[static_cast<size_t>(pos)] : pos,
+        scores[static_cast<size_t>(pos)]};
+  }
+}
+
 KnnIndex::KnnIndex(const std::vector<std::vector<float>>& items) {
   n_ = static_cast<int>(items.size());
   if (n_ > 0) dim_ = static_cast<int>(items[0].size());
-  // Pack the item vectors into one contiguous row-major buffer so the
-  // scoring loop is a stride-1 dot per row (SIMD-friendly, no pointer
-  // chasing through per-item allocations).
+  // Pack the item vectors into one contiguous row-major buffer so scoring
+  // runs stride-1 GemmBT panels (SIMD-friendly, no pointer chasing
+  // through per-item allocations).
   flat_.resize(static_cast<size_t>(n_) * dim_);
   for (int i = 0; i < n_; ++i) {
     SUDO_CHECK(static_cast<int>(items[static_cast<size_t>(i)].size()) == dim_);
@@ -27,61 +77,85 @@ KnnIndex::KnnIndex(const std::vector<std::vector<float>>& items) {
   }
 }
 
+KnnIndex::KnnIndex(const float* rows, int n, int dim) : n_(n), dim_(dim) {
+  SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
+  flat_.assign(rows, rows + static_cast<size_t>(n) * dim);
+}
+
 std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
                                       int k) const {
   SUDO_CHECK(static_cast<int>(query.size()) == dim_);
   k = std::min(k, n_);
   if (k <= 0) return {};
 
-  // Score all items, then select the top k with a bounded partial sort
-  // (O(n + k log k)) instead of maintaining a heap inside the hot loop.
-  std::vector<float> scores(static_cast<size_t>(n_));
-  for (int i = 0; i < n_; ++i) {
-    scores[static_cast<size_t>(i)] =
-        ks::Dot(flat_.data() + static_cast<size_t>(i) * dim_, query.data(),
-                dim_);
-  }
-  std::vector<int> idx(static_cast<size_t>(n_));
-  std::iota(idx.begin(), idx.end(), 0);
-  // Ties break toward the lower id, which makes the result a deterministic
-  // function of (items, query, k). NaN scores (degenerate embeddings) rank
-  // last as one id-ordered equivalence class - a NaN-oblivious float
-  // comparator would break strict weak ordering and make nth_element/sort
-  // undefined behavior.
-  auto better = [&scores](int a, int b) {
-    const float sa = scores[static_cast<size_t>(a)];
-    const float sb = scores[static_cast<size_t>(b)];
-    const bool nan_a = std::isnan(sa), nan_b = std::isnan(sb);
-    if (nan_a != nan_b) return nan_b;
-    if (!nan_a && sa != sb) return sa > sb;
-    return a < b;
-  };
-  if (k < n_) {
-    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), better);
-    idx.resize(static_cast<size_t>(k));
-  }
-  std::sort(idx.begin(), idx.end(), better);
+  // Per-thread scoring/selection scratch: the serving hot loop calls
+  // Query repeatedly, and a fresh heap allocation per call would dominate
+  // small indexes (the PR 5 zero-alloc serving contract). Capacity is
+  // retained across calls; only the returned vector allocates at steady
+  // state.
+  thread_local std::vector<float> scores;
+  thread_local std::vector<int> idx;
+  scores.assign(static_cast<size_t>(n_), 0.0f);
+  // m = 1 edge of the blocked QueryBatch panel: each score accumulates
+  // along the same fixed k-increasing GemmBT chain, so a single Query is
+  // bit-identical to the same row of a batch on whatever tier is active.
+  ks::GemmBT(1, n_, dim_, query.data(), flat_.data(), scores.data());
 
-  std::vector<Neighbor> out(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    out[static_cast<size_t>(i)] = {idx[static_cast<size_t>(i)],
-                                   scores[static_cast<size_t>(idx[static_cast<size_t>(i)])]};
-  }
+  std::vector<Neighbor> out;
+  SelectTopKNeighbors(scores.data(), nullptr, n_, k, &idx, &out);
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(const float* queries,
+                                                        int n_queries, int dim,
+                                                        int k,
+                                                        int num_threads) const {
+  std::vector<std::vector<Neighbor>> out(static_cast<size_t>(n_queries));
+  k = std::min(k, n_);
+  if (k <= 0 || n_queries <= 0) return out;
+  SUDO_CHECK(dim == dim_ && queries != nullptr);
+
+  const int64_t n_blocks =
+      (static_cast<int64_t>(n_queries) + kQueryBlock - 1) / kQueryBlock;
+  ParallelFor(n_blocks, num_threads,
+              [&](int64_t begin, int64_t end, int /*shard*/) {
+                // Per-shard scratch, reused across the shard's blocks.
+                std::vector<float> scores;
+                std::vector<int> idx;
+                for (int64_t b = begin; b < end; ++b) {
+                  const int q0 = static_cast<int>(b * kQueryBlock);
+                  const int q1 = std::min(n_queries, q0 + kQueryBlock);
+                  const int m = q1 - q0;
+                  scores.assign(static_cast<size_t>(m) * n_, 0.0f);
+                  ks::GemmBT(m, n_, dim_,
+                             queries + static_cast<size_t>(q0) * dim_,
+                             flat_.data(), scores.data());
+                  for (int i = 0; i < m; ++i) {
+                    SelectTopKNeighbors(
+                        scores.data() + static_cast<size_t>(i) * n_, nullptr,
+                        n_, k, &idx, &out[static_cast<size_t>(q0 + i)]);
+                  }
+                }
+              });
   return out;
 }
 
 std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(
     const std::vector<std::vector<float>>& queries, int k,
     int num_threads) const {
-  std::vector<std::vector<Neighbor>> out(queries.size());
-  ParallelFor(static_cast<int64_t>(queries.size()), num_threads,
-              [&](int64_t begin, int64_t end, int /*shard*/) {
-                for (int64_t i = begin; i < end; ++i) {
-                  out[static_cast<size_t>(i)] =
-                      Query(queries[static_cast<size_t>(i)], k);
-                }
-              });
-  return out;
+  const int nq = static_cast<int>(queries.size());
+  if (nq == 0) return {};
+  // One flattening copy so scoring runs on contiguous panels; callers
+  // holding flat encoder/cache buffers use the flat overload and skip it.
+  std::vector<float> qflat(static_cast<size_t>(nq) * dim_);
+  for (int i = 0; i < nq; ++i) {
+    SUDO_CHECK(static_cast<int>(queries[static_cast<size_t>(i)].size()) ==
+               dim_);
+    std::copy(queries[static_cast<size_t>(i)].begin(),
+              queries[static_cast<size_t>(i)].end(),
+              qflat.begin() + static_cast<size_t>(i) * dim_);
+  }
+  return QueryBatch(qflat.data(), nq, dim_, k, num_threads);
 }
 
 float DenseCosine(const std::vector<float>& a, const std::vector<float>& b) {

@@ -2,6 +2,9 @@
 // engine (paper step 2, §II-C). The candidate set for EM is the union of
 // each query's k nearest neighbours (§VI-B, "kNN search over the learned
 // vector representations ... for k = 1 to 20").
+//
+// This is the exact oracle; the sub-linear IVF variant and the
+// exact-vs-approximate selection facade live in index/ivf_index.h.
 
 #ifndef SUDOWOODO_INDEX_KNN_INDEX_H_
 #define SUDOWOODO_INDEX_KNN_INDEX_H_
@@ -17,30 +20,59 @@ struct Neighbor {
   float sim = 0.0f;
 };
 
+/// Selects the top-k entries of scores[0..n) into `*out`, best first.
+/// `ids` maps score positions to item ids (nullptr = position IS the id);
+/// ties break toward the lower id and NaN scores rank last as one
+/// id-ordered equivalence class (a NaN-oblivious comparator would break
+/// nth_element's strict weak ordering). `idx_scratch` is caller-owned
+/// selection scratch, grown as needed and reusable across calls. Shared
+/// by the exact index and the IVF re-rank so both rank identically.
+void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
+                         std::vector<int>* idx_scratch,
+                         std::vector<Neighbor>* out);
+
 /// Brute-force inner-product index. Vectors are expected to be
 /// L2-normalized so inner product equals cosine similarity. Items are
-/// stored in one contiguous row-major buffer and scored through the
-/// SIMD-friendly dot kernel in tensor/kernels.h.
+/// stored in one contiguous row-major buffer; all scoring goes through
+/// the GemmBT micro-kernel (tensor/kernels.h) as (query-block x items)
+/// panels, so batch scoring rides the register-blocked SIMD path and a
+/// single Query is the m = 1 edge of the same fixed accumulation chain -
+/// Query and QueryBatch are bit-identical on whatever kernel tier is
+/// active.
 class KnnIndex {
  public:
   /// Copies the item vectors (all the same width) into contiguous storage.
   explicit KnnIndex(const std::vector<std::vector<float>>& items);
 
+  /// Flat-buffer construction: copies `rows` ([n, dim] row-major), no
+  /// per-item vector round-trip (encoder/cache output buffers are flat).
+  KnnIndex(const float* rows, int n, int dim);
+
   /// Top-k most similar items, most similar first; ties break toward the
   /// lower item id. Selection is a bounded partial sort (nth_element),
-  /// O(n + k log k) for k << n.
+  /// O(n + k log k) for k << n. Scoring and selection scratch is
+  /// per-thread and reused across calls (zero steady-state heap
+  /// allocations beyond the returned vector).
   std::vector<Neighbor> Query(const std::vector<float>& query, int k) const;
 
-  /// Top-k for every query vector. With num_threads > 1 the queries are
-  /// sharded across workers in fixed contiguous ranges; each query's result
-  /// is written to its own output slot, so the batch is bit-identical to
-  /// the serial (num_threads = 1) path.
+  /// Top-k for every query vector. Queries are scored in fixed blocks
+  /// through GemmBT; with num_threads > 1 the blocks are sharded across
+  /// workers in fixed contiguous ranges and each query's result is
+  /// written to its own output slot, so the batch is bit-identical to
+  /// the serial (num_threads = 1) path and to per-query Query calls.
   std::vector<std::vector<Neighbor>> QueryBatch(
       const std::vector<std::vector<float>>& queries, int k,
       int num_threads = 1) const;
 
+  /// Flat-buffer batch query over `queries` ([n_queries, dim] row-major).
+  std::vector<std::vector<Neighbor>> QueryBatch(const float* queries,
+                                                int n_queries, int dim, int k,
+                                                int num_threads = 1) const;
+
   int size() const { return n_; }
   int dim() const { return dim_; }
+  /// The contiguous [n, dim] item buffer (IVF construction reads it).
+  const float* data() const { return flat_.data(); }
 
  private:
   std::vector<float> flat_;  // [n, dim] row-major

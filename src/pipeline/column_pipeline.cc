@@ -5,7 +5,7 @@
 #include <set>
 
 #include "common/timer.h"
-#include "index/knn_index.h"
+#include "index/ivf_index.h"
 #include "text/serialize.h"
 
 namespace sudowoodo::pipeline {
@@ -93,7 +93,11 @@ ColumnRunResult ColumnPipeline::Run(const data::ColumnCorpus& corpus) {
   ids.reserve(tokens.size());
   for (const auto& t : tokens) ids.push_back(vocab.Encode(t));
   auto emb = encoder->EmbedNormalized(ids);
-  index::KnnIndex index(emb);
+  index::BlockingIndexOptions bopts = options_.blocking_index;
+  bopts.ivf.seed = options_.seed * 6151 + 3;
+  bopts.ivf.num_threads = options_.num_threads;
+  bopts.ivf.pool = options_.pool;
+  index::BlockingIndex index(emb, bopts);
   std::set<std::pair<int, int>> candidate_set;
   const auto col_topk =
       index.QueryBatch(emb, options_.blocking_k + 1, options_.num_threads);

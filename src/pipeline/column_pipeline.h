@@ -34,6 +34,10 @@ struct ColumnPipelineOptions {
   matcher::FinetuneOptions finetune;
 
   int blocking_k = 20;    // paper: kNN with k = 20
+  /// Blocking index selection (exact oracle vs sub-linear IVF; default
+  /// auto-switches on corpus size). Seed/threads/pool for IVF training are
+  /// derived from this struct; see index/ivf_index.h.
+  index::BlockingIndexOptions blocking_index;
   int labeled_pairs = 2000;  // paper: 2k pairs, split 2:1:1
   /// Minimum match probability for an edge in cluster discovery. The paper
   /// notes the clustering granularity is adjustable (§V-B); a high

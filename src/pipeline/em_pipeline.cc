@@ -5,12 +5,24 @@
 
 #include "cluster/batch_scheduler.h"
 #include "common/timer.h"
-#include "index/knn_index.h"
+#include "index/ivf_index.h"
 #include "nn/gru.h"
 
 namespace sudowoodo::pipeline {
 
 namespace {
+
+/// Blocking-index options for one run: the user-facing selection knobs
+/// from the pipeline options plus the pipeline's own seed/threads/pool for
+/// IVF cell training (so a fixed pipeline seed fixes the index).
+index::BlockingIndexOptions ResolveBlockingIndexOptions(
+    const EmPipelineOptions& options) {
+  index::BlockingIndexOptions bopts = options.blocking_index;
+  bopts.ivf.seed = options.seed * 6151 + 3;
+  bopts.ivf.num_threads = options.num_threads;
+  bopts.ivf.pool = options.pool;
+  return bopts;
+}
 
 std::vector<std::vector<int>> EncodeAll(
     const text::Vocab& vocab,
@@ -118,7 +130,7 @@ EmRunResult EmPipeline::Run(const data::EmDataset& ds) {
   auto ids_b = EncodeAll(prep.vocab, prep.tokens_b);
   auto emb_a = prep.encoder->EmbedNormalized(ids_a);
   auto emb_b = prep.encoder->EmbedNormalized(ids_b);
-  index::KnnIndex index_b(emb_b);
+  index::BlockingIndex index_b(emb_b, ResolveBlockingIndexOptions(options_));
   std::vector<matcher::ScoredPair> candidates;
   const auto topk =
       index_b.QueryBatch(emb_a, options_.blocking_k, options_.num_threads);
@@ -244,7 +256,7 @@ std::vector<BlockingPoint> EmPipeline::BlockingSweep(const data::EmDataset& ds,
   auto ids_b = EncodeAll(prep.vocab, prep.tokens_b);
   auto emb_a = prep.encoder->EmbedNormalized(ids_a);
   auto emb_b = prep.encoder->EmbedNormalized(ids_b);
-  index::KnnIndex index_b(emb_b);
+  index::BlockingIndex index_b(emb_b, ResolveBlockingIndexOptions(options_));
 
   // One query at k_max; prefixes give every smaller k.
   std::vector<std::vector<index::Neighbor>> topk =

@@ -19,6 +19,7 @@
 #include "contrastive/pretrainer.h"
 #include "data/em_dataset.h"
 #include "index/embedding_cache.h"
+#include "index/ivf_index.h"
 #include "matcher/pair_matcher.h"
 #include "matcher/pseudo_label.h"
 #include "nn/encoder.h"
@@ -60,6 +61,12 @@ struct EmPipelineOptions {
   int pl_multiplier = 8;
   /// k of the kNN blocking that produces the candidate set for PL.
   int blocking_k = 10;
+  /// Which blocking index to build over the B-side embeddings: the exact
+  /// oracle, the sub-linear IVF index, or (default) exact below
+  /// `blocking_index.exact_threshold` items and IVF above it. The IVF
+  /// seed/threads/pool are derived from this struct's seed/num_threads/
+  /// pool; see index/ivf_index.h and EXPERIMENTS.md "ANN blocking".
+  index::BlockingIndexOptions blocking_index;
   /// Skip step ① (the pre-trained-LM-only baselines: Ditto, RoBERTa-base).
   bool skip_pretrain = false;
   /// Rotom-style fine-tuning augmentation: every manual training pair is

@@ -239,6 +239,52 @@ TEST(KnnIndexTest, QueryBatchMatchesSingleQueries) {
   EXPECT_EQ(batch[0][0].id, index.Query({1, 0}, 2)[0].id);
 }
 
+TEST(KnnIndexTest, FlatBufferOverloadsMatchNested) {
+  std::vector<std::vector<float>> items = {{1, 0}, {0, 1}, {0.8f, 0.6f}};
+  std::vector<float> flat_items = {1, 0, 0, 1, 0.8f, 0.6f};
+  std::vector<float> flat_queries = {1, 0, 0.6f, 0.8f};
+  KnnIndex nested(items);
+  KnnIndex flat(flat_items.data(), 3, 2);
+  const auto a = nested.QueryBatch({{1, 0}, {0.6f, 0.8f}}, 2);
+  const auto b = flat.QueryBatch(flat_queries.data(), 2, 2, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size());
+    for (size_t j = 0; j < a[q].size(); ++j) {
+      EXPECT_EQ(a[q][j].id, b[q][j].id);
+      EXPECT_EQ(a[q][j].sim, b[q][j].sim);  // bitwise: same GemmBT chains
+    }
+  }
+}
+
+TEST(KnnIndexTest, QueryBatchBitIdenticalAcrossThreadCounts) {
+  // 100 queries x 70 items spans several fixed query blocks; sharding the
+  // blocks across workers must be invisible in the results (bitwise).
+  std::vector<std::vector<float>> items;
+  for (int i = 0; i < 70; ++i) {
+    const float t = 0.05f * static_cast<float>(i);
+    items.push_back({std::cos(t), std::sin(t)});
+  }
+  std::vector<std::vector<float>> queries;
+  for (int q = 0; q < 100; ++q) {
+    const float t = 0.11f * static_cast<float>(q);
+    queries.push_back({std::cos(t), std::sin(t)});
+  }
+  KnnIndex index(items);
+  const auto ref = index.QueryBatch(queries, 5, /*num_threads=*/1);
+  for (int threads : {2, 4}) {
+    const auto got = index.QueryBatch(queries, 5, threads);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t q = 0; q < ref.size(); ++q) {
+      ASSERT_EQ(got[q].size(), ref[q].size());
+      for (size_t j = 0; j < ref[q].size(); ++j) {
+        EXPECT_EQ(got[q][j].id, ref[q][j].id);
+        EXPECT_EQ(got[q][j].sim, ref[q][j].sim);
+      }
+    }
+  }
+}
+
 TEST(DenseCosineTest, KnownValues) {
   EXPECT_NEAR(index::DenseCosine({1, 0}, {1, 0}), 1.0f, 1e-6f);
   EXPECT_NEAR(index::DenseCosine({1, 0}, {0, 1}), 0.0f, 1e-6f);

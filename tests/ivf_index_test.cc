@@ -1,0 +1,326 @@
+// Tests for the dense k-means trainer, the IVF approximate index, and the
+// exact-vs-approximate blocking facade (index/ivf_index.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "cluster/dense_kmeans.h"
+#include "common/rng.h"
+#include "index/ivf_index.h"
+#include "index/knn_index.h"
+#include "tensor/kernels.h"
+
+namespace sudowoodo {
+namespace {
+
+using index::BlockingIndex;
+using index::BlockingIndexKind;
+using index::BlockingIndexOptions;
+using index::IvfIndex;
+using index::IvfOptions;
+using index::KnnIndex;
+using index::Neighbor;
+
+// Clustered unit vectors: `n_clusters` random directions, each item is a
+// cluster direction plus Gaussian noise, re-normalized. Mirrors what IVF
+// sees in practice (contrastively trained embeddings cluster by entity).
+std::vector<float> ClusteredUnitRows(int n, int dim, int n_clusters,
+                                     float noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> centers(static_cast<size_t>(n_clusters) * dim);
+  for (auto& v : centers) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    const float* c = centers.data() + static_cast<size_t>(i % n_clusters) * dim;
+    float* r = rows.data() + static_cast<size_t>(i) * dim;
+    double norm = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      r[j] = c[j] + noise * static_cast<float>(rng.Gaussian());
+      norm += static_cast<double>(r[j]) * r[j];
+    }
+    norm = std::sqrt(std::max(norm, 1e-20));
+    for (int j = 0; j < dim; ++j) {
+      r[j] = static_cast<float>(r[j] / norm);
+    }
+  }
+  return rows;
+}
+
+std::vector<std::vector<float>> ToNested(const std::vector<float>& rows,
+                                         int dim) {
+  std::vector<std::vector<float>> out(rows.size() / static_cast<size_t>(dim));
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].assign(rows.begin() + i * static_cast<size_t>(dim),
+                  rows.begin() + (i + 1) * static_cast<size_t>(dim));
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<Neighbor>>& a,
+                        const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t j = 0; j < a[q].size(); ++j) {
+      EXPECT_EQ(a[q][j].id, b[q][j].id) << "query " << q << " rank " << j;
+      // Bitwise, not approximate: the determinism contract.
+      EXPECT_EQ(a[q][j].sim, b[q][j].sim) << "query " << q << " rank " << j;
+    }
+  }
+}
+
+double RecallAtK(const std::vector<std::vector<Neighbor>>& exact,
+                 const std::vector<std::vector<Neighbor>>& approx) {
+  double hit = 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < exact.size(); ++q) {
+    std::set<int> found;
+    for (const auto& nb : approx[q]) found.insert(nb.id);
+    for (const auto& nb : exact[q]) {
+      total += 1.0;
+      hit += found.count(nb.id) ? 1.0 : 0.0;
+    }
+  }
+  return total > 0 ? hit / total : 1.0;
+}
+
+TEST(IvfDenseKMeansTest, SeparatesClusteredRows) {
+  const int dim = 16;
+  auto rows = ClusteredUnitRows(200, dim, 4, 0.02f, 11);
+  cluster::DenseKMeansOptions opts;
+  opts.k = 4;
+  opts.max_iters = 10;
+  auto res = cluster::DenseKMeans(rows.data(), 200, dim, opts);
+  ASSERT_EQ(res.num_centroids, 4);
+  ASSERT_EQ(res.assignments.size(), 200u);
+  // Items generated from the same center must land in the same cell.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(res.assignments[static_cast<size_t>(i)],
+              res.assignments[static_cast<size_t>(i % 4)])
+        << "item " << i;
+  }
+  // Distinct centers get distinct cells (4 well-separated directions).
+  std::set<int> cells(res.assignments.begin(), res.assignments.end());
+  EXPECT_EQ(cells.size(), 4u);
+  // Non-empty centroids are unit length.
+  for (int c = 0; c < res.num_centroids; ++c) {
+    const float* row = res.centroids.data() + static_cast<size_t>(c) * dim;
+    double norm = 0.0;
+    for (int j = 0; j < dim; ++j) norm += static_cast<double>(row[j]) * row[j];
+    EXPECT_NEAR(norm, 1.0, 1e-4) << "centroid " << c;
+  }
+}
+
+TEST(IvfDenseKMeansTest, BitIdenticalAcrossThreadCounts) {
+  const int dim = 24;
+  auto rows = ClusteredUnitRows(500, dim, 9, 0.1f, 23);
+  cluster::DenseKMeansOptions base;
+  base.k = 9;
+  base.max_iters = 8;
+  base.seed = 3;
+  cluster::DenseKMeansResult ref;
+  for (int threads : {1, 2, 4}) {
+    cluster::DenseKMeansOptions opts = base;
+    opts.num_threads = threads;
+    auto res = cluster::DenseKMeans(rows.data(), 500, dim, opts);
+    if (threads == 1) {
+      ref = res;
+      continue;
+    }
+    EXPECT_EQ(res.assignments, ref.assignments) << threads << " threads";
+    EXPECT_EQ(res.centroids, ref.centroids) << threads << " threads";
+    EXPECT_EQ(res.iterations_run, ref.iterations_run) << threads << " threads";
+  }
+}
+
+TEST(IvfDenseKMeansTest, ClampsKAndHandlesTinyInputs) {
+  const int dim = 8;
+  auto rows = ClusteredUnitRows(3, dim, 3, 0.01f, 5);
+  cluster::DenseKMeansOptions opts;
+  opts.k = 100;  // > n: clamped to n
+  auto res = cluster::DenseKMeans(rows.data(), 3, dim, opts);
+  EXPECT_EQ(res.num_centroids, 3);
+  EXPECT_EQ(res.assignments.size(), 3u);
+
+  auto empty = cluster::DenseKMeans(rows.data(), 0, dim, opts);
+  EXPECT_EQ(empty.num_centroids, 0);
+  EXPECT_TRUE(empty.assignments.empty());
+}
+
+TEST(IvfIndexTest, RecallAtFixedNprobeBeatsFloor) {
+  const int n = 4000, dim = 32, k = 10;
+  auto items = ClusteredUnitRows(n, dim, 80, 0.08f, 42);
+  auto queries = ClusteredUnitRows(400, dim, 80, 0.08f, 43);
+
+  KnnIndex exact(items.data(), n, dim);
+  const auto truth = exact.QueryBatch(queries.data(), 400, dim, k);
+
+  IvfOptions opts;
+  opts.seed = 12;
+  IvfIndex ivf(items.data(), n, dim, opts);
+  EXPECT_GT(ivf.num_cells(), 16);  // ~sqrt(4000) = 64 cells, minus empties
+  const auto approx = ivf.QueryBatch(queries.data(), 400, dim, k, /*nprobe=*/8);
+  EXPECT_GE(RecallAtK(truth, approx), 0.9);
+}
+
+TEST(IvfIndexTest, BitIdenticalAcrossThreadCounts) {
+  const int n = 1500, dim = 24, k = 7;
+  auto items = ClusteredUnitRows(n, dim, 30, 0.1f, 77);
+  auto queries = ClusteredUnitRows(130, dim, 30, 0.1f, 78);
+  IvfOptions opts;
+  opts.seed = 5;
+  IvfIndex ivf(items.data(), n, dim, opts);
+  const auto ref = ivf.QueryBatch(queries.data(), 130, dim, k, /*nprobe=*/4,
+                                  /*num_threads=*/1);
+  for (int threads : {2, 4}) {
+    const auto got =
+        ivf.QueryBatch(queries.data(), 130, dim, k, /*nprobe=*/4, threads);
+    ExpectBitIdentical(ref, got);
+  }
+}
+
+TEST(IvfIndexTest, NprobeAtLeastCellCountMatchesExactBitwise) {
+  const int n = 700, dim = 16, k = 9;
+  auto items = ClusteredUnitRows(n, dim, 20, 0.15f, 99);
+  auto queries = ClusteredUnitRows(65, dim, 20, 0.15f, 100);
+  KnnIndex exact(items.data(), n, dim);
+  IvfIndex ivf(items.data(), n, dim);
+  // Probing every cell gathers every item; scores ride the same GemmBT
+  // chains and selection tie-breaks on original ids, so the approximate
+  // path degrades to the exact one bit for bit.
+  const auto got = ivf.QueryBatch(queries.data(), 65, dim, k,
+                                  /*nprobe=*/ivf.num_cells());
+  const auto want = exact.QueryBatch(queries.data(), 65, dim, k);
+  ExpectBitIdentical(want, got);
+  // Over-probing clamps: nprobe way past the cell count changes nothing.
+  const auto clamped = ivf.QueryBatch(queries.data(), 65, dim, k,
+                                      /*nprobe=*/1000000);
+  ExpectBitIdentical(want, clamped);
+}
+
+TEST(IvfIndexTest, FlatAndNestedOverloadsAgree) {
+  const int n = 300, dim = 12, k = 5;
+  auto items = ClusteredUnitRows(n, dim, 10, 0.1f, 3);
+  auto queries = ClusteredUnitRows(40, dim, 10, 0.1f, 4);
+  IvfOptions opts;
+  opts.seed = 9;
+  IvfIndex flat(items.data(), n, dim, opts);
+  IvfIndex nested(ToNested(items, dim), opts);
+  const auto a = flat.QueryBatch(queries.data(), 40, dim, k, /*nprobe=*/3);
+  const auto b = nested.QueryBatch(ToNested(queries, dim), k, /*nprobe=*/3);
+  ExpectBitIdentical(a, b);
+}
+
+TEST(IvfIndexTest, SingleQueryMatchesBatchRow) {
+  const int n = 400, dim = 16, k = 6;
+  auto items = ClusteredUnitRows(n, dim, 12, 0.1f, 31);
+  auto queries = ClusteredUnitRows(50, dim, 12, 0.1f, 32);
+  IvfIndex ivf(items.data(), n, dim);
+  const auto batch = ivf.QueryBatch(queries.data(), 50, dim, k, /*nprobe=*/3);
+  auto nested = ToNested(queries, dim);
+  for (int q = 0; q < 50; ++q) {
+    const auto one = ivf.Query(nested[static_cast<size_t>(q)], k, /*nprobe=*/3);
+    ASSERT_EQ(one.size(), batch[static_cast<size_t>(q)].size()) << q;
+    for (size_t j = 0; j < one.size(); ++j) {
+      EXPECT_EQ(one[j].id, batch[static_cast<size_t>(q)][j].id) << q;
+      EXPECT_EQ(one[j].sim, batch[static_cast<size_t>(q)][j].sim) << q;
+    }
+  }
+}
+
+TEST(IvfIndexTest, EdgeCases) {
+  const int dim = 8;
+  auto items = ClusteredUnitRows(20, dim, 4, 0.05f, 55);
+  auto qs = ToNested(ClusteredUnitRows(2, dim, 4, 0.05f, 56), dim);
+  IvfIndex ivf(items.data(), 20, dim);
+
+  // k = 0 and negative k: empty per-query results, no crash.
+  EXPECT_TRUE(ivf.Query(qs[0], 0, 2).empty());
+  auto zero = ivf.QueryBatch(qs, 0, 2);
+  ASSERT_EQ(zero.size(), 2u);
+  EXPECT_TRUE(zero[0].empty() && zero[1].empty());
+  EXPECT_TRUE(ivf.Query(qs[0], -3, 2).empty());
+
+  // k >= N with every cell probed returns all items, exactly ranked.
+  auto all = ivf.Query(qs[0], 100, ivf.num_cells());
+  EXPECT_EQ(all.size(), 20u);
+  std::set<int> ids;
+  for (const auto& nb : all) ids.insert(nb.id);
+  EXPECT_EQ(ids.size(), 20u);
+
+  // nprobe <= 0 clamps to 1: results come from the single best cell.
+  auto one_cell = ivf.Query(qs[0], 100, 0);
+  EXPECT_FALSE(one_cell.empty());
+  EXPECT_LE(one_cell.size(), 20u);
+
+  // Empty index: empty results for every query.
+  IvfIndex empty(nullptr, 0, 0);
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.num_cells(), 0);
+  EXPECT_TRUE(empty.Query(qs[0], 5, 2).empty());
+  auto er = empty.QueryBatch(qs, 5, 2);
+  ASSERT_EQ(er.size(), 2u);
+  EXPECT_TRUE(er[0].empty() && er[1].empty());
+}
+
+TEST(IvfIndexTest, ExplicitCellCountIsHonored) {
+  const int n = 256, dim = 8;
+  auto items = ClusteredUnitRows(n, dim, 8, 0.1f, 71);
+  IvfOptions opts;
+  opts.num_cells = 8;
+  IvfIndex ivf(items.data(), n, dim, opts);
+  EXPECT_LE(ivf.num_cells(), 8);
+  EXPECT_GE(ivf.num_cells(), 1);
+  EXPECT_EQ(ivf.size(), n);
+}
+
+TEST(IvfBlockingIndexTest, AutoSwitchesOnThreshold) {
+  const int dim = 8;
+  auto items = ClusteredUnitRows(64, dim, 4, 0.1f, 13);
+  BlockingIndexOptions opts;
+  opts.exact_threshold = 32;
+  BlockingIndex above(items.data(), 64, dim, opts);
+  EXPECT_TRUE(above.using_ivf());
+  BlockingIndex below(items.data(), 16, dim, opts);
+  EXPECT_FALSE(below.using_ivf());
+
+  // Explicit kinds override the threshold in both directions.
+  opts.kind = BlockingIndexKind::kExact;
+  EXPECT_FALSE(BlockingIndex(items.data(), 64, dim, opts).using_ivf());
+  opts.kind = BlockingIndexKind::kIvf;
+  EXPECT_TRUE(BlockingIndex(items.data(), 16, dim, opts).using_ivf());
+}
+
+TEST(IvfBlockingIndexTest, ExactKindMatchesKnnIndexBitwise) {
+  const int n = 200, dim = 12, k = 6;
+  auto items = ClusteredUnitRows(n, dim, 8, 0.1f, 61);
+  auto queries = ClusteredUnitRows(30, dim, 8, 0.1f, 62);
+  BlockingIndexOptions opts;
+  opts.kind = BlockingIndexKind::kExact;
+  BlockingIndex facade(items.data(), n, dim, opts);
+  KnnIndex exact(items.data(), n, dim);
+  ExpectBitIdentical(exact.QueryBatch(queries.data(), 30, dim, k),
+                     facade.QueryBatch(queries.data(), 30, dim, k));
+  EXPECT_EQ(facade.size(), n);
+}
+
+TEST(IvfBlockingIndexTest, IvfKindRoutesNprobe) {
+  const int n = 600, dim = 16, k = 8;
+  auto items = ClusteredUnitRows(n, dim, 15, 0.1f, 17);
+  auto queries = ClusteredUnitRows(40, dim, 15, 0.1f, 18);
+  BlockingIndexOptions opts;
+  opts.kind = BlockingIndexKind::kIvf;
+  opts.nprobe = 5;
+  opts.ivf.seed = 21;
+  BlockingIndex facade(items.data(), n, dim, opts);
+  IvfIndex direct(items.data(), n, dim, opts.ivf);
+  ExpectBitIdentical(direct.QueryBatch(queries.data(), 40, dim, k, 5),
+                     facade.QueryBatch(queries.data(), 40, dim, k));
+}
+
+}  // namespace
+}  // namespace sudowoodo

@@ -103,6 +103,40 @@ TEST(EmPipelineIntegrationTest, BlockingSweepIsMonotone) {
   EXPECT_LT(points.back().cssr, 0.2);
 }
 
+TEST(EmPipelineIntegrationTest, IvfBlockingRecallWithinBudgetOfExact) {
+  // The ANN blocking budget (EXPERIMENTS.md "ANN blocking"): at the paper's
+  // k = 10, forcing the IVF index may cost at most 0.05 absolute EM
+  // blocking recall vs the exact oracle at the default nprobe. Also pins
+  // the kAuto default: paper-scale tables stay on the exact path.
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+
+  EmPipelineOptions exact_opts = TinyEmOptions();
+  exact_opts.blocking_index.kind = index::BlockingIndexKind::kExact;
+  EmPipeline exact_p(exact_opts);
+  auto exact_points = exact_p.BlockingSweep(ds, 10);
+
+  EmPipelineOptions auto_opts = TinyEmOptions();
+  EmPipeline auto_p(auto_opts);
+  auto auto_points = auto_p.BlockingSweep(ds, 10);
+
+  EmPipelineOptions ivf_opts = TinyEmOptions();
+  ivf_opts.blocking_index.kind = index::BlockingIndexKind::kIvf;
+  EmPipeline ivf_p(ivf_opts);
+  auto ivf_points = ivf_p.BlockingSweep(ds, 10);
+
+  ASSERT_EQ(exact_points.size(), 10u);
+  ASSERT_EQ(ivf_points.size(), 10u);
+  // kAuto at paper scale (< exact_threshold items) IS the exact oracle.
+  for (size_t i = 0; i < exact_points.size(); ++i) {
+    EXPECT_EQ(auto_points[i].recall, exact_points[i].recall);
+    EXPECT_EQ(auto_points[i].n_candidates, exact_points[i].n_candidates);
+  }
+  // Forced IVF stays within the stated recall budget at k = 10.
+  EXPECT_GE(ivf_points.back().recall, exact_points.back().recall - 0.05);
+  // And never produces more candidates than exact at the same k.
+  EXPECT_LE(ivf_points.back().n_candidates, exact_points.back().n_candidates);
+}
+
 TEST(EmPipelineIntegrationTest, ParallelRunBitIdenticalToSerial) {
   // The parallel execution subsystem must not change any result: the same
   // tiny run at num_threads = 1 and 4 has to produce identical predictions,
