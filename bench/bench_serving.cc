@@ -1,0 +1,310 @@
+// Serving front-door bench (src/serving/server.h): what dynamic batching
+// buys and what the batch window costs.
+//
+// Part 1 - closed loop, 8 concurrent clients, each waiting for its
+// response before sending the next request. The baseline server is
+// pinned to max_batch=1 (one-request-at-a-time, the pre-PR-8 shape); the
+// batched server coalesces whatever the 8 clients have in flight. The
+// speedup is pure batching win: same model, same weights, same clients.
+// Every response in BOTH modes is checked bitwise against the serial
+// single-request oracle (identical_to_serial - a hard correctness gate
+// in scripts/bench_compare.py, not a timing).
+//
+// Part 2 - open loop: clients submit at a fixed offered rate regardless
+// of completions (the arrival process a real front door sees), sweeping
+// the batch window max_wait_us. Emits QPS and p50/p99 latency per
+// window: the window trades tail latency for coalescing, and this series
+// is the tuning table for it (reproduced in EXPERIMENTS.md).
+//
+// Embedding cache is OFF throughout: every request pays full inference,
+// so the numbers measure batching, not memoization.
+//
+//   ./bench_serving [--json BENCH_serving.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "nn/encoder.h"
+#include "pipeline/em_pipeline.h"
+#include "serving/server.h"
+
+namespace sudowoodo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// dim 256 -> FastBag hidden 512: ~1 MB of MLP weights, so a single-row
+// encode is a weight-streaming GEMV and coalescing amortizes the stream
+// across the batch - the serving-scale model shape where batching pays
+// (at toy dims the weights sit in L2 and batch=1 is already compute-cheap).
+constexpr int kVocab = 4000;
+constexpr int kDim = 256;
+constexpr int kMaxLen = 64;
+constexpr int kPoolSize = 512;
+constexpr int kClients = 8;
+constexpr int kPerClientClosed = 400;
+
+std::vector<std::vector<int>> MakePool(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> pool(kPoolSize);
+  for (auto& seq : pool) {
+    const int len = 8 + rng.UniformInt(41);
+    for (int t = 0; t < len; ++t) seq.push_back(6 + rng.UniformInt(kVocab - 6));
+  }
+  return pool;
+}
+
+size_t PickRequest(int client, int i) {
+  // Deterministic per-client stream over the pool, no RNG in the hot loop.
+  return static_cast<size_t>((client * 131 + i * 7) % kPoolSize);
+}
+
+double MicrosSince(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct LoopResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double mean_batch = 0.0;
+  bool identical = true;
+  std::vector<double> latencies_us;  // open loop only
+};
+
+bool BitIdentical(const std::vector<float>& got,
+                  const std::vector<float>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) return false;
+  }
+  return true;
+}
+
+// Closed loop: each client thread submits, waits, repeats. Concurrency in
+// flight == number of clients still running.
+LoopResult RunClosedLoop(nn::Encoder* encoder,
+                         const std::vector<std::vector<int>>& pool,
+                         const std::vector<std::vector<float>>& oracle,
+                         int max_batch, int64_t max_wait_us) {
+  serving::ServerOptions opts;
+  opts.max_batch = max_batch;
+  opts.max_wait_us = max_wait_us;
+  serving::Server server({{encoder, nullptr}}, opts);
+  std::atomic<bool> identical{true};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClientClosed; ++i) {
+        const size_t which = PickRequest(c, i);
+        serving::Request req;
+        req.ids = pool[which];
+        const serving::Response resp = server.Submit(std::move(req)).get();
+        if (!resp.status.ok() ||
+            !BitIdentical(resp.embedding, oracle[which])) {
+          identical = false;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const auto t1 = Clock::now();
+  server.Shutdown();
+  const serving::ServerStats stats = server.stats();
+  LoopResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.qps = static_cast<double>(stats.completed) / r.seconds;
+  r.mean_batch = stats.batches > 0
+                     ? static_cast<double>(stats.coalesced) / stats.batches
+                     : 0.0;
+  r.identical = identical.load();
+  return r;
+}
+
+// Open loop: each client submits on a fixed schedule (sleep_until the
+// next arrival time) whether or not earlier responses came back; a
+// per-client collector thread get()s futures in submission order and
+// timestamps completion. The server drains near-FIFO, so the in-order
+// collector adds at most the skew inside one flush to a recorded latency.
+LoopResult RunOpenLoop(nn::Encoder* encoder,
+                       const std::vector<std::vector<int>>& pool,
+                       const std::vector<std::vector<float>>& oracle,
+                       int max_batch, int64_t max_wait_us,
+                       double offered_qps, int per_client) {
+  serving::ServerOptions opts;
+  opts.max_batch = max_batch;
+  opts.max_wait_us = max_wait_us;
+  opts.queue_capacity = 4096;  // open loop must not backpressure-block
+  serving::Server server({{encoder, nullptr}}, opts);
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(kClients / offered_qps));
+  std::atomic<bool> identical{true};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(kClients));
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<serving::Response>> futures(
+          static_cast<size_t>(per_client));
+      std::vector<Clock::time_point> submitted(
+          static_cast<size_t>(per_client));
+      std::atomic<int> n_submitted{0};
+      std::thread collector([&] {
+        auto& lat = latencies[static_cast<size_t>(c)];
+        lat.reserve(static_cast<size_t>(per_client));
+        for (int i = 0; i < per_client; ++i) {
+          while (n_submitted.load(std::memory_order_acquire) <= i) {
+            std::this_thread::yield();
+          }
+          const serving::Response resp = futures[static_cast<size_t>(i)].get();
+          lat.push_back(MicrosSince(submitted[static_cast<size_t>(i)],
+                                    Clock::now()));
+          const size_t which = PickRequest(c, i);
+          if (!resp.status.ok() ||
+              !BitIdentical(resp.embedding, oracle[which])) {
+            identical = false;
+          }
+        }
+      });
+      // Client arrivals are offset by c * interval / kClients so the
+      // aggregate stream is evenly spaced at offered_qps.
+      auto next = t0 + interval * c / kClients;
+      for (int i = 0; i < per_client; ++i) {
+        std::this_thread::sleep_until(next);
+        serving::Request req;
+        req.ids = pool[PickRequest(c, i)];
+        submitted[static_cast<size_t>(i)] = Clock::now();
+        futures[static_cast<size_t>(i)] = server.Submit(std::move(req));
+        n_submitted.store(i + 1, std::memory_order_release);
+        next += interval;
+      }
+      collector.join();
+    });
+  }
+  for (auto& c : clients) c.join();
+  const auto t1 = Clock::now();
+  server.Shutdown();
+  const serving::ServerStats stats = server.stats();
+  LoopResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.qps = static_cast<double>(stats.completed) / r.seconds;
+  r.mean_batch = stats.batches > 0
+                     ? static_cast<double>(stats.coalesced) / stats.batches
+                     : 0.0;
+  r.identical = identical.load();
+  for (const auto& lat : latencies) {
+    r.latencies_us.insert(r.latencies_us.end(), lat.begin(), lat.end());
+  }
+  std::sort(r.latencies_us.begin(), r.latencies_us.end());
+  return r;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int Run(const std::string& json_path) {
+  auto encoder = pipeline::MakeEncoder(pipeline::EncoderKind::kFastBag,
+                                       kVocab, kDim, kMaxLen, /*seed=*/7);
+  const std::vector<std::vector<int>> pool = MakePool(/*seed=*/42);
+
+  // Serial oracle, computed before the server exists (the encoder's
+  // serving path is single-threaded): one request at a time, nothing
+  // coalesced. Every bench response must equal these bytes.
+  std::vector<std::vector<float>> oracle;
+  oracle.reserve(pool.size());
+  for (const auto& seq : pool) {
+    oracle.push_back(encoder->EmbedNormalized({seq}).front());
+  }
+
+  bench::JsonRecords out;
+  TablePrinter table("Open-loop latency vs batch window (max_batch=64)");
+  table.SetHeader(
+      {"bench", "window_us", "qps", "p50_us", "p99_us", "mean_batch"});
+
+  // --- Part 1: closed loop, batch=1 vs batched ---------------------------
+  const LoopResult base =
+      RunClosedLoop(encoder.get(), pool, oracle, /*max_batch=*/1,
+                    /*max_wait_us=*/0);
+  // max_batch == client count: a closed loop can never have more than
+  // kClients requests in flight, so a larger cap would make every flush
+  // wait out the window for requests that cannot arrive.
+  const LoopResult batched =
+      RunClosedLoop(encoder.get(), pool, oracle, /*max_batch=*/kClients,
+                    /*max_wait_us=*/200);
+  const double speedup = batched.qps / base.qps;
+  for (const auto* r : {&base, &batched}) {
+    auto& rec = out.Add();
+    rec.Str("bench", "serving_closed_loop");
+    rec.Str("mode", r == &base ? "batch1" : "batched");
+    rec.Int("clients", kClients);
+    rec.Int("requests", kClients * kPerClientClosed);
+    rec.Int("dim", kDim);
+    rec.Num("seconds", r->seconds);
+    rec.Num("qps", r->qps);
+    rec.Num("mean_batch", r->mean_batch);
+    if (r == &batched) rec.Num("speedup_vs_batch1", speedup);
+    rec.Bool("identical_to_serial", r->identical);
+  }
+  std::printf("closed loop, %d clients: batch1 %.0f QPS, batched %.0f QPS "
+              "(%.2fx, mean batch %.1f), identical_to_serial=%s\n",
+              kClients, base.qps, batched.qps, speedup, batched.mean_batch,
+              base.identical && batched.identical ? "true" : "false");
+
+  // --- Part 2: open loop, batch-window sweep -----------------------------
+  // Offered rate at ~half the batched closed-loop capacity: high enough
+  // that windows matter, low enough that the queue stays bounded and the
+  // latency numbers are queueing + window + compute, not saturation.
+  const double offered = 0.5 * batched.qps;
+  const int per_client = 250;
+  for (const int64_t window_us : {int64_t{0}, int64_t{100}, int64_t{500},
+                                  int64_t{2000}}) {
+    const LoopResult r =
+        RunOpenLoop(encoder.get(), pool, oracle, /*max_batch=*/64, window_us,
+                    offered, per_client);
+    const double p50 = Percentile(r.latencies_us, 0.50);
+    const double p99 = Percentile(r.latencies_us, 0.99);
+    auto& rec = out.Add();
+    rec.Str("bench", "serving_open_loop");
+    rec.Int("clients", kClients);
+    rec.Int("requests", kClients * per_client);
+    rec.Int("dim", kDim);
+    rec.Int("max_batch", 64);
+    rec.Int("window_us", static_cast<long long>(window_us));
+    rec.Num("offered_qps", offered);
+    rec.Num("seconds", r.seconds);
+    rec.Num("qps", r.qps);
+    rec.Num("p50_us", p50);
+    rec.Num("p99_us", p99);
+    rec.Num("mean_batch", r.mean_batch);
+    rec.Bool("identical_to_serial", r.identical);
+    table.AddRow({"open_loop", std::to_string(window_us),
+                  StrFormat("%.0f", r.qps), StrFormat("%.0f", p50),
+                  StrFormat("%.0f", p99), StrFormat("%.1f", r.mean_batch)});
+  }
+  table.Print();
+
+  bench::WriteOrReport(out, json_path);
+  return base.identical && batched.identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sudowoodo
+
+int main(int argc, char** argv) {
+  return sudowoodo::Run(sudowoodo::bench::JsonPathFromArgs(argc, argv));
+}

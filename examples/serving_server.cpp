@@ -1,0 +1,107 @@
+// Serving front door: a long-lived Server coalescing concurrent encode /
+// match / clean requests into batched inference, with a warm restart from
+// a weights file and a graceful drain at the end.
+//
+// Build & run:
+//   cmake -B build && cmake --build build
+//   ./build/example_serving_server
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "data/em_dataset.h"
+#include "index/embedding_cache.h"
+#include "nn/weights.h"
+#include "pipeline/em_pipeline.h"
+#include "serving/server.h"
+#include "text/vocab.h"
+
+using namespace sudowoodo;  // NOLINT: example brevity
+
+int main() {
+  // 1. A model to serve: vocab + encoder over a generated EM benchmark.
+  //    (A real deployment would pre-train first; serving is agnostic.)
+  data::EmDataset ds = data::GenerateEm(data::GetEmSpec("AB"));
+  std::vector<std::vector<std::string>> corpus;
+  for (int r = 0; r < ds.table_a.num_rows(); ++r) {
+    corpus.push_back(pipeline::EmPipeline::SerializeRow(ds.table_a, r));
+  }
+  text::Vocab vocab = text::Vocab::Build(corpus, 6000);
+  auto encoder = pipeline::MakeEncoder(pipeline::EncoderKind::kFastBag,
+                                       vocab.size(), 64, 96, /*seed=*/7);
+
+  // 2. Warm restart: persist the weights, load them into a second replica.
+  //    SaveWeights is atomic (temp file + rename) and checksummed, so a
+  //    failed save can never feed a later restart garbage.
+  const std::string path = "/tmp/sudowoodo_serving_example.weights";
+  SUDO_CHECK_OK(nn::SaveWeights(encoder->Parameters(), path));
+  auto replica2 = pipeline::MakeEncoder(pipeline::EncoderKind::kFastBag,
+                                        vocab.size(), 64, 96, /*seed=*/7);
+  SUDO_CHECK_OK(nn::LoadWeights(replica2->Parameters(), path));
+
+  // 3. Matchers (untrained heads here; Train() them in a real pipeline)
+  //    and a shared content-keyed embedding cache: a sequence encoded for
+  //    any request serves every later repeat, on either worker.
+  matcher::FinetuneOptions fopts;
+  matcher::PairMatcher matcher1(encoder.get(), &vocab, fopts);
+  matcher::PairMatcher matcher2(replica2.get(), &vocab, fopts);
+  index::EmbeddingCache cache(/*capacity=*/4096);
+  encoder->set_embedding_cache(&cache);
+  replica2->set_embedding_cache(&cache);
+
+  // 4. The server: two workers, batches flushed at 32 requests or 500us.
+  serving::ServerOptions opts;
+  opts.max_batch = 32;
+  opts.max_wait_us = 500;
+  serving::Server server({{encoder.get(), &matcher1},
+                          {replica2.get(), &matcher2}},
+                         opts);
+
+  // 5. Concurrent clients: 4 threads x 200 mixed requests.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 200; ++i) {
+        const int row = (c * 200 + i) % ds.table_a.num_rows();
+        serving::Request req;
+        if (i % 3 == 0) {
+          req.kind = serving::RequestKind::kMatch;
+          req.pair.x = pipeline::EmPipeline::SerializeRow(ds.table_a, row);
+          req.pair.y = pipeline::EmPipeline::SerializeRow(
+              ds.table_b, row % ds.table_b.num_rows());
+        } else {
+          req.kind = serving::RequestKind::kEncode;
+          req.ids = vocab.Encode(
+              pipeline::EmPipeline::SerializeRow(ds.table_a, row));
+        }
+        req.timeout_us = 1000000;  // 1s deadline
+        serving::Response resp = server.Submit(std::move(req)).get();
+        SUDO_CHECK(resp.status.ok());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  // 6. Graceful shutdown drains anything still queued, then joins.
+  server.Shutdown();
+  const serving::ServerStats stats = server.stats();
+  const index::EmbeddingCacheStats cs = cache.stats();
+  std::printf("served %llu requests in %.2fs (%.0f QPS) over %llu flushes "
+              "(mean batch %.1f); cache hits=%llu misses=%llu\n",
+              static_cast<unsigned long long>(stats.completed), secs,
+              static_cast<double>(stats.completed) / secs,
+              static_cast<unsigned long long>(stats.batches),
+              stats.batches > 0
+                  ? static_cast<double>(stats.coalesced) / stats.batches
+                  : 0.0,
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses));
+  std::remove(path.c_str());
+  return 0;
+}

@@ -43,6 +43,14 @@ empty/unparseable fresh or baseline file FAILs with a one-line message,
 and an all-zero (or otherwise non-finite) strict seconds column FAILs
 instead of zeroing the band out.
 
+The serving series (``serving_closed_loop``, ``serving_open_loop``)
+reports rates and latencies instead of pure wall-clock: ``qps`` is
+regression-gated through the same bands as seconds but in the inverted
+direction (a fresh rate *below* baseline/band is the slowdown), while
+``p50_us``/``p99_us``/``mean_batch``/``speedup_vs_batch1`` are
+non-identity informational metrics - they ride along in the record
+without gating, so a re-tuned batch window doesn't break comparison.
+
 Correctness booleans (identical_to_serial, identical_to_per_row,
 identical_to_uncached, matches_reference) are hard-checked regardless of
 any band or env override. ``recall_at_k`` (the ANN series) is likewise a
@@ -69,8 +77,9 @@ import sys
 
 METRIC_FIELDS = ("seconds", "speedup", "speedup_vs_per_row_serial",
                  "speedup_vs_nocache_warm", "speedup_vs_exact",
-                 "steps_per_second", "gflops", "recall_at_k",
-                 "allocs_per_call", "alloc_bytes_per_call")
+                 "speedup_vs_batch1", "steps_per_second", "gflops",
+                 "recall_at_k", "qps", "p50_us", "p99_us", "offered_qps",
+                 "mean_batch", "allocs_per_call", "alloc_bytes_per_call")
 CORRECTNESS_FIELDS = ("identical_to_serial", "identical_to_per_row",
                       "matches_reference", "identical_to_serial_training",
                       "identical_to_uncached")
@@ -236,7 +245,8 @@ def main():
             base = base_by_id.pop(rid, None)
             label_bits = [str(record.get("bench", "?"))]
             for k in ("shape", "kernel", "variant", "encoder", "mode",
-                      "cache", "phase", "num_threads", "num_shards"):
+                      "cache", "phase", "num_threads", "num_shards",
+                      "window_us"):
                 if k in record:
                     label_bits.append(f"{k.split('_')[-1]}={record[k]}")
             label = " ".join(label_bits)[:52]
@@ -276,6 +286,29 @@ def main():
                     # shrank by accident; surface it, don't fail.
                     status = "suspiciously fast (check workload)"
                     warnings += 1
+            # Throughput gate (the serving series): qps is a rate, so the
+            # regression direction is inverted - fresh *below* baseline is
+            # the slowdown. Gated through the same bands as seconds
+            # (strict band for strict series, wide warn band otherwise),
+            # so a QPS collapse surfaces even on records whose wall-clock
+            # is pinned by the workload (open-loop runs last exactly as
+            # long as their pacing schedule regardless of server health).
+            bq, fq = base.get("qps"), record.get("qps")
+            if status == "ok" and isinstance(bq, (int, float)) and \
+                    isinstance(fq, (int, float)) and bq > 0 and fq > 0:
+                qps_ratio = bq / fq
+                hard = strict and record.get("tier") == base.get("tier")
+                band = args.strict_tolerance * strict_norm if hard \
+                    else args.tolerance
+                if qps_ratio > band:
+                    if hard and not warn_only:
+                        status = f"FAIL qps {fq:.0f} < baseline " \
+                                 f"{bq:.0f} / {band:.2f}x band"
+                        failures += 1
+                    else:
+                        status = f"warn: qps {fq:.0f} below baseline " \
+                                 f"{bq:.0f} / {band:.2f}x band"
+                        warnings += 1
             # Allocation-free contract: a steady state whose committed
             # baseline allocates nothing must stay at zero.
             ba = base.get("allocs_per_call")

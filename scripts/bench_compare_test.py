@@ -41,6 +41,17 @@ def ann_record(recall, nprobe=8, seconds=0.05, **extra):
     return r
 
 
+def serving_record(qps, window_us=100, p50=200.0, p99=900.0, seconds=0.2,
+                   **extra):
+    r = {"bench": "serving_open_loop", "clients": 8, "requests": 2000,
+         "dim": 256, "max_batch": 64, "window_us": window_us,
+         "offered_qps": qps * 1.05, "seconds": seconds, "qps": qps,
+         "p50_us": p50, "p99_us": p99, "mean_batch": 4.0,
+         "identical_to_serial": True}
+    r.update(extra)
+    return r
+
+
 class BenchCompareTest(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
@@ -201,6 +212,68 @@ class BenchCompareTest(unittest.TestCase):
         self.assert_clean(proc)
         self.assertNotIn("no baseline", proc.stdout)
         self.assertNotIn("baseline-only", proc.stdout)
+
+    # ---- serving latency series ---------------------------------------
+
+    def test_serving_latency_metrics_are_not_identity(self):
+        # qps / p50 / p99 / offered_qps / mean_batch are metrics: a
+        # fresh run with different numbers must still match its baseline
+        # record (identity = bench + config fields only).
+        self.write("baseline/BENCH_serving.json", [serving_record(10000.0)])
+        fresh = self.write("BENCH_serving.json",
+                           [serving_record(11000.0, p50=150.0, p99=700.0)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertNotIn("no baseline", proc.stdout)
+        self.assertNotIn("baseline-only", proc.stdout)
+
+    def test_serving_qps_collapse_warns(self):
+        # Open-loop wall-clock is pinned by the pacing schedule, so the
+        # seconds band can't see a throughput regression - the inverted
+        # qps band must. Serving is non-strict: warn, don't fail.
+        self.write("baseline/BENCH_serving.json", [serving_record(10000.0)])
+        fresh = self.write("BENCH_serving.json",
+                           [serving_record(2000.0)])  # 5x below, band is 4x
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertIn("warn: qps", proc.stdout)
+
+    def test_serving_qps_within_band_passes_quietly(self):
+        self.write("baseline/BENCH_serving.json", [serving_record(10000.0)])
+        fresh = self.write("BENCH_serving.json", [serving_record(7000.0)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertNotIn("warn: qps", proc.stdout)
+
+    def test_serving_identity_flag_false_fails(self):
+        # Bit-identity to the serial oracle is the serving correctness
+        # gate: no band, no machine excuse.
+        self.write("baseline/BENCH_serving.json", [serving_record(10000.0)])
+        fresh = self.write(
+            "BENCH_serving.json",
+            [serving_record(10000.0, identical_to_serial=False)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 1, msg=proc.stdout)
+        self.assertIn("identical_to_serial=false", proc.stdout)
+
+    def test_strict_qps_regression_fails(self):
+        # A strict-series record carrying qps gets the hard inverted
+        # band, normalized by the same strict median as seconds.
+        base = [strict_record(0.10, qps=10000.0),
+                strict_record(0.20, shape="a"),
+                strict_record(0.30, shape="b")]
+        self.write("baseline/BENCH_k.json", base)
+        slow = [dict(r) for r in base]
+        slow[0]["qps"] = 5000.0  # 2x down while peers hold
+        fresh = self.write("BENCH_k.json", slow)
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 1, msg=proc.stdout)
+        self.assertIn("FAIL qps", proc.stdout)
 
     # ---- tier metadata rules ------------------------------------------
 

@@ -25,6 +25,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

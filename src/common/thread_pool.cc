@@ -18,13 +18,19 @@ ThreadPool::ThreadPool(int num_workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  // Serialize concurrent Shutdown calls; joinable() makes repeats no-ops.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 bool ThreadPool::InWorkerThread() const { return g_current_pool == this; }
@@ -38,9 +44,16 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return future;
+    }
   }
-  cv_.notify_one();
+  // Shutting down (or already shut down): the workers may have exited, so
+  // queueing could strand the task with a never-ready future. Run inline
+  // instead - the documented Submit-vs-Shutdown contract.
+  task();
   return future;
 }
 

@@ -34,7 +34,7 @@ class ThreadPool {
   /// Spawns `num_workers` threads. 0 is valid: every Submit runs inline.
   explicit ThreadPool(int num_workers);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Calls Shutdown() (drains outstanding tasks, then joins the workers).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -43,7 +43,22 @@ class ThreadPool {
   /// Enqueues `fn`. The returned future yields when the task finishes and
   /// rethrows anything the task threw. Tasks submitted from a worker of
   /// this same pool run inline (see the header comment).
+  ///
+  /// Submit during or after Shutdown() is *defined*, not a race: the task
+  /// runs inline on the submitting thread and its future completes as
+  /// usual. Without this rule a task enqueued after the last worker
+  /// observed the drained queue would be stranded forever (its future
+  /// never ready) - exactly the window a serving layer's
+  /// drain-on-shutdown path hits when late requests race pool teardown.
+  /// The caller still owns the object's lifetime: Submit must not be
+  /// called on a destroyed pool, only on one that has (or is being) shut
+  /// down.
   std::future<void> Submit(std::function<void()> fn);
+
+  /// Drains outstanding tasks, then joins the workers. Idempotent and
+  /// safe to call concurrently with Submit (late submissions run inline,
+  /// see above). After Shutdown the pool behaves like the 0-worker pool.
+  void Shutdown();
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -59,6 +74,7 @@ class ThreadPool {
   void WorkerLoop();
 
   mutable std::mutex mu_;
+  std::mutex join_mu_;  // serializes concurrent Shutdown joins
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   std::vector<std::thread> workers_;

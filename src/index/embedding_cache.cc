@@ -20,8 +20,15 @@ EmbeddingCache::EmbeddingCache(size_t capacity, int num_shards)
   const size_t n = static_cast<size_t>(std::max(1, num_shards));
   // Don't spread a tiny budget so thin that shards round down to nothing.
   const size_t used = std::min(n, std::max<size_t>(capacity, 1));
-  shard_capacity_ = capacity > 0 ? (capacity + used - 1) / used : 0;
   shards_ = std::vector<Shard>(capacity > 0 ? used : 1);
+  // Distribute the budget exactly: base entries everywhere plus one spare
+  // for the first (capacity % used) shards. Ceiling every shard instead
+  // would let the *total* exceed capacity() by up to used - 1 entries.
+  const size_t base = capacity / used;
+  const size_t rem = capacity % used;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity = capacity > 0 ? base + (i < rem ? 1 : 0) : 0;
+  }
 }
 
 EmbeddingCache::Shard& EmbeddingCache::ShardFor(const std::vector<int>& ids) {
@@ -60,7 +67,7 @@ void EmbeddingCache::Insert(const std::vector<int>& ids, const float* vec,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  while (shard.lru.size() >= shard_capacity_ && !shard.lru.empty()) {
+  while (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
     shard.by_key.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;

@@ -41,7 +41,9 @@ struct EmbeddingCacheStats {
 /// Sharded LRU map from token-id sequence to embedding vector.
 class EmbeddingCache {
  public:
-  /// `capacity` is the total entry budget across shards; 0 disables the
+  /// `capacity` is the total entry budget across shards - a hard cap:
+  /// the sum of live entries never exceeds it (per-shard slices are a
+  /// floor split with the remainder spread, not a ceiling). 0 disables the
   /// cache entirely (Lookup always misses without counting, Insert is a
   /// no-op) so a zero-capacity cache behaves exactly like no cache.
   explicit EmbeddingCache(size_t capacity, int num_shards = 8);
@@ -75,6 +77,11 @@ class EmbeddingCache {
   };
   struct Shard {
     std::mutex mu;
+    /// This shard's slice of the global entry budget. Slices sum to
+    /// exactly capacity() (floor split, remainder spread one-per-shard
+    /// from the front) - never more, so the cache as a whole honors its
+    /// stated capacity.
+    size_t capacity = 0;
     // LRU order: front = most recent. The map's keys view the list
     // entries' key vectors via value equality (own copies; simple and
     // safe - keys are short token sequences).
@@ -89,7 +96,6 @@ class EmbeddingCache {
   Shard& ShardFor(const std::vector<int>& ids);
 
   size_t capacity_ = 0;
-  size_t shard_capacity_ = 0;
   std::vector<Shard> shards_;
 };
 

@@ -156,24 +156,34 @@ std::vector<Tensor> Encoder::EncodeRows(
   return rows;
 }
 
+void Encoder::EncodeNormalizedInto(const std::vector<std::vector<int>>& batch,
+                                   float* out) {
+  if (batch.empty()) return;
+  ts::NoGradGuard ng;
+  const int d = dim();
+  EncodeInference(batch, out);
+  // Same float chain as tensor::L2NormalizeRows' forward (kernel norm,
+  // then ScaleAdd by 1/(norm + eps)), without the graph node.
+  ts::Workspace& ws = ts::Workspace::ThreadLocal();
+  ts::Workspace::Frame frame(ws);
+  float* norms = ws.Floats(batch.size());
+  ks::L2NormRows(static_cast<int>(batch.size()), d, out, norms);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const float inv = 1.0f / (norms[i] + 1e-9f);
+    float* row = out + i * static_cast<size_t>(d);
+    ks::ScaleAdd(d, inv, row, 0.0f, row);
+  }
+}
+
 std::vector<std::vector<float>> Encoder::EmbedNormalized(
     const std::vector<std::vector<int>>& batch) {
-  ts::NoGradGuard ng;
   std::vector<std::vector<float>> out(batch.size());
   if (batch.empty()) return out;
   const int d = dim();
-  ts::Workspace& ws = ts::Workspace::ThreadLocal();
-  ts::Workspace::Frame frame(ws);
-  float* z = ws.Floats(batch.size() * static_cast<size_t>(d));
-  EncodeInference(batch, z);
-  // Same float chain as tensor::L2NormalizeRows' forward (kernel norm,
-  // then ScaleAdd by 1/(norm + eps)), without the graph node.
-  float* norms = ws.Floats(batch.size());
-  ks::L2NormRows(static_cast<int>(batch.size()), d, z, norms);
+  std::vector<float> z(batch.size() * static_cast<size_t>(d));
+  EncodeNormalizedInto(batch, z.data());
   for (size_t i = 0; i < batch.size(); ++i) {
-    const float inv = 1.0f / (norms[i] + 1e-9f);
-    float* row = z + i * static_cast<size_t>(d);
-    ks::ScaleAdd(d, inv, row, 0.0f, row);
+    const float* row = z.data() + i * static_cast<size_t>(d);
     out[i].assign(row, row + d);
   }
   return out;

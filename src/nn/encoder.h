@@ -66,8 +66,18 @@ class Encoder {
   /// Output representation width.
   virtual int dim() const = 0;
 
+  /// Serving front door used by the dynamic batcher (src/serving): the
+  /// EncodeInference route plus per-row L2 normalization (Definition 1),
+  /// written straight into the caller's [batch.size(), dim()] buffer.
+  /// Normalization is row-local, so each row stays bit-identical to a
+  /// single-request encode regardless of how requests were coalesced.
+  /// Same re-entrancy rule as EncodeInference.
+  void EncodeNormalizedInto(const std::vector<std::vector<int>>& batch,
+                            float* out);
+
   /// Convenience: encode without cutoff in inference mode, L2-normalized
   /// per Definition 1, returning plain row vectors (no autograd graph).
+  /// Same floats as EncodeNormalizedInto (it is a copying wrapper).
   std::vector<std::vector<float>> EmbedNormalized(
       const std::vector<std::vector<int>>& batch);
 

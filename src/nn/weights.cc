@@ -1,8 +1,51 @@
 #include "nn/weights.h"
 
+#include <cstdint>
 #include <cstdio>
 
 namespace sudowoodo::nn {
+
+namespace {
+
+// File layout (little-endian, host byte order):
+//   uint32 magic   'SUWT'   - rejects arbitrary files and the old headerless
+//                             format (whose first word was a tiny count)
+//   uint32 version           - format revision, bumped on layout changes
+//   uint64 checksum          - FNV-1a over every byte after this field
+//   int32  n                 - parameter count
+//   n x { int32 rows, int32 cols, float data[rows*cols] }
+constexpr uint32_t kWeightsMagic = 0x53555754u;  // "SUWT"
+constexpr uint32_t kWeightsVersion = 1;
+
+// FNV-1a, accumulated over raw bytes as they are written/read. Catches the
+// bit flips and partial writes a size check alone cannot.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvUpdate(uint64_t h, const void* bytes, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Writes `len` bytes, folding them into *checksum. False on short write.
+bool WriteChecked(const void* bytes, size_t len, std::FILE* f,
+                  uint64_t* checksum) {
+  if (std::fwrite(bytes, 1, len, f) != len) return false;
+  *checksum = FnvUpdate(*checksum, bytes, len);
+  return true;
+}
+
+bool ReadChecked(void* bytes, size_t len, std::FILE* f, uint64_t* checksum) {
+  if (std::fread(bytes, 1, len, f) != len) return false;
+  *checksum = FnvUpdate(*checksum, bytes, len);
+  return true;
+}
+
+}  // namespace
 
 WeightSnapshot SnapshotWeights(const std::vector<tensor::Tensor>& params) {
   WeightSnapshot out;
@@ -25,19 +68,58 @@ void RestoreWeights(const std::vector<tensor::Tensor>& params,
 
 Status SaveWeights(const std::vector<tensor::Tensor>& params,
                    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write to a sibling temp file and rename into place: a crash,
+  // disk-full, or I/O error mid-save leaves any previous good file at
+  // `path` untouched instead of a truncated one that a warm restart would
+  // then try to load.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::Internal("cannot open for write: " + path);
+    return Status::Internal("cannot open for write: " + tmp);
   }
+  const auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::Internal(what + ": " + tmp);
+  };
+
+  // The checksum covers everything after its own field; compute it over
+  // the body first so the header can be written up front.
+  uint64_t checksum = kFnvOffset;
   const int32_t n = static_cast<int32_t>(params.size());
-  std::fwrite(&n, sizeof(n), 1, f);
+  checksum = FnvUpdate(checksum, &n, sizeof(n));
   for (const auto& p : params) {
     const int32_t rows = p.rows(), cols = p.cols();
-    std::fwrite(&rows, sizeof(rows), 1, f);
-    std::fwrite(&cols, sizeof(cols), 1, f);
-    std::fwrite(p.data(), sizeof(float), p.size(), f);
+    checksum = FnvUpdate(checksum, &rows, sizeof(rows));
+    checksum = FnvUpdate(checksum, &cols, sizeof(cols));
+    checksum = FnvUpdate(checksum, p.data(), sizeof(float) * p.size());
   }
-  std::fclose(f);
+
+  uint64_t unused = kFnvOffset;
+  if (!WriteChecked(&kWeightsMagic, sizeof(kWeightsMagic), f, &unused) ||
+      !WriteChecked(&kWeightsVersion, sizeof(kWeightsVersion), f, &unused) ||
+      !WriteChecked(&checksum, sizeof(checksum), f, &unused) ||
+      !WriteChecked(&n, sizeof(n), f, &unused)) {
+    return fail("short write");
+  }
+  for (const auto& p : params) {
+    const int32_t rows = p.rows(), cols = p.cols();
+    if (!WriteChecked(&rows, sizeof(rows), f, &unused) ||
+        !WriteChecked(&cols, sizeof(cols), f, &unused) ||
+        !WriteChecked(p.data(), sizeof(float) * p.size(), f, &unused)) {
+      return fail("short write");
+    }
+  }
+  // fclose flushes the stdio buffer; an ENOSPC surfacing only here would
+  // otherwise be swallowed and a garbage file renamed into place.
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("close failed (disk full?): " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 
@@ -47,27 +129,66 @@ Status LoadWeights(const std::vector<tensor::Tensor>& params,
   if (f == nullptr) {
     return Status::NotFound("cannot open for read: " + path);
   }
-  int32_t n = 0;
-  if (std::fread(&n, sizeof(n), 1, f) != 1 ||
-      n != static_cast<int32_t>(params.size())) {
+  const auto fail = [&](Status st) {
     std::fclose(f);
-    return Status::InvalidArgument("parameter count mismatch in " + path);
+    return st;
+  };
+
+  uint64_t unused = kFnvOffset;
+  uint32_t magic = 0, version = 0;
+  uint64_t stored_checksum = 0;
+  if (!ReadChecked(&magic, sizeof(magic), f, &unused) ||
+      magic != kWeightsMagic) {
+    return fail(Status::InvalidArgument("not a weights file (bad magic): " +
+                                        path));
   }
+  if (!ReadChecked(&version, sizeof(version), f, &unused) ||
+      version != kWeightsVersion) {
+    return fail(Status::InvalidArgument("unsupported weights version in " +
+                                        path));
+  }
+  if (!ReadChecked(&stored_checksum, sizeof(stored_checksum), f, &unused)) {
+    return fail(Status::InvalidArgument("truncated weight file: " + path));
+  }
+
+  uint64_t checksum = kFnvOffset;
+  int32_t n = 0;
+  if (!ReadChecked(&n, sizeof(n), f, &checksum) ||
+      n != static_cast<int32_t>(params.size())) {
+    return fail(
+        Status::InvalidArgument("parameter count mismatch in " + path));
+  }
+  // Stage into a snapshot and validate everything - shapes, byte count,
+  // trailing garbage, checksum - before touching the live parameters, so
+  // a bad file never leaves them half-overwritten.
+  WeightSnapshot staged;
+  staged.reserve(params.size());
   for (const auto& p : params) {
     int32_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
-        std::fread(&cols, sizeof(cols), 1, f) != 1 || rows != p.rows() ||
+    if (!ReadChecked(&rows, sizeof(rows), f, &checksum) ||
+        !ReadChecked(&cols, sizeof(cols), f, &checksum) || rows != p.rows() ||
         cols != p.cols()) {
-      std::fclose(f);
-      return Status::InvalidArgument("parameter shape mismatch in " + path);
+      return fail(
+          Status::InvalidArgument("parameter shape mismatch in " + path));
     }
-    if (std::fread(const_cast<tensor::Tensor&>(p).data(), sizeof(float),
-                   p.size(), f) != p.size()) {
-      std::fclose(f);
-      return Status::InvalidArgument("truncated weight file: " + path);
+    staged.emplace_back(p.size());
+    if (!ReadChecked(staged.back().data(), sizeof(float) * p.size(), f,
+                     &checksum)) {
+      return fail(Status::InvalidArgument("truncated weight file: " + path));
     }
   }
+  unsigned char extra = 0;
+  if (std::fread(&extra, 1, 1, f) != 0 || !std::feof(f)) {
+    return fail(Status::InvalidArgument("trailing bytes in weight file: " +
+                                        path));
+  }
+  if (checksum != stored_checksum) {
+    return fail(Status::InvalidArgument("checksum mismatch (corrupt weight "
+                                        "file): " +
+                                        path));
+  }
   std::fclose(f);
+  RestoreWeights(params, staged);
   return Status::OK();
 }
 

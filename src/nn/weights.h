@@ -23,9 +23,18 @@ WeightSnapshot SnapshotWeights(const std::vector<tensor::Tensor>& params);
 void RestoreWeights(const std::vector<tensor::Tensor>& params,
                     const WeightSnapshot& snapshot);
 
-/// Serializes parameters to a binary file (shape-checked on load).
+/// Serializes parameters to a binary file. Durable by construction: the
+/// bytes go to `path`.tmp and are renamed into place only after every
+/// write and the final close succeeded, so a failed save (disk full, I/O
+/// error) returns non-OK and leaves any previous good file untouched. The
+/// file carries a magic/version header and an FNV-1a payload checksum.
 Status SaveWeights(const std::vector<tensor::Tensor>& params,
                    const std::string& path);
+
+/// Restores parameters saved by SaveWeights. Rejects wrong magic/version,
+/// shape or count mismatches, truncation, trailing bytes, and checksum
+/// (bit-flip) corruption - and only writes into `params` after the whole
+/// file validated, so a rejected load never leaves them half-overwritten.
 Status LoadWeights(const std::vector<tensor::Tensor>& params,
                    const std::string& path);
 

@@ -1,0 +1,247 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace sudowoodo::serving {
+
+Server::Server(std::vector<ModelReplica> replicas,
+               const ServerOptions& options)
+    : options_(options),
+      replicas_(std::move(replicas)),
+      queue_(options.queue_capacity) {
+  SUDO_CHECK(!replicas_.empty());
+  SUDO_CHECK(options_.max_batch > 0);
+  SUDO_CHECK(options_.queue_capacity > 0);
+  for (const ModelReplica& r : replicas_) {
+    SUDO_CHECK(r.encoder != nullptr);
+    SUDO_CHECK(r.encoder->dim() == replicas_.front().encoder->dim());
+    // All-or-nothing matchers: Submit-time validation checks one replica
+    // and must speak for every worker.
+    SUDO_CHECK((r.matcher != nullptr) ==
+               (replicas_.front().matcher != nullptr));
+  }
+  workers_.reserve(replicas_.size());
+  for (const ModelReplica& r : replicas_) {
+    workers_.emplace_back([this, r] { WorkerLoop(r); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  queue_.Close();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+Status Server::Validate(const Request& request) const {
+  switch (request.kind) {
+    case RequestKind::kEncode:
+      return Status::OK();
+    case RequestKind::kMatch:
+    case RequestKind::kClean:
+      if (replicas_.front().matcher == nullptr) {
+        return Status::FailedPrecondition(
+            "server has no matcher; match/clean requests unsupported");
+      }
+      if (request.kind == RequestKind::kClean &&
+          request.candidates.empty()) {
+        return Status::InvalidArgument("clean request has no candidates");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown request kind");
+}
+
+std::future<Response> Server::Submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const Status st = Validate(request);
+  if (!st.ok()) {
+    Response r;
+    r.status = st;
+    promise.set_value(std::move(r));
+    return future;
+  }
+  Pending pending;
+  pending.deadline = request.timeout_us > 0
+                         ? Clock::now() +
+                               std::chrono::microseconds(request.timeout_us)
+                         : Clock::time_point::max();
+  pending.request = std::move(request);
+  pending.promise = std::move(promise);
+  if (!queue_.Push(pending)) {
+    // Closed: Push left `pending` intact, so the promise is still ours.
+    Response r;
+    r.status = Status::FailedPrecondition("server is shut down");
+    pending.promise.set_value(std::move(r));
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+bool Server::TrySubmit(Request request, std::future<Response>* out) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const Status st = Validate(request);
+  if (!st.ok()) {
+    Response r;
+    r.status = st;
+    promise.set_value(std::move(r));
+    *out = std::move(future);
+    return true;
+  }
+  Pending pending;
+  pending.deadline = request.timeout_us > 0
+                         ? Clock::now() +
+                               std::chrono::microseconds(request.timeout_us)
+                         : Clock::time_point::max();
+  pending.request = std::move(request);
+  pending.promise = std::move(promise);
+  if (!queue_.TryPush(pending)) return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  *out = std::move(future);
+  return true;
+}
+
+void Server::WorkerLoop(ModelReplica replica) {
+  std::vector<Pending> batch;
+  std::vector<float> encode_scratch;  // capacity retained across flushes
+  while (queue_.PopBatch(options_.max_batch,
+                         std::chrono::microseconds(options_.max_wait_us),
+                         &batch)) {
+    ServeBatch(replica, &batch, &encode_scratch);
+  }
+}
+
+void Server::ServeBatch(const ModelReplica& replica,
+                        std::vector<Pending>* batch,
+                        std::vector<float>* encode_scratch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_.fetch_add(batch->size(), std::memory_order_relaxed);
+  const int flush_size = static_cast<int>(batch->size());
+  const auto now = Clock::now();
+
+  // Partition the flush: expired requests answer immediately; the rest
+  // coalesce into one encoder pack and one matcher pack. Request order is
+  // preserved within each pack purely for readability - per-row
+  // bit-identity makes the composition irrelevant to the results.
+  std::vector<std::vector<int>> encode_rows;
+  std::vector<size_t> encode_owner;
+  std::vector<matcher::PairExample> pairs;
+  struct PairSpan {
+    size_t owner;
+    size_t begin;
+    size_t count;
+  };
+  std::vector<PairSpan> spans;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Pending& p = (*batch)[i];
+    if (now > p.deadline) {
+      Response r;
+      r.status = Status::DeadlineExceeded("request expired in queue");
+      r.coalesced = flush_size;
+      // Counters before set_value: the client unblocks the instant the
+      // promise is fulfilled, and may read stats() right away.
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(std::move(r));
+      continue;
+    }
+    switch (p.request.kind) {
+      case RequestKind::kEncode:
+        encode_owner.push_back(i);
+        encode_rows.push_back(std::move(p.request.ids));
+        break;
+      case RequestKind::kMatch:
+        spans.push_back(PairSpan{i, pairs.size(), 1});
+        pairs.push_back(std::move(p.request.pair));
+        break;
+      case RequestKind::kClean:
+        spans.push_back(
+            PairSpan{i, pairs.size(), p.request.candidates.size()});
+        for (auto& cand : p.request.candidates) {
+          pairs.push_back(std::move(cand));
+        }
+        break;
+    }
+  }
+
+  const auto answer_error = [&](size_t owner, const Status& st) {
+    Response r;
+    r.status = st;
+    r.coalesced = flush_size;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    (*batch)[owner].promise.set_value(std::move(r));
+  };
+
+  if (!encode_rows.empty()) {
+    const int d = replica.encoder->dim();
+    encode_scratch->resize(encode_rows.size() * static_cast<size_t>(d));
+    try {
+      replica.encoder->EncodeNormalizedInto(encode_rows,
+                                            encode_scratch->data());
+      for (size_t j = 0; j < encode_owner.size(); ++j) {
+        Response r;
+        r.status = Status::OK();
+        const float* row =
+            encode_scratch->data() + j * static_cast<size_t>(d);
+        r.embedding.assign(row, row + d);
+        r.coalesced = flush_size;
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        (*batch)[encode_owner[j]].promise.set_value(std::move(r));
+      }
+    } catch (const std::exception& e) {
+      for (size_t owner : encode_owner) {
+        answer_error(owner, Status::Internal(std::string("encode: ") +
+                                             e.what()));
+      }
+    }
+  }
+
+  if (!pairs.empty()) {
+    try {
+      const std::vector<float> probs = replica.matcher->PredictProba(pairs);
+      for (const PairSpan& span : spans) {
+        Response r;
+        r.status = Status::OK();
+        r.coalesced = flush_size;
+        if ((*batch)[span.owner].request.kind == RequestKind::kMatch) {
+          r.prob = probs[span.begin];
+        } else {
+          r.candidate_probs.assign(probs.begin() + span.begin,
+                                   probs.begin() + span.begin + span.count);
+          r.best_candidate = static_cast<int>(
+              std::max_element(r.candidate_probs.begin(),
+                               r.candidate_probs.end()) -
+              r.candidate_probs.begin());
+          r.prob = r.candidate_probs[static_cast<size_t>(r.best_candidate)];
+        }
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        (*batch)[span.owner].promise.set_value(std::move(r));
+      }
+    } catch (const std::exception& e) {
+      for (const PairSpan& span : spans) {
+        answer_error(span.owner, Status::Internal(std::string("match: ") +
+                                                  e.what()));
+      }
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sudowoodo::serving

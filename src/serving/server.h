@@ -1,0 +1,168 @@
+// The serving front door: a long-lived Server that coalesces concurrent
+// encode / match / clean requests into the batched inference paths.
+//
+// Everything below PR 7 optimizes one in-process call; this layer gives
+// the library the concurrent-request shape. Client threads Submit()
+// individual requests and get a std::future<Response>; a bounded MPSC
+// queue (request_queue.h) buffers them; worker threads pop *batches* -
+// flushed when `max_batch` requests are waiting or `max_wait_us` has
+// elapsed since the oldest one arrived - and dispatch each batch through
+// the existing [B,T]-pack entry points: Encoder::EncodeNormalizedInto for
+// encode requests, matcher::PairMatcher::PredictProba for match and clean
+// requests. Batching is therefore free of a correctness tax: every
+// batched inference row is bit-identical to a single-request encode
+// (tests/batch_encode_test.cc), so a response never depends on which
+// requests happened to share its flush - the PR 3-7 determinism contract
+// extended to batch composition under concurrency, asserted in
+// tests/serving_test.cc (including under TSan in CI).
+//
+// Threading model: each worker owns one ModelReplica (the encoder's
+// serving path is deliberately not re-entrant - it reuses per-encoder
+// scratch and the per-thread inference Workspace, see nn/encoder.h), so
+// worker parallelism is replica parallelism. Replicas must hold
+// bit-identical weights (construct from one seed, or LoadWeights the same
+// SaveWeights file - the warm-restart path); they may share one
+// index::EmbeddingCache, which is internally sharded and lock-safe, so a
+// sequence encoded for any request serves every later request that
+// repeats it, on any worker.
+
+#ifndef SUDOWOODO_SERVING_SERVER_H_
+#define SUDOWOODO_SERVING_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "matcher/pair_matcher.h"
+#include "nn/encoder.h"
+#include "serving/request_queue.h"
+
+namespace sudowoodo::serving {
+
+/// What a request asks of the model.
+enum class RequestKind {
+  kEncode,  // token ids -> L2-normalized embedding (blocking / indexing)
+  kMatch,   // serialized pair -> P(match) through the fine-tuned matcher
+  kClean,   // cell vs candidate corrections -> per-candidate P + argmax
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kEncode;
+  /// kEncode: the token-id sequence to embed.
+  std::vector<int> ids;
+  /// kMatch: the pair to score.
+  matcher::PairExample pair;
+  /// kClean: the cell serialized against each candidate correction (the
+  /// cleaning pipeline's per-cell contest); must be non-empty.
+  std::vector<matcher::PairExample> candidates;
+  /// Per-request deadline, measured from Submit. A request still queued
+  /// when it expires is answered with StatusCode::kDeadlineExceeded
+  /// instead of being computed. 0 = no deadline.
+  int64_t timeout_us = 0;
+};
+
+struct Response {
+  Status status;
+  /// kEncode: the [dim] normalized embedding.
+  std::vector<float> embedding;
+  /// kMatch: P(match).
+  float prob = 0.0f;
+  /// kClean: index of the highest-probability candidate, plus all probs.
+  int best_candidate = -1;
+  std::vector<float> candidate_probs;
+  /// Observability: how many requests shared this response's flush.
+  int coalesced = 0;
+};
+
+/// One worker's model. The encoder is required; the matcher only for
+/// match/clean traffic (a Server whose replicas have no matcher rejects
+/// those kinds at Submit). Both are caller-owned and must outlive the
+/// Server. All replicas of one Server must encode bit-identically (same
+/// weights) - sharing an embedding cache across replicas relies on it.
+struct ModelReplica {
+  nn::Encoder* encoder = nullptr;
+  matcher::PairMatcher* matcher = nullptr;
+};
+
+struct ServerOptions {
+  /// Flush a forming batch at this many requests...
+  int max_batch = 32;
+  /// ...or when the oldest request in it has waited this long, whichever
+  /// comes first. 0 = never wait (each flush takes what is queued).
+  int64_t max_wait_us = 1000;
+  /// Bounded-queue depth; Submit blocks (backpressure) when full.
+  size_t queue_capacity = 1024;
+};
+
+/// Aggregate counters since construction (monotonic, thread-safe reads).
+struct ServerStats {
+  uint64_t submitted = 0;  // accepted into the queue
+  uint64_t completed = 0;  // responses delivered, any status
+  uint64_t expired = 0;    // answered kDeadlineExceeded
+  uint64_t batches = 0;    // flushes dispatched to a worker
+  uint64_t coalesced = 0;  // sum of flush sizes (mean = /batches)
+};
+
+class Server {
+ public:
+  /// Starts one worker thread per replica (at least one required).
+  Server(std::vector<ModelReplica> replicas, const ServerOptions& options);
+
+  /// Calls Shutdown().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues `request` and returns the future of its response. Blocks
+  /// while the queue is full (bounded backpressure). Invalid requests and
+  /// submissions after Shutdown complete immediately with a non-OK
+  /// status; the future never dangles.
+  std::future<Response> Submit(Request request);
+
+  /// Non-blocking Submit: refuses (false, `*out` untouched) when the
+  /// queue is full instead of waiting.
+  bool TrySubmit(Request request, std::future<Response>* out);
+
+  /// Graceful shutdown: stops accepting, *drains* every request already
+  /// accepted (each gets its computed response, or a timeout if its
+  /// deadline passed while draining), then joins the workers. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+  int num_workers() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point deadline;  // Clock::time_point::max() when none
+  };
+
+  Status Validate(const Request& request) const;
+  void WorkerLoop(ModelReplica replica);
+  /// `encode_scratch` is the worker's reusable [rows, dim] encode buffer
+  /// (per-worker, so flushes on different replicas never share it).
+  void ServeBatch(const ModelReplica& replica, std::vector<Pending>* batch,
+                  std::vector<float>* encode_scratch);
+
+  const ServerOptions options_;
+  std::vector<ModelReplica> replicas_;
+  BoundedBatchQueue<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex join_mu_;  // serializes concurrent Shutdown joins
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+};
+
+}  // namespace sudowoodo::serving
+
+#endif  // SUDOWOODO_SERVING_SERVER_H_

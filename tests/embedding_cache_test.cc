@@ -198,5 +198,26 @@ TEST(EmbeddingCacheTest, ConcurrentHitsAreRaceFree) {
   EXPECT_GE(stats.hits, 800u);
 }
 
+// Regression: the per-shard slice used to be ceil(capacity / num_shards),
+// so total live entries could exceed capacity() by up to num_shards - 1
+// (e.g. capacity 10 over 8 shards allowed 16). The slices must now sum to
+// exactly capacity(), whatever the fill pattern.
+TEST(EmbeddingCacheTest, FillPastCapacityNeverExceedsIt) {
+  for (const size_t capacity : {1u, 7u, 10u, 13u, 64u}) {
+    EmbeddingCache cache(capacity, /*num_shards=*/8);
+    std::vector<float> vec(4, 1.0f);
+    // 8x oversubscription spread across keys that hash to every shard.
+    for (int k = 0; k < static_cast<int>(capacity) * 8; ++k) {
+      const std::vector<int> key{k, k * 31 + 7};
+      cache.Insert(key, vec.data(), 4);
+      EXPECT_LE(cache.stats().entries, cache.capacity())
+          << "capacity " << capacity << " exceeded after insert " << k;
+    }
+    EXPECT_LE(cache.stats().entries, cache.capacity());
+    // A hard cap must still be usable: something survives the churn.
+    EXPECT_GE(cache.stats().entries, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace sudowoodo::index

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "nn/encoder.h"
 #include "nn/gru.h"
@@ -318,6 +320,136 @@ TEST(WeightsTest, LoadRejectsShapeMismatch) {
   ASSERT_TRUE(SaveWeights({a}, path).ok());
   Tensor wrong = Tensor::Zeros(3, 3, true);
   EXPECT_FALSE(LoadWeights({wrong}, path).ok());
+  std::remove(path.c_str());
+}
+
+// --- Durability regressions: SaveWeights used to ignore fwrite/fclose
+// returns (a full disk produced a silently truncated file) and LoadWeights
+// accepted any bytes that happened to parse. The rewritten format (magic +
+// version + checksum, temp-file + rename) must fail loudly instead.
+
+TEST(WeightsTest, SaveFailsLoudlyWhenDirectoryDoesNotExist) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn(2, 2, 1.0f, &rng, true);
+  const Status st =
+      SaveWeights({a}, "/tmp/sudowoodo_no_such_dir_xyz/weights.bin");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(WeightsTest, SaveLeavesNoTempFileBehind) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn(2, 2, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_tmp_test.bin";
+  ASSERT_TRUE(SaveWeights({a}, path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "temp file survived the rename";
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsTest, LoadRejectsTruncatedFile) {
+  Rng rng(14);
+  Tensor a = Tensor::Randn(4, 4, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_trunc.bin";
+  ASSERT_TRUE(SaveWeights({a}, path).ok());
+  // Chop the tail off - simulates the disk-full truncation the old
+  // SaveWeights produced silently.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::vector<unsigned char> bytes(static_cast<size_t>(full) - 7);
+  std::fseek(f, 0, SEEK_SET);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  Tensor dst = Tensor::Zeros(4, 4, true);
+  EXPECT_FALSE(LoadWeights({dst}, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WeightsTest, LoadRejectsBitFlip) {
+  Rng rng(15);
+  Tensor a = Tensor::Randn(4, 4, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_bitflip.bin";
+  ASSERT_TRUE(SaveWeights({a}, path).ok());
+  // Flip one bit in the middle of the float payload: shapes still parse,
+  // only the checksum can catch it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fseek(f, full - 9, SEEK_SET);
+  unsigned char byte = 0;
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  byte ^= 0x10;
+  std::fseek(f, full - 9, SEEK_SET);
+  ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+  std::fclose(f);
+  Tensor dst = Tensor::Zeros(4, 4, true);
+  const Status st = LoadWeights({dst}, path);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WeightsTest, LoadRejectsTrailingBytes) {
+  Rng rng(16);
+  Tensor a = Tensor::Randn(2, 3, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_trailing.bin";
+  ASSERT_TRUE(SaveWeights({a}, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const unsigned char junk = 0xAB;
+  ASSERT_EQ(std::fwrite(&junk, 1, 1, f), 1u);
+  std::fclose(f);
+  Tensor dst = Tensor::Zeros(2, 3, true);
+  EXPECT_FALSE(LoadWeights({dst}, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WeightsTest, LoadRejectsBadMagic) {
+  const std::string path = "/tmp/sudowoodo_weights_badmagic.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "not a weights file at all, honest";
+  ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f), sizeof(junk));
+  std::fclose(f);
+  Tensor dst = Tensor::Zeros(2, 2, true);
+  const Status st = LoadWeights({dst}, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("magic"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(WeightsTest, FailedLoadLeavesParamsUntouched) {
+  Rng rng(17);
+  Tensor a = Tensor::Randn(2, 2, 1.0f, &rng, true);
+  Tensor b = Tensor::Randn(3, 1, 1.0f, &rng, true);
+  const std::string path = "/tmp/sudowoodo_weights_staged.bin";
+  ASSERT_TRUE(SaveWeights({a, b}, path).ok());
+  // Truncate into the *second* tensor: the first parses fine, so a
+  // load-in-place would have clobbered `a` before noticing.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::vector<unsigned char> bytes(static_cast<size_t>(full) - 2);
+  std::fseek(f, 0, SEEK_SET);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  Tensor a2 = Tensor::Zeros(2, 2, true);
+  Tensor b2 = Tensor::Zeros(3, 1, true);
+  a2.set(0, 0, 42.0f);
+  EXPECT_FALSE(LoadWeights({a2, b2}, path).ok());
+  EXPECT_FLOAT_EQ(a2.at(0, 0), 42.0f) << "failed load mutated params";
   std::remove(path.c_str());
 }
 

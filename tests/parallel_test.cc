@@ -95,6 +95,67 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   EXPECT_EQ(count.load(), 50);
 }
 
+// Regression battery for the Submit-vs-Shutdown contract: Submit during
+// or after shutdown was previously undefined (a task pushed after the
+// workers exited was silently stranded and its future never completed).
+// The contract now: late submissions run inline on the submitting thread,
+// so every returned future completes.
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, submitter);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndConcurrent) {
+  ThreadPool pool(4);
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (auto& c : closers) c.join();
+  pool.Shutdown();  // and again after everyone joined
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitRacingShutdownNeverStrandsAFuture) {
+  // Hammer the race from both sides: submitters keep submitting while
+  // another thread shuts the pool down mid-stream. Whatever side each
+  // submission lands on (queued-and-drained or inline), its future must
+  // complete and the task must run exactly once. Run under TSan in CI.
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> runs{0};
+    std::atomic<bool> go{false};
+    constexpr int kSubmitters = 3;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < kPerThread; ++i) {
+          futures.push_back(pool.Submit([&runs] { ++runs; }));
+        }
+        for (auto& f : futures) f.get();
+      });
+    }
+    std::thread closer([&] {
+      while (!go.load()) std::this_thread::yield();
+      pool.Shutdown();
+    });
+    go = true;
+    for (auto& s : submitters) s.join();
+    closer.join();
+    EXPECT_EQ(runs.load(), kSubmitters * kPerThread);
+  }
+}
+
 // --- ParallelFor ------------------------------------------------------------
 
 TEST(ParallelForTest, ShardsAreFixedContiguousAndCoverTheRange) {
