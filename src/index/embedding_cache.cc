@@ -76,6 +76,18 @@ void EmbeddingCache::Insert(const std::vector<int>& ids, const float* vec,
   shard.by_key.emplace(ids, shard.lru.begin());
 }
 
+bool EmbeddingCache::Erase(const std::vector<int>& ids) {
+  if (capacity_ == 0) return false;
+  Shard& shard = ShardFor(ids);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(ids);
+  if (it == shard.by_key.end()) return false;
+  shard.lru.erase(it->second);
+  shard.by_key.erase(it);
+  ++shard.erasures;
+  return true;
+}
+
 void EmbeddingCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -91,6 +103,7 @@ EmbeddingCacheStats EmbeddingCache::stats() const {
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;
+    out.erasures += shard.erasures;
     out.entries += shard.lru.size();
   }
   return out;

@@ -35,6 +35,9 @@ struct EmbeddingCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Targeted Erase() hits (live-index invalidation), distinct from
+  /// capacity evictions.
+  uint64_t erasures = 0;
   uint64_t entries = 0;
 };
 
@@ -57,6 +60,13 @@ class EmbeddingCache {
   /// used entries of the shard when it is full. Re-inserting an existing
   /// key refreshes its value and recency.
   void Insert(const std::vector<int>& ids, const float* vec, int dim);
+
+  /// Drops the entry stored under `ids` if present; returns whether one
+  /// was dropped. This is the targeted invalidation hook for a live
+  /// corpus (index/live_index.h): when an item is removed or its content
+  /// replaced, its old serialization's embedding must not be served from
+  /// cache. A no-op false on a zero-capacity cache.
+  bool Erase(const std::vector<int>& ids);
 
   /// Drops every entry (stats are kept; `entries` resets).
   void Clear();
@@ -91,6 +101,7 @@ class EmbeddingCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t erasures = 0;
   };
 
   Shard& ShardFor(const std::vector<int>& ids);

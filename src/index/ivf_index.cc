@@ -5,7 +5,6 @@
 
 #include "cluster/dense_kmeans.h"
 #include "common/parallel.h"
-#include "common/status.h"
 #include "tensor/kernels.h"
 
 namespace sudowoodo::index {
@@ -24,31 +23,40 @@ constexpr int kQueryBlock = 32;
 
 }  // namespace
 
-void IvfIndex::Build(const float* rows, int n, int dim,
-                     const IvfOptions& options) {
+void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
   n_ = n;
   dim_ = dim;
+  n_tombstones_ = 0;
+  n_at_last_train_ = n;
+  inserts_since_train_ = 0;
   cell_start_.assign(1, 0);
-  if (n <= 0) return;
+  centroids_.clear();
+  flat_.clear();
+  ids_.clear();
+  pos_by_id_.clear();
+  if (n <= 0) {
+    next_id_ = std::max(next_id_, 0);
+    return;
+  }
   SUDO_CHECK(rows != nullptr && dim > 0);
 
-  int cells = options.num_cells > 0
-                  ? options.num_cells
+  int cells = options_.num_cells > 0
+                  ? options_.num_cells
                   : static_cast<int>(
                         std::ceil(std::sqrt(static_cast<double>(n))));
   cells = std::max(1, std::min(cells, n));
 
   cluster::DenseKMeansOptions ko;
   ko.k = cells;
-  ko.max_iters = options.train_iters;
-  ko.seed = options.seed;
-  ko.num_threads = options.num_threads;
-  ko.pool = options.pool;
+  ko.max_iters = options_.train_iters;
+  ko.seed = options_.seed;
+  ko.num_threads = options_.num_threads;
+  ko.pool = options_.pool;
   const cluster::DenseKMeansResult km = cluster::DenseKMeans(rows, n, dim, ko);
 
   // Drop empty cells (keeping relative centroid order) and lay items out
-  // grouped by cell, ascending original id within each cell, so probing a
-  // cell scores one contiguous stride-1 panel.
+  // grouped by cell, ascending id within each cell, so probing a cell
+  // scores one contiguous stride-1 panel.
   std::vector<int> counts(static_cast<size_t>(km.num_centroids), 0);
   for (int a : km.assignments) ++counts[static_cast<size_t>(a)];
   std::vector<int> new_cell(static_cast<size_t>(km.num_centroids), -1);
@@ -63,25 +71,51 @@ void IvfIndex::Build(const float* rows, int n, int dim,
   }
   flat_.resize(static_cast<size_t>(n) * dim);
   ids_.resize(static_cast<size_t>(n));
+  pos_by_id_.reserve(static_cast<size_t>(n));
   std::vector<int> cursor(cell_start_.begin(), cell_start_.end() - 1);
   for (int i = 0; i < n; ++i) {
     const int c = new_cell[static_cast<size_t>(
         km.assignments[static_cast<size_t>(i)])];
     const int pos = cursor[static_cast<size_t>(c)]++;
-    ids_[static_cast<size_t>(pos)] = i;
+    const int id = ids != nullptr ? ids[static_cast<size_t>(i)] : i;
+    SUDO_CHECK(id >= 0);
+    ids_[static_cast<size_t>(pos)] = id;
+    pos_by_id_.emplace(id, pos);
     std::copy(rows + static_cast<size_t>(i) * dim,
               rows + static_cast<size_t>(i + 1) * dim,
               flat_.begin() + static_cast<size_t>(pos) * dim);
   }
+  const int derived =
+      ids != nullptr ? ids[static_cast<size_t>(n - 1)] + 1 : n;
+  next_id_ = std::max(next_id_, derived);
 }
 
 IvfIndex::IvfIndex(const float* rows, int n, int dim,
-                   const IvfOptions& options) {
-  Build(rows, n, dim, options);
+                   const IvfOptions& options, const MutationOptions& mutation)
+    : options_(options), mutation_(mutation) {
+  SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
+  SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  Build(rows, nullptr, n, dim);
+}
+
+IvfIndex::IvfIndex(const float* rows, const int* ids, int n, int dim,
+                   const IvfOptions& options, const MutationOptions& mutation,
+                   int next_id_hint)
+    : options_(options), mutation_(mutation) {
+  SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
+  SUDO_CHECK(n == 0 || ids != nullptr);
+  SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  for (int i = 1; i < n; ++i) {
+    // Strictly ascending ids keep within-cell storage order == id order.
+    SUDO_CHECK(ids[static_cast<size_t>(i)] > ids[static_cast<size_t>(i - 1)]);
+  }
+  next_id_ = std::max(0, next_id_hint);
+  Build(rows, ids, n, dim);
 }
 
 IvfIndex::IvfIndex(const std::vector<std::vector<float>>& items,
-                   const IvfOptions& options) {
+                   const IvfOptions& options)
+    : options_(options) {
   const int n = static_cast<int>(items.size());
   const int dim = n > 0 ? static_cast<int>(items[0].size()) : 0;
   std::vector<float> rows(static_cast<size_t>(n) * dim);
@@ -91,15 +125,243 @@ IvfIndex::IvfIndex(const std::vector<std::vector<float>>& items,
               items[static_cast<size_t>(i)].end(),
               rows.begin() + static_cast<size_t>(i) * dim);
   }
-  Build(rows.data(), n, dim, options);
+  Build(rows.data(), nullptr, n, dim);
 }
 
-std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
-    const float* queries, int n_queries, int dim, int k, int nprobe,
-    int num_threads) const {
-  std::vector<std::vector<Neighbor>> out(static_cast<size_t>(n_queries));
-  if (n_ == 0 || n_queries <= 0 || k <= 0) return out;
-  SUDO_CHECK(dim == dim_ && queries != nullptr);
+Result<std::unique_ptr<IvfIndex>> IvfIndex::Create(
+    const float* rows, int n, int dim, const IvfOptions& options,
+    const MutationOptions& mutation) {
+  if (n < 0 || dim < 0) {
+    return Status::InvalidArgument("negative index shape");
+  }
+  if (n > 0 && rows == nullptr) {
+    return Status::InvalidArgument("null rows with n > 0");
+  }
+  if (n > 0 && dim == 0) {
+    return Status::InvalidArgument("zero-width rows with n > 0");
+  }
+  if (options.num_cells < 0) {
+    return Status::InvalidArgument("num_cells must be >= 0");
+  }
+  if (options.train_iters < 0) {
+    return Status::InvalidArgument("train_iters must be >= 0");
+  }
+  if (options.nprobe <= 0) {
+    return Status::InvalidArgument("nprobe must be > 0");
+  }
+  SUDO_RETURN_IF_ERROR(ValidateMutationOptions(mutation));
+  return std::make_unique<IvfIndex>(rows, n, dim, options, mutation);
+}
+
+void IvfIndex::GatherLive(std::vector<float>* rows,
+                          std::vector<int>* ids) const {
+  // Ascending-id order (not storage order): re-training feeds k-means a
+  // buffer that depends only on the live (row, id) set, never on the cell
+  // layout history, so a retrain is reproducible from the surviving rows.
+  rows->clear();
+  ids->clear();
+  rows->reserve(static_cast<size_t>(size()) * dim_);
+  ids->reserve(static_cast<size_t>(size()));
+  for (int pos = 0; pos < n_; ++pos) {
+    if (ids_[static_cast<size_t>(pos)] >= 0) ids->push_back(pos);
+  }
+  std::sort(ids->begin(), ids->end(), [this](int a, int b) {
+    return ids_[static_cast<size_t>(a)] < ids_[static_cast<size_t>(b)];
+  });
+  for (size_t i = 0; i < ids->size(); ++i) {
+    const int pos = (*ids)[i];
+    rows->insert(rows->end(),
+                 flat_.begin() + static_cast<size_t>(pos) * dim_,
+                 flat_.begin() + static_cast<size_t>(pos + 1) * dim_);
+    (*ids)[i] = ids_[static_cast<size_t>(pos)];
+  }
+}
+
+Status IvfIndex::Insert(const float* rows, int n, int dim) {
+  if (n < 0) return Status::InvalidArgument("negative insert count");
+  if (n == 0) return Status::OK();
+  if (rows == nullptr) return Status::InvalidArgument("null insert rows");
+  if (num_cells() == 0) {
+    return Status::FailedPrecondition(
+        "insert into an untrained IVF index (no cells; build it over an "
+        "initial corpus, or grow a kAuto BlockingIndex instead)");
+  }
+  if (dim != dim_) {
+    return Status::InvalidArgument(
+        "insert dim " + std::to_string(dim) + " != index dim " +
+        std::to_string(dim_));
+  }
+  const int cells = num_cells();
+
+  // Nearest-cell assignment: one (n x cells) GemmBT panel, argmax with
+  // the shared deterministic tie-break (score desc, cell asc, NaN -> the
+  // lowest cell id).
+  std::vector<float> cell_scores(static_cast<size_t>(n) * cells, 0.0f);
+  ks::GemmBT(n, cells, dim_, rows, centroids_.data(), cell_scores.data());
+  std::vector<int> assign(static_cast<size_t>(n));
+  {
+    std::vector<int> sel_idx;
+    std::vector<Neighbor> best;
+    for (int i = 0; i < n; ++i) {
+      SelectTopKNeighbors(cell_scores.data() + static_cast<size_t>(i) * cells,
+                          nullptr, cells, 1, &sel_idx, &best);
+      assign[static_cast<size_t>(i)] = best[0].id;
+    }
+  }
+
+  // One-pass layout rewrite: each cell's region becomes [old live rows in
+  // storage order | new rows in arrival order]. Ids are monotone, so the
+  // within-cell ascending-id invariant is preserved; tombstones are
+  // dropped for free while we are rewriting anyway.
+  std::vector<int> new_start(static_cast<size_t>(cells) + 1, 0);
+  for (int c = 0; c < cells; ++c) {
+    int live = 0;
+    for (int pos = cell_start_[static_cast<size_t>(c)];
+         pos < cell_start_[static_cast<size_t>(c) + 1]; ++pos) {
+      if (ids_[static_cast<size_t>(pos)] >= 0) ++live;
+    }
+    new_start[static_cast<size_t>(c) + 1] = live;
+  }
+  for (int i = 0; i < n; ++i) {
+    ++new_start[static_cast<size_t>(assign[static_cast<size_t>(i)]) + 1];
+  }
+  for (int c = 0; c < cells; ++c) {
+    new_start[static_cast<size_t>(c) + 1] +=
+        new_start[static_cast<size_t>(c)];
+  }
+  const int n_new = new_start[static_cast<size_t>(cells)];
+  std::vector<float> new_flat(static_cast<size_t>(n_new) * dim_);
+  std::vector<int> new_ids(static_cast<size_t>(n_new));
+  std::vector<int> cursor(new_start.begin(), new_start.end() - 1);
+  for (int c = 0; c < cells; ++c) {
+    for (int pos = cell_start_[static_cast<size_t>(c)];
+         pos < cell_start_[static_cast<size_t>(c) + 1]; ++pos) {
+      if (ids_[static_cast<size_t>(pos)] < 0) continue;
+      const int w = cursor[static_cast<size_t>(c)]++;
+      new_ids[static_cast<size_t>(w)] = ids_[static_cast<size_t>(pos)];
+      std::copy(flat_.begin() + static_cast<size_t>(pos) * dim_,
+                flat_.begin() + static_cast<size_t>(pos + 1) * dim_,
+                new_flat.begin() + static_cast<size_t>(w) * dim_);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const int w = cursor[static_cast<size_t>(assign[static_cast<size_t>(i)])]++;
+    new_ids[static_cast<size_t>(w)] = next_id_ + i;
+    std::copy(rows + static_cast<size_t>(i) * dim_,
+              rows + static_cast<size_t>(i + 1) * dim_,
+              new_flat.begin() + static_cast<size_t>(w) * dim_);
+  }
+  flat_ = std::move(new_flat);
+  ids_ = std::move(new_ids);
+  cell_start_.assign(new_start.begin(), new_start.end());
+  n_ = n_new;
+  n_tombstones_ = 0;
+  next_id_ += n;
+  pos_by_id_.clear();
+  pos_by_id_.reserve(static_cast<size_t>(n_));
+  for (int pos = 0; pos < n_; ++pos) {
+    pos_by_id_.emplace(ids_[static_cast<size_t>(pos)], pos);
+  }
+  inserts_since_train_ += n;
+  MaybeRetrain();
+  return Status::OK();
+}
+
+Status IvfIndex::Remove(const int* ids, int n) {
+  if (n < 0) return Status::InvalidArgument("negative remove count");
+  if (n == 0) return Status::OK();
+  if (ids == nullptr) return Status::InvalidArgument("null remove ids");
+  // Validate the whole batch first so a NotFound removes nothing
+  // (duplicates within one call count as unknown on the second hit).
+  for (int i = 0; i < n; ++i) {
+    if (pos_by_id_.find(ids[i]) == pos_by_id_.end()) {
+      return Status::NotFound("id " + std::to_string(ids[i]) +
+                              " not in index");
+    }
+    for (int j = 0; j < i; ++j) {
+      if (ids[j] == ids[i]) {
+        return Status::NotFound("id " + std::to_string(ids[i]) +
+                                " removed twice in one call");
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto it = pos_by_id_.find(ids[i]);
+    ids_[static_cast<size_t>(it->second)] = -1;
+    pos_by_id_.erase(it);
+    ++n_tombstones_;
+  }
+  CompactIfNeeded();
+  return Status::OK();
+}
+
+void IvfIndex::CompactIfNeeded() {
+  if (n_tombstones_ == 0 ||
+      static_cast<float>(n_tombstones_) <=
+          mutation_.compact_tombstone_fraction * static_cast<float>(n_)) {
+    return;
+  }
+  // Stable per-cell erase: live rows keep their relative order inside
+  // each cell and the prefix shrinks accordingly; centroids and cell
+  // identity are untouched (this is storage hygiene, not re-training).
+  const int cells = num_cells();
+  int w = 0;
+  for (int c = 0; c < cells; ++c) {
+    const int r0 = cell_start_[static_cast<size_t>(c)];
+    const int r1 = cell_start_[static_cast<size_t>(c) + 1];
+    cell_start_[static_cast<size_t>(c)] = w;
+    for (int pos = r0; pos < r1; ++pos) {
+      if (ids_[static_cast<size_t>(pos)] < 0) continue;
+      if (w != pos) {
+        std::copy(flat_.begin() + static_cast<size_t>(pos) * dim_,
+                  flat_.begin() + static_cast<size_t>(pos + 1) * dim_,
+                  flat_.begin() + static_cast<size_t>(w) * dim_);
+        ids_[static_cast<size_t>(w)] = ids_[static_cast<size_t>(pos)];
+      }
+      pos_by_id_[ids_[static_cast<size_t>(w)]] = w;
+      ++w;
+    }
+  }
+  cell_start_[static_cast<size_t>(cells)] = w;
+  n_ = w;
+  n_tombstones_ = 0;
+  flat_.resize(static_cast<size_t>(n_) * dim_);
+  ids_.resize(static_cast<size_t>(n_));
+}
+
+void IvfIndex::MaybeRetrain() {
+  const int live = size();
+  const int cells = num_cells();
+  if (live <= 0 || cells <= 0) return;
+  const bool volume =
+      static_cast<float>(inserts_since_train_) >
+      mutation_.retrain_insert_fraction *
+          static_cast<float>(std::max(1, n_at_last_train_));
+  bool imbalance = false;
+  if (live >= cells) {  // mean >= 1: below that the ratio is noise
+    int max_live = 0;
+    for (int c = 0; c < cells; ++c) {
+      int cell_live = 0;
+      for (int pos = cell_start_[static_cast<size_t>(c)];
+           pos < cell_start_[static_cast<size_t>(c) + 1]; ++pos) {
+        if (ids_[static_cast<size_t>(pos)] >= 0) ++cell_live;
+      }
+      max_live = std::max(max_live, cell_live);
+    }
+    imbalance = static_cast<float>(max_live) * static_cast<float>(cells) >
+                mutation_.retrain_imbalance * static_cast<float>(live);
+  }
+  if (!volume && !imbalance) return;
+  std::vector<float> rows;
+  std::vector<int> ids;
+  GatherLive(&rows, &ids);
+  Build(rows.data(), ids.data(), live, dim_);
+  ++retrains_;
+}
+
+void IvfIndex::QueryBatchImpl(
+    const float* queries, int n_queries, int k, int nprobe, int num_threads,
+    std::vector<std::vector<Neighbor>>* out) const {
   const int n_cells = num_cells();
   const int p = std::max(1, std::min(nprobe, n_cells));
 
@@ -147,7 +409,10 @@ std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
           std::sort(probes.begin(), probes.end());
 
           // 3) Candidate scoring: one (sub-block x cell-rows) panel per
-          // probed cell; exact full-dimension similarities.
+          // probed cell; exact full-dimension similarities. The panel
+          // spans the cell's full stored region (tombstones included -
+          // each score is an independent chain), but only live rows are
+          // gathered as candidates.
           size_t g = 0;
           while (g < probes.size()) {
             const int cell = probes[g].first;
@@ -157,6 +422,10 @@ std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
             const int r1 = cell_start_[static_cast<size_t>(cell) + 1];
             const int nr = r1 - r0;
             const int gq = static_cast<int>(h - g);
+            if (nr == 0) {
+              g = h;
+              continue;
+            }
             gpanel.resize(static_cast<size_t>(gq) * dim_);
             for (int j = 0; j < gq; ++j) {
               const int lq = probes[g + static_cast<size_t>(j)].second;
@@ -170,28 +439,63 @@ std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
                        gscores.data());
             for (int j = 0; j < gq; ++j) {
               const int lq = probes[g + static_cast<size_t>(j)].second;
-              cand_ids[static_cast<size_t>(lq)].insert(
-                  cand_ids[static_cast<size_t>(lq)].end(),
-                  ids_.begin() + r0, ids_.begin() + r1);
               const float* row =
                   gscores.data() + static_cast<size_t>(j) * nr;
-              cand_scores[static_cast<size_t>(lq)].insert(
-                  cand_scores[static_cast<size_t>(lq)].end(), row, row + nr);
+              auto& ci = cand_ids[static_cast<size_t>(lq)];
+              auto& cs = cand_scores[static_cast<size_t>(lq)];
+              for (int pos = r0; pos < r1; ++pos) {
+                if (ids_[static_cast<size_t>(pos)] < 0) continue;
+                ci.push_back(ids_[static_cast<size_t>(pos)]);
+                cs.push_back(row[pos - r0]);
+              }
             }
             g = h;
           }
 
           // 4) Exact re-rank: top-k over the gathered candidates with the
-          // exact index's NaN-safe low-id tie-break on original ids.
+          // exact index's NaN-safe low-id tie-break on item ids.
           for (int i = 0; i < m; ++i) {
             SelectTopKNeighbors(
                 cand_scores[static_cast<size_t>(i)].data(),
                 cand_ids[static_cast<size_t>(i)].data(),
                 static_cast<int>(cand_ids[static_cast<size_t>(i)].size()), k,
-                &sel_idx, &out[static_cast<size_t>(q0 + i)]);
+                &sel_idx, &(*out)[static_cast<size_t>(q0 + i)]);
           }
         }
       });
+}
+
+Status IvfIndex::QueryBatch(const float* queries, int n_queries, int dim,
+                            int k, std::vector<std::vector<Neighbor>>* out,
+                            int num_threads) const {
+  if (n_queries < 0) return Status::InvalidArgument("negative query count");
+  if (k < 0) return Status::InvalidArgument("k must be >= 0");
+  if (n_queries > 0 && queries == nullptr) {
+    return Status::InvalidArgument("null query buffer");
+  }
+  if (n_queries > 0 && size() > 0 && dim != dim_) {
+    return Status::InvalidArgument(
+        "query dim " + std::to_string(dim) + " != index dim " +
+        std::to_string(dim_));
+  }
+  out->assign(static_cast<size_t>(n_queries), {});
+  k = std::min(k, size());
+  if (k <= 0 || n_queries == 0) return Status::OK();
+  QueryBatchImpl(queries, n_queries, k, options_.nprobe, num_threads, out);
+  return Status::OK();
+}
+
+std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
+    const float* queries, int n_queries, int dim, int k, int nprobe,
+    int num_threads) const {
+  // Historical clamp semantics: k <= 0, empty batches, and an empty
+  // index yield empty results; a width mismatch aborts.
+  std::vector<std::vector<Neighbor>> out(
+      static_cast<size_t>(std::max(0, n_queries)));
+  if (size() == 0 || n_queries <= 0 || k <= 0) return out;
+  SUDO_CHECK(dim == dim_ && queries != nullptr);
+  QueryBatchImpl(queries, n_queries, std::min(k, size()), nprobe,
+                 num_threads, &out);
   return out;
 }
 
@@ -200,7 +504,9 @@ std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
     int num_threads) const {
   const int nq = static_cast<int>(queries.size());
   if (nq == 0) return {};
-  if (n_ == 0) return std::vector<std::vector<Neighbor>>(static_cast<size_t>(nq));
+  if (size() == 0) {
+    return std::vector<std::vector<Neighbor>>(static_cast<size_t>(nq));
+  }
   std::vector<float> qflat(static_cast<size_t>(nq) * dim_);
   for (int i = 0; i < nq; ++i) {
     SUDO_CHECK(static_cast<int>(queries[static_cast<size_t>(i)].size()) ==
@@ -214,59 +520,150 @@ std::vector<std::vector<Neighbor>> IvfIndex::QueryBatch(
 
 std::vector<Neighbor> IvfIndex::Query(const std::vector<float>& query, int k,
                                       int nprobe) const {
-  if (n_ == 0) return {};
+  if (size() == 0) return {};
   SUDO_CHECK(static_cast<int>(query.size()) == dim_);
   auto batch = QueryBatch(query.data(), 1, dim_, k, nprobe, 1);
   return std::move(batch[0]);
 }
 
+namespace {
+
+/// IVF construction options as the facade resolves them: the facade's
+/// per-query nprobe becomes the IVF index's interface-level default.
+IvfOptions ResolveIvfOptions(const BlockingIndexOptions& options) {
+  IvfOptions io = options.ivf;
+  io.nprobe = options.nprobe;
+  return io;
+}
+
+bool UseIvf(const BlockingIndexOptions& options, int n) {
+  return options.kind == BlockingIndexKind::kIvf ||
+         (options.kind == BlockingIndexKind::kAuto &&
+          n >= options.exact_threshold);
+}
+
+}  // namespace
+
 BlockingIndex::BlockingIndex(const float* rows, int n, int dim,
                              const BlockingIndexOptions& options)
-    : nprobe_(options.nprobe) {
-  const bool use_ivf =
-      options.kind == BlockingIndexKind::kIvf ||
-      (options.kind == BlockingIndexKind::kAuto &&
-       n >= options.exact_threshold);
-  if (use_ivf) {
-    ivf_ = std::make_unique<IvfIndex>(rows, n, dim, options.ivf);
+    : options_(options) {
+  if (UseIvf(options, n)) {
+    ivf_ = std::make_unique<IvfIndex>(rows, n, dim, ResolveIvfOptions(options),
+                                      options.mutation);
   } else {
-    exact_ = std::make_unique<KnnIndex>(rows, n, dim);
+    exact_ = std::make_unique<KnnIndex>(rows, n, dim, options.mutation);
   }
 }
 
 BlockingIndex::BlockingIndex(const std::vector<std::vector<float>>& items,
                              const BlockingIndexOptions& options)
-    : nprobe_(options.nprobe) {
+    : options_(options) {
   const int n = static_cast<int>(items.size());
-  const bool use_ivf =
-      options.kind == BlockingIndexKind::kIvf ||
-      (options.kind == BlockingIndexKind::kAuto &&
-       n >= options.exact_threshold);
-  if (use_ivf) {
-    ivf_ = std::make_unique<IvfIndex>(items, options.ivf);
-  } else {
-    exact_ = std::make_unique<KnnIndex>(items);
+  const int dim = n > 0 ? static_cast<int>(items[0].size()) : 0;
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    SUDO_CHECK(static_cast<int>(items[static_cast<size_t>(i)].size()) == dim);
+    std::copy(items[static_cast<size_t>(i)].begin(),
+              items[static_cast<size_t>(i)].end(),
+              rows.begin() + static_cast<size_t>(i) * dim);
   }
+  if (UseIvf(options, n)) {
+    ivf_ = std::make_unique<IvfIndex>(rows.data(), n, dim,
+                                      ResolveIvfOptions(options),
+                                      options.mutation);
+  } else {
+    exact_ = std::make_unique<KnnIndex>(rows.data(), n, dim,
+                                        options.mutation);
+  }
+}
+
+Result<std::unique_ptr<BlockingIndex>> BlockingIndex::Create(
+    const float* rows, int n, int dim, const BlockingIndexOptions& options) {
+  if (n < 0 || dim < 0) {
+    return Status::InvalidArgument("negative index shape");
+  }
+  if (n > 0 && rows == nullptr) {
+    return Status::InvalidArgument("null rows with n > 0");
+  }
+  if (options.exact_threshold < 0) {
+    return Status::InvalidArgument("exact_threshold must be >= 0");
+  }
+  if (options.nprobe <= 0) {
+    return Status::InvalidArgument("nprobe must be > 0");
+  }
+  if (options.ivf.num_cells < 0 || options.ivf.train_iters < 0) {
+    return Status::InvalidArgument("invalid IVF training options");
+  }
+  SUDO_RETURN_IF_ERROR(ValidateMutationOptions(options.mutation));
+  return std::make_unique<BlockingIndex>(rows, n, dim, options);
+}
+
+void BlockingIndex::MigrateToIvf() {
+  std::vector<float> rows;
+  std::vector<int> ids;
+  exact_->ExportLive(&rows, &ids);
+  ivf_ = std::make_unique<IvfIndex>(
+      rows.data(), ids.data(), static_cast<int>(ids.size()), exact_->dim(),
+      ResolveIvfOptions(options_), options_.mutation, exact_->next_id());
+  exact_.reset();
+}
+
+Status BlockingIndex::Insert(const float* rows, int n, int dim) {
+  if (ivf_ != nullptr) return ivf_->Insert(rows, n, dim);
+  SUDO_RETURN_IF_ERROR(exact_->Insert(rows, n, dim));
+  // kAuto re-evaluates on growth: once the live corpus crosses the
+  // threshold the exact oracle's O(N) sweep stops being the right
+  // default, so the live rows migrate (ids preserved) into a freshly
+  // trained IVF index. Growth only - a corpus that shrinks back keeps
+  // its trained cells.
+  if (options_.kind == BlockingIndexKind::kAuto &&
+      exact_->size() >= options_.exact_threshold) {
+    MigrateToIvf();
+  }
+  return Status::OK();
+}
+
+Status BlockingIndex::Remove(const int* ids, int n) {
+  return ivf_ != nullptr ? ivf_->Remove(ids, n) : exact_->Remove(ids, n);
+}
+
+Status BlockingIndex::QueryBatch(const float* queries, int n_queries, int dim,
+                                 int k,
+                                 std::vector<std::vector<Neighbor>>* out,
+                                 int num_threads) const {
+  return ivf_ != nullptr
+             ? ivf_->QueryBatch(queries, n_queries, dim, k, out, num_threads)
+             : exact_->QueryBatch(queries, n_queries, dim, k, out,
+                                  num_threads);
 }
 
 std::vector<std::vector<Neighbor>> BlockingIndex::QueryBatch(
     const std::vector<std::vector<float>>& queries, int k,
     int num_threads) const {
-  return ivf_ != nullptr ? ivf_->QueryBatch(queries, k, nprobe_, num_threads)
-                         : exact_->QueryBatch(queries, k, num_threads);
+  return ivf_ != nullptr
+             ? ivf_->QueryBatch(queries, k, options_.nprobe, num_threads)
+             : exact_->QueryBatch(queries, k, num_threads);
 }
 
 std::vector<std::vector<Neighbor>> BlockingIndex::QueryBatch(
     const float* queries, int n_queries, int dim, int k,
     int num_threads) const {
   return ivf_ != nullptr
-             ? ivf_->QueryBatch(queries, n_queries, dim, k, nprobe_,
+             ? ivf_->QueryBatch(queries, n_queries, dim, k, options_.nprobe,
                                 num_threads)
              : exact_->QueryBatch(queries, n_queries, dim, k, num_threads);
 }
 
 int BlockingIndex::size() const {
   return ivf_ != nullptr ? ivf_->size() : exact_->size();
+}
+
+int BlockingIndex::dim() const {
+  return ivf_ != nullptr ? ivf_->dim() : exact_->dim();
+}
+
+int BlockingIndex::next_id() const {
+  return ivf_ != nullptr ? ivf_->next_id() : exact_->next_id();
 }
 
 }  // namespace sudowoodo::index

@@ -1,6 +1,8 @@
 // Sub-linear approximate top-k search: an IVF (inverted-file) index with
 // exact re-ranking, plus the exact-vs-approximate selection facade the
-// pipelines block through.
+// pipelines block through. Both implement index::VectorIndex
+// (vector_index.h), so everything above them - pipelines, the serving
+// front door - programs against one query/mutation surface.
 //
 // The exact KnnIndex (knn_index.h) scores every item per query -
 // O(items x queries x dim) - which is the asymptotic wall between
@@ -20,17 +22,30 @@
 // within a kernel tier - see tensor/README.md), cells are probed in a
 // deterministic order (score desc, cell id asc, NaN last), and the final
 // selection reuses the exact index's NaN-safe low-id tie-break. With
-// nprobe >= the cell count every item is gathered and the result is
-// bit-identical to KnnIndex on the same tier.
+// nprobe >= the cell count every live item is gathered and the result is
+// bit-identical to KnnIndex on the same tier - including after any
+// insert/remove sequence.
+//
+// Mutation (VectorIndex): Insert assigns each arriving row to its
+// nearest cell (deterministic centroid argmax) and rewrites the
+// cell-grouped layout in one pass, so probing stays stride-1; Remove
+// tombstones in place and the layout compacts once tombstones exceed the
+// configured fraction. The cells themselves re-train - a fresh seeded
+// k-means over the live rows - when insert volume since the last
+// training or cell-size imbalance crosses the MutationOptions
+// thresholds, so approximation quality tracks a drifting corpus instead
+// of decaying with it.
 
 #ifndef SUDOWOODO_INDEX_IVF_INDEX_H_
 #define SUDOWOODO_INDEX_IVF_INDEX_H_
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "index/knn_index.h"
+#include "index/vector_index.h"
 
 namespace sudowoodo {
 class ThreadPool;  // common/thread_pool.h
@@ -38,36 +53,75 @@ class ThreadPool;  // common/thread_pool.h
 
 namespace sudowoodo::index {
 
-/// Options for IvfIndex construction (cell training).
+/// Options for IvfIndex construction (cell training) and interface-level
+/// querying.
 struct IvfOptions {
   /// Number of k-means cells; 0 = ceil(sqrt(N)), always clamped to
-  /// [1, N]. Empty cells are dropped after training.
+  /// [1, N]. Empty cells are dropped after training (re-training clamps
+  /// against the live count the same way).
   int num_cells = 0;
   /// k-means refinement iterations over the full item set.
   int train_iters = 8;
   uint64_t seed = 7;
+  /// Cells probed by the VectorIndex Query/QueryBatch interface (the
+  /// explicit-nprobe overloads below override it per call).
+  int nprobe = 16;
   /// Worker threads / pool for cell training (bit-identical results for
-  /// any value; see cluster/dense_kmeans.h).
+  /// any value; see cluster/dense_kmeans.h). The pool pointer is retained
+  /// for re-training, so it must outlive the index when set.
   int num_threads = 1;
   ThreadPool* pool = nullptr;
 };
 
 /// Inverted-file index over L2-normalized vectors (inner product =
 /// cosine). Items are stored grouped by cell in one contiguous buffer so
-/// probing a cell scores a stride-1 panel.
-class IvfIndex {
+/// probing a cell scores a stride-1 panel; within a cell, live rows stay
+/// in ascending-id order across every mutation.
+class IvfIndex : public VectorIndex {
  public:
-  /// Trains cells over `rows` ([n, dim] row-major) and copies the vectors
-  /// into cell-grouped storage.
-  IvfIndex(const float* rows, int n, int dim, const IvfOptions& options = {});
+  /// Trains cells over `rows` ([n, dim] row-major), assigning ids
+  /// 0..n-1, and copies the vectors into cell-grouped storage.
+  IvfIndex(const float* rows, int n, int dim, const IvfOptions& options = {},
+           const MutationOptions& mutation = {});
 
-  /// Convenience: per-item vectors (all the same width).
+  /// Rebuild/migration construction with explicit external ids (strictly
+  /// ascending). `next_id_hint` > the largest id continues the id
+  /// sequence past removed items (the BlockingIndex facade passes the
+  /// exact index's next_id() on migration); -1 derives ids[n-1] + 1.
+  IvfIndex(const float* rows, const int* ids, int n, int dim,
+           const IvfOptions& options = {},
+           const MutationOptions& mutation = {}, int next_id_hint = -1);
+
+  /// Convenience: per-item vectors (all the same width); flattens and
+  /// delegates to the canonical flat constructor.
   explicit IvfIndex(const std::vector<std::vector<float>>& items,
                     const IvfOptions& options = {});
 
+  /// Status-reporting construction: rejects bad shapes and invalid
+  /// options instead of aborting.
+  static Result<std::unique_ptr<IvfIndex>> Create(
+      const float* rows, int n, int dim, const IvfOptions& options = {},
+      const MutationOptions& mutation = {});
+
+  // --- VectorIndex (interface queries probe options.nprobe cells) ---
+  using VectorIndex::Query;
+  using VectorIndex::QueryBatch;
+  Status QueryBatch(const float* queries, int n_queries, int dim, int k,
+                    std::vector<std::vector<Neighbor>>* out,
+                    int num_threads = 1) const override;
+  Status Insert(const float* rows, int n, int dim) override;
+  Status Remove(const int* ids, int n) override;
+  /// Live (non-tombstoned) items.
+  int size() const override { return n_ - n_tombstones_; }
+  int dim() const override { return dim_; }
+  int next_id() const override { return next_id_; }
+
+  // --- historical clamp-style wrappers (explicit nprobe per call) ---
+
   /// Approximate top-k, most similar first, probing the `nprobe`
   /// best-scoring cells (clamped to [1, num_cells]). May return fewer
-  /// than k neighbours when the probed cells hold fewer than k items.
+  /// than k neighbours when the probed cells hold fewer than k live
+  /// items.
   std::vector<Neighbor> Query(const std::vector<float>& query, int k,
                               int nprobe) const;
 
@@ -87,20 +141,47 @@ class IvfIndex {
                                                 int nprobe,
                                                 int num_threads = 1) const;
 
-  int size() const { return n_; }
-  int dim() const { return dim_; }
-  /// Non-empty cells after training.
+  // --- introspection ---
+
+  /// Non-empty cells after the most recent (re-)training.
   int num_cells() const { return static_cast<int>(cell_start_.size()) - 1; }
+  /// Cell re-trainings performed by mutations since construction.
+  int retrain_count() const { return retrains_; }
+  /// Stored rows including tombstones.
+  int stored_size() const { return n_; }
+  int tombstones() const { return n_tombstones_; }
 
  private:
-  void Build(const float* rows, int n, int dim, const IvfOptions& options);
+  /// Lays out (rows, ids) into freshly trained cells; shared by every
+  /// constructor and by mutation-triggered re-training.
+  void Build(const float* rows, const int* ids, int n, int dim);
+  /// Copies the live rows and their ids in ascending-id order.
+  void GatherLive(std::vector<float>* rows, std::vector<int>* ids) const;
+  /// Re-trains cells over the live rows when the volume or imbalance
+  /// trigger fires (no-op otherwise).
+  void MaybeRetrain();
+  /// Physically drops tombstoned rows (cells and centroids unchanged)
+  /// once they exceed the configured fraction.
+  void CompactIfNeeded();
+  /// The unvalidated query core (k/nprobe already clamped, dims checked).
+  void QueryBatchImpl(const float* queries, int n_queries, int k, int nprobe,
+                      int num_threads,
+                      std::vector<std::vector<Neighbor>>* out) const;
 
-  std::vector<float> flat_;       // [n, dim], items grouped by cell
-  std::vector<int> ids_;          // storage position -> original item id
+  std::vector<float> flat_;       // [n_, dim], items grouped by cell
+  std::vector<int> ids_;          // storage position -> id, -1 = tombstoned
+  std::unordered_map<int, int> pos_by_id_;  // live ids only
   std::vector<int> cell_start_;   // [cells + 1] prefix into flat_/ids_
   std::vector<float> centroids_;  // [cells, dim], L2-normalized
-  int n_ = 0;
+  int n_ = 0;                     // stored rows (incl. tombstones)
   int dim_ = 0;
+  int n_tombstones_ = 0;
+  int next_id_ = 0;
+  int n_at_last_train_ = 0;       // live count when cells were trained
+  int inserts_since_train_ = 0;
+  int retrains_ = 0;
+  IvfOptions options_;            // retained for re-training
+  MutationOptions mutation_;
 };
 
 /// Which index the blocking call sites build.
@@ -115,6 +196,8 @@ struct BlockingIndexOptions {
   BlockingIndexKind kind = BlockingIndexKind::kAuto;
   /// kAuto: item counts below this stay on the exact oracle (paper-scale
   /// tables are far below it; the asymptotic win only exists above it).
+  /// A kAuto facade that *grows* across this threshold via Insert
+  /// migrates to IVF in place, ids preserved.
   int exact_threshold = 8192;
   /// Cells probed per query on the IVF path. The default keeps EM
   /// blocking recall within the stated budget of exact on clustered
@@ -124,17 +207,40 @@ struct BlockingIndexOptions {
   /// IVF construction knobs (the pipelines override seed/threads/pool
   /// from their own options).
   IvfOptions ivf;
+  /// In-place mutation knobs for whichever index is selected - the one
+  /// place to set compaction and IVF re-train behavior.
+  MutationOptions mutation;
 };
 
 /// The facade the pipelines block through: builds either the exact oracle
-/// or an IVF index per `options` and serves batch queries uniformly.
-class BlockingIndex {
+/// or an IVF index per `options` and serves batch queries and mutations
+/// uniformly. Under kAuto, an Insert that grows the corpus across
+/// `exact_threshold` migrates the live rows (ids preserved) from the
+/// exact oracle into a freshly trained IVF index.
+class BlockingIndex : public VectorIndex {
  public:
   BlockingIndex(const std::vector<std::vector<float>>& items,
                 const BlockingIndexOptions& options);
   BlockingIndex(const float* rows, int n, int dim,
                 const BlockingIndexOptions& options);
 
+  /// Status-reporting construction (validates options and shape).
+  static Result<std::unique_ptr<BlockingIndex>> Create(
+      const float* rows, int n, int dim, const BlockingIndexOptions& options);
+
+  // --- VectorIndex ---
+  using VectorIndex::Query;
+  using VectorIndex::QueryBatch;
+  Status QueryBatch(const float* queries, int n_queries, int dim, int k,
+                    std::vector<std::vector<Neighbor>>* out,
+                    int num_threads = 1) const override;
+  Status Insert(const float* rows, int n, int dim) override;
+  Status Remove(const int* ids, int n) override;
+  int size() const override;
+  int dim() const override;
+  int next_id() const override;
+
+  // --- historical clamp-style wrappers ---
   std::vector<std::vector<Neighbor>> QueryBatch(
       const std::vector<std::vector<float>>& queries, int k,
       int num_threads = 1) const;
@@ -143,12 +249,15 @@ class BlockingIndex {
                                                 int num_threads = 1) const;
 
   bool using_ivf() const { return ivf_ != nullptr; }
-  int size() const;
+  /// IVF cell re-trainings (0 while on the exact oracle).
+  int retrain_count() const { return ivf_ ? ivf_->retrain_count() : 0; }
 
  private:
+  void MigrateToIvf();
+
+  BlockingIndexOptions options_;
   std::unique_ptr<KnnIndex> exact_;
   std::unique_ptr<IvfIndex> ivf_;
-  int nprobe_ = 16;
 };
 
 }  // namespace sudowoodo::index

@@ -5,7 +5,6 @@
 #include <numeric>
 
 #include "common/parallel.h"
-#include "common/status.h"
 #include "tensor/kernels.h"
 
 namespace sudowoodo::index {
@@ -20,6 +19,22 @@ namespace {
 /// score is one fixed k-increasing accumulation chain regardless of which
 /// block computes it - so blocking is invisible in the results.
 constexpr int kQueryBlock = 32;
+
+/// Compacts the (scores, ids) pair down to live entries. Each score is an
+/// independent per-row accumulation chain, so dropping tombstoned rows
+/// after scoring leaves the surviving scores bitwise equal to what a
+/// tombstone-free index would have computed.
+void GatherLiveScores(const float* scores, const int* ids, int n,
+                      std::vector<float>* live_scores,
+                      std::vector<int>* live_ids) {
+  live_scores->clear();
+  live_ids->clear();
+  for (int pos = 0; pos < n; ++pos) {
+    if (ids[pos] < 0) continue;
+    live_scores->push_back(scores[pos]);
+    live_ids->push_back(ids[pos]);
+  }
+}
 
 }  // namespace
 
@@ -62,58 +77,184 @@ void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
   }
 }
 
-KnnIndex::KnnIndex(const std::vector<std::vector<float>>& items) {
-  n_ = static_cast<int>(items.size());
-  if (n_ > 0) dim_ = static_cast<int>(items[0].size());
+void KnnIndex::BuildFrom(const float* rows, const int* ids, int n, int dim) {
+  n_ = n;
+  dim_ = dim;
   // Pack the item vectors into one contiguous row-major buffer so scoring
   // runs stride-1 GemmBT panels (SIMD-friendly, no pointer chasing
   // through per-item allocations).
-  flat_.resize(static_cast<size_t>(n_) * dim_);
-  for (int i = 0; i < n_; ++i) {
-    SUDO_CHECK(static_cast<int>(items[static_cast<size_t>(i)].size()) == dim_);
+  flat_.assign(rows, rows + static_cast<size_t>(n) * dim);
+  ids_.resize(static_cast<size_t>(n));
+  pos_by_id_.clear();
+  pos_by_id_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int id = ids != nullptr ? ids[static_cast<size_t>(i)] : i;
+    SUDO_CHECK(id >= 0);
+    // Strictly ascending ids keep live storage order == id order, the
+    // invariant behind the rebuild-bitwise contract.
+    SUDO_CHECK(i == 0 || id > ids_[static_cast<size_t>(i - 1)]);
+    ids_[static_cast<size_t>(i)] = id;
+    pos_by_id_.emplace(id, i);
+  }
+  next_id_ = n > 0 ? ids_[static_cast<size_t>(n - 1)] + 1 : 0;
+}
+
+KnnIndex::KnnIndex(const std::vector<std::vector<float>>& items) {
+  const int n = static_cast<int>(items.size());
+  const int dim = n > 0 ? static_cast<int>(items[0].size()) : 0;
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    SUDO_CHECK(static_cast<int>(items[static_cast<size_t>(i)].size()) == dim);
     std::copy(items[static_cast<size_t>(i)].begin(),
               items[static_cast<size_t>(i)].end(),
-              flat_.begin() + static_cast<size_t>(i) * dim_);
+              rows.begin() + static_cast<size_t>(i) * dim);
+  }
+  BuildFrom(rows.data(), nullptr, n, dim);
+}
+
+KnnIndex::KnnIndex(const float* rows, int n, int dim,
+                   const MutationOptions& mutation)
+    : mutation_(mutation) {
+  SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
+  SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  BuildFrom(rows, nullptr, n, dim);
+}
+
+KnnIndex::KnnIndex(const float* rows, const int* ids, int n, int dim,
+                   const MutationOptions& mutation)
+    : mutation_(mutation) {
+  SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
+  SUDO_CHECK(n == 0 || ids != nullptr);
+  SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  BuildFrom(rows, ids, n, dim);
+}
+
+Result<std::unique_ptr<KnnIndex>> KnnIndex::Create(
+    const float* rows, int n, int dim, const MutationOptions& mutation) {
+  if (n < 0 || dim < 0) {
+    return Status::InvalidArgument("negative index shape");
+  }
+  if (n > 0 && rows == nullptr) {
+    return Status::InvalidArgument("null rows with n > 0");
+  }
+  if (n > 0 && dim == 0) {
+    return Status::InvalidArgument("zero-width rows with n > 0");
+  }
+  SUDO_RETURN_IF_ERROR(ValidateMutationOptions(mutation));
+  return std::make_unique<KnnIndex>(rows, n, dim, mutation);
+}
+
+Status KnnIndex::Insert(const float* rows, int n, int dim) {
+  if (n < 0) return Status::InvalidArgument("negative insert count");
+  if (n == 0) return Status::OK();
+  if (rows == nullptr) return Status::InvalidArgument("null insert rows");
+  if (dim_ == 0) {
+    return Status::FailedPrecondition(
+        "insert into a dimensionless empty index (construct with an "
+        "explicit dim to make it insertable)");
+  }
+  if (dim != dim_) {
+    return Status::InvalidArgument(
+        "insert dim " + std::to_string(dim) + " != index dim " +
+        std::to_string(dim_));
+  }
+  flat_.insert(flat_.end(), rows, rows + static_cast<size_t>(n) * dim);
+  ids_.reserve(static_cast<size_t>(n_ + n));
+  for (int i = 0; i < n; ++i) {
+    ids_.push_back(next_id_);
+    pos_by_id_.emplace(next_id_, n_ + i);
+    ++next_id_;
+  }
+  n_ += n;
+  return Status::OK();
+}
+
+Status KnnIndex::Remove(const int* ids, int n) {
+  if (n < 0) return Status::InvalidArgument("negative remove count");
+  if (n == 0) return Status::OK();
+  if (ids == nullptr) return Status::InvalidArgument("null remove ids");
+  // Validate the whole batch first so a NotFound removes nothing
+  // (duplicates within one call count as unknown on the second hit).
+  for (int i = 0; i < n; ++i) {
+    const auto it = pos_by_id_.find(ids[i]);
+    if (it == pos_by_id_.end()) {
+      return Status::NotFound("id " + std::to_string(ids[i]) +
+                              " not in index");
+    }
+    for (int j = 0; j < i; ++j) {
+      if (ids[j] == ids[i]) {
+        return Status::NotFound("id " + std::to_string(ids[i]) +
+                                " removed twice in one call");
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto it = pos_by_id_.find(ids[i]);
+    ids_[static_cast<size_t>(it->second)] = -1;
+    pos_by_id_.erase(it);
+    ++n_tombstones_;
+  }
+  CompactIfNeeded();
+  return Status::OK();
+}
+
+void KnnIndex::CompactIfNeeded() {
+  if (n_tombstones_ == 0 ||
+      static_cast<float>(n_tombstones_) <=
+          mutation_.compact_tombstone_fraction * static_cast<float>(n_)) {
+    return;
+  }
+  // Stable order-preserving erase: live rows keep their relative
+  // (ascending-id) order, so compaction is invisible to query results.
+  int w = 0;
+  for (int pos = 0; pos < n_; ++pos) {
+    if (ids_[static_cast<size_t>(pos)] < 0) continue;
+    if (w != pos) {
+      std::copy(flat_.begin() + static_cast<size_t>(pos) * dim_,
+                flat_.begin() + static_cast<size_t>(pos + 1) * dim_,
+                flat_.begin() + static_cast<size_t>(w) * dim_);
+      ids_[static_cast<size_t>(w)] = ids_[static_cast<size_t>(pos)];
+    }
+    pos_by_id_[ids_[static_cast<size_t>(w)]] = w;
+    ++w;
+  }
+  n_ = w;
+  n_tombstones_ = 0;
+  flat_.resize(static_cast<size_t>(n_) * dim_);
+  ids_.resize(static_cast<size_t>(n_));
+}
+
+void KnnIndex::ExportLive(std::vector<float>* rows,
+                          std::vector<int>* ids) const {
+  rows->clear();
+  ids->clear();
+  rows->reserve(static_cast<size_t>(size()) * dim_);
+  ids->reserve(static_cast<size_t>(size()));
+  for (int pos = 0; pos < n_; ++pos) {
+    if (ids_[static_cast<size_t>(pos)] < 0) continue;
+    rows->insert(rows->end(),
+                 flat_.begin() + static_cast<size_t>(pos) * dim_,
+                 flat_.begin() + static_cast<size_t>(pos + 1) * dim_);
+    ids->push_back(ids_[static_cast<size_t>(pos)]);
   }
 }
 
-KnnIndex::KnnIndex(const float* rows, int n, int dim) : n_(n), dim_(dim) {
-  SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
-  flat_.assign(rows, rows + static_cast<size_t>(n) * dim);
-}
-
-std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
-                                      int k) const {
-  SUDO_CHECK(static_cast<int>(query.size()) == dim_);
-  k = std::min(k, n_);
-  if (k <= 0) return {};
-
-  // Per-thread scoring/selection scratch: the serving hot loop calls
-  // Query repeatedly, and a fresh heap allocation per call would dominate
-  // small indexes (the PR 5 zero-alloc serving contract). Capacity is
-  // retained across calls; only the returned vector allocates at steady
-  // state.
-  thread_local std::vector<float> scores;
-  thread_local std::vector<int> idx;
-  scores.assign(static_cast<size_t>(n_), 0.0f);
-  // m = 1 edge of the blocked QueryBatch panel: each score accumulates
-  // along the same fixed k-increasing GemmBT chain, so a single Query is
-  // bit-identical to the same row of a batch on whatever tier is active.
-  ks::GemmBT(1, n_, dim_, query.data(), flat_.data(), scores.data());
-
-  std::vector<Neighbor> out;
-  SelectTopKNeighbors(scores.data(), nullptr, n_, k, &idx, &out);
-  return out;
-}
-
-std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(const float* queries,
-                                                        int n_queries, int dim,
-                                                        int k,
-                                                        int num_threads) const {
-  std::vector<std::vector<Neighbor>> out(static_cast<size_t>(n_queries));
-  k = std::min(k, n_);
-  if (k <= 0 || n_queries <= 0) return out;
-  SUDO_CHECK(dim == dim_ && queries != nullptr);
+Status KnnIndex::QueryBatch(const float* queries, int n_queries, int dim,
+                            int k, std::vector<std::vector<Neighbor>>* out,
+                            int num_threads) const {
+  if (n_queries < 0) return Status::InvalidArgument("negative query count");
+  if (k < 0) return Status::InvalidArgument("k must be >= 0");
+  if (n_queries > 0 && queries == nullptr) {
+    return Status::InvalidArgument("null query buffer");
+  }
+  if (n_queries > 0 && dim != dim_) {
+    return Status::InvalidArgument(
+        "query dim " + std::to_string(dim) + " != index dim " +
+        std::to_string(dim_));
+  }
+  out->assign(static_cast<size_t>(n_queries), {});
+  k = std::min(k, size());
+  if (k <= 0 || n_queries == 0) return Status::OK();
 
   const int64_t n_blocks =
       (static_cast<int64_t>(n_queries) + kQueryBlock - 1) / kQueryBlock;
@@ -122,6 +263,8 @@ std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(const float* queries,
                 // Per-shard scratch, reused across the shard's blocks.
                 std::vector<float> scores;
                 std::vector<int> idx;
+                std::vector<float> live_scores;
+                std::vector<int> live_ids;
                 for (int64_t b = begin; b < end; ++b) {
                   const int q0 = static_cast<int>(b * kQueryBlock);
                   const int q1 = std::min(n_queries, q0 + kQueryBlock);
@@ -131,12 +274,71 @@ std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(const float* queries,
                              queries + static_cast<size_t>(q0) * dim_,
                              flat_.data(), scores.data());
                   for (int i = 0; i < m; ++i) {
-                    SelectTopKNeighbors(
-                        scores.data() + static_cast<size_t>(i) * n_, nullptr,
-                        n_, k, &idx, &out[static_cast<size_t>(q0 + i)]);
+                    const float* row =
+                        scores.data() + static_cast<size_t>(i) * n_;
+                    if (n_tombstones_ == 0) {
+                      SelectTopKNeighbors(row, ids_.data(), n_, k, &idx,
+                                          &(*out)[static_cast<size_t>(q0 + i)]);
+                    } else {
+                      GatherLiveScores(row, ids_.data(), n_, &live_scores,
+                                       &live_ids);
+                      SelectTopKNeighbors(
+                          live_scores.data(), live_ids.data(),
+                          static_cast<int>(live_ids.size()), k, &idx,
+                          &(*out)[static_cast<size_t>(q0 + i)]);
+                    }
                   }
                 }
               });
+  return Status::OK();
+}
+
+std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
+                                      int k) const {
+  // Historical clamp semantics (matching the batch wrapper below): k < 0
+  // and an empty index yield an empty result before any width check.
+  k = std::min(k, size());
+  if (k <= 0) return {};
+  SUDO_CHECK(static_cast<int>(query.size()) == dim_);
+
+  // Per-thread scoring/selection scratch: the serving hot loop calls
+  // Query repeatedly, and a fresh heap allocation per call would dominate
+  // small indexes (the PR 5 zero-alloc serving contract). Capacity is
+  // retained across calls; only the returned vector allocates at steady
+  // state.
+  thread_local std::vector<float> scores;
+  thread_local std::vector<int> idx;
+  thread_local std::vector<float> live_scores;
+  thread_local std::vector<int> live_ids;
+  scores.assign(static_cast<size_t>(n_), 0.0f);
+  // m = 1 edge of the blocked QueryBatch panel: each score accumulates
+  // along the same fixed k-increasing GemmBT chain, so a single Query is
+  // bit-identical to the same row of a batch on whatever tier is active.
+  ks::GemmBT(1, n_, dim_, query.data(), flat_.data(), scores.data());
+
+  std::vector<Neighbor> out;
+  if (n_tombstones_ == 0) {
+    SelectTopKNeighbors(scores.data(), ids_.data(), n_, k, &idx, &out);
+  } else {
+    GatherLiveScores(scores.data(), ids_.data(), n_, &live_scores,
+                     &live_ids);
+    SelectTopKNeighbors(live_scores.data(), live_ids.data(),
+                        static_cast<int>(live_ids.size()), k, &idx, &out);
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> KnnIndex::QueryBatch(const float* queries,
+                                                        int n_queries, int dim,
+                                                        int k,
+                                                        int num_threads) const {
+  // Historical clamp semantics: k < 0, empty batches, and an empty index
+  // yield empty results; a width mismatch is a programmer error (abort).
+  std::vector<std::vector<Neighbor>> out(
+      static_cast<size_t>(std::max(0, n_queries)));
+  if (k <= 0 || n_queries <= 0 || size() == 0) return out;
+  SUDO_CHECK(dim == dim_ && queries != nullptr);
+  SUDO_CHECK_OK(QueryBatch(queries, n_queries, dim, k, &out, num_threads));
   return out;
 }
 

@@ -4,21 +4,22 @@
 // vector representations ... for k = 1 to 20").
 //
 // This is the exact oracle; the sub-linear IVF variant and the
-// exact-vs-approximate selection facade live in index/ivf_index.h.
+// exact-vs-approximate selection facade live in index/ivf_index.h. All
+// three implement the unified index::VectorIndex mutation surface
+// (vector_index.h).
 
 #ifndef SUDOWOODO_INDEX_KNN_INDEX_H_
 #define SUDOWOODO_INDEX_KNN_INDEX_H_
 
+#include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
-namespace sudowoodo::index {
+#include "common/status.h"
+#include "index/vector_index.h"
 
-/// One retrieved neighbour: {item id, cosine similarity}.
-struct Neighbor {
-  int id = -1;
-  float sim = 0.0f;
-};
+namespace sudowoodo::index {
 
 /// Selects the top-k entries of scores[0..n) into `*out`, best first.
 /// `ids` maps score positions to item ids (nullptr = position IS the id);
@@ -39,18 +40,62 @@ void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
 /// single Query is the m = 1 edge of the same fixed accumulation chain -
 /// Query and QueryBatch are bit-identical on whatever kernel tier is
 /// active.
-class KnnIndex {
+///
+/// Mutation (VectorIndex): Insert appends rows to the contiguous buffer
+/// (ids assigned monotonically), Remove tombstones in place, and the
+/// buffer compacts - a stable, order-preserving erase - once tombstones
+/// exceed MutationOptions::compact_tombstone_fraction. Since each
+/// query-item score is an independent fixed k-increasing GemmBT chain and
+/// live rows always sit in ascending-id order, queries after ANY
+/// insert/remove sequence are bitwise identical to a from-scratch index
+/// on the surviving rows (same ids, same order), at any thread count and
+/// kernel tier - asserted in tests/live_index_test.cc.
+class KnnIndex : public VectorIndex {
  public:
-  /// Copies the item vectors (all the same width) into contiguous storage.
+  /// Nested-vector convenience: flattens (all rows the same width) and
+  /// delegates to the canonical flat constructor.
   explicit KnnIndex(const std::vector<std::vector<float>>& items);
 
-  /// Flat-buffer construction: copies `rows` ([n, dim] row-major), no
-  /// per-item vector round-trip (encoder/cache output buffers are flat).
-  KnnIndex(const float* rows, int n, int dim);
+  /// Canonical construction: copies `rows` ([n, dim] row-major) and
+  /// assigns ids 0..n-1. Invalid shapes abort (SUDO_CHECK); use Create
+  /// for Status-reporting validation.
+  KnnIndex(const float* rows, int n, int dim,
+           const MutationOptions& mutation = {});
+
+  /// Rebuild/oracle construction with explicit external ids (strictly
+  /// ascending; next_id() continues from ids[n-1] + 1). This is how a
+  /// from-scratch rebuild on surviving rows reproduces a mutated index
+  /// exactly, and how the BlockingIndex facade migrates storage.
+  KnnIndex(const float* rows, const int* ids, int n, int dim,
+           const MutationOptions& mutation = {});
+
+  /// Status-reporting construction: rejects negative shapes, a null
+  /// buffer with n > 0, and invalid mutation options instead of aborting.
+  static Result<std::unique_ptr<KnnIndex>> Create(
+      const float* rows, int n, int dim,
+      const MutationOptions& mutation = {});
+
+  // --- VectorIndex ---
+  // (The using-declarations keep the base conveniences - Status Query,
+  // nested-vector Status QueryBatch - visible next to the historical
+  // same-name wrappers below.)
+  using VectorIndex::Query;
+  using VectorIndex::QueryBatch;
+  Status QueryBatch(const float* queries, int n_queries, int dim, int k,
+                    std::vector<std::vector<Neighbor>>* out,
+                    int num_threads = 1) const override;
+  Status Insert(const float* rows, int n, int dim) override;
+  Status Remove(const int* ids, int n) override;
+  /// Live (non-tombstoned) items.
+  int size() const override { return n_ - n_tombstones_; }
+  int dim() const override { return dim_; }
+  int next_id() const override { return next_id_; }
+
+  // --- historical clamp-style wrappers (thin, over the Status API) ---
 
   /// Top-k most similar items, most similar first; ties break toward the
-  /// lower item id. Selection is a bounded partial sort (nth_element),
-  /// O(n + k log k) for k << n. Scoring and selection scratch is
+  /// lower item id. k < 0 clamps to an empty result and a width mismatch
+  /// aborts (the historical contract). Scoring and selection scratch is
   /// per-thread and reused across calls (zero steady-state heap
   /// allocations beyond the returned vector).
   std::vector<Neighbor> Query(const std::vector<float>& query, int k) const;
@@ -69,15 +114,33 @@ class KnnIndex {
                                                 int n_queries, int dim, int k,
                                                 int num_threads = 1) const;
 
-  int size() const { return n_; }
-  int dim() const { return dim_; }
-  /// The contiguous [n, dim] item buffer (IVF construction reads it).
+  // --- introspection ---
+
+  /// Stored rows including tombstones (tests; the scored panel width).
+  int stored_size() const { return n_; }
+  int tombstones() const { return n_tombstones_; }
+  /// The contiguous [stored_size, dim] row buffer. After removals it may
+  /// contain tombstoned rows; pair with ids() to identify them.
   const float* data() const { return flat_.data(); }
+  /// Storage position -> item id; -1 marks a tombstoned row.
+  const int* ids() const { return ids_.data(); }
+  /// Copies the live rows and their ids in storage (ascending-id) order.
+  /// Feeding these into the explicit-id constructor reproduces this
+  /// index's query results bitwise (facade migration, rebuild oracle).
+  void ExportLive(std::vector<float>* rows, std::vector<int>* ids) const;
 
  private:
-  std::vector<float> flat_;  // [n, dim] row-major
-  int n_ = 0;
+  void BuildFrom(const float* rows, const int* ids, int n, int dim);
+  void CompactIfNeeded();
+
+  std::vector<float> flat_;  // [n_, dim] row-major, tombstones included
+  std::vector<int> ids_;     // storage position -> id, -1 = tombstoned
+  std::unordered_map<int, int> pos_by_id_;  // live ids only
+  int n_ = 0;                // stored rows (incl. tombstones)
   int dim_ = 0;
+  int n_tombstones_ = 0;
+  int next_id_ = 0;
+  MutationOptions mutation_;
 };
 
 /// Cosine of two equal-width dense vectors (not assumed normalized).

@@ -17,6 +17,8 @@ Server::Server(std::vector<ModelReplica> replicas,
   for (const ModelReplica& r : replicas_) {
     SUDO_CHECK(r.encoder != nullptr);
     SUDO_CHECK(r.encoder->dim() == replicas_.front().encoder->dim());
+    SUDO_CHECK(options_.live_index == nullptr ||
+               options_.live_index->dim() == r.encoder->dim());
     // All-or-nothing matchers: Submit-time validation checks one replica
     // and must speak for every worker.
     SUDO_CHECK((r.matcher != nullptr) ==
@@ -51,6 +53,20 @@ Status Server::Validate(const Request& request) const {
       if (request.kind == RequestKind::kClean &&
           request.candidates.empty()) {
         return Status::InvalidArgument("clean request has no candidates");
+      }
+      return Status::OK();
+    case RequestKind::kQuery:
+    case RequestKind::kUpsert:
+    case RequestKind::kDelete:
+      if (options_.live_index == nullptr) {
+        return Status::FailedPrecondition(
+            "server has no live index; query/upsert/delete unsupported");
+      }
+      if (request.kind == RequestKind::kQuery && request.k < 0) {
+        return Status::InvalidArgument("query k must be >= 0");
+      }
+      if (request.kind != RequestKind::kQuery && request.item_id < 0) {
+        return Status::InvalidArgument("item id must be >= 0");
       }
       return Status::OK();
   }
@@ -128,11 +144,20 @@ void Server::ServeBatch(const ModelReplica& replica,
   const auto now = Clock::now();
 
   // Partition the flush: expired requests answer immediately; the rest
-  // coalesce into one encoder pack and one matcher pack. Request order is
-  // preserved within each pack purely for readability - per-row
-  // bit-identity makes the composition irrelevant to the results.
+  // coalesce into one encoder pack and one matcher pack. Query/upsert
+  // requests ride the encode pack too - their rows are encoded alongside
+  // plain encode traffic (per-row bit-identity makes the shared pack
+  // invisible in the results) and the index operations themselves are
+  // applied afterwards in submission order, so a client that upserts
+  // then queries through one server observes its own write.
   std::vector<std::vector<int>> encode_rows;
-  std::vector<size_t> encode_owner;
+  struct EncodeSlot {
+    size_t owner;
+    size_t slot;  // row in the encode pack
+  };
+  std::vector<EncodeSlot> encode_owner;  // kEncode responses only
+  constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  std::vector<EncodeSlot> index_ops;  // kQuery/kUpsert/kDelete, batch order
   std::vector<matcher::PairExample> pairs;
   struct PairSpan {
     size_t owner;
@@ -155,8 +180,21 @@ void Server::ServeBatch(const ModelReplica& replica,
     }
     switch (p.request.kind) {
       case RequestKind::kEncode:
-        encode_owner.push_back(i);
+        encode_owner.push_back(EncodeSlot{i, encode_rows.size()});
         encode_rows.push_back(std::move(p.request.ids));
+        break;
+      case RequestKind::kQuery:
+        index_ops.push_back(EncodeSlot{i, encode_rows.size()});
+        encode_rows.push_back(std::move(p.request.ids));
+        break;
+      case RequestKind::kUpsert:
+        index_ops.push_back(EncodeSlot{i, encode_rows.size()});
+        // Copied, not moved: the ids stay behind as the upsert's cache
+        // invalidation key.
+        encode_rows.push_back(p.request.ids);
+        break;
+      case RequestKind::kDelete:
+        index_ops.push_back(EncodeSlot{i, kNoSlot});
         break;
       case RequestKind::kMatch:
         spans.push_back(PairSpan{i, pairs.size(), 1});
@@ -180,27 +218,68 @@ void Server::ServeBatch(const ModelReplica& replica,
     (*batch)[owner].promise.set_value(std::move(r));
   };
 
+  bool encode_ok = true;
   if (!encode_rows.empty()) {
     const int d = replica.encoder->dim();
     encode_scratch->resize(encode_rows.size() * static_cast<size_t>(d));
     try {
       replica.encoder->EncodeNormalizedInto(encode_rows,
                                             encode_scratch->data());
-      for (size_t j = 0; j < encode_owner.size(); ++j) {
+      for (const EncodeSlot& slot : encode_owner) {
         Response r;
         r.status = Status::OK();
         const float* row =
-            encode_scratch->data() + j * static_cast<size_t>(d);
+            encode_scratch->data() + slot.slot * static_cast<size_t>(d);
         r.embedding.assign(row, row + d);
         r.coalesced = flush_size;
         completed_.fetch_add(1, std::memory_order_relaxed);
-        (*batch)[encode_owner[j]].promise.set_value(std::move(r));
+        (*batch)[slot.owner].promise.set_value(std::move(r));
       }
     } catch (const std::exception& e) {
-      for (size_t owner : encode_owner) {
-        answer_error(owner, Status::Internal(std::string("encode: ") +
-                                             e.what()));
+      encode_ok = false;
+      const Status st = Status::Internal(std::string("encode: ") + e.what());
+      for (const EncodeSlot& slot : encode_owner) {
+        answer_error(slot.owner, st);
       }
+      // Index operations lose their rows with the pack; deletes are
+      // answered errored too rather than mutating out of order.
+      for (const EncodeSlot& op : index_ops) {
+        answer_error(op.owner, st);
+      }
+    }
+  }
+
+  if (!index_ops.empty() && encode_ok) {
+    index::LiveBlockingIndex* live = options_.live_index;
+    const int d = replica.encoder->dim();
+    for (const EncodeSlot& op : index_ops) {
+      Pending& p = (*batch)[op.owner];
+      const float* row = op.slot == kNoSlot
+                             ? nullptr
+                             : encode_scratch->data() +
+                                   op.slot * static_cast<size_t>(d);
+      Response r;
+      r.coalesced = flush_size;
+      switch (p.request.kind) {
+        case RequestKind::kUpsert: {
+          index::LiveItem item;
+          item.item_id = p.request.item_id;
+          item.token_key = std::move(p.request.ids);
+          r.status = live->Upsert(&item, row, 1, d);
+          break;
+        }
+        case RequestKind::kDelete:
+          r.status = live->Remove(&p.request.item_id, 1);
+          break;
+        case RequestKind::kQuery:
+          r.status = live->Query(row, d, p.request.k, &r.neighbors);
+          break;
+        default:
+          r.status = Status::Internal("non-index op in index pack");
+          break;
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(std::move(r));
     }
   }
 

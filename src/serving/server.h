@@ -36,23 +36,35 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/live_index.h"
 #include "matcher/pair_matcher.h"
 #include "nn/encoder.h"
 #include "serving/request_queue.h"
 
 namespace sudowoodo::serving {
 
-/// What a request asks of the model.
+/// What a request asks of the model (and, for the last three kinds, of
+/// the live blocking corpus - see ServerOptions::live_index).
 enum class RequestKind {
   kEncode,  // token ids -> L2-normalized embedding (blocking / indexing)
   kMatch,   // serialized pair -> P(match) through the fine-tuned matcher
   kClean,   // cell vs candidate corrections -> per-candidate P + argmax
+  kQuery,   // token ids -> encode -> top-k neighbours in the live corpus
+  kUpsert,  // token ids + item_id -> encode -> insert/replace in corpus
+  kDelete,  // item_id -> remove from the live corpus
 };
 
 struct Request {
   RequestKind kind = RequestKind::kEncode;
-  /// kEncode: the token-id sequence to embed.
+  /// kEncode / kQuery / kUpsert: the token-id sequence to embed. For
+  /// kUpsert it is also the item's cache key: replacing an item with
+  /// different tokens invalidates the old serialization's cached
+  /// embedding (index/live_index.h).
   std::vector<int> ids;
+  /// kUpsert / kDelete: the caller's item id (non-negative).
+  int item_id = -1;
+  /// kQuery: neighbours requested.
+  int k = 10;
   /// kMatch: the pair to score.
   matcher::PairExample pair;
   /// kClean: the cell serialized against each candidate correction (the
@@ -68,6 +80,8 @@ struct Response {
   Status status;
   /// kEncode: the [dim] normalized embedding.
   std::vector<float> embedding;
+  /// kQuery: top-k live neighbours (external item ids), best first.
+  std::vector<index::Neighbor> neighbors;
   /// kMatch: P(match).
   float prob = 0.0f;
   /// kClean: index of the highest-probability candidate, plus all probs.
@@ -95,6 +109,15 @@ struct ServerOptions {
   int64_t max_wait_us = 1000;
   /// Bounded-queue depth; Submit blocks (backpressure) when full.
   size_t queue_capacity = 1024;
+  /// The live blocking corpus served by kQuery/kUpsert/kDelete
+  /// (caller-owned, must outlive the Server; its dim must equal the
+  /// encoder dim). nullptr rejects those kinds at Submit. Upsert/query
+  /// rows ride the flush's encode pack (per-row bit-identity makes the
+  /// shared pack invisible in the results); index operations are applied
+  /// in submission order within each flush, and a multi-worker server
+  /// interleaves flushes in arrival order under the live index's writer
+  /// lock.
+  index::LiveBlockingIndex* live_index = nullptr;
 };
 
 /// Aggregate counters since construction (monotonic, thread-safe reads).

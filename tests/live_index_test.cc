@@ -1,0 +1,690 @@
+// Mutation battery for the live blocking index stack (PR 9): in-place
+// Insert/Remove on the exact and IVF indexes behind the unified
+// index::VectorIndex API, the BlockingIndex facade's kAuto growth
+// migration, and the LiveBlockingIndex external-id / cache-invalidation
+// layer.
+//
+// The load-bearing contract: after ANY insert/remove sequence, exact
+// queries are bitwise identical to an index rebuilt from scratch on the
+// surviving rows (same ids, same order), at any thread count - tombstone
+// filtering happens after scoring and every (query, item) score is an
+// independent fixed GemmBT accumulation chain, so mutation history is
+// invisible in the floats. The IVF index keeps the weaker-but-gated
+// promise instead: recall@10 stays within the bench gate's budget of
+// exact, and probing every cell is still bitwise equal to exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/embedding_cache.h"
+#include "index/ivf_index.h"
+#include "index/knn_index.h"
+#include "index/live_index.h"
+
+namespace sudowoodo {
+namespace {
+
+using index::BlockingIndex;
+using index::BlockingIndexKind;
+using index::BlockingIndexOptions;
+using index::EmbeddingCache;
+using index::IvfIndex;
+using index::IvfOptions;
+using index::KnnIndex;
+using index::LiveBlockingIndex;
+using index::LiveItem;
+using index::MutationOptions;
+using index::Neighbor;
+using index::VectorIndex;
+
+std::vector<float> ClusteredUnitRows(int n, int dim, int n_clusters,
+                                     float noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> centers(static_cast<size_t>(n_clusters) * dim);
+  for (auto& v : centers) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    const float* c = centers.data() + static_cast<size_t>(i % n_clusters) * dim;
+    float* r = rows.data() + static_cast<size_t>(i) * dim;
+    double norm = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      r[j] = c[j] + noise * static_cast<float>(rng.Gaussian());
+      norm += static_cast<double>(r[j]) * r[j];
+    }
+    norm = std::sqrt(std::max(norm, 1e-20));
+    for (int j = 0; j < dim; ++j) {
+      r[j] = static_cast<float>(r[j] / norm);
+    }
+  }
+  return rows;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<Neighbor>>& a,
+                        const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t j = 0; j < a[q].size(); ++j) {
+      EXPECT_EQ(a[q][j].id, b[q][j].id) << "query " << q << " rank " << j;
+      EXPECT_EQ(a[q][j].sim, b[q][j].sim) << "query " << q << " rank " << j;
+    }
+  }
+}
+
+double RecallAtK(const std::vector<std::vector<Neighbor>>& exact,
+                 const std::vector<std::vector<Neighbor>>& approx) {
+  double hit = 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < exact.size(); ++q) {
+    std::set<int> found;
+    for (const auto& nb : approx[q]) found.insert(nb.id);
+    for (const auto& nb : exact[q]) {
+      total += 1.0;
+      hit += found.count(nb.id) ? 1.0 : 0.0;
+    }
+  }
+  return total > 0 ? hit / total : 1.0;
+}
+
+/// Queries `idx` through the Status interface at `threads` workers.
+std::vector<std::vector<Neighbor>> StatusQuery(const VectorIndex& idx,
+                                               const std::vector<float>& q,
+                                               int dim, int k,
+                                               int threads = 1) {
+  std::vector<std::vector<Neighbor>> out;
+  const int nq = static_cast<int>(q.size()) / dim;
+  EXPECT_TRUE(idx.QueryBatch(q.data(), nq, dim, k, &out, threads).ok());
+  return out;
+}
+
+/// The rebuild oracle: a fresh exact index over `mutated`'s surviving
+/// rows with the same ids, via ExportLive + the explicit-id constructor.
+std::unique_ptr<KnnIndex> RebuildFromSurvivors(const KnnIndex& mutated) {
+  std::vector<float> rows;
+  std::vector<int> ids;
+  mutated.ExportLive(&rows, &ids);
+  return std::make_unique<KnnIndex>(rows.data(), ids.data(),
+                                    static_cast<int>(ids.size()),
+                                    mutated.dim());
+}
+
+// --- KnnIndex mutation -------------------------------------------------------
+
+TEST(KnnIndexMutationTest, InsertMatchesFromScratchIndexBitwise) {
+  const int dim = 16;
+  auto rows = ClusteredUnitRows(140, dim, 5, 0.2f, 31);
+  auto queries = ClusteredUnitRows(33, dim, 5, 0.3f, 32);
+
+  KnnIndex grown(rows.data(), 100, dim);
+  // Two appends of different batch sizes.
+  ASSERT_TRUE(grown.Insert(rows.data() + 100 * dim, 25, dim).ok());
+  ASSERT_TRUE(grown.Insert(rows.data() + 125 * dim, 15, dim).ok());
+  ASSERT_EQ(grown.size(), 140);
+  ASSERT_EQ(grown.next_id(), 140);
+
+  KnnIndex scratch(rows.data(), 140, dim);
+  for (int threads : {1, 2, 4}) {
+    ExpectBitIdentical(StatusQuery(grown, queries, dim, 10, threads),
+                       StatusQuery(scratch, queries, dim, 10, threads));
+  }
+}
+
+TEST(KnnIndexMutationTest, RemoveMatchesRebuildOnSurvivorsBitwise) {
+  const int dim = 16;
+  auto rows = ClusteredUnitRows(150, dim, 6, 0.2f, 33);
+  auto queries = ClusteredUnitRows(25, dim, 6, 0.3f, 34);
+
+  // High fraction: tombstones stay resident, so this exercises the
+  // filtered-scoring path rather than compaction.
+  MutationOptions keep;
+  keep.compact_tombstone_fraction = 1.0f;
+  KnnIndex mutated(rows.data(), 150, dim, keep);
+  std::vector<int> doomed;
+  for (int id = 0; id < 150; id += 3) doomed.push_back(id);
+  ASSERT_TRUE(
+      mutated.Remove(doomed.data(), static_cast<int>(doomed.size())).ok());
+  ASSERT_EQ(mutated.size(), 100);
+  ASSERT_GT(mutated.tombstones(), 0);
+
+  auto oracle = RebuildFromSurvivors(mutated);
+  ASSERT_EQ(oracle->tombstones(), 0);
+  for (int threads : {1, 2, 4}) {
+    ExpectBitIdentical(StatusQuery(mutated, queries, dim, 10, threads),
+                       StatusQuery(*oracle, queries, dim, 10, threads));
+  }
+}
+
+TEST(KnnIndexMutationTest, InterleavedMutationSequenceMatchesRebuild) {
+  const int dim = 24;
+  auto rows = ClusteredUnitRows(400, dim, 7, 0.25f, 35);
+  auto queries = ClusteredUnitRows(40, dim, 7, 0.3f, 36);
+
+  KnnIndex mutated(rows.data(), 200, dim);
+  Rng rng(99);
+  int appended = 200;
+  std::set<int> live;
+  for (int id = 0; id < 200; ++id) live.insert(id);
+  for (int step = 0; step < 12; ++step) {
+    if (step % 3 != 2 && appended < 400) {
+      const int b = std::min(25, 400 - appended);
+      const int first = mutated.next_id();
+      ASSERT_TRUE(
+          mutated.Insert(rows.data() + static_cast<size_t>(appended) * dim, b,
+                         dim)
+              .ok());
+      for (int j = 0; j < b; ++j) live.insert(first + j);
+      appended += b;
+    } else {
+      std::vector<int> pick(live.begin(), live.end());
+      std::vector<int> doomed;
+      for (int j = 0; j < 17 && !pick.empty(); ++j) {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(static_cast<int>(pick.size())));
+        doomed.push_back(pick[at]);
+        pick.erase(pick.begin() + static_cast<ptrdiff_t>(at));
+      }
+      ASSERT_TRUE(
+          mutated.Remove(doomed.data(), static_cast<int>(doomed.size())).ok());
+      for (int id : doomed) live.erase(id);
+    }
+  }
+  ASSERT_EQ(mutated.size(), static_cast<int>(live.size()));
+
+  auto oracle = RebuildFromSurvivors(mutated);
+  for (int threads : {1, 2, 4}) {
+    ExpectBitIdentical(StatusQuery(mutated, queries, dim, 10, threads),
+                       StatusQuery(*oracle, queries, dim, 10, threads));
+  }
+}
+
+TEST(KnnIndexMutationTest, CompactionIsInvisibleInResults) {
+  const int dim = 12;
+  auto rows = ClusteredUnitRows(120, dim, 4, 0.2f, 37);
+  auto queries = ClusteredUnitRows(20, dim, 4, 0.3f, 38);
+
+  MutationOptions eager;   // compacts on every remove
+  eager.compact_tombstone_fraction = 0.0f;
+  MutationOptions lazy;    // never compacts between mutations
+  lazy.compact_tombstone_fraction = 1.0f;
+  KnnIndex compacted(rows.data(), 120, dim, eager);
+  KnnIndex tombstoned(rows.data(), 120, dim, lazy);
+  std::vector<int> doomed;
+  for (int id = 5; id < 120; id += 2) doomed.push_back(id);
+  const int nd = static_cast<int>(doomed.size());
+  ASSERT_TRUE(compacted.Remove(doomed.data(), nd).ok());
+  ASSERT_TRUE(tombstoned.Remove(doomed.data(), nd).ok());
+
+  EXPECT_EQ(compacted.tombstones(), 0);
+  EXPECT_EQ(compacted.stored_size(), compacted.size());
+  EXPECT_EQ(tombstoned.tombstones(), nd);
+  EXPECT_GT(tombstoned.stored_size(), tombstoned.size());
+  ExpectBitIdentical(StatusQuery(compacted, queries, dim, 8),
+                     StatusQuery(tombstoned, queries, dim, 8));
+
+  // Ids are never reused after compaction: the next insert continues the
+  // monotone sequence even though storage shrank. The re-inserted copy of
+  // row 0 ties its surviving original at sim 1.0, and the deterministic
+  // tie-break ranks the lower id first.
+  EXPECT_EQ(compacted.next_id(), 120);
+  ASSERT_TRUE(compacted.Insert(rows.data(), 1, dim).ok());
+  std::vector<Neighbor> top;
+  ASSERT_TRUE(compacted.Query(rows.data(), dim, 2, &top).ok());
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0);
+  EXPECT_EQ(top[1].id, 120);
+  EXPECT_EQ(top[0].sim, top[1].sim);
+}
+
+TEST(KnnIndexMutationTest, StatusErrorsOnBadMutations) {
+  const int dim = 8;
+  auto rows = ClusteredUnitRows(20, dim, 2, 0.2f, 39);
+  KnnIndex idx(rows.data(), 20, dim);
+
+  EXPECT_EQ(idx.Insert(rows.data(), 5, dim + 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(idx.Insert(nullptr, 5, dim).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(idx.Insert(rows.data(), -1, dim).code(),
+            StatusCode::kInvalidArgument);
+
+  const int unknown = 999;
+  EXPECT_EQ(idx.Remove(&unknown, 1).code(), StatusCode::kNotFound);
+  // Atomic: a batch with one unknown id removes nothing.
+  const int mixed[] = {3, 4, 999};
+  EXPECT_EQ(idx.Remove(mixed, 3).code(), StatusCode::kNotFound);
+  EXPECT_EQ(idx.size(), 20);
+  // Duplicates within one call are a NotFound on the second hit.
+  const int dup[] = {7, 7};
+  EXPECT_EQ(idx.Remove(dup, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(idx.size(), 20);
+
+  // A dimensionless empty index cannot accept rows.
+  KnnIndex empty(nullptr, 0, 0);
+  EXPECT_EQ(empty.Insert(rows.data(), 1, dim).code(),
+            StatusCode::kFailedPrecondition);
+  // An empty index *with* a width can.
+  KnnIndex sized(nullptr, 0, dim);
+  EXPECT_TRUE(sized.Insert(rows.data(), 3, dim).ok());
+  EXPECT_EQ(sized.size(), 3);
+
+  std::vector<std::vector<Neighbor>> out;
+  EXPECT_EQ(idx.QueryBatch(rows.data(), 2, dim, -1, &out, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(idx.QueryBatch(nullptr, 2, dim, 3, &out, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(idx.QueryBatch(rows.data(), 2, dim + 2, 3, &out, 1).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(KnnIndex::Create(nullptr, 5, dim).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(KnnIndex::Create(rows.data(), -2, dim).status().code(),
+            StatusCode::kInvalidArgument);
+  MutationOptions bad;
+  bad.retrain_imbalance = 0.5f;
+  EXPECT_EQ(KnnIndex::Create(rows.data(), 20, dim, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  auto ok = KnnIndex::Create(rows.data(), 20, dim);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->size(), 20);
+}
+
+TEST(KnnIndexMutationTest, LegacyClampWrappersKeepOldBehavior) {
+  const int dim = 8;
+  auto rows = ClusteredUnitRows(10, dim, 2, 0.2f, 40);
+  KnnIndex idx(rows.data(), 10, dim);
+  std::vector<float> q(rows.begin(), rows.begin() + dim);
+
+  // k < 0 clamps to empty instead of erroring.
+  EXPECT_TRUE(idx.Query(q, -3).empty());
+  // k > size clamps to size.
+  EXPECT_EQ(idx.Query(q, 99).size(), 10u);
+  // An empty index yields empty results without a width check.
+  KnnIndex empty(nullptr, 0, 0);
+  EXPECT_TRUE(empty.Query(q, 5).empty());
+  const auto batch = empty.QueryBatch(q.data(), 1, dim, 5);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].empty());
+  // Post-mutation, the wrappers see the live view.
+  const int doomed = 0;
+  ASSERT_TRUE(idx.Remove(&doomed, 1).ok());
+  EXPECT_EQ(idx.Query(q, 99).size(), 9u);
+}
+
+// --- IvfIndex mutation -------------------------------------------------------
+
+IvfOptions SmallIvf(int nprobe = 16) {
+  IvfOptions o;
+  o.num_cells = 12;
+  o.train_iters = 6;
+  o.seed = 5;
+  o.nprobe = nprobe;
+  return o;
+}
+
+TEST(IvfIndexMutationTest, ProbeAllCellsBitwiseEqualsExactAfterMutations) {
+  const int dim = 24;
+  auto rows = ClusteredUnitRows(600, dim, 9, 0.15f, 41);
+  auto queries = ClusteredUnitRows(40, dim, 9, 0.3f, 42);
+
+  IvfIndex ivf(rows.data(), 400, dim, SmallIvf(/*nprobe=*/1 << 20));
+  ASSERT_TRUE(ivf.Insert(rows.data() + 400 * dim, 200, dim).ok());
+  std::vector<int> doomed;
+  for (int id = 0; id < 600; id += 4) doomed.push_back(id);
+  ASSERT_TRUE(
+      ivf.Remove(doomed.data(), static_cast<int>(doomed.size())).ok());
+  ASSERT_EQ(ivf.size(), 450);
+
+  // The exact oracle over the same survivors with the same ids.
+  KnnIndex full(rows.data(), 600, dim);
+  ASSERT_TRUE(
+      full.Remove(doomed.data(), static_cast<int>(doomed.size())).ok());
+  for (int threads : {1, 2, 4}) {
+    ExpectBitIdentical(StatusQuery(ivf, queries, dim, 10, threads),
+                       StatusQuery(full, queries, dim, 10, threads));
+  }
+}
+
+TEST(IvfIndexMutationTest, InsertKeepsRecallWithinGateBudget) {
+  const int dim = 32;
+  auto rows = ClusteredUnitRows(2000, dim, 10, 0.05f, 43);
+  auto queries = ClusteredUnitRows(100, dim, 10, 0.15f, 44);
+
+  IvfOptions o;
+  o.num_cells = 24;
+  o.train_iters = 8;
+  o.nprobe = 8;
+  // Volume trigger off: this measures post-insert cell quality *without*
+  // a retrain bailing it out.
+  MutationOptions m;
+  m.retrain_insert_fraction = 1e6f;
+  IvfIndex ivf(rows.data(), 1500, dim, o, m);
+  for (int at = 1500; at < 2000; at += 125) {
+    ASSERT_TRUE(
+        ivf.Insert(rows.data() + static_cast<size_t>(at) * dim, 125, dim)
+            .ok());
+  }
+  EXPECT_EQ(ivf.retrain_count(), 0);
+
+  KnnIndex exact(rows.data(), 2000, dim);
+  const double recall = RecallAtK(StatusQuery(exact, queries, dim, 10),
+                                  StatusQuery(ivf, queries, dim, 10));
+  // The bench gate's budget (scripts/bench_compare.py RECALL_EPSILON).
+  EXPECT_GE(recall, 1.0 - 0.005);
+}
+
+TEST(IvfIndexMutationTest, VolumeTriggerRetrains) {
+  const int dim = 16;
+  auto rows = ClusteredUnitRows(300, dim, 6, 0.1f, 45);
+
+  MutationOptions m;
+  m.retrain_insert_fraction = 0.25f;  // retrain after >50 inserts on 200
+  IvfIndex ivf(rows.data(), 200, dim, SmallIvf(), m);
+  ASSERT_TRUE(ivf.Insert(rows.data() + 200 * dim, 40, dim).ok());
+  EXPECT_EQ(ivf.retrain_count(), 0);
+  ASSERT_TRUE(ivf.Insert(rows.data() + 240 * dim, 20, dim).ok());
+  EXPECT_EQ(ivf.retrain_count(), 1);
+  // The retrain resets the volume counter.
+  ASSERT_TRUE(ivf.Insert(rows.data() + 260 * dim, 10, dim).ok());
+  EXPECT_EQ(ivf.retrain_count(), 1);
+
+  MutationOptions never;
+  never.retrain_insert_fraction = 1e6f;
+  IvfIndex calm(rows.data(), 200, dim, SmallIvf(), never);
+  ASSERT_TRUE(calm.Insert(rows.data() + 200 * dim, 100, dim).ok());
+  EXPECT_EQ(calm.retrain_count(), 0);
+}
+
+TEST(IvfIndexMutationTest, ImbalanceTriggerRetrains) {
+  const int dim = 16;
+  // One hot direction: every arriving row lands in the same cell.
+  auto base = ClusteredUnitRows(200, dim, 8, 0.1f, 46);
+  auto pile = ClusteredUnitRows(120, dim, 1, 0.02f, 47);
+
+  MutationOptions m;
+  m.retrain_insert_fraction = 1e6f;  // volume trigger off
+  m.retrain_imbalance = 3.0f;
+  IvfIndex ivf(base.data(), 200, dim, SmallIvf(), m);
+  ASSERT_EQ(ivf.retrain_count(), 0);
+  for (int at = 0; at < 120; at += 30) {
+    ASSERT_TRUE(
+        ivf.Insert(pile.data() + static_cast<size_t>(at) * dim, 30, dim)
+            .ok());
+  }
+  // Arrivals piling into one cell crossed max/mean > 3 at some insert.
+  EXPECT_GE(ivf.retrain_count(), 1);
+}
+
+TEST(IvfIndexMutationTest, CompactionIsInvisibleInResults) {
+  const int dim = 16;
+  auto rows = ClusteredUnitRows(400, dim, 8, 0.15f, 48);
+  auto queries = ClusteredUnitRows(30, dim, 8, 0.3f, 49);
+
+  MutationOptions eager;
+  eager.compact_tombstone_fraction = 0.0f;
+  MutationOptions lazy;
+  lazy.compact_tombstone_fraction = 1.0f;
+  IvfIndex compacted(rows.data(), 400, dim, SmallIvf(), eager);
+  IvfIndex tombstoned(rows.data(), 400, dim, SmallIvf(), lazy);
+  std::vector<int> doomed;
+  for (int id = 1; id < 400; id += 2) doomed.push_back(id);
+  const int nd = static_cast<int>(doomed.size());
+  ASSERT_TRUE(compacted.Remove(doomed.data(), nd).ok());
+  ASSERT_TRUE(tombstoned.Remove(doomed.data(), nd).ok());
+
+  EXPECT_EQ(compacted.tombstones(), 0);
+  EXPECT_EQ(tombstoned.tombstones(), nd);
+  ExpectBitIdentical(StatusQuery(compacted, queries, dim, 10),
+                     StatusQuery(tombstoned, queries, dim, 10));
+}
+
+TEST(IvfIndexMutationTest, StatusErrorsOnBadMutations) {
+  const int dim = 8;
+  auto rows = ClusteredUnitRows(50, dim, 2, 0.2f, 50);
+
+  IvfIndex untrained(nullptr, 0, dim, SmallIvf());
+  EXPECT_EQ(untrained.Insert(rows.data(), 5, dim).code(),
+            StatusCode::kFailedPrecondition);
+
+  IvfIndex ivf(rows.data(), 50, dim, SmallIvf());
+  EXPECT_EQ(ivf.Insert(rows.data(), 5, dim + 1).code(),
+            StatusCode::kInvalidArgument);
+  const int unknown = 777;
+  EXPECT_EQ(ivf.Remove(&unknown, 1).code(), StatusCode::kNotFound);
+  const int dup[] = {2, 2};
+  EXPECT_EQ(ivf.Remove(dup, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ivf.size(), 50);
+
+  IvfOptions bad = SmallIvf();
+  bad.nprobe = 0;
+  EXPECT_EQ(IvfIndex::Create(rows.data(), 50, dim, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  auto ok = IvfIndex::Create(rows.data(), 50, dim, SmallIvf());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->size(), 50);
+}
+
+// --- BlockingIndex facade mutation -------------------------------------------
+
+TEST(IvfBlockingIndexMutationTest, AutoGrowthMigratesToIvfPreservingIds) {
+  const int dim = 16;
+  auto rows = ClusteredUnitRows(700, dim, 8, 0.15f, 51);
+  auto queries = ClusteredUnitRows(25, dim, 8, 0.3f, 52);
+
+  BlockingIndexOptions opts;
+  opts.kind = BlockingIndexKind::kAuto;
+  opts.exact_threshold = 512;
+  opts.nprobe = 1 << 20;  // probe everything: IVF == exact bitwise
+  opts.ivf = SmallIvf();
+  BlockingIndex facade(rows.data(), 400, dim, opts);
+  ASSERT_FALSE(facade.using_ivf());
+
+  // Remove the top ids first: migration must continue the id sequence
+  // past them instead of reusing.
+  const int doomed[] = {398, 399};
+  ASSERT_TRUE(facade.Remove(doomed, 2).ok());
+  ASSERT_TRUE(facade.Insert(rows.data() + 400 * dim, 100, dim).ok());
+  ASSERT_FALSE(facade.using_ivf());  // 498 live < 512
+  ASSERT_TRUE(facade.Insert(rows.data() + 500 * dim, 200, dim).ok());
+  EXPECT_TRUE(facade.using_ivf());
+  EXPECT_EQ(facade.size(), 698);
+  EXPECT_EQ(facade.next_id(), 700);
+
+  // The exact oracle over the same history.
+  KnnIndex oracle(rows.data(), 700, dim);
+  ASSERT_TRUE(oracle.Remove(doomed, 2).ok());
+  for (int threads : {1, 2, 4}) {
+    ExpectBitIdentical(StatusQuery(facade, queries, dim, 10, threads),
+                       StatusQuery(oracle, queries, dim, 10, threads));
+  }
+}
+
+TEST(IvfBlockingIndexMutationTest, ExactFacadeDelegatesMutationsBitwise) {
+  const int dim = 12;
+  auto rows = ClusteredUnitRows(150, dim, 4, 0.2f, 53);
+  auto queries = ClusteredUnitRows(15, dim, 4, 0.3f, 54);
+
+  BlockingIndexOptions opts;
+  opts.kind = BlockingIndexKind::kExact;
+  BlockingIndex facade(rows.data(), 100, dim, opts);
+  KnnIndex oracle(rows.data(), 100, dim);
+  ASSERT_TRUE(facade.Insert(rows.data() + 100 * dim, 50, dim).ok());
+  ASSERT_TRUE(oracle.Insert(rows.data() + 100 * dim, 50, dim).ok());
+  const int doomed[] = {10, 20, 120};
+  ASSERT_TRUE(facade.Remove(doomed, 3).ok());
+  ASSERT_TRUE(oracle.Remove(doomed, 3).ok());
+  ASSERT_FALSE(facade.using_ivf());
+  ExpectBitIdentical(StatusQuery(facade, queries, dim, 10),
+                     StatusQuery(oracle, queries, dim, 10));
+}
+
+TEST(IvfBlockingIndexMutationTest, CreateValidatesOptions) {
+  const int dim = 8;
+  auto rows = ClusteredUnitRows(20, dim, 2, 0.2f, 55);
+  BlockingIndexOptions opts;
+  opts.nprobe = 0;
+  EXPECT_EQ(
+      BlockingIndex::Create(rows.data(), 20, dim, opts).status().code(),
+      StatusCode::kInvalidArgument);
+  opts = BlockingIndexOptions{};
+  opts.exact_threshold = -1;
+  EXPECT_EQ(
+      BlockingIndex::Create(rows.data(), 20, dim, opts).status().code(),
+      StatusCode::kInvalidArgument);
+  opts = BlockingIndexOptions{};
+  opts.mutation.compact_tombstone_fraction = -0.5f;
+  EXPECT_EQ(
+      BlockingIndex::Create(rows.data(), 20, dim, opts).status().code(),
+      StatusCode::kInvalidArgument);
+  auto ok = BlockingIndex::Create(rows.data(), 20, dim, {});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->size(), 20);
+}
+
+// --- LiveBlockingIndex -------------------------------------------------------
+
+/// A one-hot-ish unit row pointing along `axis`.
+std::vector<float> AxisRow(int dim, int axis) {
+  std::vector<float> v(static_cast<size_t>(dim), 0.0f);
+  v[static_cast<size_t>(axis % dim)] = 1.0f;
+  return v;
+}
+
+TEST(LiveIndexTest, UpsertQueryRemoveSpeakExternalIds) {
+  const int dim = 8;
+  LiveBlockingIndex live(dim, {});
+  ASSERT_EQ(live.size(), 0);
+
+  // Three items with caller-chosen, sparse ids.
+  for (int item : {100, 205, 307}) {
+    LiveItem it;
+    it.item_id = item;
+    auto row = AxisRow(dim, item);
+    ASSERT_TRUE(live.Upsert(&it, row.data(), 1, dim).ok());
+  }
+  ASSERT_EQ(live.size(), 3);
+  EXPECT_TRUE(live.Contains(205));
+  EXPECT_FALSE(live.Contains(4));
+
+  auto q = AxisRow(dim, 205);
+  std::vector<Neighbor> top;
+  ASSERT_TRUE(live.Query(q.data(), dim, 1, &top).ok());
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 205);
+
+  const int doomed = 205;
+  ASSERT_TRUE(live.Remove(&doomed, 1).ok());
+  EXPECT_FALSE(live.Contains(205));
+  EXPECT_EQ(live.size(), 2);
+  ASSERT_TRUE(live.Query(q.data(), dim, 3, &top).ok());
+  for (const Neighbor& nb : top) EXPECT_NE(nb.id, 205);
+}
+
+TEST(LiveIndexTest, UpsertReplacesRowAndInvalidatesChangedKeyOnly) {
+  const int dim = 8;
+  EmbeddingCache cache(64);
+  LiveBlockingIndex live(dim, {}, &cache);
+
+  const std::vector<int> key_a = {1, 2, 3};
+  const std::vector<int> key_b = {4, 5};
+  auto row_a = AxisRow(dim, 0);
+  auto row_b = AxisRow(dim, 1);
+  cache.Insert(key_a, row_a.data(), dim);
+
+  LiveItem it;
+  it.item_id = 9;
+  it.token_key = key_a;
+  ASSERT_TRUE(live.Upsert(&it, row_a.data(), 1, dim).ok());
+
+  // Re-upserting identical content keeps the (still valid) cache entry.
+  ASSERT_TRUE(live.Upsert(&it, row_a.data(), 1, dim).ok());
+  std::vector<float> got(static_cast<size_t>(dim));
+  EXPECT_TRUE(cache.Lookup(key_a, got.data(), dim));
+  EXPECT_EQ(live.stats().replacements, 1u);
+  EXPECT_EQ(live.stats().cache_erasures, 0u);
+
+  // Content change: the old serialization's entry must be gone - zero
+  // stale hits possible afterwards.
+  it.token_key = key_b;
+  ASSERT_TRUE(live.Upsert(&it, row_b.data(), 1, dim).ok());
+  EXPECT_FALSE(cache.Lookup(key_a, got.data(), dim));
+  EXPECT_EQ(live.stats().replacements, 2u);
+  EXPECT_EQ(live.stats().cache_erasures, 1u);
+  EXPECT_EQ(cache.stats().erasures, 1u);
+  EXPECT_EQ(live.size(), 1);
+
+  // The replaced row really is gone from the index: the nearest
+  // neighbour of the old row is now the new row, not a stale copy.
+  std::vector<Neighbor> top;
+  ASSERT_TRUE(live.Query(row_a.data(), dim, 1, &top).ok());
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 9);
+  EXPECT_EQ(top[0].sim, row_a[1]);  // orthogonal: sim 0 against row_b
+}
+
+TEST(LiveIndexTest, RemoveErasesCacheKeyNoStaleHits) {
+  const int dim = 8;
+  EmbeddingCache cache(64);
+  LiveBlockingIndex live(dim, {}, &cache);
+
+  // Churn: upsert, remove, and assert every removed item's key misses.
+  std::vector<std::vector<int>> keys;
+  for (int item = 0; item < 20; ++item) {
+    LiveItem it;
+    it.item_id = item;
+    it.token_key = {item, item + 1, item + 2};
+    keys.push_back(it.token_key);
+    auto row = AxisRow(dim, item);
+    cache.Insert(it.token_key, row.data(), dim);
+    ASSERT_TRUE(live.Upsert(&it, row.data(), 1, dim).ok());
+  }
+  std::vector<int> doomed;
+  for (int item = 0; item < 20; item += 2) doomed.push_back(item);
+  ASSERT_TRUE(
+      live.Remove(doomed.data(), static_cast<int>(doomed.size())).ok());
+
+  std::vector<float> got(static_cast<size_t>(dim));
+  const uint64_t hits_before = cache.stats().hits;
+  for (int item : doomed) {
+    EXPECT_FALSE(cache.Lookup(keys[static_cast<size_t>(item)], got.data(),
+                              dim))
+        << "stale hit for removed item " << item;
+  }
+  EXPECT_EQ(cache.stats().hits, hits_before);  // zero stale hits
+  EXPECT_EQ(live.stats().cache_erasures, doomed.size());
+  // Surviving items still hit.
+  EXPECT_TRUE(cache.Lookup(keys[1], got.data(), dim));
+}
+
+TEST(LiveIndexTest, ValidationErrors) {
+  const int dim = 8;
+  LiveBlockingIndex live(dim, {});
+  auto row = AxisRow(dim, 0);
+
+  LiveItem neg;
+  neg.item_id = -2;
+  EXPECT_EQ(live.Upsert(&neg, row.data(), 1, dim).code(),
+            StatusCode::kInvalidArgument);
+  LiveItem dup[2];
+  dup[0].item_id = 3;
+  dup[1].item_id = 3;
+  auto two = AxisRow(dim, 0);
+  two.insert(two.end(), dim, 0.5f);
+  EXPECT_EQ(live.Upsert(dup, two.data(), 2, dim).code(),
+            StatusCode::kInvalidArgument);
+  LiveItem ok;
+  ok.item_id = 3;
+  EXPECT_EQ(live.Upsert(&ok, row.data(), 1, dim + 1).code(),
+            StatusCode::kInvalidArgument);
+  const int unknown = 42;
+  EXPECT_EQ(live.Remove(&unknown, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(live.size(), 0);
+}
+
+}  // namespace
+}  // namespace sudowoodo

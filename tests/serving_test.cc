@@ -494,5 +494,203 @@ TEST(ServingTest, WarmRestartedReplicaServesBitIdentically) {
   std::remove(path.c_str());
 }
 
+// --- Live corpus through the front door (PR 9) ------------------------------
+
+// End-to-end: upserts build a live corpus, a query encoded through the
+// same flush path retrieves by external item id, deletes shrink it.
+// Single client, so requests flush in submission order and every write
+// is observed by the requests submitted after it.
+TEST(ServingLiveIndexTest, UpsertQueryDeleteEndToEnd) {
+  auto enc = MakeServingEncoder(/*seed=*/7);
+  index::LiveBlockingIndex live(kDim, {});
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 200;
+  opts.live_index = &live;
+  Server server({{enc.get(), nullptr}}, opts);
+
+  // Distinct token sequences for distinct items.
+  Rng rng(63);
+  std::vector<std::vector<int>> contents;
+  for (int item = 0; item < 12; ++item) {
+    contents.push_back(RandomIds(&rng));
+    Request up;
+    up.kind = RequestKind::kUpsert;
+    up.item_id = 100 + item;
+    up.ids = contents.back();
+    ASSERT_TRUE(server.Submit(std::move(up)).get().status.ok());
+  }
+  EXPECT_EQ(live.size(), 12);
+
+  // Querying an item's own serialization must rank that item first
+  // (identical embedding, cosine 1; every other row < 1 modulo exact
+  // duplicates, which RandomIds makes vanishingly unlikely here).
+  Request q;
+  q.kind = RequestKind::kQuery;
+  q.ids = contents[5];
+  q.k = 3;
+  Response got = server.Submit(q).get();
+  ASSERT_TRUE(got.status.ok());
+  ASSERT_EQ(got.neighbors.size(), 3u);
+  EXPECT_EQ(got.neighbors[0].id, 105);
+
+  Request del;
+  del.kind = RequestKind::kDelete;
+  del.item_id = 105;
+  ASSERT_TRUE(server.Submit(std::move(del)).get().status.ok());
+  EXPECT_EQ(live.size(), 11);
+  EXPECT_FALSE(live.Contains(105));
+  got = server.Submit(q).get();
+  ASSERT_TRUE(got.status.ok());
+  for (const auto& nb : got.neighbors) EXPECT_NE(nb.id, 105);
+
+  // Deleting it again is the index's NotFound, delivered per-request.
+  Request again;
+  again.kind = RequestKind::kDelete;
+  again.item_id = 105;
+  EXPECT_EQ(server.Submit(std::move(again)).get().status.code(),
+            StatusCode::kNotFound);
+}
+
+// A replacement upsert through the server erases the old serialization's
+// cached embedding: zero stale entries for keys the corpus no longer
+// holds (the cache is content-keyed and pure, so this is hygiene plus
+// the documented invalidation contract, asserted end-to-end).
+TEST(ServingLiveIndexTest, UpsertThroughServerInvalidatesOldCacheKey) {
+  auto enc = MakeServingEncoder(/*seed=*/7);
+  index::EmbeddingCache cache(128);
+  enc->set_embedding_cache(&cache);
+  index::LiveBlockingIndex live(kDim, {}, &cache);
+  ServerOptions opts;
+  opts.live_index = &live;
+  Server server({{enc.get(), nullptr}}, opts);
+
+  const std::vector<int> content_a = {7, 8, 9, 10};
+  const std::vector<int> content_b = {11, 12, 13};
+  Request up;
+  up.kind = RequestKind::kUpsert;
+  up.item_id = 1;
+  up.ids = content_a;
+  ASSERT_TRUE(server.Submit(up).get().status.ok());
+  // The upsert's encode populated the cache under content_a.
+  std::vector<float> got(static_cast<size_t>(kDim));
+  ASSERT_TRUE(cache.Lookup(content_a, got.data(), kDim));
+
+  up.ids = content_b;  // same item, new content
+  ASSERT_TRUE(server.Submit(up).get().status.ok());
+  EXPECT_FALSE(cache.Lookup(content_a, got.data(), kDim));
+  EXPECT_GE(cache.stats().erasures, 1u);
+  EXPECT_EQ(live.size(), 1);
+  EXPECT_EQ(live.stats().replacements, 1u);
+}
+
+TEST(ServingLiveIndexTest, RejectsIndexKindsWithoutLiveIndex) {
+  auto enc = MakeServingEncoder(/*seed=*/7);
+  Server server({{enc.get(), nullptr}}, ServerOptions{});
+  for (RequestKind kind :
+       {RequestKind::kQuery, RequestKind::kUpsert, RequestKind::kDelete}) {
+    Request r;
+    r.kind = kind;
+    r.item_id = 1;
+    r.ids = {1, 2, 3};
+    EXPECT_EQ(server.Submit(std::move(r)).get().status.code(),
+              StatusCode::kFailedPrecondition);
+  }
+
+  index::LiveBlockingIndex live(kDim, {});
+  ServerOptions opts;
+  opts.live_index = &live;
+  Server server2({{enc.get(), nullptr}}, opts);
+  Request bad;
+  bad.kind = RequestKind::kUpsert;
+  bad.item_id = -1;  // required non-negative
+  bad.ids = {1, 2};
+  EXPECT_EQ(server2.Submit(std::move(bad)).get().status.code(),
+            StatusCode::kInvalidArgument);
+  Request badk;
+  badk.kind = RequestKind::kQuery;
+  badk.k = -2;
+  badk.ids = {1, 2};
+  EXPECT_EQ(server2.Submit(std::move(badk)).get().status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The TSan hammer: concurrent clients mixing queries, upserts, and
+// deletes of disjoint item ranges through a two-replica server. Queries
+// race mutations by design - the live index's shared_mutex must make
+// every interleaving safe, and each client observes its own writes
+// because its requests flush in submission order.
+TEST(ServingLiveIndexTest, ConcurrentQueryVsMutationHammer) {
+  text::Vocab vocab = TestVocab();
+  auto enc1 = MakeServingEncoder(vocab);
+  auto enc2 = MakeServingEncoder(vocab);
+  index::EmbeddingCache cache(256);
+  enc1->set_embedding_cache(&cache);
+  enc2->set_embedding_cache(&cache);
+  index::LiveBlockingIndex live(kDim, {}, &cache);
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 200;
+  opts.live_index = &live;
+  Server server({{enc1.get(), nullptr}, {enc2.get(), nullptr}}, opts);
+
+  constexpr int kClients = 4;
+  constexpr int kItemsPerClient = 12;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kItemsPerClient; ++i) {
+        const int item = c * kItemsPerClient + i;
+        Request up;
+        up.kind = RequestKind::kUpsert;
+        up.item_id = item;
+        up.ids = RandomIds(&rng);
+        if (!server.Submit(std::move(up)).get().status.ok()) ++failures;
+
+        Request q;
+        q.kind = RequestKind::kQuery;
+        q.ids = RandomIds(&rng);
+        q.k = 5;
+        Response r = server.Submit(std::move(q)).get();
+        if (!r.status.ok()) ++failures;
+
+        if (i % 3 == 2) {
+          Request del;
+          del.kind = RequestKind::kDelete;
+          del.item_id = item;  // own range: always live at this point
+          if (!server.Submit(std::move(del)).get().status.ok()) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  int deleted = 0;
+  for (int i = 2; i < kItemsPerClient; i += 3) ++deleted;
+  EXPECT_EQ(live.size(), kClients * (kItemsPerClient - deleted));
+  // Every surviving item is retrievable by its own content afterwards.
+  for (int c = 0; c < kClients; ++c) {
+    Rng rng(1000 + static_cast<uint64_t>(c));
+    for (int i = 0; i < kItemsPerClient; ++i) {
+      const int item = c * kItemsPerClient + i;
+      const std::vector<int> content = RandomIds(&rng);
+      RandomIds(&rng);  // skip the query's ids from the same stream
+      const bool was_deleted = (i % 3 == 2);
+      EXPECT_EQ(live.Contains(item), !was_deleted) << "item " << item;
+      if (was_deleted) continue;
+      Request q;
+      q.kind = RequestKind::kQuery;
+      q.ids = content;
+      q.k = 1;
+      Response r = server.Submit(std::move(q)).get();
+      ASSERT_TRUE(r.status.ok());
+      ASSERT_EQ(r.neighbors.size(), 1u);
+      EXPECT_EQ(r.neighbors[0].id, item) << "client " << c << " item " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sudowoodo::serving
