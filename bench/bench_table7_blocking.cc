@@ -5,6 +5,7 @@
 
 #include "baselines/tfidf_blocker.h"
 #include "bench/bench_util.h"
+#include "bench/json_out.h"
 #include "data/em_dataset.h"
 
 using namespace sudowoodo;  // NOLINT
@@ -20,7 +21,9 @@ const PaperPoint kDlBlockPaper[] = {
     {0.922, 51100}};
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  bench::JsonRecords records;
   const auto& codes = data::SemiSupEmCodes();
   constexpr int kMax = 20;
 
@@ -64,6 +67,13 @@ int main() {
                     StrFormat("%d", chosen->n_candidates),
                     StrFormat("%.3f", kDlBlockPaper[d].recall),
                     StrFormat("%d", kDlBlockPaper[d].cands)});
+    {
+      auto& r = records.Add();
+      r.Str("bench", "table7_blocking");
+      r.Str("dataset", codes[d]);
+      r.Int("k", 10);
+      r.Num("recall_at_k", sudo[9].recall);
+    }
   }
   summary.Print();
 
@@ -88,5 +98,37 @@ int main() {
         "(budget 0.05) -> %s\n",
         codes[0].c_str(), exact_r, ivf_r, within_budget ? "OK" : "EXCEEDED");
   }
+
+  // Int8 blocking check: force int8 row storage on the exact blocking
+  // index and compare end-to-end EM blocking recall@10 against the fp32
+  // oracle, per dataset. The record carries both values so
+  // bench_compare.py enforces the absolute delta budget (0.01) on every
+  // run - this is the machine-independent end-to-end quality gate for
+  // quantized blocking (int8 scoring is bitwise deterministic, so these
+  // numbers reproduce exactly). See EXPERIMENTS.md "Quantized blocking".
+  for (size_t d = 0; d < codes.size(); ++d) {
+    data::EmDataset ds = data::GenerateEm(data::GetEmSpec(codes[d]));
+    pipeline::EmPipelineOptions fp32_opts = bench::SudowoodoEmOptions();
+    fp32_opts.blocking_index.kind = index::BlockingIndexKind::kExact;
+    pipeline::EmPipelineOptions int8_opts = fp32_opts;
+    int8_opts.blocking_index.storage.storage = index::IndexStorage::kInt8;
+    auto fp32_pts = pipeline::EmPipeline(fp32_opts).BlockingSweep(ds, 10);
+    auto int8_pts = pipeline::EmPipeline(int8_opts).BlockingSweep(ds, 10);
+    const double fp32_r = fp32_pts.back().recall;
+    const double int8_r = int8_pts.back().recall;
+    std::printf(
+        "Int8 blocking check [%s]: recall@10 fp32=%.3f int8=%.3f "
+        "(delta %+.4f, budget 0.01)\n",
+        codes[d].c_str(), fp32_r, int8_r, int8_r - fp32_r);
+    auto& r = records.Add();
+    r.Str("bench", "table7_blocking_int8_check");
+    r.Str("dataset", codes[d]);
+    r.Str("storage", "int8");
+    r.Int("k", 10);
+    r.Num("recall_at_k", int8_r);
+    r.Num("fp32_recall_at_k", fp32_r);
+  }
+
+  bench::WriteOrReport(records, json_path);
   return 0;
 }

@@ -13,12 +13,14 @@ BUILD_DIR="${BUILD_DIR:-build}"
 # be silently reused and unoptimized numbers would land in BENCH_*.json.
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DSUDOWOODO_BUILD_BENCHES=ON
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_kernels bench_parallel_scaling bench_ann bench_serving
+  --target bench_kernels bench_parallel_scaling bench_ann bench_serving \
+  bench_table7_blocking
 
 "${BUILD_DIR}/bench_kernels" --json BENCH_kernels.json
 "${BUILD_DIR}/bench_parallel_scaling" --json BENCH_parallel_scaling.json
 "${BUILD_DIR}/bench_ann" --json BENCH_ann.json
 "${BUILD_DIR}/bench_serving" --json BENCH_serving.json
+"${BUILD_DIR}/bench_table7_blocking" --json BENCH_table7_blocking.json
 
 echo
 echo "Wrote:"

@@ -58,6 +58,12 @@ correctness metric, not a timing: a fresh recall more than
 ``RECALL_EPSILON`` below its committed baseline FAILS on any machine (the
 tiny epsilon absorbs cross-tier FMA rounding flipping borderline
 neighbours), demoted to a warning only by ``BENCH_COMPARE_WARN_ONLY=1``.
+Two more machine-independent gates ride the same mechanism:
+``bytes_resident`` (exact index/cache footprint) FAILS when a fresh
+count grows past baseline * ``BYTES_SLACK``, and a record carrying both
+``recall_at_k`` and ``fp32_recall_at_k`` (the quantized-blocking series)
+FAILS when int8 end-to-end blocking recall falls more than
+``INT8_BLOCKING_DELTA`` below the fp32 oracle measured in the same run.
 
 Usage:
   scripts/bench_compare.py [--baseline-ref HEAD] [--baseline-dir DIR]
@@ -78,8 +84,9 @@ import sys
 METRIC_FIELDS = ("seconds", "speedup", "speedup_vs_per_row_serial",
                  "speedup_vs_nocache_warm", "speedup_vs_exact",
                  "speedup_vs_batch1", "steps_per_second", "gflops",
-                 "recall_at_k", "qps", "p50_us", "p99_us", "offered_qps",
-                 "mean_batch", "allocs_per_call", "alloc_bytes_per_call")
+                 "recall_at_k", "fp32_recall_at_k", "qps", "p50_us",
+                 "p99_us", "offered_qps", "mean_batch", "allocs_per_call",
+                 "alloc_bytes_per_call", "bytes_resident", "bytes_ratio")
 CORRECTNESS_FIELDS = ("identical_to_serial", "identical_to_per_row",
                       "matches_reference", "identical_to_serial_training",
                       "identical_to_uncached")
@@ -120,6 +127,21 @@ STRICT_SECONDS_FLOOR = 0.005
 # only absorbs a different tier's FMA rounding flipping ties at the top-k
 # boundary. Anything bigger means the index got worse: hard FAIL.
 RECALL_EPSILON = 0.005
+
+# End-to-end quantized-blocking budget: a fresh record that carries both
+# recall_at_k and fp32_recall_at_k (the table7_blocking_int8_check
+# series) asserts, within the fresh run alone, that int8 storage costs at
+# most this much absolute blocking recall versus the fp32 oracle. The
+# check needs no baseline and no band - int8 scoring is integer-exact, so
+# the delta is bit-reproducible on any machine.
+INT8_BLOCKING_DELTA = 0.01
+
+# Memory-footprint gate: bytes_resident is an exact byte count (row
+# payload + id map), not a timing, so it is compared deterministically -
+# a fresh count above baseline by more than this slack (rounding in
+# derived structures) means the storage layout regressed. The slack is
+# multiplicative so both index scales share one constant.
+BYTES_SLACK = 1.01
 
 
 def strict_seconds_gated(record, baseline_seconds):
@@ -258,6 +280,22 @@ def main():
                 if k in record and record[k] is not True:
                     status = f"FAIL {k}=false"
                     failures += 1
+            # Quantized-blocking delta gate: self-contained in the fresh
+            # record (both recalls measured in the same run), so it fires
+            # even on brand-new series with no baseline yet.
+            fr32 = record.get("fp32_recall_at_k")
+            fri8 = record.get("recall_at_k")
+            if isinstance(fr32, (int, float)) and \
+                    isinstance(fri8, (int, float)) and \
+                    fri8 < fr32 - INT8_BLOCKING_DELTA:
+                if warn_only:
+                    status = f"warn: int8 recall {fri8:.4f} < fp32 " \
+                             f"{fr32:.4f} - {INT8_BLOCKING_DELTA}"
+                    warnings += 1
+                else:
+                    status = f"FAIL int8 recall {fri8:.4f} < fp32 " \
+                             f"{fr32:.4f} - {INT8_BLOCKING_DELTA}"
+                    failures += 1
             if base is None:
                 if status == "ok":
                     status = "new (no baseline)"
@@ -334,6 +372,21 @@ def main():
                 else:
                     status = f"FAIL recall_at_k {fr:.4f} < " \
                              f"baseline {br:.4f}"
+                    failures += 1
+            # Footprint gate: resident bytes are deterministic (exact
+            # buffer sizes), so growth beyond the slack is a layout
+            # regression on any machine.
+            bb = base.get("bytes_resident")
+            fb = record.get("bytes_resident")
+            if isinstance(bb, (int, float)) and isinstance(fb, (int, float)) \
+                    and bb > 0 and fb > bb * BYTES_SLACK:
+                if warn_only:
+                    status = f"warn: bytes_resident {fb:.0f} > " \
+                             f"baseline {bb:.0f} * {BYTES_SLACK}"
+                    warnings += 1
+                else:
+                    status = f"FAIL bytes_resident {fb:.0f} > " \
+                             f"baseline {bb:.0f} * {BYTES_SLACK}"
                     failures += 1
             print(f"{label:<52} {fmt_seconds(bs):>10} {fmt_seconds(fs):>10} "
                   f"{ratio_text:>7}  {status}")

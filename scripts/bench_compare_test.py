@@ -313,6 +313,92 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, msg=proc.stdout)
         self.assertIn("matches_reference=false", proc.stdout)
 
+    # ---- int8 footprint and blocking-delta gates ----------------------
+
+    def test_bytes_resident_growth_fails(self):
+        self.write("baseline/BENCH_ann.json",
+                   [ann_record(0.93, bytes_resident=1800000)])
+        fresh = self.write("BENCH_ann.json",
+                           [ann_record(0.93, bytes_resident=2600000)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 1, msg=proc.stdout)
+        self.assertIn("FAIL bytes_resident", proc.stdout)
+
+    def test_bytes_resident_within_slack_passes(self):
+        self.write("baseline/BENCH_ann.json",
+                   [ann_record(0.93, bytes_resident=1800000)])
+        # Shrinking or holding steady (and tiny rounding growth) passes.
+        fresh = self.write("BENCH_ann.json",
+                           [ann_record(0.93, bytes_resident=1800016)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertNotIn("FAIL", proc.stdout)
+
+    def test_bytes_resident_growth_demoted_by_warn_only(self):
+        self.write("baseline/BENCH_ann.json",
+                   [ann_record(0.93, bytes_resident=1800000)])
+        fresh = self.write("BENCH_ann.json",
+                           [ann_record(0.93, bytes_resident=7200000)])
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baseline-dir", self.baseline_dir,
+             fresh],
+            capture_output=True, text=True, cwd=self.dir,
+            env={**os.environ, "BENCH_COMPARE_WARN_ONLY": "1"})
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertIn("warn: bytes_resident", proc.stdout)
+
+    def test_bytes_resident_is_not_identity(self):
+        # A footprint change must match up against its baseline record
+        # (and be gated), not surface as new + missing-baseline.
+        self.write("baseline/BENCH_ann.json",
+                   [ann_record(0.93, bytes_resident=6500000)])
+        fresh = self.write("BENCH_ann.json",
+                           [ann_record(0.93, bytes_resident=1800000)])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertNotIn("no baseline", proc.stdout)
+        self.assertNotIn("baseline-only", proc.stdout)
+
+    def test_int8_blocking_delta_fails(self):
+        rec = {"bench": "table7_blocking_int8_check", "dataset": "AB",
+               "storage": "int8", "k": 10, "recall_at_k": 0.950,
+               "fp32_recall_at_k": 0.971}
+        self.write("baseline/BENCH_t7.json", [rec])
+        fresh = self.write("BENCH_t7.json", [rec])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 1, msg=proc.stdout)
+        self.assertIn("FAIL int8 recall", proc.stdout)
+
+    def test_int8_blocking_delta_fails_even_without_baseline(self):
+        # The delta is self-contained in the fresh record, so a brand-new
+        # series (no committed baseline yet) is still gated.
+        rec = {"bench": "table7_blocking_int8_check", "dataset": "AB",
+               "storage": "int8", "k": 10, "recall_at_k": 0.900,
+               "fp32_recall_at_k": 0.971}
+        other = {"bench": "table7_blocking", "dataset": "AB", "k": 10,
+                 "recall_at_k": 0.971}
+        self.write("baseline/BENCH_t7.json", [other])
+        fresh = self.write("BENCH_t7.json", [other, rec])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 1, msg=proc.stdout)
+        self.assertIn("FAIL int8 recall", proc.stdout)
+
+    def test_int8_blocking_delta_within_budget_passes(self):
+        rec = {"bench": "table7_blocking_int8_check", "dataset": "AB",
+               "storage": "int8", "k": 10, "recall_at_k": 0.965,
+               "fp32_recall_at_k": 0.971}
+        self.write("baseline/BENCH_t7.json", [rec])
+        fresh = self.write("BENCH_t7.json", [rec])
+        proc = self.run_compare(fresh)
+        self.assert_clean(proc)
+        self.assertEqual(proc.returncode, 0, msg=proc.stdout)
+        self.assertNotIn("FAIL", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

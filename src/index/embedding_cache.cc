@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.h"
+
 namespace sudowoodo::index {
+
+namespace ks = sudowoodo::tensor::kernels;
 
 size_t EmbeddingCache::IdsHash::operator()(const std::vector<int>& ids) const {
   // FNV-1a over the id words; collisions only cost a (value-compared)
@@ -15,8 +19,9 @@ size_t EmbeddingCache::IdsHash::operator()(const std::vector<int>& ids) const {
   return static_cast<size_t>(h);
 }
 
-EmbeddingCache::EmbeddingCache(size_t capacity, int num_shards)
-    : capacity_(capacity) {
+EmbeddingCache::EmbeddingCache(size_t capacity, int num_shards,
+                               IndexStorage entry_mode)
+    : capacity_(capacity), entry_mode_(entry_mode) {
   const size_t n = static_cast<size_t>(std::max(1, num_shards));
   // Don't spread a tiny budget so thin that shards round down to nothing.
   const size_t used = std::min(n, std::max<size_t>(capacity, 1));
@@ -35,6 +40,10 @@ EmbeddingCache::Shard& EmbeddingCache::ShardFor(const std::vector<int>& ids) {
   return shards_[IdsHash{}(ids) % shards_.size()];
 }
 
+size_t EmbeddingCache::EntryWidth(const Entry& e, IndexStorage mode) {
+  return mode == IndexStorage::kInt8 ? e.qvalue.size() : e.value.size();
+}
+
 bool EmbeddingCache::Lookup(const std::vector<int>& ids, float* out,
                             int dim) {
   if (capacity_ == 0) return false;
@@ -45,14 +54,18 @@ bool EmbeddingCache::Lookup(const std::vector<int>& ids, float* out,
   // dims sharing one cache) is a miss, never a truncated hit: the caller
   // re-encodes and Insert refreshes the entry at the new width.
   if (it == shard.by_key.end() ||
-      it->second->value.size() != static_cast<size_t>(dim)) {
+      EntryWidth(*it->second, entry_mode_) != static_cast<size_t>(dim)) {
     ++shard.misses;
     return false;
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   const Entry& entry = *it->second;
-  std::copy(entry.value.data(), entry.value.data() + dim, out);
+  if (entry_mode_ == IndexStorage::kInt8) {
+    ks::DequantizeRowsI8(1, dim, entry.qvalue.data(), &entry.scale, out);
+  } else {
+    std::copy(entry.value.data(), entry.value.data() + dim, out);
+  }
   return true;
 }
 
@@ -63,7 +76,13 @@ void EmbeddingCache::Insert(const std::vector<int>& ids, const float* vec,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_key.find(ids);
   if (it != shard.by_key.end()) {
-    it->second->value.assign(vec, vec + dim);
+    Entry& e = *it->second;
+    if (entry_mode_ == IndexStorage::kInt8) {
+      e.qvalue.resize(static_cast<size_t>(dim));
+      ks::QuantizeRowsI8(1, dim, vec, e.qvalue.data(), &e.scale);
+    } else {
+      e.value.assign(vec, vec + dim);
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -72,7 +91,15 @@ void EmbeddingCache::Insert(const std::vector<int>& ids, const float* vec,
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{ids, std::vector<float>(vec, vec + dim)});
+  Entry e;
+  e.key = ids;
+  if (entry_mode_ == IndexStorage::kInt8) {
+    e.qvalue.resize(static_cast<size_t>(dim));
+    ks::QuantizeRowsI8(1, dim, vec, e.qvalue.data(), &e.scale);
+  } else {
+    e.value.assign(vec, vec + dim);
+  }
+  shard.lru.push_front(std::move(e));
   shard.by_key.emplace(ids, shard.lru.begin());
 }
 
@@ -105,6 +132,12 @@ EmbeddingCacheStats EmbeddingCache::stats() const {
     out.evictions += shard.evictions;
     out.erasures += shard.erasures;
     out.entries += shard.lru.size();
+    for (const Entry& e : shard.lru) {
+      out.bytes_resident += e.key.size() * sizeof(int) +
+                            e.value.size() * sizeof(float) +
+                            e.qvalue.size() * sizeof(int8_t) +
+                            (e.qvalue.empty() ? 0 : sizeof(float));
+    }
   }
   return out;
 }

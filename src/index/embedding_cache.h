@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/vector_index.h"
+
 namespace sudowoodo::index {
 
 /// Aggregated counters, surfaced in the pipeline run results.
@@ -39,6 +41,10 @@ struct EmbeddingCacheStats {
   /// capacity evictions.
   uint64_t erasures = 0;
   uint64_t entries = 0;
+  /// Payload bytes held (keys + stored vectors/codes + scales). Int8
+  /// entry mode stores dim bytes + one scale per vector instead of
+  /// 4*dim, ~4x smaller at serving dims.
+  uint64_t bytes_resident = 0;
 };
 
 /// Sharded LRU map from token-id sequence to embedding vector.
@@ -49,16 +55,27 @@ class EmbeddingCache {
   /// floor split with the remainder spread, not a ceiling). 0 disables the
   /// cache entirely (Lookup always misses without counting, Insert is a
   /// no-op) so a zero-capacity cache behaves exactly like no cache.
-  explicit EmbeddingCache(size_t capacity, int num_shards = 8);
+  ///
+  /// `entry_mode` kInt8 stores each vector as per-row symmetric int8
+  /// codes + one fp32 scale (4x smaller rows; see IndexStorage). Hits
+  /// then return the quantized image of the encode, not the exact
+  /// floats - the caller opts into the same representation error the
+  /// int8 blocking indexes already score under, bounded by the
+  /// QuantizeRowsI8 round-trip contract (tensor/kernels.h). Hit/miss
+  /// behaviour, keying, and eviction are identical in both modes.
+  explicit EmbeddingCache(size_t capacity, int num_shards = 8,
+                          IndexStorage entry_mode = IndexStorage::kFp32);
 
   /// On hit, copies the cached `dim`-wide vector into `out` (refreshing
-  /// LRU recency) and returns true. On miss returns false; `out` is
+  /// LRU recency) and returns true; int8 entries dequantize straight
+  /// into `out` (no allocation). On miss returns false; `out` is
   /// untouched.
   bool Lookup(const std::vector<int>& ids, float* out, int dim);
 
-  /// Stores a copy of vec[0..dim) under `ids`, evicting least-recently
-  /// used entries of the shard when it is full. Re-inserting an existing
-  /// key refreshes its value and recency.
+  /// Stores a copy of vec[0..dim) under `ids` (quantizing it in int8
+  /// entry mode), evicting least-recently used entries of the shard when
+  /// it is full. Re-inserting an existing key refreshes its value and
+  /// recency.
   void Insert(const std::vector<int>& ids, const float* vec, int dim);
 
   /// Drops the entry stored under `ids` if present; returns whether one
@@ -72,6 +89,7 @@ class EmbeddingCache {
   void Clear();
 
   size_t capacity() const { return capacity_; }
+  IndexStorage entry_mode() const { return entry_mode_; }
   EmbeddingCacheStats stats() const;
 
   /// FNV-1a over a token-id sequence; public so cache users (the
@@ -83,7 +101,9 @@ class EmbeddingCache {
  private:
   struct Entry {
     std::vector<int> key;
-    std::vector<float> value;
+    std::vector<float> value;    // fp32 entry mode
+    std::vector<int8_t> qvalue;  // int8 entry mode: codes ...
+    float scale = 0.0f;          // ... + per-vector scale
   };
   struct Shard {
     std::mutex mu;
@@ -105,8 +125,12 @@ class EmbeddingCache {
   };
 
   Shard& ShardFor(const std::vector<int>& ids);
+  /// The stored width of an entry in this mode (fp32 value or int8
+  /// codes); wrong-width entries miss rather than truncate.
+  static size_t EntryWidth(const Entry& e, IndexStorage mode);
 
   size_t capacity_ = 0;
+  IndexStorage entry_mode_ = IndexStorage::kFp32;
   std::vector<Shard> shards_;
 };
 

@@ -23,7 +23,8 @@ constexpr int kQueryBlock = 32;
 
 }  // namespace
 
-void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
+void IvfIndex::BuildFromStore(const QuantRowStore& staging, const int* ids,
+                              int n, int dim) {
   n_ = n;
   dim_ = dim;
   n_tombstones_ = 0;
@@ -31,14 +32,15 @@ void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
   inserts_since_train_ = 0;
   cell_start_.assign(1, 0);
   centroids_.clear();
-  flat_.clear();
+  store_.Reset(dim, storage_.storage);
   ids_.clear();
   pos_by_id_.clear();
   if (n <= 0) {
     next_id_ = std::max(next_id_, 0);
     return;
   }
-  SUDO_CHECK(rows != nullptr && dim > 0);
+  SUDO_CHECK(staging.size() == n && staging.dim() == dim && dim > 0);
+  SUDO_CHECK(staging.mode() == storage_.storage);
 
   int cells = options_.num_cells > 0
                   ? options_.num_cells
@@ -46,13 +48,30 @@ void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
                         std::ceil(std::sqrt(static_cast<double>(n))));
   cells = std::max(1, std::min(cells, n));
 
+  // Cell training input: the staged rows as fp32. Under int8 this is
+  // the DEQUANTIZED image - a pure function of the stored (codes,
+  // scale) pairs - so a retrain after mutations trains exactly the
+  // cells a from-scratch int8 rebuild on the same surviving rows would.
+  // Centroids themselves stay fp32 (they are k-means means, not stored
+  // rows; centroid scoring keeps the fp32 GemmBT path).
+  std::vector<float> dequant;
+  const float* train_rows;
+  if (staging.int8_mode()) {
+    dequant.resize(static_cast<size_t>(n) * dim);
+    staging.DequantizeAllInto(dequant.data());
+    train_rows = dequant.data();
+  } else {
+    train_rows = staging.fp32_data();
+  }
+
   cluster::DenseKMeansOptions ko;
   ko.k = cells;
   ko.max_iters = options_.train_iters;
   ko.seed = options_.seed;
   ko.num_threads = options_.num_threads;
   ko.pool = options_.pool;
-  const cluster::DenseKMeansResult km = cluster::DenseKMeans(rows, n, dim, ko);
+  const cluster::DenseKMeansResult km =
+      cluster::DenseKMeans(train_rows, n, dim, ko);
 
   // Drop empty cells (keeping relative centroid order) and lay items out
   // grouped by cell, ascending id within each cell, so probing a cell
@@ -69,7 +88,7 @@ void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
                       km.centroids.begin() + static_cast<size_t>(c) * dim,
                       km.centroids.begin() + static_cast<size_t>(c + 1) * dim);
   }
-  flat_.resize(static_cast<size_t>(n) * dim);
+  store_.ResizeRows(n);
   ids_.resize(static_cast<size_t>(n));
   pos_by_id_.reserve(static_cast<size_t>(n));
   std::vector<int> cursor(cell_start_.begin(), cell_start_.end() - 1);
@@ -81,36 +100,63 @@ void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
     SUDO_CHECK(id >= 0);
     ids_[static_cast<size_t>(pos)] = id;
     pos_by_id_.emplace(id, pos);
-    std::copy(rows + static_cast<size_t>(i) * dim,
-              rows + static_cast<size_t>(i + 1) * dim,
-              flat_.begin() + static_cast<size_t>(pos) * dim);
+    // Verbatim (codes, scale) move - cell layout never re-quantizes.
+    store_.PlaceFrom(staging, i, pos);
   }
   const int derived =
       ids != nullptr ? ids[static_cast<size_t>(n - 1)] + 1 : n;
   next_id_ = std::max(next_id_, derived);
 }
 
+void IvfIndex::Build(const float* rows, const int* ids, int n, int dim) {
+  // Quantize-once point for fp32 row input (construction, nested-vector
+  // convenience); re-training goes through BuildFromStore directly.
+  QuantRowStore staging;
+  staging.Reset(dim, storage_.storage);
+  if (n > 0) staging.Append(rows, n);
+  BuildFromStore(staging, ids, n, dim);
+}
+
 IvfIndex::IvfIndex(const float* rows, int n, int dim,
-                   const IvfOptions& options, const MutationOptions& mutation)
-    : options_(options), mutation_(mutation) {
+                   const IvfOptions& options, const MutationOptions& mutation,
+                   const StorageOptions& storage)
+    : options_(options), mutation_(mutation), storage_(storage) {
   SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
   SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  SUDO_CHECK_OK(ValidateStorageOptions(storage));
   Build(rows, nullptr, n, dim);
 }
 
 IvfIndex::IvfIndex(const float* rows, const int* ids, int n, int dim,
                    const IvfOptions& options, const MutationOptions& mutation,
-                   int next_id_hint)
-    : options_(options), mutation_(mutation) {
+                   const StorageOptions& storage, int next_id_hint)
+    : options_(options), mutation_(mutation), storage_(storage) {
   SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
   SUDO_CHECK(n == 0 || ids != nullptr);
   SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  SUDO_CHECK_OK(ValidateStorageOptions(storage));
   for (int i = 1; i < n; ++i) {
     // Strictly ascending ids keep within-cell storage order == id order.
     SUDO_CHECK(ids[static_cast<size_t>(i)] > ids[static_cast<size_t>(i - 1)]);
   }
   next_id_ = std::max(0, next_id_hint);
   Build(rows, ids, n, dim);
+}
+
+IvfIndex::IvfIndex(const QuantRowStore& staging, const int* ids, int n,
+                   const IvfOptions& options, const MutationOptions& mutation,
+                   const StorageOptions& storage, int next_id_hint)
+    : options_(options), mutation_(mutation), storage_(storage) {
+  SUDO_CHECK(n >= 0 && staging.size() == n);
+  SUDO_CHECK(n == 0 || ids != nullptr);
+  SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  SUDO_CHECK_OK(ValidateStorageOptions(storage));
+  SUDO_CHECK(staging.mode() == storage.storage);
+  for (int i = 1; i < n; ++i) {
+    SUDO_CHECK(ids[static_cast<size_t>(i)] > ids[static_cast<size_t>(i - 1)]);
+  }
+  next_id_ = std::max(0, next_id_hint);
+  BuildFromStore(staging, ids, n, staging.dim());
 }
 
 IvfIndex::IvfIndex(const std::vector<std::vector<float>>& items,
@@ -130,7 +176,7 @@ IvfIndex::IvfIndex(const std::vector<std::vector<float>>& items,
 
 Result<std::unique_ptr<IvfIndex>> IvfIndex::Create(
     const float* rows, int n, int dim, const IvfOptions& options,
-    const MutationOptions& mutation) {
+    const MutationOptions& mutation, const StorageOptions& storage) {
   if (n < 0 || dim < 0) {
     return Status::InvalidArgument("negative index shape");
   }
@@ -150,17 +196,20 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Create(
     return Status::InvalidArgument("nprobe must be > 0");
   }
   SUDO_RETURN_IF_ERROR(ValidateMutationOptions(mutation));
-  return std::make_unique<IvfIndex>(rows, n, dim, options, mutation);
+  SUDO_RETURN_IF_ERROR(ValidateStorageOptions(storage));
+  return std::make_unique<IvfIndex>(rows, n, dim, options, mutation,
+                                    storage);
 }
 
-void IvfIndex::GatherLive(std::vector<float>* rows,
-                          std::vector<int>* ids) const {
+void IvfIndex::GatherLiveStore(QuantRowStore* staging,
+                               std::vector<int>* ids) const {
   // Ascending-id order (not storage order): re-training feeds k-means a
   // buffer that depends only on the live (row, id) set, never on the cell
   // layout history, so a retrain is reproducible from the surviving rows.
-  rows->clear();
+  // Rows move as (codes, scale) pairs - gathering never re-quantizes.
+  staging->Reset(dim_, store_.mode());
+  staging->Reserve(size());
   ids->clear();
-  rows->reserve(static_cast<size_t>(size()) * dim_);
   ids->reserve(static_cast<size_t>(size()));
   for (int pos = 0; pos < n_; ++pos) {
     if (ids_[static_cast<size_t>(pos)] >= 0) ids->push_back(pos);
@@ -170,9 +219,7 @@ void IvfIndex::GatherLive(std::vector<float>* rows,
   });
   for (size_t i = 0; i < ids->size(); ++i) {
     const int pos = (*ids)[i];
-    rows->insert(rows->end(),
-                 flat_.begin() + static_cast<size_t>(pos) * dim_,
-                 flat_.begin() + static_cast<size_t>(pos + 1) * dim_);
+    staging->AppendFrom(store_, pos);
     (*ids)[i] = ids_[static_cast<size_t>(pos)];
   }
 }
@@ -230,7 +277,9 @@ Status IvfIndex::Insert(const float* rows, int n, int dim) {
         new_start[static_cast<size_t>(c)];
   }
   const int n_new = new_start[static_cast<size_t>(cells)];
-  std::vector<float> new_flat(static_cast<size_t>(n_new) * dim_);
+  QuantRowStore new_store;
+  new_store.Reset(dim_, storage_.storage);
+  new_store.ResizeRows(n_new);
   std::vector<int> new_ids(static_cast<size_t>(n_new));
   std::vector<int> cursor(new_start.begin(), new_start.end() - 1);
   for (int c = 0; c < cells; ++c) {
@@ -239,19 +288,17 @@ Status IvfIndex::Insert(const float* rows, int n, int dim) {
       if (ids_[static_cast<size_t>(pos)] < 0) continue;
       const int w = cursor[static_cast<size_t>(c)]++;
       new_ids[static_cast<size_t>(w)] = ids_[static_cast<size_t>(pos)];
-      std::copy(flat_.begin() + static_cast<size_t>(pos) * dim_,
-                flat_.begin() + static_cast<size_t>(pos + 1) * dim_,
-                new_flat.begin() + static_cast<size_t>(w) * dim_);
+      // Surviving rows move verbatim; only the arriving rows below pass
+      // through quantization (their one ingest point).
+      new_store.PlaceFrom(store_, pos, w);
     }
   }
   for (int i = 0; i < n; ++i) {
     const int w = cursor[static_cast<size_t>(assign[static_cast<size_t>(i)])]++;
     new_ids[static_cast<size_t>(w)] = next_id_ + i;
-    std::copy(rows + static_cast<size_t>(i) * dim_,
-              rows + static_cast<size_t>(i + 1) * dim_,
-              new_flat.begin() + static_cast<size_t>(w) * dim_);
+    new_store.Place(rows + static_cast<size_t>(i) * dim_, w);
   }
-  flat_ = std::move(new_flat);
+  store_ = std::move(new_store);
   ids_ = std::move(new_ids);
   cell_start_.assign(new_start.begin(), new_start.end());
   n_ = n_new;
@@ -313,9 +360,7 @@ void IvfIndex::CompactIfNeeded() {
     for (int pos = r0; pos < r1; ++pos) {
       if (ids_[static_cast<size_t>(pos)] < 0) continue;
       if (w != pos) {
-        std::copy(flat_.begin() + static_cast<size_t>(pos) * dim_,
-                  flat_.begin() + static_cast<size_t>(pos + 1) * dim_,
-                  flat_.begin() + static_cast<size_t>(w) * dim_);
+        store_.MoveRow(pos, w);
         ids_[static_cast<size_t>(w)] = ids_[static_cast<size_t>(pos)];
       }
       pos_by_id_[ids_[static_cast<size_t>(w)]] = w;
@@ -325,7 +370,7 @@ void IvfIndex::CompactIfNeeded() {
   cell_start_[static_cast<size_t>(cells)] = w;
   n_ = w;
   n_tombstones_ = 0;
-  flat_.resize(static_cast<size_t>(n_) * dim_);
+  store_.Truncate(n_);
   ids_.resize(static_cast<size_t>(n_));
 }
 
@@ -352,10 +397,10 @@ void IvfIndex::MaybeRetrain() {
                 mutation_.retrain_imbalance * static_cast<float>(live);
   }
   if (!volume && !imbalance) return;
-  std::vector<float> rows;
+  QuantRowStore staging;
   std::vector<int> ids;
-  GatherLive(&rows, &ids);
-  Build(rows.data(), ids.data(), live, dim_);
+  GatherLiveStore(&staging, &ids);
+  BuildFromStore(staging, ids.data(), live, dim_);
   ++retrains_;
 }
 
@@ -378,10 +423,32 @@ void IvfIndex::QueryBatchImpl(
         std::vector<float> gscores;                   // [sub-block, rows]
         std::vector<std::vector<int>> cand_ids(kQueryBlock);
         std::vector<std::vector<float>> cand_scores(kQueryBlock);
+        // int8-mode scratch: quantized query block, gathered quantized
+        // queries, per-query candidate storage positions, and the fp32
+        // re-rank buffers.
+        const bool int8 = store_.int8_mode();
+        std::vector<int8_t> qcodes;
+        std::vector<float> qscales;
+        std::vector<int8_t> gq_codes;
+        std::vector<float> gq_scales;
+        std::vector<std::vector<int>> cand_pos(int8 ? kQueryBlock : 0);
+        std::vector<int> sel_pos;
+        std::vector<float> rr_row;
+        std::vector<float> rr_scores;
+        std::vector<int> rr_ids;
         for (int64_t b = begin; b < end; ++b) {
           const int q0 = static_cast<int>(b * kQueryBlock);
           const int q1 = std::min(n_queries, q0 + kQueryBlock);
           const int m = q1 - q0;
+
+          if (int8) {
+            // Quantize the query block once; every probed cell reuses
+            // the codes (the per-query scale rides along to rescale).
+            qcodes.resize(static_cast<size_t>(m) * dim_);
+            qscales.resize(static_cast<size_t>(m));
+            ks::QuantizeRowsI8(m, dim_, queries + static_cast<size_t>(q0) * dim_,
+                               qcodes.data(), qscales.data());
+          }
 
           // 1) Centroid scoring: one (m x cells) panel.
           cell_scores.assign(static_cast<size_t>(m) * n_cells, 0.0f);
@@ -401,6 +468,7 @@ void IvfIndex::QueryBatchImpl(
             }
             cand_ids[static_cast<size_t>(i)].clear();
             cand_scores[static_cast<size_t>(i)].clear();
+            if (int8) cand_pos[static_cast<size_t>(i)].clear();
           }
           // Group by cell so the block's queries probing the same cell
           // share one candidate panel; ascending (cell, query) order
@@ -426,17 +494,35 @@ void IvfIndex::QueryBatchImpl(
               g = h;
               continue;
             }
-            gpanel.resize(static_cast<size_t>(gq) * dim_);
-            for (int j = 0; j < gq; ++j) {
-              const int lq = probes[g + static_cast<size_t>(j)].second;
-              std::copy(queries + static_cast<size_t>(q0 + lq) * dim_,
-                        queries + static_cast<size_t>(q0 + lq + 1) * dim_,
-                        gpanel.begin() + static_cast<size_t>(j) * dim_);
-            }
             gscores.assign(static_cast<size_t>(gq) * nr, 0.0f);
-            ks::GemmBT(gq, nr, dim_, gpanel.data(),
-                       flat_.data() + static_cast<size_t>(r0) * dim_,
-                       gscores.data());
+            if (int8) {
+              // Gather the already-quantized query codes for this cell's
+              // sub-block and score against the cell's quantized rows.
+              gq_codes.resize(static_cast<size_t>(gq) * dim_);
+              gq_scales.resize(static_cast<size_t>(gq));
+              for (int j = 0; j < gq; ++j) {
+                const int lq = probes[g + static_cast<size_t>(j)].second;
+                std::copy(qcodes.begin() + static_cast<size_t>(lq) * dim_,
+                          qcodes.begin() + static_cast<size_t>(lq + 1) * dim_,
+                          gq_codes.begin() + static_cast<size_t>(j) * dim_);
+                gq_scales[static_cast<size_t>(j)] =
+                    qscales[static_cast<size_t>(lq)];
+              }
+              ks::GemmBTI8(gq, nr, dim_, gq_codes.data(), gq_scales.data(),
+                           store_.q_data() + static_cast<size_t>(r0) * dim_,
+                           store_.scales() + r0, gscores.data());
+            } else {
+              gpanel.resize(static_cast<size_t>(gq) * dim_);
+              for (int j = 0; j < gq; ++j) {
+                const int lq = probes[g + static_cast<size_t>(j)].second;
+                std::copy(queries + static_cast<size_t>(q0 + lq) * dim_,
+                          queries + static_cast<size_t>(q0 + lq + 1) * dim_,
+                          gpanel.begin() + static_cast<size_t>(j) * dim_);
+              }
+              ks::GemmBT(gq, nr, dim_, gpanel.data(),
+                         store_.fp32_data() + static_cast<size_t>(r0) * dim_,
+                         gscores.data());
+            }
             for (int j = 0; j < gq; ++j) {
               const int lq = probes[g + static_cast<size_t>(j)].second;
               const float* row =
@@ -447,19 +533,37 @@ void IvfIndex::QueryBatchImpl(
                 if (ids_[static_cast<size_t>(pos)] < 0) continue;
                 ci.push_back(ids_[static_cast<size_t>(pos)]);
                 cs.push_back(row[pos - r0]);
+                if (int8) cand_pos[static_cast<size_t>(lq)].push_back(pos);
               }
             }
             g = h;
           }
 
           // 4) Exact re-rank: top-k over the gathered candidates with the
-          // exact index's NaN-safe low-id tie-break on item ids.
+          // exact index's NaN-safe low-id tie-break on item ids. Under
+          // int8, first keep the top QuantRerankDepth candidates by int8
+          // score (deterministic top-r set; int8 scores never tie across
+          // distinct rows without the id tie-break resolving it), then
+          // re-rank those exactly on dequantized fp32 rows.
           for (int i = 0; i < m; ++i) {
-            SelectTopKNeighbors(
-                cand_scores[static_cast<size_t>(i)].data(),
-                cand_ids[static_cast<size_t>(i)].data(),
-                static_cast<int>(cand_ids[static_cast<size_t>(i)].size()), k,
-                &sel_idx, &(*out)[static_cast<size_t>(q0 + i)]);
+            auto& ci = cand_ids[static_cast<size_t>(i)];
+            auto& cs = cand_scores[static_cast<size_t>(i)];
+            if (!int8) {
+              SelectTopKNeighbors(cs.data(), ci.data(),
+                                  static_cast<int>(ci.size()), k, &sel_idx,
+                                  &(*out)[static_cast<size_t>(q0 + i)]);
+              continue;
+            }
+            const int r = QuantRerankDepth(storage_, k);
+            SelectTopRLivePositions(cs.data(), ci.data(),
+                                    static_cast<int>(ci.size()), r, &sel_pos);
+            // sel_pos indexes the candidate list; map to store positions.
+            auto& cp = cand_pos[static_cast<size_t>(i)];
+            for (int& v : sel_pos) v = cp[static_cast<size_t>(v)];
+            RerankQuantCandidates(store_, queries + static_cast<size_t>(q0 + i) * dim_,
+                                  sel_pos, ids_.data(), k, &rr_row, &rr_scores,
+                                  &rr_ids, &sel_idx,
+                                  &(*out)[static_cast<size_t>(q0 + i)]);
           }
         }
       });
@@ -549,9 +653,10 @@ BlockingIndex::BlockingIndex(const float* rows, int n, int dim,
     : options_(options) {
   if (UseIvf(options, n)) {
     ivf_ = std::make_unique<IvfIndex>(rows, n, dim, ResolveIvfOptions(options),
-                                      options.mutation);
+                                      options.mutation, options.storage);
   } else {
-    exact_ = std::make_unique<KnnIndex>(rows, n, dim, options.mutation);
+    exact_ = std::make_unique<KnnIndex>(rows, n, dim, options.mutation,
+                                        options.storage);
   }
 }
 
@@ -570,10 +675,10 @@ BlockingIndex::BlockingIndex(const std::vector<std::vector<float>>& items,
   if (UseIvf(options, n)) {
     ivf_ = std::make_unique<IvfIndex>(rows.data(), n, dim,
                                       ResolveIvfOptions(options),
-                                      options.mutation);
+                                      options.mutation, options.storage);
   } else {
     exact_ = std::make_unique<KnnIndex>(rows.data(), n, dim,
-                                        options.mutation);
+                                        options.mutation, options.storage);
   }
 }
 
@@ -595,16 +700,21 @@ Result<std::unique_ptr<BlockingIndex>> BlockingIndex::Create(
     return Status::InvalidArgument("invalid IVF training options");
   }
   SUDO_RETURN_IF_ERROR(ValidateMutationOptions(options.mutation));
+  SUDO_RETURN_IF_ERROR(ValidateStorageOptions(options.storage));
   return std::make_unique<BlockingIndex>(rows, n, dim, options);
 }
 
 void BlockingIndex::MigrateToIvf() {
-  std::vector<float> rows;
+  // Migration moves the row store verbatim - under int8 storage the
+  // (codes, scale) pairs cross as-is, never re-quantized, so post-
+  // migration queries match an IVF index built from the same rows.
+  QuantRowStore staging;
   std::vector<int> ids;
-  exact_->ExportLive(&rows, &ids);
+  exact_->ExportLiveStore(&staging, &ids);
   ivf_ = std::make_unique<IvfIndex>(
-      rows.data(), ids.data(), static_cast<int>(ids.size()), exact_->dim(),
-      ResolveIvfOptions(options_), options_.mutation, exact_->next_id());
+      staging, ids.data(), static_cast<int>(ids.size()),
+      ResolveIvfOptions(options_), options_.mutation, exact_->storage(),
+      exact_->next_id());
   exact_.reset();
 }
 
@@ -664,6 +774,10 @@ int BlockingIndex::dim() const {
 
 int BlockingIndex::next_id() const {
   return ivf_ != nullptr ? ivf_->next_id() : exact_->next_id();
+}
+
+size_t BlockingIndex::bytes_resident() const {
+  return ivf_ != nullptr ? ivf_->bytes_resident() : exact_->bytes_resident();
 }
 
 }  // namespace sudowoodo::index

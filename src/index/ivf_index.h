@@ -80,9 +80,15 @@ struct IvfOptions {
 class IvfIndex : public VectorIndex {
  public:
   /// Trains cells over `rows` ([n, dim] row-major), assigning ids
-  /// 0..n-1, and copies the vectors into cell-grouped storage.
+  /// 0..n-1, and copies the vectors into cell-grouped storage. With
+  /// StorageOptions::kInt8 the rows quantize once here; cell training
+  /// and every re-training run on the DEQUANTIZED rows (so a retrain is
+  /// a pure function of the stored (codes, scale) pairs, and a mutated
+  /// index stays reproducible from a from-scratch int8 rebuild on the
+  /// surviving rows), while centroids themselves stay fp32.
   IvfIndex(const float* rows, int n, int dim, const IvfOptions& options = {},
-           const MutationOptions& mutation = {});
+           const MutationOptions& mutation = {},
+           const StorageOptions& storage = {});
 
   /// Rebuild/migration construction with explicit external ids (strictly
   /// ascending). `next_id_hint` > the largest id continues the id
@@ -90,7 +96,17 @@ class IvfIndex : public VectorIndex {
   /// exact index's next_id() on migration); -1 derives ids[n-1] + 1.
   IvfIndex(const float* rows, const int* ids, int n, int dim,
            const IvfOptions& options = {},
-           const MutationOptions& mutation = {}, int next_id_hint = -1);
+           const MutationOptions& mutation = {},
+           const StorageOptions& storage = {}, int next_id_hint = -1);
+
+  /// Exact-migration construction: takes already-quantized (or fp32)
+  /// rows from `staging` verbatim - no re-quantization - so a facade
+  /// migrating an int8 exact index to IVF preserves every (codes,
+  /// scale) pair bit-exactly. `staging.mode()` must match
+  /// `storage.storage`.
+  IvfIndex(const QuantRowStore& staging, const int* ids, int n,
+           const IvfOptions& options, const MutationOptions& mutation,
+           const StorageOptions& storage, int next_id_hint = -1);
 
   /// Convenience: per-item vectors (all the same width); flattens and
   /// delegates to the canonical flat constructor.
@@ -101,7 +117,8 @@ class IvfIndex : public VectorIndex {
   /// options instead of aborting.
   static Result<std::unique_ptr<IvfIndex>> Create(
       const float* rows, int n, int dim, const IvfOptions& options = {},
-      const MutationOptions& mutation = {});
+      const MutationOptions& mutation = {},
+      const StorageOptions& storage = {});
 
   // --- VectorIndex (interface queries probe options.nprobe cells) ---
   using VectorIndex::Query;
@@ -115,6 +132,12 @@ class IvfIndex : public VectorIndex {
   int size() const override { return n_ - n_tombstones_; }
   int dim() const override { return dim_; }
   int next_id() const override { return next_id_; }
+  /// Row storage + id map + centroids + cell table (see VectorIndex).
+  size_t bytes_resident() const override {
+    return store_.bytes_resident() + ids_.size() * sizeof(int) +
+           centroids_.size() * sizeof(float) +
+           cell_start_.size() * sizeof(int);
+  }
 
   // --- historical clamp-style wrappers (explicit nprobe per call) ---
 
@@ -150,13 +173,20 @@ class IvfIndex : public VectorIndex {
   /// Stored rows including tombstones.
   int stored_size() const { return n_; }
   int tombstones() const { return n_tombstones_; }
+  /// The storage mode and re-rank knobs this index was built with.
+  const StorageOptions& storage() const { return storage_; }
 
  private:
-  /// Lays out (rows, ids) into freshly trained cells; shared by every
-  /// constructor and by mutation-triggered re-training.
+  /// Lays out the staging store's rows into freshly trained cells,
+  /// moving each (codes, scale) row verbatim; shared by every
+  /// constructor and by mutation-triggered re-training. Cell training
+  /// input is the staged rows as fp32 (dequantized under int8).
+  void BuildFromStore(const QuantRowStore& staging, const int* ids, int n,
+                      int dim);
+  /// Quantize-on-ingest wrapper over BuildFromStore for fp32 row input.
   void Build(const float* rows, const int* ids, int n, int dim);
-  /// Copies the live rows and their ids in ascending-id order.
-  void GatherLive(std::vector<float>* rows, std::vector<int>* ids) const;
+  /// Copies the live (codes, scale) rows and ids in ascending-id order.
+  void GatherLiveStore(QuantRowStore* staging, std::vector<int>* ids) const;
   /// Re-trains cells over the live rows when the volume or imbalance
   /// trigger fires (no-op otherwise).
   void MaybeRetrain();
@@ -168,7 +198,7 @@ class IvfIndex : public VectorIndex {
                       int num_threads,
                       std::vector<std::vector<Neighbor>>* out) const;
 
-  std::vector<float> flat_;       // [n_, dim], items grouped by cell
+  QuantRowStore store_;           // [n_, dim] rows, grouped by cell
   std::vector<int> ids_;          // storage position -> id, -1 = tombstoned
   std::unordered_map<int, int> pos_by_id_;  // live ids only
   std::vector<int> cell_start_;   // [cells + 1] prefix into flat_/ids_
@@ -182,6 +212,7 @@ class IvfIndex : public VectorIndex {
   int retrains_ = 0;
   IvfOptions options_;            // retained for re-training
   MutationOptions mutation_;
+  StorageOptions storage_;
 };
 
 /// Which index the blocking call sites build.
@@ -210,6 +241,10 @@ struct BlockingIndexOptions {
   /// In-place mutation knobs for whichever index is selected - the one
   /// place to set compaction and IVF re-train behavior.
   MutationOptions mutation;
+  /// Row-storage mode (fp32 or int8 quantized) and int8 re-rank depth
+  /// for whichever index is selected; a kAuto migration carries the
+  /// quantized rows across verbatim.
+  StorageOptions storage;
 };
 
 /// The facade the pipelines block through: builds either the exact oracle
@@ -239,6 +274,7 @@ class BlockingIndex : public VectorIndex {
   int size() const override;
   int dim() const override;
   int next_id() const override;
+  size_t bytes_resident() const override;
 
   // --- historical clamp-style wrappers ---
   std::vector<std::vector<Neighbor>> QueryBatch(

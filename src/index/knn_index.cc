@@ -77,13 +77,65 @@ void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
   }
 }
 
+void SelectTopRLivePositions(const float* scores, const int* ids, int n,
+                             int r, std::vector<int>* out) {
+  out->clear();
+  if (r <= 0) return;
+  // "less" == better, so the heap front is the WORST kept candidate: a
+  // new position evicts it only by beating it. The kept set is the
+  // unique top-r under this strict total order, so the pass is
+  // deterministic; only the internal order of `*out` is heap-shaped.
+  auto better = [scores, ids](int a, int b) {
+    const float sa = scores[static_cast<size_t>(a)];
+    const float sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return ids[static_cast<size_t>(a)] < ids[static_cast<size_t>(b)];
+  };
+  for (int pos = 0; pos < n; ++pos) {
+    if (ids[static_cast<size_t>(pos)] < 0) continue;
+    if (static_cast<int>(out->size()) < r) {
+      out->push_back(pos);
+      std::push_heap(out->begin(), out->end(), better);
+    } else if (better(pos, (*out)[0])) {
+      std::pop_heap(out->begin(), out->end(), better);
+      out->back() = pos;
+      std::push_heap(out->begin(), out->end(), better);
+    }
+  }
+}
+
+void RerankQuantCandidates(const QuantRowStore& store, const float* query,
+                           const std::vector<int>& cand, const int* ids,
+                           int k, std::vector<float>* row_scratch,
+                           std::vector<float>* score_scratch,
+                           std::vector<int>* cand_ids_scratch,
+                           std::vector<int>* idx_scratch,
+                           std::vector<Neighbor>* out) {
+  const int n_cand = static_cast<int>(cand.size());
+  const int dim = store.dim();
+  row_scratch->resize(static_cast<size_t>(dim));
+  score_scratch->resize(static_cast<size_t>(n_cand));
+  cand_ids_scratch->resize(static_cast<size_t>(n_cand));
+  for (int t = 0; t < n_cand; ++t) {
+    const int pos = cand[static_cast<size_t>(t)];
+    store.DequantizeRowInto(pos, row_scratch->data());
+    (*score_scratch)[static_cast<size_t>(t)] =
+        ks::Dot(query, row_scratch->data(), dim);
+    (*cand_ids_scratch)[static_cast<size_t>(t)] =
+        ids[static_cast<size_t>(pos)];
+  }
+  SelectTopKNeighbors(score_scratch->data(), cand_ids_scratch->data(),
+                      n_cand, k, idx_scratch, out);
+}
+
 void KnnIndex::BuildFrom(const float* rows, const int* ids, int n, int dim) {
   n_ = n;
   dim_ = dim;
   // Pack the item vectors into one contiguous row-major buffer so scoring
-  // runs stride-1 GemmBT panels (SIMD-friendly, no pointer chasing
-  // through per-item allocations).
-  flat_.assign(rows, rows + static_cast<size_t>(n) * dim);
+  // runs stride-1 panels (SIMD-friendly, no pointer chasing through
+  // per-item allocations); int8 mode quantizes on this ingest.
+  store_.Reset(dim, storage_.storage);
+  store_.Append(rows, n);
   ids_.resize(static_cast<size_t>(n));
   pos_by_id_.clear();
   pos_by_id_.reserve(static_cast<size_t>(n));
@@ -113,24 +165,29 @@ KnnIndex::KnnIndex(const std::vector<std::vector<float>>& items) {
 }
 
 KnnIndex::KnnIndex(const float* rows, int n, int dim,
-                   const MutationOptions& mutation)
-    : mutation_(mutation) {
+                   const MutationOptions& mutation,
+                   const StorageOptions& storage)
+    : mutation_(mutation), storage_(storage) {
   SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
   SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  SUDO_CHECK_OK(ValidateStorageOptions(storage));
   BuildFrom(rows, nullptr, n, dim);
 }
 
 KnnIndex::KnnIndex(const float* rows, const int* ids, int n, int dim,
-                   const MutationOptions& mutation)
-    : mutation_(mutation) {
+                   const MutationOptions& mutation,
+                   const StorageOptions& storage)
+    : mutation_(mutation), storage_(storage) {
   SUDO_CHECK(n >= 0 && dim >= 0 && (n == 0 || rows != nullptr));
   SUDO_CHECK(n == 0 || ids != nullptr);
   SUDO_CHECK_OK(ValidateMutationOptions(mutation));
+  SUDO_CHECK_OK(ValidateStorageOptions(storage));
   BuildFrom(rows, ids, n, dim);
 }
 
 Result<std::unique_ptr<KnnIndex>> KnnIndex::Create(
-    const float* rows, int n, int dim, const MutationOptions& mutation) {
+    const float* rows, int n, int dim, const MutationOptions& mutation,
+    const StorageOptions& storage) {
   if (n < 0 || dim < 0) {
     return Status::InvalidArgument("negative index shape");
   }
@@ -141,7 +198,8 @@ Result<std::unique_ptr<KnnIndex>> KnnIndex::Create(
     return Status::InvalidArgument("zero-width rows with n > 0");
   }
   SUDO_RETURN_IF_ERROR(ValidateMutationOptions(mutation));
-  return std::make_unique<KnnIndex>(rows, n, dim, mutation);
+  SUDO_RETURN_IF_ERROR(ValidateStorageOptions(storage));
+  return std::make_unique<KnnIndex>(rows, n, dim, mutation, storage);
 }
 
 Status KnnIndex::Insert(const float* rows, int n, int dim) {
@@ -158,7 +216,7 @@ Status KnnIndex::Insert(const float* rows, int n, int dim) {
         "insert dim " + std::to_string(dim) + " != index dim " +
         std::to_string(dim_));
   }
-  flat_.insert(flat_.end(), rows, rows + static_cast<size_t>(n) * dim);
+  store_.Append(rows, n);
   ids_.reserve(static_cast<size_t>(n_ + n));
   for (int i = 0; i < n; ++i) {
     ids_.push_back(next_id_);
@@ -210,9 +268,7 @@ void KnnIndex::CompactIfNeeded() {
   for (int pos = 0; pos < n_; ++pos) {
     if (ids_[static_cast<size_t>(pos)] < 0) continue;
     if (w != pos) {
-      std::copy(flat_.begin() + static_cast<size_t>(pos) * dim_,
-                flat_.begin() + static_cast<size_t>(pos + 1) * dim_,
-                flat_.begin() + static_cast<size_t>(w) * dim_);
+      store_.MoveRow(pos, w);
       ids_[static_cast<size_t>(w)] = ids_[static_cast<size_t>(pos)];
     }
     pos_by_id_[ids_[static_cast<size_t>(w)]] = w;
@@ -220,7 +276,7 @@ void KnnIndex::CompactIfNeeded() {
   }
   n_ = w;
   n_tombstones_ = 0;
-  flat_.resize(static_cast<size_t>(n_) * dim_);
+  store_.Truncate(n_);
   ids_.resize(static_cast<size_t>(n_));
 }
 
@@ -228,13 +284,26 @@ void KnnIndex::ExportLive(std::vector<float>* rows,
                           std::vector<int>* ids) const {
   rows->clear();
   ids->clear();
-  rows->reserve(static_cast<size_t>(size()) * dim_);
+  rows->resize(static_cast<size_t>(size()) * dim_);
+  ids->reserve(static_cast<size_t>(size()));
+  size_t w = 0;
+  for (int pos = 0; pos < n_; ++pos) {
+    if (ids_[static_cast<size_t>(pos)] < 0) continue;
+    store_.DequantizeRowInto(pos, rows->data() + w * dim_);
+    ids->push_back(ids_[static_cast<size_t>(pos)]);
+    ++w;
+  }
+}
+
+void KnnIndex::ExportLiveStore(QuantRowStore* store,
+                               std::vector<int>* ids) const {
+  store->Reset(dim_, store_.mode());
+  store->Reserve(size());
+  ids->clear();
   ids->reserve(static_cast<size_t>(size()));
   for (int pos = 0; pos < n_; ++pos) {
     if (ids_[static_cast<size_t>(pos)] < 0) continue;
-    rows->insert(rows->end(),
-                 flat_.begin() + static_cast<size_t>(pos) * dim_,
-                 flat_.begin() + static_cast<size_t>(pos + 1) * dim_);
+    store->AppendFrom(store_, pos);
     ids->push_back(ids_[static_cast<size_t>(pos)]);
   }
 }
@@ -258,6 +327,18 @@ Status KnnIndex::QueryBatch(const float* queries, int n_queries, int dim,
 
   const int64_t n_blocks =
       (static_cast<int64_t>(n_queries) + kQueryBlock - 1) / kQueryBlock;
+  if (store_.int8_mode()) {
+    ParallelFor(n_blocks, num_threads,
+                [&](int64_t begin, int64_t end, int /*shard*/) {
+                  QuantQueryScratch scratch;
+                  for (int64_t b = begin; b < end; ++b) {
+                    const int q0 = static_cast<int>(b * kQueryBlock);
+                    const int q1 = std::min(n_queries, q0 + kQueryBlock);
+                    QuantQueryBlock(queries, q0, q1 - q0, k, &scratch, out);
+                  }
+                });
+    return Status::OK();
+  }
   ParallelFor(n_blocks, num_threads,
               [&](int64_t begin, int64_t end, int /*shard*/) {
                 // Per-shard scratch, reused across the shard's blocks.
@@ -272,7 +353,7 @@ Status KnnIndex::QueryBatch(const float* queries, int n_queries, int dim,
                   scores.assign(static_cast<size_t>(m) * n_, 0.0f);
                   ks::GemmBT(m, n_, dim_,
                              queries + static_cast<size_t>(q0) * dim_,
-                             flat_.data(), scores.data());
+                             store_.fp32_data(), scores.data());
                   for (int i = 0; i < m; ++i) {
                     const float* row =
                         scores.data() + static_cast<size_t>(i) * n_;
@@ -293,6 +374,33 @@ Status KnnIndex::QueryBatch(const float* queries, int n_queries, int dim,
   return Status::OK();
 }
 
+void KnnIndex::QuantQueryBlock(const float* queries, int q0, int m, int k,
+                               QuantQueryScratch* s,
+                               std::vector<std::vector<Neighbor>>* out) const {
+  // Candidate generation runs entirely in int8: quantize the query block
+  // once, score every stored row through the panel kernel, and keep the
+  // top-r set per query with the heap pass (tombstones skipped there).
+  // The fp32 re-rank then rescores only r dequantized rows per query, so
+  // exactness costs O(r * dim), not O(n * dim). Every step is bitwise
+  // tier- and thread-independent (see kernels.h GemmBTI8).
+  const int r = QuantRerankDepth(storage_, k);
+  s->qcodes.resize(static_cast<size_t>(m) * dim_);
+  s->qscales.resize(static_cast<size_t>(m));
+  ks::QuantizeRowsI8(m, dim_, queries + static_cast<size_t>(q0) * dim_,
+                     s->qcodes.data(), s->qscales.data());
+  s->scores.assign(static_cast<size_t>(m) * n_, 0.0f);
+  ks::GemmBTI8(m, n_, dim_, s->qcodes.data(), s->qscales.data(),
+               store_.q_data(), store_.scales(), s->scores.data());
+  for (int i = 0; i < m; ++i) {
+    SelectTopRLivePositions(s->scores.data() + static_cast<size_t>(i) * n_,
+                            ids_.data(), n_, r, &s->cand);
+    RerankQuantCandidates(store_, queries + static_cast<size_t>(q0 + i) * dim_,
+                          s->cand, ids_.data(), k, &s->row, &s->fscores,
+                          &s->cand_ids, &s->idx,
+                          &(*out)[static_cast<size_t>(q0 + i)]);
+  }
+}
+
 std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
                                       int k) const {
   // Historical clamp semantics (matching the batch wrapper below): k < 0
@@ -310,11 +418,20 @@ std::vector<Neighbor> KnnIndex::Query(const std::vector<float>& query,
   thread_local std::vector<int> idx;
   thread_local std::vector<float> live_scores;
   thread_local std::vector<int> live_ids;
+  if (store_.int8_mode()) {
+    // m = 1 edge of the int8 block path, on thread_local scratch so the
+    // serving hot loop stays allocation-free at steady state.
+    thread_local QuantQueryScratch qscratch;
+    thread_local std::vector<std::vector<Neighbor>> rows;
+    rows.resize(1);
+    QuantQueryBlock(query.data(), 0, 1, k, &qscratch, &rows);
+    return std::move(rows[0]);
+  }
   scores.assign(static_cast<size_t>(n_), 0.0f);
   // m = 1 edge of the blocked QueryBatch panel: each score accumulates
   // along the same fixed k-increasing GemmBT chain, so a single Query is
   // bit-identical to the same row of a batch on whatever tier is active.
-  ks::GemmBT(1, n_, dim_, query.data(), flat_.data(), scores.data());
+  ks::GemmBT(1, n_, dim_, query.data(), store_.fp32_data(), scores.data());
 
   std::vector<Neighbor> out;
   if (n_tombstones_ == 0) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/quant_store.h"
 #include "index/vector_index.h"
 
 namespace sudowoodo::index {
@@ -31,6 +32,41 @@ namespace sudowoodo::index {
 void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
                          std::vector<int>* idx_scratch,
                          std::vector<Neighbor>* out);
+
+/// Collects into `*out` the positions of the `r` best live entries of
+/// scores[0..n) - best by (score desc, id asc), positions with ids[pos]
+/// < 0 skipped - without ordering them (a bounded min-heap pass, O(n log
+/// r) worst case but O(n) on typical score distributions, vs the full
+/// O(n) nth_element *per call* with its index setup; this is what keeps
+/// int8 candidate generation cheap at 100k rows). The returned SET is
+/// the unique top-r under the strict total order, so it is deterministic
+/// even though the order within `*out` is not specified - callers
+/// re-rank in fp32 and sort there. Scores must be finite (int8 panel
+/// output always is).
+void SelectTopRLivePositions(const float* scores, const int* ids, int n,
+                             int r, std::vector<int>* out);
+
+/// Exact fp32 re-rank behind every int8 query path: for each candidate
+/// position, dequantizes the stored row and scores it against the fp32
+/// query with the fixed 4-lane kernels::Dot chain (tier-independent -
+/// Dot is not dispatched), then selects the final top-k with
+/// SelectTopKNeighbors. `cand` holds storage positions into `store`
+/// (all live); `ids` maps positions to item ids. The three scratch
+/// vectors are caller-owned and reused across calls.
+void RerankQuantCandidates(const QuantRowStore& store, const float* query,
+                           const std::vector<int>& cand, const int* ids,
+                           int k, std::vector<float>* row_scratch,
+                           std::vector<float>* score_scratch,
+                           std::vector<int>* cand_ids_scratch,
+                           std::vector<int>* idx_scratch,
+                           std::vector<Neighbor>* out);
+
+/// The int8 candidate depth for a top-k query: max(rerank_min,
+/// rerank_multiple * k), clamped to the live count by the selectors.
+inline int QuantRerankDepth(const StorageOptions& s, int k) {
+  return s.rerank_min > s.rerank_multiple * k ? s.rerank_min
+                                              : s.rerank_multiple * k;
+}
 
 /// Brute-force inner-product index. Vectors are expected to be
 /// L2-normalized so inner product equals cosine similarity. Items are
@@ -50,6 +86,15 @@ void SelectTopKNeighbors(const float* scores, const int* ids, int n, int k,
 /// insert/remove sequence are bitwise identical to a from-scratch index
 /// on the surviving rows (same ids, same order), at any thread count and
 /// kernel tier - asserted in tests/live_index_test.cc.
+///
+/// Int8 storage (StorageOptions::kInt8): rows quantize once on ingest
+/// (per-row symmetric scale, QuantRowStore) and queries score every row
+/// through the int8 panel kernel, keep the top QuantRerankDepth
+/// candidates, and re-rank them exactly in fp32 on dequantized rows.
+/// The rebuild-bitwise mutation contract carries over - layout moves
+/// transfer (codes, scale) verbatim - and because the int8 kernel and
+/// the re-rank Dot are tier-independent, int8 results are bitwise
+/// identical across ALL kernel tiers, not just within one.
 class KnnIndex : public VectorIndex {
  public:
   /// Nested-vector convenience: flattens (all rows the same width) and
@@ -57,23 +102,29 @@ class KnnIndex : public VectorIndex {
   explicit KnnIndex(const std::vector<std::vector<float>>& items);
 
   /// Canonical construction: copies `rows` ([n, dim] row-major) and
-  /// assigns ids 0..n-1. Invalid shapes abort (SUDO_CHECK); use Create
-  /// for Status-reporting validation.
+  /// assigns ids 0..n-1. With StorageOptions::kInt8 the rows quantize on
+  /// ingest and queries run the int8 candidate + fp32 re-rank path (see
+  /// IndexStorage). Invalid shapes abort (SUDO_CHECK); use Create for
+  /// Status-reporting validation.
   KnnIndex(const float* rows, int n, int dim,
-           const MutationOptions& mutation = {});
+           const MutationOptions& mutation = {},
+           const StorageOptions& storage = {});
 
   /// Rebuild/oracle construction with explicit external ids (strictly
   /// ascending; next_id() continues from ids[n-1] + 1). This is how a
   /// from-scratch rebuild on surviving rows reproduces a mutated index
   /// exactly, and how the BlockingIndex facade migrates storage.
   KnnIndex(const float* rows, const int* ids, int n, int dim,
-           const MutationOptions& mutation = {});
+           const MutationOptions& mutation = {},
+           const StorageOptions& storage = {});
 
   /// Status-reporting construction: rejects negative shapes, a null
-  /// buffer with n > 0, and invalid mutation options instead of aborting.
+  /// buffer with n > 0, and invalid mutation/storage options instead of
+  /// aborting.
   static Result<std::unique_ptr<KnnIndex>> Create(
       const float* rows, int n, int dim,
-      const MutationOptions& mutation = {});
+      const MutationOptions& mutation = {},
+      const StorageOptions& storage = {});
 
   // --- VectorIndex ---
   // (The using-declarations keep the base conveniences - Status Query,
@@ -90,6 +141,10 @@ class KnnIndex : public VectorIndex {
   int size() const override { return n_ - n_tombstones_; }
   int dim() const override { return dim_; }
   int next_id() const override { return next_id_; }
+  /// Row storage + the position->id map (see VectorIndex).
+  size_t bytes_resident() const override {
+    return store_.bytes_resident() + ids_.size() * sizeof(int);
+  }
 
   // --- historical clamp-style wrappers (thin, over the Status API) ---
 
@@ -119,21 +174,52 @@ class KnnIndex : public VectorIndex {
   /// Stored rows including tombstones (tests; the scored panel width).
   int stored_size() const { return n_; }
   int tombstones() const { return n_tombstones_; }
-  /// The contiguous [stored_size, dim] row buffer. After removals it may
+  /// The storage mode and re-rank knobs this index was built with.
+  const StorageOptions& storage() const { return storage_; }
+  /// The contiguous [stored_size, dim] fp32 row buffer (fp32 storage
+  /// only; aborts under int8 - use row_store()). After removals it may
   /// contain tombstoned rows; pair with ids() to identify them.
-  const float* data() const { return flat_.data(); }
+  const float* data() const { return store_.fp32_data(); }
+  /// The underlying row store (either mode).
+  const QuantRowStore& row_store() const { return store_; }
   /// Storage position -> item id; -1 marks a tombstoned row.
   const int* ids() const { return ids_.data(); }
   /// Copies the live rows and their ids in storage (ascending-id) order.
-  /// Feeding these into the explicit-id constructor reproduces this
-  /// index's query results bitwise (facade migration, rebuild oracle).
+  /// Under fp32 the rows are verbatim, so feeding them into the
+  /// explicit-id constructor reproduces this index's query results
+  /// bitwise; under int8 the rows are dequantized (re-building from them
+  /// would re-quantize - use ExportLiveStore for exact migration).
   void ExportLive(std::vector<float>* rows, std::vector<int>* ids) const;
+  /// Copies the live (codes, scale) rows and ids in ascending-id order
+  /// into `*store` (reset to this index's dim and mode) - the exact
+  /// migration path: no re-quantization, so an index built from the
+  /// exported store reproduces this one's query results bitwise in both
+  /// storage modes.
+  void ExportLiveStore(QuantRowStore* store, std::vector<int>* ids) const;
 
  private:
   void BuildFrom(const float* rows, const int* ids, int n, int dim);
   void CompactIfNeeded();
+  /// The int8 query path for queries [q0, q0+m): quantizes the query
+  /// block, scores it through GemmBTI8, keeps the top
+  /// QuantRerankDepth(storage_, k) candidates per query, and re-ranks
+  /// them exactly in fp32. Scratch vectors are caller-owned (per-shard
+  /// or thread_local).
+  struct QuantQueryScratch {
+    std::vector<int8_t> qcodes;
+    std::vector<float> qscales;
+    std::vector<float> scores;
+    std::vector<int> cand;
+    std::vector<float> row;
+    std::vector<float> fscores;
+    std::vector<int> cand_ids;
+    std::vector<int> idx;
+  };
+  void QuantQueryBlock(const float* queries, int q0, int m, int k,
+                       QuantQueryScratch* scratch,
+                       std::vector<std::vector<Neighbor>>* out) const;
 
-  std::vector<float> flat_;  // [n_, dim] row-major, tombstones included
+  QuantRowStore store_;  // [n_, dim] rows, tombstones included
   std::vector<int> ids_;     // storage position -> id, -1 = tombstoned
   std::unordered_map<int, int> pos_by_id_;  // live ids only
   int n_ = 0;                // stored rows (incl. tombstones)
@@ -141,6 +227,7 @@ class KnnIndex : public VectorIndex {
   int n_tombstones_ = 0;
   int next_id_ = 0;
   MutationOptions mutation_;
+  StorageOptions storage_;
 };
 
 /// Cosine of two equal-width dense vectors (not assumed normalized).

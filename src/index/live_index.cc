@@ -157,6 +157,7 @@ LiveIndexStats LiveBlockingIndex::stats() const {
   s.live_items = index_->size();
   s.using_ivf = index_->using_ivf();
   s.retrains = index_->retrain_count();
+  s.index_bytes_resident = index_->bytes_resident();
   return s;
 }
 

@@ -48,6 +48,9 @@ struct LiveIndexStats {
   int live_items = 0;
   bool using_ivf = false;
   int retrains = 0;
+  /// Index payload bytes (rows + ids + IVF structures), ~0.28x smaller
+  /// under int8 storage - see VectorIndex::bytes_resident.
+  size_t index_bytes_resident = 0;
 };
 
 /// One arriving item: the caller's id, the token-id serialization its

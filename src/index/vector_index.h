@@ -26,6 +26,7 @@
 #ifndef SUDOWOODO_INDEX_VECTOR_INDEX_H_
 #define SUDOWOODO_INDEX_VECTOR_INDEX_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/status.h"
@@ -57,6 +58,46 @@ struct MutationOptions {
   /// into one cell degrade probing long before the volume trigger.
   float retrain_imbalance = 8.0f;
 };
+
+/// How an index stores its rows.
+enum class IndexStorage {
+  /// Rows kept verbatim as fp32; all scoring exact. The default.
+  kFp32 = 0,
+  /// Rows quantized to per-row symmetric int8 (scale-per-row, see
+  /// tensor/kernels.h QuantizeRowsI8): 4x smaller storage, candidate
+  /// generation scores through the int8 panel kernel, and the final
+  /// top-k re-ranks the leading candidates exactly in fp32 on
+  /// dequantized rows. Rows quantize once on ingest; every later layout
+  /// move (compaction, IVF cell rewrite, retraining, facade migration)
+  /// transfers the (codes, scale) pair verbatim, so mutation never
+  /// re-rounds and post-mutation results match a from-scratch int8
+  /// rebuild on the surviving rows.
+  kInt8 = 1,
+};
+
+/// Row-storage knobs, carried by BlockingIndexOptions next to
+/// MutationOptions. Ignored entirely under kFp32.
+struct StorageOptions {
+  IndexStorage storage = IndexStorage::kFp32;
+  /// Int8 candidate generation keeps the top max(rerank_min,
+  /// rerank_multiple * k) int8-scored candidates per query and re-ranks
+  /// them in fp32. A deeper tail costs more dequantize+dot work and buys
+  /// recall; the defaults hold recall@10 within 0.005 of fp32 on the
+  /// bench workloads (see BENCH_ann.json).
+  int rerank_multiple = 4;
+  int rerank_min = 64;
+};
+
+/// Validates the storage knobs.
+inline Status ValidateStorageOptions(const StorageOptions& s) {
+  if (s.rerank_multiple < 1) {
+    return Status::InvalidArgument("rerank_multiple must be >= 1");
+  }
+  if (s.rerank_min < 1) {
+    return Status::InvalidArgument("rerank_min must be >= 1");
+  }
+  return Status::OK();
+}
 
 /// Validates the mutation knobs (fractions non-negative, imbalance >= 1).
 inline Status ValidateMutationOptions(const MutationOptions& m) {
@@ -109,6 +150,14 @@ class VectorIndex {
 
   /// The id the next inserted row will receive (monotone, never reused).
   virtual int next_id() const = 0;
+
+  /// Resident bytes of the index payload: row storage (fp32 rows, or
+  /// int8 codes + per-row scales), id map, and - for IVF - centroids and
+  /// cell tables. Counts the bytes the index semantically holds (incl.
+  /// tombstoned rows awaiting compaction), not allocator slack; the
+  /// observable behind the int8 memory claim (bytes_resident under int8
+  /// is ~0.27x of fp32 at dim 64, see BENCH_ann.json).
+  virtual size_t bytes_resident() const = 0;
 
   /// Single-query convenience over QueryBatch.
   Status Query(const float* query, int dim, int k,

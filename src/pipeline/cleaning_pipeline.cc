@@ -88,7 +88,8 @@ CleaningRunResult CleaningPipeline::Run(const data::CleaningDataset& ds) {
   std::unique_ptr<index::EmbeddingCache> cache;
   if (options_.embedding_cache_capacity > 0) {
     cache = std::make_unique<index::EmbeddingCache>(
-        options_.embedding_cache_capacity);
+        options_.embedding_cache_capacity, /*num_shards=*/8,
+        options_.embedding_cache_storage);
   }
   auto encoder =
       MakeEncoder(options_.encoder_kind, vocab.size(), options_.encoder_dim,

@@ -97,7 +97,8 @@ EmPipeline::Prepared EmPipeline::Prepare(const data::EmDataset& ds) {
   prep.vocab = text::Vocab::Build(corpus, options_.vocab_size);
   if (options_.embedding_cache_capacity > 0) {
     prep.cache = std::make_unique<index::EmbeddingCache>(
-        options_.embedding_cache_capacity);
+        options_.embedding_cache_capacity, /*num_shards=*/8,
+        options_.embedding_cache_storage);
   }
   prep.encoder =
       MakeEncoder(options_.encoder_kind, prep.vocab.size(),

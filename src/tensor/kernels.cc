@@ -105,6 +105,24 @@ void ShardRows(int m, ThreadPool* pool, int num_shards, const RowsFn& rows) {
   for (auto& f : futures) f.get();
 }
 
+/// Scalar reference for GemmBTI8 output rows [m_begin, m_end). Must stay
+/// bit-identical to the SIMD tiers in kernels_quant_impl.h: the integer
+/// dot is exact (any loop shape gives the same int32) and the rescale
+/// expression below is kept textually in sync with the impl header.
+void GemmBTI8Rows(int m_begin, int m_end, int n, int k, const int8_t* a,
+                  const float* a_scale, const int8_t* b,
+                  const float* b_scale, float* c) {
+  for (int i = m_begin; i < m_end; ++i) {
+    const int8_t* arow = a + static_cast<size_t>(i) * k;
+    const float sa = a_scale[i];
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const int32_t d = DotI8(arow, b + static_cast<size_t>(j) * k, k);
+      crow[j] += static_cast<float>(d) * (sa * b_scale[j]);
+    }
+  }
+}
+
 /// The micro-kernel worker for `tier`, or nullptr for the scalar
 /// reference tier. Call sites for tiers this binary was not built with
 /// are compiled out (SUDOWOODO_HAVE_* come from CMakeLists.txt).
@@ -254,6 +272,96 @@ void GemmBT(int m, int n, int k, const float* a, const float* b, float* c,
   }
   ShardRows(m, pool, num_shards, [=](int begin, int end) {
     GemmBTRows(begin, end, n, k, a, b, c);
+  });
+}
+
+namespace {
+
+/// The int8 panel worker for `tier`. Unlike MicroForTier there is no
+/// nullptr scalar case to preserve a different rounding - all tiers are
+/// bit-identical - but the dispatch keeps the forced-scalar/env tier
+/// machinery meaningful (the scalar tier runs the unvectorized reference
+/// in this TU, which ASan/UBSan/TSan legs re-run for coverage).
+detail::GemmBTI8MicroFn QuantForTier(KernelTier tier) {
+  switch (tier) {
+#if SUDOWOODO_HAVE_AVX512
+    case KernelTier::kAvx512:
+      return detail::GemmBTI8MicroAvx512;
+#endif
+#if SUDOWOODO_HAVE_AVX2
+    case KernelTier::kAvx2:
+      return detail::GemmBTI8MicroAvx2;
+#endif
+#if SUDOWOODO_HAVE_NEON
+    case KernelTier::kNeon:
+      return detail::GemmBTI8MicroNeon;
+#endif
+    case KernelTier::kPortable:
+      return detail::GemmBTI8MicroPortable;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+void QuantizeRowsI8(int m, int n, const float* x, int8_t* q, float* scales) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<size_t>(i) * n;
+    int8_t* qr = q + static_cast<size_t>(i) * n;
+    float max_abs = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      const float v = std::fabs(xr[j]);
+      // Non-finite elements are excluded from the scale (an Inf would
+      // collapse every finite element to code 0) and quantize to 0 below.
+      if (std::isfinite(v) && v > max_abs) max_abs = v;
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
+    scales[i] = scale;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    for (int j = 0; j < n; ++j) {
+      const float v = xr[j] * inv;
+      if (!std::isfinite(v)) {
+        qr[j] = 0;
+        continue;
+      }
+      // v is within ~127 * (1 + eps) of the representable range (inv is
+      // the rounded reciprocal, not exact), so clamp after rounding.
+      const long r = std::lrintf(v);
+      qr[j] = static_cast<int8_t>(std::clamp(r, -127L, 127L));
+    }
+  }
+}
+
+void DequantizeRowsI8(int m, int n, const int8_t* q, const float* scales,
+                      float* x) {
+  for (int i = 0; i < m; ++i) {
+    const int8_t* qr = q + static_cast<size_t>(i) * n;
+    const float scale = scales[i];
+    float* xr = x + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) xr[j] = static_cast<float>(qr[j]) * scale;
+  }
+}
+
+int32_t DotI8(const int8_t* a, const int8_t* b, int n) {
+  int32_t s = 0;
+  for (int i = 0; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+void GemmBTI8(int m, int n, int k, const int8_t* a, const float* a_scale,
+              const int8_t* b, const float* b_scale, float* c,
+              ThreadPool* pool, int num_shards) {
+  if (detail::GemmBTI8MicroFn micro = QuantForTier(ActiveKernelTier())) {
+    ShardRows(m, pool, num_shards, [=](int begin, int end) {
+      micro(begin, end, n, k, a, a_scale, b, b_scale, c);
+    });
+    return;
+  }
+  ShardRows(m, pool, num_shards, [=](int begin, int end) {
+    GemmBTI8Rows(begin, end, n, k, a, a_scale, b, b_scale, c);
   });
 }
 

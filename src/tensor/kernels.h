@@ -36,6 +36,8 @@
 #ifndef SUDOWOODO_TENSOR_KERNELS_H_
 #define SUDOWOODO_TENSOR_KERNELS_H_
 
+#include <cstdint>
+
 namespace sudowoodo {
 class ThreadPool;  // common/thread_pool.h; only the pointer is used here.
 }
@@ -104,6 +106,46 @@ void GemmAT(int m, int n, int k, const float* a, const float* b, float* c,
 /// input-gradient kernel of the training path (dX += dY W^T).
 void GemmBT(int m, int n, int k, const float* a, const float* b, float* c,
             ThreadPool* pool = nullptr, int num_shards = 1);
+
+/// Per-row symmetric int8 quantization of x [m,n]: scales[i] =
+/// max_j |x[i,j]| / 127 and q[i,j] = clamp(round(x[i,j] / scales[i]),
+/// -127, 127), rounding ties to even (the default FP environment). An
+/// all-zero row gets scale 0 and all-zero codes. Non-finite elements are
+/// ignored by the max and quantize to 0 (never a float->int cast of a
+/// non-finite value, which would be UB); callers that need NaN to poison
+/// results must keep the fp32 path. Deterministic and tier-independent:
+/// every arithmetic step is a correctly-rounded scalar float op in a
+/// fixed order, so the (q, scale) pair for a given row is the same on
+/// every build and machine.
+void QuantizeRowsI8(int m, int n, const float* x, int8_t* q, float* scales);
+
+/// Inverse of QuantizeRowsI8 up to quantization error: x[i,j] = q[i,j] *
+/// scales[i]. Exact per element (int8 -> float conversion is exact and
+/// the product is one correctly-rounded multiply), so dequantization is
+/// bitwise reproducible everywhere.
+void DequantizeRowsI8(int m, int n, const int8_t* q, const float* scales,
+                      float* x);
+
+/// Integer dot of two contiguous int8 spans, accumulated in int32.
+/// Exact for n <= 133152 (|sum| <= n * 127^2 must fit in int32), hence
+/// independent of vectorization, blocking, and tier.
+int32_t DotI8(const int8_t* a, const int8_t* b, int n);
+
+/// Quantized scoring panel: C[m,n] += float(DotI8(A row i, B row j)) *
+/// (a_scale[i] * b_scale[j]) where A is [m,k] int8 and B is [n,k] int8
+/// (the int8 analogue of GemmBT; scores approximate the fp32 dots of the
+/// original rows). Row-sharded over `pool` like GemmBT.
+///
+/// Determinism: STRONGER than the float GEMMs. The int32 accumulation is
+/// exact (k <= 133152), and the rescale is a fixed three-op float
+/// expression per element, so the output is bit-identical across ALL
+/// tiers, thread counts, and blockings - the per-tier TUs exist only so
+/// the integer loop vectorizes with the widest available ISA. The float
+/// conversion of the dot is exact while |dot| < 2^24 (always true for
+/// k <= 1040, far above the embedding dims used here).
+void GemmBTI8(int m, int n, int k, const int8_t* a, const float* a_scale,
+              const int8_t* b, const float* b_scale, float* c,
+              ThreadPool* pool = nullptr, int num_shards = 1);
 
 /// Dot product of two contiguous float spans (4-lane partial sums).
 float Dot(const float* a, const float* b, int n);

@@ -7,4 +7,7 @@
 #define SUDOWOODO_MICRO_VEC_FLOATS 8
 #define SUDOWOODO_MICRO_ENTRY GemmMicroAvx2
 #include "tensor/kernels_micro_impl.h"
+
+#define SUDOWOODO_QUANT_ENTRY GemmBTI8MicroAvx2
+#include "tensor/kernels_quant_impl.h"
 #endif

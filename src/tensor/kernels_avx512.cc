@@ -7,4 +7,7 @@
 #define SUDOWOODO_MICRO_VEC_FLOATS 16
 #define SUDOWOODO_MICRO_ENTRY GemmMicroAvx512
 #include "tensor/kernels_micro_impl.h"
+
+#define SUDOWOODO_QUANT_ENTRY GemmBTI8MicroAvx512
+#include "tensor/kernels_quant_impl.h"
 #endif

@@ -13,6 +13,8 @@
 #ifndef SUDOWOODO_TENSOR_KERNELS_MICRO_H_
 #define SUDOWOODO_TENSOR_KERNELS_MICRO_H_
 
+#include <cstdint>
+
 namespace sudowoodo::tensor::kernels::detail {
 
 /// Which transpose variant the shared micro-kernel driver is computing.
@@ -40,6 +42,31 @@ void GemmMicroAvx2(GemmVariant v, int m_begin, int m_end, int m, int n,
                    int k, const float* a, const float* b, float* c);
 void GemmMicroAvx512(GemmVariant v, int m_begin, int m_end, int m, int n,
                      int k, const float* a, const float* b, float* c);
+
+/// One tier's row-range worker for the int8 scoring panel (GemmBTI8 in
+/// kernels.h): output rows [m_begin, m_end) of C[m,n] += rescaled int8
+/// dots. Every tier computes bit-identical output (integer accumulation
+/// is exact; the rescale is a fixed scalar float expression) - the tiers
+/// differ only in how fast the compiler's autovectorizer runs the
+/// integer loop under that TU's ISA flags. Defined in the same per-tier
+/// TUs as the float micro-kernel, via kernels_quant_impl.h.
+using GemmBTI8MicroFn = void (*)(int m_begin, int m_end, int n, int k,
+                                 const int8_t* a, const float* a_scale,
+                                 const int8_t* b, const float* b_scale,
+                                 float* c);
+
+void GemmBTI8MicroPortable(int m_begin, int m_end, int n, int k,
+                           const int8_t* a, const float* a_scale,
+                           const int8_t* b, const float* b_scale, float* c);
+void GemmBTI8MicroNeon(int m_begin, int m_end, int n, int k, const int8_t* a,
+                       const float* a_scale, const int8_t* b,
+                       const float* b_scale, float* c);
+void GemmBTI8MicroAvx2(int m_begin, int m_end, int n, int k, const int8_t* a,
+                       const float* a_scale, const int8_t* b,
+                       const float* b_scale, float* c);
+void GemmBTI8MicroAvx512(int m_begin, int m_end, int n, int k,
+                         const int8_t* a, const float* a_scale,
+                         const int8_t* b, const float* b_scale, float* c);
 
 }  // namespace sudowoodo::tensor::kernels::detail
 

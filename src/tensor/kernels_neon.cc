@@ -8,4 +8,7 @@
 #define SUDOWOODO_MICRO_VEC_FLOATS 4
 #define SUDOWOODO_MICRO_ENTRY GemmMicroNeon
 #include "tensor/kernels_micro_impl.h"
+
+#define SUDOWOODO_QUANT_ENTRY GemmBTI8MicroNeon
+#include "tensor/kernels_quant_impl.h"
 #endif

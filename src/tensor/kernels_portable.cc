@@ -7,3 +7,6 @@
 #define SUDOWOODO_MICRO_VEC_FLOATS 4
 #define SUDOWOODO_MICRO_ENTRY GemmMicroPortable
 #include "tensor/kernels_micro_impl.h"
+
+#define SUDOWOODO_QUANT_ENTRY GemmBTI8MicroPortable
+#include "tensor/kernels_quant_impl.h"

@@ -1,0 +1,610 @@
+// Tests for the int8 quantized storage and scoring path: the kernel
+// family (QuantizeRowsI8 / DequantizeRowsI8 / DotI8 / GemmBTI8), the
+// int8 candidate selectors, and the quantized storage mode of both
+// blocking indexes, the facade, and the embedding cache.
+//
+// The determinism contract under test is STRONGER than fp32's: because
+// the int8 panel accumulates in exact int32 arithmetic and rescales with
+// one fixed fp32 expression, and the fp32 re-rank runs through the
+// tier-independent kernels::Dot chain, int8 query results must be
+// bitwise identical across ALL kernel tiers and thread counts - not
+// just within one tier. The mutation batteries pin the same rebuild
+// oracle the fp32 indexes honor: after any insert/remove/compaction/
+// retrain sequence, queries equal a from-scratch int8 index built on
+// the surviving rows, bitwise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/cleaning_dataset.h"
+#include "index/embedding_cache.h"
+#include "index/ivf_index.h"
+#include "index/knn_index.h"
+#include "pipeline/cleaning_pipeline.h"
+#include "tensor/kernels.h"
+
+namespace sudowoodo {
+namespace {
+
+namespace ks = tensor::kernels;
+using index::BlockingIndex;
+using index::BlockingIndexKind;
+using index::BlockingIndexOptions;
+using index::EmbeddingCache;
+using index::IndexStorage;
+using index::IvfIndex;
+using index::IvfOptions;
+using index::KnnIndex;
+using index::MutationOptions;
+using index::Neighbor;
+using index::StorageOptions;
+using ks::KernelTier;
+
+class ScopedTier {
+ public:
+  explicit ScopedTier(KernelTier t) { EXPECT_TRUE(ks::SetKernelTier(t)); }
+  ~ScopedTier() { ks::ResetKernelTier(); }
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+};
+
+std::vector<KernelTier> AvailableTiers() {
+  std::vector<KernelTier> tiers;
+  for (KernelTier t : {KernelTier::kScalar, KernelTier::kPortable,
+                       KernelTier::kNeon, KernelTier::kAvx2,
+                       KernelTier::kAvx512}) {
+    if (ks::KernelTierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// L2-normalized clustered rows (the blocking workload shape): items
+/// scatter around shared cluster centers, so nearest neighbours are
+/// meaningful and quantization error is representative.
+std::vector<float> ClusteredUnitRows(int n, int dim, uint64_t seed,
+                                     int n_clusters = 32,
+                                     float noise = 0.25f) {
+  Rng center_rng(seed * 1315423911ULL + 7);
+  std::vector<float> centers(static_cast<size_t>(n_clusters) * dim);
+  for (auto& x : centers) x = static_cast<float>(center_rng.Gaussian());
+  Rng rng(seed);
+  std::vector<float> rows(static_cast<size_t>(n) * dim);
+  for (int i = 0; i < n; ++i) {
+    const float* c =
+        centers.data() +
+        static_cast<size_t>(rng.UniformInt(n_clusters)) *
+            dim;
+    float* r = rows.data() + static_cast<size_t>(i) * dim;
+    double norm = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      r[j] = c[j] + noise * static_cast<float>(rng.Gaussian());
+      norm += static_cast<double>(r[j]) * r[j];
+    }
+    const float inv = norm > 0 ? 1.0f / std::sqrt(static_cast<float>(norm))
+                               : 0.0f;
+    for (int j = 0; j < dim; ++j) r[j] *= inv;
+  }
+  return rows;
+}
+
+void ExpectSameNeighbors(const std::vector<std::vector<Neighbor>>& a,
+                         const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+    for (size_t j = 0; j < a[q].size(); ++j) {
+      EXPECT_EQ(a[q][j].id, b[q][j].id) << "query " << q << " rank " << j;
+      // Bitwise: the determinism contract, not a tolerance.
+      EXPECT_EQ(a[q][j].sim, b[q][j].sim) << "query " << q << " rank " << j;
+    }
+  }
+}
+
+double RecallAtK(const std::vector<std::vector<Neighbor>>& truth,
+                 const std::vector<std::vector<Neighbor>>& got) {
+  size_t hit = 0, total = 0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    for (const Neighbor& t : truth[q]) {
+      ++total;
+      for (const Neighbor& g : got[q]) {
+        if (g.id == t.id) {
+          ++hit;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hit) / total;
+}
+
+// ---------------------------------------------------------------------
+// Kernel family
+// ---------------------------------------------------------------------
+
+TEST(QuantKernelTest, RoundTripErrorBound) {
+  const int m = 37, n = 64;
+  const std::vector<float> x = ClusteredUnitRows(m, n, 11);
+  std::vector<int8_t> q(static_cast<size_t>(m) * n);
+  std::vector<float> scales(m), back(static_cast<size_t>(m) * n);
+  ks::QuantizeRowsI8(m, n, x.data(), q.data(), scales.data());
+  ks::DequantizeRowsI8(m, n, q.data(), scales.data(), back.data());
+  for (int i = 0; i < m; ++i) {
+    float max_abs = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      max_abs = std::max(max_abs, std::fabs(x[static_cast<size_t>(i) * n + j]));
+    }
+    // Per-row symmetric scale: max|x| / 127, and every element's
+    // round-to-nearest error is at most half a code step.
+    EXPECT_NEAR(scales[static_cast<size_t>(i)], max_abs / 127.0f,
+                max_abs * 1e-6f);
+    for (int j = 0; j < n; ++j) {
+      const size_t at = static_cast<size_t>(i) * n + j;
+      EXPECT_GE(q[at], -127);
+      EXPECT_LE(q[at], 127);
+      EXPECT_LE(std::fabs(back[at] - x[at]),
+                0.5f * scales[static_cast<size_t>(i)] + 1e-7f)
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(QuantKernelTest, ZeroAndNonFiniteRows) {
+  const int n = 16;
+  std::vector<float> x(3 * n, 0.0f);
+  // Row 1: all zero. Row 0: finite values. Row 2: non-finite elements
+  // mixed in - they are excluded from the scale and quantize to 0, so a
+  // poisoned embedding cannot blow up the whole row's precision.
+  for (int j = 0; j < n; ++j) x[static_cast<size_t>(j)] = 0.1f * (j - 8);
+  for (int j = 0; j < n; ++j) {
+    x[static_cast<size_t>(2 * n + j)] = 0.25f;
+  }
+  x[2 * n + 3] = std::numeric_limits<float>::infinity();
+  x[2 * n + 7] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<int8_t> q(3 * n);
+  std::vector<float> scales(3);
+  ks::QuantizeRowsI8(3, n, x.data(), q.data(), scales.data());
+  EXPECT_EQ(scales[1], 0.0f);
+  for (int j = 0; j < n; ++j) EXPECT_EQ(q[static_cast<size_t>(n + j)], 0);
+  EXPECT_EQ(scales[2], 0.25f / 127.0f);
+  EXPECT_EQ(q[2 * n + 3], 0);
+  EXPECT_EQ(q[2 * n + 7], 0);
+  EXPECT_EQ(q[2 * n + 1], 127);
+}
+
+TEST(QuantKernelTest, DotI8MatchesWideReference) {
+  Rng rng(5);
+  const int n = 301;
+  std::vector<int8_t> a(n), b(n);
+  for (auto& v : a) {
+    v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+  }
+  for (auto& v : b) {
+    v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+  }
+  int64_t want = 0;
+  for (int i = 0; i < n; ++i) {
+    want += static_cast<int64_t>(a[static_cast<size_t>(i)]) *
+            b[static_cast<size_t>(i)];
+  }
+  EXPECT_EQ(ks::DotI8(a.data(), b.data(), n), want);
+}
+
+TEST(QuantKernelTest, GemmBTI8BitwiseAcrossTiersAndThreads) {
+  const int m = 13, n = 57, k = 64;
+  const std::vector<float> af = ClusteredUnitRows(m, k, 3);
+  const std::vector<float> bf = ClusteredUnitRows(n, k, 4);
+  std::vector<int8_t> aq(static_cast<size_t>(m) * k), bq(static_cast<size_t>(n) * k);
+  std::vector<float> as(m), bs(n);
+  ks::QuantizeRowsI8(m, k, af.data(), aq.data(), as.data());
+  ks::QuantizeRowsI8(n, k, bf.data(), bq.data(), bs.data());
+
+  std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+  {
+    ScopedTier tier(KernelTier::kScalar);
+    ks::GemmBTI8(m, n, k, aq.data(), as.data(), bq.data(), bs.data(),
+                 ref.data());
+  }
+  ThreadPool pool(4);
+  for (KernelTier t : AvailableTiers()) {
+    ScopedTier tier(t);
+    std::vector<float> got(static_cast<size_t>(m) * n, 0.0f);
+    ks::GemmBTI8(m, n, k, aq.data(), as.data(), bq.data(), bs.data(),
+                 got.data());
+    // Integer accumulation + one fixed rescale expression: every tier
+    // must match the scalar reference bit for bit (unlike fp32 GemmBT,
+    // where SIMD tiers only match within tolerance).
+    EXPECT_EQ(got, ref) << ks::KernelTierName(t);
+    std::vector<float> threaded(static_cast<size_t>(m) * n, 0.0f);
+    ks::GemmBTI8(m, n, k, aq.data(), as.data(), bq.data(), bs.data(),
+                 threaded.data(), &pool, 4);
+    EXPECT_EQ(threaded, ref) << ks::KernelTierName(t) << " threaded";
+  }
+}
+
+TEST(QuantKernelTest, SelectTopRLivePositionsIsTheTopRSet) {
+  Rng rng(17);
+  const int n = 500;
+  std::vector<float> scores(n);
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; ++i) {
+    scores[static_cast<size_t>(i)] =
+        static_cast<float>(rng.UniformInt(50)) * 0.125f;  // many exact ties
+    ids[static_cast<size_t>(i)] = (i % 10 == 3) ? -1 : i;  // tombstones
+  }
+  for (int r : {1, 7, 64, 499, 600}) {
+    std::vector<int> got;
+    index::SelectTopRLivePositions(scores.data(), ids.data(), n, r, &got);
+    // Reference: full sort by (score desc, id asc) over live positions.
+    std::vector<int> live;
+    for (int i = 0; i < n; ++i) {
+      if (ids[static_cast<size_t>(i)] >= 0) live.push_back(i);
+    }
+    std::sort(live.begin(), live.end(), [&](int a, int b) {
+      if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+        return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+      }
+      return ids[static_cast<size_t>(a)] < ids[static_cast<size_t>(b)];
+    });
+    live.resize(std::min<size_t>(live.size(), static_cast<size_t>(r)));
+    std::sort(got.begin(), got.end());
+    std::sort(live.begin(), live.end());
+    EXPECT_EQ(got, live) << "r=" << r;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exact index, int8 storage
+// ---------------------------------------------------------------------
+
+TEST(KnnIndexInt8Test, RerankDepthLosesAlmostNothing) {
+  // The int8 recall ceiling is set by the 8-bit row representation (the
+  // fp32 re-rank scores dequantized rows; near-ties inside dense
+  // clusters shuffle), NOT by the top-R preselection. This test pins
+  // that split: the default depth must be within 0.005 recall of
+  // exhaustively fp32-re-ranking EVERY row (R = n), and the absolute
+  // level must stay in the representation's band. End-to-end blocking
+  // quality is gated separately (bench_table7 int8 check: delta <= 0.01
+  // vs fp32, measured 0.0000 on the paper tables).
+  const int n = 4000, dim = 64, nq = 300, k = 10;
+  const std::vector<float> rows = ClusteredUnitRows(n, dim, 21);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 22);
+  KnnIndex fp32(rows.data(), n, dim);
+  StorageOptions so;
+  so.storage = IndexStorage::kInt8;
+  KnnIndex int8(rows.data(), n, dim, MutationOptions{}, so);
+  StorageOptions exhaustive = so;
+  exhaustive.rerank_min = n;  // preselect everything: the depth oracle
+  KnnIndex int8_full(rows.data(), n, dim, MutationOptions{}, exhaustive);
+  const auto truth = fp32.QueryBatch(queries.data(), nq, dim, k, 4);
+  const double r_depth =
+      RecallAtK(truth, int8.QueryBatch(queries.data(), nq, dim, k, 4));
+  const double r_full =
+      RecallAtK(truth, int8_full.QueryBatch(queries.data(), nq, dim, k, 4));
+  EXPECT_LE(r_full - r_depth, 0.005);
+  EXPECT_GE(r_depth, 0.9);
+}
+
+TEST(KnnIndexInt8Test, BitwiseAcrossTiersThreadsAndSingleQuery) {
+  const int n = 1500, dim = 48, nq = 64, k = 12;
+  const std::vector<float> rows = ClusteredUnitRows(n, dim, 31);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 32);
+  StorageOptions so;
+  so.storage = IndexStorage::kInt8;
+  KnnIndex idx(rows.data(), n, dim, MutationOptions{}, so);
+  std::vector<std::vector<Neighbor>> ref;
+  {
+    ScopedTier tier(KernelTier::kScalar);
+    ref = idx.QueryBatch(queries.data(), nq, dim, k, 1);
+  }
+  for (KernelTier t : AvailableTiers()) {
+    ScopedTier tier(t);
+    for (int threads : {1, 2, 4}) {
+      ExpectSameNeighbors(idx.QueryBatch(queries.data(), nq, dim, k, threads),
+                          ref);
+    }
+    // Single Query is the m = 1 edge of the same path.
+    std::vector<float> q(queries.begin(), queries.begin() + dim);
+    ExpectSameNeighbors({idx.Query(q, k)}, {ref[0]});
+  }
+}
+
+/// Applies an insert/remove battery and checks queries stay bitwise
+/// equal to a from-scratch int8 index on the surviving rows.
+TEST(KnnIndexInt8Test, MutationsMatchRebuildOracle) {
+  const int dim = 32, k = 8, nq = 40;
+  const std::vector<float> all = ClusteredUnitRows(400, dim, 41);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 42);
+  StorageOptions so;
+  so.storage = IndexStorage::kInt8;
+  MutationOptions mo;
+  mo.compact_tombstone_fraction = 0.2f;  // force compactions mid-battery
+  KnnIndex idx(all.data(), 100, dim, mo, so);
+  std::map<int, const float*> live;
+  for (int i = 0; i < 100; ++i) live[i] = all.data() + static_cast<size_t>(i) * dim;
+
+  int next = 100;
+  Rng rng(43);
+  for (int step = 0; step < 6; ++step) {
+    const int n_ins = 20 + step;
+    ASSERT_TRUE(idx.Insert(all.data() + static_cast<size_t>(next) * dim, n_ins,
+                           dim).ok());
+    for (int i = 0; i < n_ins; ++i) {
+      live[next + i] = all.data() + static_cast<size_t>(next + i) * dim;
+    }
+    next += n_ins;
+    std::vector<int> doomed;
+    for (const auto& [id, row] : live) {
+      (void)row;
+      if (rng.UniformInt(4) == 0) doomed.push_back(id);
+    }
+    if (!doomed.empty()) {
+      ASSERT_TRUE(idx.Remove(doomed.data(),
+                             static_cast<int>(doomed.size())).ok());
+      for (int id : doomed) live.erase(id);
+    }
+
+    std::vector<float> srows;
+    std::vector<int> sids;
+    for (const auto& [id, row] : live) {
+      sids.push_back(id);
+      srows.insert(srows.end(), row, row + dim);
+    }
+    KnnIndex rebuilt(srows.data(), sids.data(),
+                     static_cast<int>(sids.size()), dim, mo, so);
+    for (KernelTier t : AvailableTiers()) {
+      ScopedTier tier(t);
+      for (int threads : {1, 4}) {
+        ExpectSameNeighbors(
+            idx.QueryBatch(queries.data(), nq, dim, k, threads),
+            rebuilt.QueryBatch(queries.data(), nq, dim, k, threads));
+      }
+    }
+  }
+  EXPECT_EQ(idx.size(), static_cast<int>(live.size()));
+}
+
+TEST(KnnIndexInt8Test, ExportLiveStoreMigratesBitwise) {
+  const int n = 300, dim = 24, nq = 20, k = 5;
+  const std::vector<float> rows = ClusteredUnitRows(n, dim, 51);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 52);
+  StorageOptions so;
+  so.storage = IndexStorage::kInt8;
+  KnnIndex idx(rows.data(), n, dim, MutationOptions{}, so);
+  std::vector<int> doomed = {3, 77, 150, 299};
+  ASSERT_TRUE(idx.Remove(doomed.data(), 4).ok());
+
+  index::QuantRowStore store;
+  std::vector<int> ids;
+  idx.ExportLiveStore(&store, &ids);
+  EXPECT_EQ(store.size(), idx.size());
+  IvfOptions io;
+  io.nprobe = 1 << 20;  // probe everything: exact over the same rows
+  IvfIndex ivf(store, ids.data(), static_cast<int>(ids.size()), io,
+               MutationOptions{}, so, idx.next_id());
+  ExpectSameNeighbors(
+      ivf.QueryBatch(queries.data(), nq, dim, k, ivf.num_cells(), 1),
+      idx.QueryBatch(queries.data(), nq, dim, k, 1));
+}
+
+// ---------------------------------------------------------------------
+// IVF index, int8 storage
+// ---------------------------------------------------------------------
+
+TEST(IvfIndexInt8Test, AllCellsProbedEqualsExactAndNprobeRecall) {
+  const int n = 5000, dim = 64, nq = 200, k = 10;
+  const std::vector<float> rows = ClusteredUnitRows(n, dim, 61);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 62);
+  StorageOptions so;
+  so.storage = IndexStorage::kInt8;
+  IvfIndex ivf(rows.data(), n, dim, IvfOptions{}, MutationOptions{}, so);
+  KnnIndex exact(rows.data(), n, dim, MutationOptions{}, so);
+
+  // nprobe >= cells probes every cell: the candidate set is every live
+  // row regardless of the trained layout, so results must equal the
+  // int8 exact index bitwise.
+  ExpectSameNeighbors(
+      ivf.QueryBatch(queries.data(), nq, dim, k, ivf.num_cells(), 2),
+      exact.QueryBatch(queries.data(), nq, dim, k, 2));
+
+  // And at the default probe budget, recall against the fp32 oracle
+  // stays in the same band the fp32 IVF path promises.
+  KnnIndex fp32(rows.data(), n, dim);
+  const auto truth = fp32.QueryBatch(queries.data(), nq, dim, k, 2);
+  const auto got = ivf.QueryBatch(queries.data(), nq, dim, k, /*nprobe=*/16, 2);
+  EXPECT_GE(RecallAtK(truth, got), 0.95);
+}
+
+TEST(IvfIndexInt8Test, MutationsMatchRebuildOracle) {
+  const int dim = 32, k = 8, nq = 30;
+  const std::vector<float> all = ClusteredUnitRows(1200, dim, 71);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 72);
+  StorageOptions so;
+  so.storage = IndexStorage::kInt8;
+  MutationOptions mo;
+  mo.compact_tombstone_fraction = 0.15f;
+  mo.retrain_insert_fraction = 0.3f;  // force retrains mid-battery
+  IvfOptions io;
+  io.num_cells = 16;
+  IvfIndex ivf(all.data(), 400, dim, io, mo, so);
+  std::map<int, const float*> live;
+  for (int i = 0; i < 400; ++i) {
+    live[i] = all.data() + static_cast<size_t>(i) * dim;
+  }
+  int next = 400;
+  Rng rng(73);
+  for (int step = 0; step < 4; ++step) {
+    const int n_ins = 150;
+    ASSERT_TRUE(ivf.Insert(all.data() + static_cast<size_t>(next) * dim,
+                           n_ins, dim).ok());
+    for (int i = 0; i < n_ins; ++i) {
+      live[next + i] = all.data() + static_cast<size_t>(next + i) * dim;
+    }
+    next += n_ins;
+    std::vector<int> doomed;
+    for (const auto& [id, row] : live) {
+      (void)row;
+      if (rng.UniformInt(5) == 0) doomed.push_back(id);
+    }
+    ASSERT_TRUE(ivf.Remove(doomed.data(),
+                           static_cast<int>(doomed.size())).ok());
+    for (int id : doomed) live.erase(id);
+
+    std::vector<float> srows;
+    std::vector<int> sids;
+    for (const auto& [id, row] : live) {
+      sids.push_back(id);
+      srows.insert(srows.end(), row, row + dim);
+    }
+    IvfIndex rebuilt(srows.data(), sids.data(),
+                     static_cast<int>(sids.size()), dim, io, mo, so);
+    // With every cell probed the candidate set is the full live row set
+    // on both sides, so the mutated index must equal the from-scratch
+    // rebuild bitwise even though their trained cell layouts differ.
+    const int p = std::max(ivf.num_cells(), rebuilt.num_cells());
+    for (int threads : {1, 4}) {
+      ExpectSameNeighbors(
+          ivf.QueryBatch(queries.data(), nq, dim, k, p, threads),
+          rebuilt.QueryBatch(queries.data(), nq, dim, k, p, threads));
+    }
+  }
+  EXPECT_GT(ivf.retrain_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Facade + memory accounting
+// ---------------------------------------------------------------------
+
+TEST(BlockingIndexInt8Test, AutoMigrationPreservesResults) {
+  const int dim = 32, k = 6, nq = 25;
+  const std::vector<float> all = ClusteredUnitRows(1400, dim, 81);
+  const std::vector<float> queries = ClusteredUnitRows(nq, dim, 82);
+  BlockingIndexOptions o;
+  o.kind = BlockingIndexKind::kAuto;
+  o.exact_threshold = 1000;
+  o.storage.storage = IndexStorage::kInt8;
+  o.ivf.num_cells = 12;
+  BlockingIndex idx(all.data(), 900, dim, o);
+  EXPECT_FALSE(idx.using_ivf());
+  ASSERT_TRUE(idx.Insert(all.data() + static_cast<size_t>(900) * dim, 500,
+                         dim).ok());
+  EXPECT_TRUE(idx.using_ivf());
+  // Migration carries the (codes, scale) rows verbatim, so the migrated
+  // facade equals a from-scratch facade over the same 1400 rows (same
+  // ids 0..1399, same quantization, same k-means input).
+  BlockingIndex fresh(all.data(), 1400, dim, o);
+  ExpectSameNeighbors(idx.QueryBatch(queries.data(), nq, dim, k, 2),
+                      fresh.QueryBatch(queries.data(), nq, dim, k, 2));
+}
+
+TEST(BlockingIndexInt8Test, BytesResidentShrinksBelowThirtyPercent) {
+  const int n = 2000, dim = 64;
+  const std::vector<float> rows = ClusteredUnitRows(n, dim, 91);
+  BlockingIndexOptions fp;
+  fp.kind = BlockingIndexKind::kExact;
+  BlockingIndexOptions i8 = fp;
+  i8.storage.storage = IndexStorage::kInt8;
+  BlockingIndex a(rows.data(), n, dim, fp);
+  BlockingIndex b(rows.data(), n, dim, i8);
+  EXPECT_GT(a.bytes_resident(), 0u);
+  // dim-64 int8 row: 64B codes + 4B scale + 4B id = 72B vs 260B fp32.
+  EXPECT_LE(static_cast<double>(b.bytes_resident()),
+            0.30 * static_cast<double>(a.bytes_resident()));
+}
+
+// ---------------------------------------------------------------------
+// Embedding cache, int8 entries
+// ---------------------------------------------------------------------
+
+TEST(EmbeddingCacheInt8Test, HitReturnsTheQuantizedImage) {
+  const int dim = 48;
+  EmbeddingCache cache(64, 4, IndexStorage::kInt8);
+  const std::vector<float> row = ClusteredUnitRows(1, dim, 101);
+  const std::vector<int> key = {1, 2, 3};
+  std::vector<float> probe(dim);
+  EXPECT_FALSE(cache.Lookup(key, probe.data(), dim));
+  cache.Insert(key, row.data(), dim);
+  std::vector<float> got(dim);
+  ASSERT_TRUE(cache.Lookup(key, got.data(), dim));
+  // The hit is the exact quantize->dequantize image of the insert - the
+  // same representation the int8 indexes score, not approximately it.
+  std::vector<int8_t> q(dim);
+  float scale = 0.0f;
+  std::vector<float> want(dim);
+  ks::QuantizeRowsI8(1, dim, row.data(), q.data(), &scale);
+  ks::DequantizeRowsI8(1, dim, q.data(), &scale, want.data());
+  EXPECT_EQ(got, want);
+  for (int j = 0; j < dim; ++j) {
+    EXPECT_LE(std::fabs(got[static_cast<size_t>(j)] -
+                        row[static_cast<size_t>(j)]),
+              0.5f * scale + 1e-7f);
+  }
+}
+
+TEST(EmbeddingCacheInt8Test, WrongWidthIsAMissAndEraseWorks) {
+  const int dim = 32;
+  EmbeddingCache cache(16, 2, IndexStorage::kInt8);
+  const std::vector<float> row = ClusteredUnitRows(1, dim, 102);
+  const std::vector<int> key = {9, 9};
+  cache.Insert(key, row.data(), dim);
+  std::vector<float> out(dim);
+  EXPECT_FALSE(cache.Lookup(key, out.data(), dim / 2));
+  EXPECT_TRUE(cache.Lookup(key, out.data(), dim));
+  EXPECT_TRUE(cache.Erase(key));
+  EXPECT_FALSE(cache.Lookup(key, out.data(), dim));
+}
+
+TEST(EmbeddingCacheInt8Test, BytesResidentShrinksVsFp32) {
+  const int dim = 64, n_entries = 50;
+  EmbeddingCache fp(256, 4, IndexStorage::kFp32);
+  EmbeddingCache i8(256, 4, IndexStorage::kInt8);
+  const std::vector<float> rows = ClusteredUnitRows(n_entries, dim, 103);
+  for (int i = 0; i < n_entries; ++i) {
+    const std::vector<int> key = {i};
+    fp.Insert(key, rows.data() + static_cast<size_t>(i) * dim, dim);
+    i8.Insert(key, rows.data() + static_cast<size_t>(i) * dim, dim);
+  }
+  const auto sf = fp.stats();
+  const auto si = i8.stats();
+  EXPECT_EQ(sf.entries, static_cast<uint64_t>(n_entries));
+  EXPECT_EQ(si.entries, static_cast<uint64_t>(n_entries));
+  EXPECT_GT(sf.bytes_resident, 0u);
+  // Key bytes are shared; the vector payload drops 4x (dim + 4 vs
+  // 4*dim bytes), so the total must land well under half.
+  EXPECT_LT(si.bytes_resident, sf.bytes_resident / 2);
+}
+
+// ---------------------------------------------------------------------
+// End to end: pipeline with an int8 cache
+// ---------------------------------------------------------------------
+
+TEST(PipelineInt8Test, CleaningRunsWithInt8CacheAtSaneQuality) {
+  data::CleaningSpec spec = data::GetCleaningSpec("beers");
+  spec.n_rows = 40;
+  const data::CleaningDataset ds = data::GenerateCleaning(spec);
+  pipeline::CleaningPipelineOptions o;
+  o.skip_pretrain = true;
+  o.labeled_rows = 4;
+  o.max_train_candidates = 1;
+  o.encoder_dim = 32;
+  o.max_len = 32;
+  o.embedding_cache_capacity = 4096;
+  pipeline::CleaningRunResult base = pipeline::CleaningPipeline(o).Run(ds);
+  o.embedding_cache_storage = IndexStorage::kInt8;
+  pipeline::CleaningRunResult quant = pipeline::CleaningPipeline(o).Run(ds);
+  // Quantized cache hits return the int8 image, so outputs may differ
+  // from fp32 - but the cache must actually serve hits and end-quality
+  // must stay in the same band.
+  EXPECT_GT(quant.embed_cache.hits, quant.embed_cache.misses);
+  EXPECT_GE(quant.correction.f1, base.correction.f1 - 0.05);
+}
+
+}  // namespace
+}  // namespace sudowoodo
